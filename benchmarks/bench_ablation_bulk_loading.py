@@ -1,0 +1,28 @@
+"""Ablation — insertion-built vs bulk-loaded (STR/Hilbert) trees.
+
+Timed operation: STR-packing the timing dataset.
+"""
+
+from conftest import TIMING_SCALE, show
+
+from repro.bench import build_tree
+from repro.bench.ablations import ablation_bulk_loading
+from repro.data import load_test
+
+
+def test_ablation_bulk_loading(benchmark):
+    report = ablation_bulk_loading()
+    show(report)
+    data = report.data
+
+    # Packing reaches ~100% utilization: fewer total pages, hence a
+    # lower optimum than the insertion-built R*-tree.
+    assert data["str"]["optimum"] < data["rstar"]["optimum"]
+    assert data["hilbert"]["optimum"] < data["rstar"]["optimum"]
+    # That translates into no more I/O for the join itself.
+    assert data["str"]["accesses"] <= data["rstar"]["accesses"] * 1.05
+
+    pair = load_test("A", TIMING_SCALE)
+    benchmark.pedantic(
+        lambda: build_tree(pair.r.records, 4096, "str"),
+        rounds=1, iterations=1)

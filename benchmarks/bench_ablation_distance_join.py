@@ -1,0 +1,33 @@
+"""Ablation — the within-distance join extension.
+
+Timed operation: one distance join on the timing trees.
+"""
+
+from conftest import show
+
+from repro.bench.ablations import ablation_distance_join
+from repro.core import distance_join, spatial_join
+
+
+def test_ablation_distance_join(benchmark, timing_trees):
+    report = ablation_distance_join()
+    show(report)
+    data = report.data
+
+    fractions = sorted(data)
+    # Result size, comparisons and accesses all grow with the radius.
+    pairs = [data[f]["pairs"] for f in fractions]
+    assert pairs == sorted(pairs)
+    comparisons = [data[f]["comparisons"] for f in fractions]
+    assert comparisons == sorted(comparisons)
+
+    tree_r, tree_s = timing_trees
+    # Radius 0 coincides with the intersection join.
+    zero = distance_join(tree_r, tree_s, 0.0, buffer_kb=128)
+    intersect = spatial_join(tree_r, tree_s, algorithm="sj4",
+                             buffer_kb=128)
+    assert zero.pair_set() == intersect.pair_set()
+
+    benchmark.pedantic(
+        lambda: distance_join(tree_r, tree_s, 500.0, buffer_kb=128),
+        rounds=1, iterations=1)

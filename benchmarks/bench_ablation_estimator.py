@@ -1,0 +1,27 @@
+"""Ablation — analytical cost model vs measured counters.
+
+Timed operation: one full prediction on the timing trees.
+"""
+
+from conftest import show
+
+from repro.bench.ablations import ablation_estimator
+from repro.costmodel.estimate import JoinCardinalityEstimator
+
+
+def test_ablation_estimator(benchmark, timing_trees):
+    report = ablation_estimator()
+    show(report)
+    data = report.data
+
+    # The near-uniform region grid (test E) is predicted well ...
+    assert 0.5 <= data["E"]["ratio"] <= 2.0
+    # ... while the clustered line maps are under-estimated, which is
+    # precisely the paper's point about analytical models.
+    for test in ("A", "B", "D"):
+        assert data[test]["ratio"] < 0.6
+
+    tree_r, tree_s = timing_trees
+    benchmark.pedantic(
+        lambda: JoinCardinalityEstimator(tree_r, tree_s).predict(),
+        rounds=1, iterations=1)

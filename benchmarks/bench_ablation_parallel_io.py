@@ -1,0 +1,41 @@
+"""Ablation — disk-array scaling of the SJ4 access trace (Section 6
+future work).
+
+Timed operation: recording and evaluating a trace on the timing trees.
+"""
+
+from conftest import show
+
+from repro.bench.ablations import ablation_parallel_io
+from repro.core import JoinContext, make_algorithm
+from repro.costmodel.parallel import estimate_parallel_io
+
+
+def test_ablation_parallel_io(benchmark, timing_trees):
+    report = ablation_parallel_io()
+    show(report)
+    data = report.data
+
+    # Round-robin declustering balances well: near-linear balanced
+    # speedup up to 8 disks.
+    assert data[2]["speedup_balanced"] > 1.8
+    assert data[4]["speedup_balanced"] > 3.5
+    assert data[8]["speedup_balanced"] > 6.0
+    # The schedule-aware speedup is positive but sub-linear.
+    for disks in (2, 4, 8, 16):
+        assert 1.0 < data[disks]["speedup_scheduled"] <= \
+            data[disks]["speedup_balanced"] + 1e-9
+    # More disks never hurt.
+    speedups = [data[d]["speedup_scheduled"] for d in (1, 2, 4, 8, 16)]
+    assert speedups == sorted(speedups)
+
+    tree_r, tree_s = timing_trees
+
+    def run():
+        ctx = JoinContext(tree_r, tree_s, buffer_kb=8,
+                          record_trace=True)
+        make_algorithm("sj4").run(ctx)
+        return estimate_parallel_io(ctx.manager.trace, 8,
+                                    tree_r.params.page_size)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""Ablation — contribution of the per-tree path buffer.
+
+Timed operation: SJ1 without the path buffer (the pathological case).
+"""
+
+from conftest import show
+
+from repro.bench.ablations import ablation_pathbuffer
+from repro.core import spatial_join
+
+
+def test_ablation_pathbuffer(benchmark, timing_trees):
+    report = ablation_pathbuffer()
+    show(report)
+    data = report.data
+
+    # Removing the path buffer costs disk accesses at small buffers for
+    # both algorithms (at 0 KByte the effect is dramatic).
+    for algo in ("sj1", "sj4"):
+        assert data[0.0][f"{algo}_without"] > data[0.0][f"{algo}_with"]
+    # A large LRU buffer substitutes for the path buffer.
+    assert data[512.0]["sj1_without"] <= data[512.0]["sj1_with"] * 1.25
+
+    tree_r, tree_s = timing_trees
+    benchmark.pedantic(
+        lambda: spatial_join(tree_r, tree_s, algorithm="sj1",
+                             buffer_kb=0, use_path_buffer=False),
+        rounds=1, iterations=1)

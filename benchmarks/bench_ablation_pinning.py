@@ -1,0 +1,28 @@
+"""Ablation — degree-based pinning of the read schedule (SJ3 vs SJ4/5).
+
+Timed operation: SJ4 with a tiny buffer, where pinning matters most.
+"""
+
+from conftest import show
+
+from repro.bench.ablations import ablation_pinning
+from repro.core import spatial_join
+
+
+def test_ablation_pinning(benchmark, timing_trees):
+    report = ablation_pinning()
+    show(report)
+    data = report.data
+
+    # Pinning (SJ4) saves accesses at small buffers.
+    assert data[0.0]["sj4"] <= data[0.0]["sj3"]
+    assert data[8.0]["sj4"] <= data[8.0]["sj3"]
+    # The schedules converge once the buffer holds the working set.
+    assert abs(data[512.0]["sj4"] - data[512.0]["sj3"]) <= \
+        0.05 * data[512.0]["sj3"]
+
+    tree_r, tree_s = timing_trees
+    benchmark.pedantic(
+        lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
+                             buffer_kb=8),
+        rounds=1, iterations=1)

@@ -1,0 +1,31 @@
+"""Ablation — filter step vs refinement step effectiveness.
+
+Timed operation: refining the timing join's candidates with the exact
+ID-spatial-join.
+"""
+
+from conftest import show
+
+from repro.bench.ablations import ablation_refinement
+from repro.core import id_spatial_join, spatial_join
+
+
+def test_ablation_refinement(benchmark, timing_pair, timing_trees):
+    report = ablation_refinement()
+    show(report)
+    data = report.data
+
+    for test in ("A", "E"):
+        entry = data[test]
+        # The refinement keeps a nonzero subset of candidates.
+        assert 0 < entry["survivors"] <= entry["candidates"]
+        # MBRs are approximations: some false hits must exist.
+        assert entry["false_hits"] > 0.0
+
+    tree_r, tree_s = timing_trees
+    candidates = spatial_join(tree_r, tree_s, algorithm="sj4",
+                              buffer_kb=128).pairs
+    benchmark.pedantic(
+        lambda: id_spatial_join(candidates, timing_pair.r.objects,
+                                timing_pair.s.objects),
+        rounds=1, iterations=1)

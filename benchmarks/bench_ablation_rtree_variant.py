@@ -1,0 +1,32 @@
+"""Ablation — the join on R*-trees vs original Guttman R-trees.
+
+Timed operation: building a Guttman tree (the quadratic-split cost).
+"""
+
+from conftest import TIMING_SCALE, show
+
+from repro.bench import build_tree
+from repro.bench.ablations import ablation_rtree_variant
+from repro.data import load_test
+
+
+def test_ablation_rtree_variant(benchmark):
+    report = ablation_rtree_variant()
+    show(report)
+    data = report.data
+
+    # The R*-tree's lower directory overlap shows up as at most as many
+    # comparisons as either Guttman variant needs.
+    assert data["rstar"]["comparisons"] <= \
+        min(data["guttman-quadratic"]["comparisons"],
+            data["guttman-linear"]["comparisons"])
+    # And no more estimated total time.
+    assert data["rstar"]["time"] <= \
+        min(data["guttman-quadratic"]["time"],
+            data["guttman-linear"]["time"]) * 1.02
+
+    pair = load_test("A", TIMING_SCALE)
+    records = pair.r.records[:1500]
+    benchmark.pedantic(
+        lambda: build_tree(records, 2048, "guttman-quadratic"),
+        rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""Ablation — nested loop vs sort+sweep as node occupancy grows.
+
+Timed operation: a single sweep over two 409-entry sequences (an
+8 KByte node pair, the paper's largest "realistic problem size").
+"""
+
+import random
+
+from conftest import show
+
+from repro.bench.ablations import ablation_sweep_crossover
+from repro.core import sorted_intersection_test
+from repro.geometry import ComparisonCounter, Rect
+from repro.rtree import Entry
+
+
+def test_ablation_sweep_crossover(benchmark):
+    report = ablation_sweep_crossover()
+    show(report)
+    data = report.data
+
+    # At paper node sizes (51+ entries) the sweep wins even when it
+    # pays for sorting on every node pair.
+    for n in (64, 128, 256, 512):
+        assert data[n]["wins"], f"sweep should win at {n} entries"
+
+    # The advantage widens with occupancy.
+    ratios = [data[n]["nested"] / data[n]["sweep"]
+              for n in (32, 128, 512)]
+    assert ratios == sorted(ratios)
+
+    rng = random.Random(1)
+
+    def entries():
+        out = []
+        for i in range(409):
+            x, y = rng.random() * 100, rng.random() * 100
+            out.append(Entry(Rect(x, y, x + 2, y + 2), i))
+        out.sort(key=lambda e: e.rect.xl)
+        return out
+
+    left, right = entries(), entries()
+
+    benchmark.pedantic(
+        lambda: sorted_intersection_test(left, right,
+                                         ComparisonCounter()),
+        rounds=1, iterations=1)

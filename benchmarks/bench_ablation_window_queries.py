@@ -1,0 +1,44 @@
+"""Ablation — window-query efficiency per index variant (the Section 2
+premise that the R*-tree is the best R-tree for single-scan queries).
+
+Timed operation: a 50-query battery on the timing tree.
+"""
+
+import random
+
+from conftest import show
+
+from repro.bench.ablations import ablation_window_queries
+from repro.core import WindowQueryEngine
+from repro.geometry import Rect
+
+
+def test_ablation_window_queries(benchmark, timing_trees):
+    report = ablation_window_queries()
+    show(report)
+    data = report.data
+
+    # Identical answers regardless of the index.
+    results = {entry["results"] for entry in data.values()}
+    assert len(results) == 1
+
+    # The R*-tree needs fewer accesses and comparisons than both
+    # Guttman variants.
+    for variant in ("guttman-quadratic", "guttman-linear"):
+        assert data["rstar"]["accesses"] <= data[variant]["accesses"]
+        assert data["rstar"]["comparisons"] <= \
+            data[variant]["comparisons"]
+
+    tree_r, _ = timing_trees
+    rng = random.Random(5)
+    windows = []
+    for _ in range(50):
+        x = rng.random() * 90_000
+        y = rng.random() * 90_000
+        windows.append(Rect(x, y, x + 10_000, y + 10_000))
+
+    def battery():
+        engine = WindowQueryEngine(tree_r, buffer_kb=32)
+        return sum(len(engine.query(w)) for w in windows)
+
+    benchmark.pedantic(battery, rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Figure 10 — SJ4-over-SJ1 improvement factors for tests A-E.
+
+Timed operation: SJ4 on the region data (test E) at timing scale.
+"""
+
+from conftest import show
+
+from repro.bench import build_tree, figure10
+from repro.core import spatial_join
+from repro.data import load_test
+
+
+def test_figure10_datasets(benchmark):
+    report = figure10()
+    show(report)
+    data = report.data
+
+    # Every test improves at every page size (factor > 1 up to noise).
+    assert all(factor > 0.9 for factor in data.values())
+
+    # The big-page speedups are large for all five tests.
+    for test in "ABCDE":
+        assert data[(8192, test)] > 2.5
+
+    # Factors grow from 1 KByte to 8 KByte for every test.
+    for test in "ABCDE":
+        assert data[(8192, test)] > data[(1024, test)]
+
+    pair = load_test("E", 0.05)
+    tree_r = build_tree(pair.r.records, 4096)
+    tree_s = build_tree(pair.s.records, 4096)
+    benchmark.pedantic(
+        lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
+                             buffer_kb=128),
+        rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Figure 2 — estimated execution time of SpatialJoin1.
+
+Timed operation: applying the cost model to a join's counters.
+"""
+
+from conftest import show
+
+from repro.bench import figure2
+from repro.bench.runner import run_join
+from repro.costmodel import PAPER_COST_MODEL
+
+
+def test_figure2_sj1_time(benchmark):
+    report = figure2()
+    show(report)
+    data = report.data
+
+    # SJ1 becomes increasingly CPU-bound as pages grow (lower panel of
+    # Figure 2): the I/O fraction falls monotonically with page size.
+    fractions = []
+    for page_size in (1024, 2048, 4096, 8192):
+        entry = data[(128.0, page_size)]
+        fractions.append(entry["io"] / entry["total"])
+    assert fractions == sorted(fractions, reverse=True)
+
+    # Best SJ1 page size is small (1 or 2 KByte), as the paper reports.
+    totals = {p: data[(128.0, p)]["total"]
+              for p in (1024, 2048, 4096, 8192)}
+    assert min(totals, key=totals.get) in (1024, 2048)
+
+    outcome = run_join("A", 4096, 128.0, "sj1")
+    benchmark.pedantic(
+        lambda: PAPER_COST_MODEL.io_seconds(outcome.disk_accesses, 4096)
+        + PAPER_COST_MODEL.cpu_seconds(outcome.comparisons),
+        rounds=1, iterations=1)

@@ -1,0 +1,34 @@
+"""Figure 8 — total join time of SpatialJoin4 and its CPU/I-O split.
+
+Timed operation: one SJ5 join (the z-order alternative whose extra CPU
+the figure discussion calls out).
+"""
+
+from conftest import show
+
+from repro.bench import figure8
+from repro.core import spatial_join
+
+
+def test_figure8_sj4_time(benchmark, timing_trees):
+    report = figure8()
+    show(report)
+    data = report.data
+
+    # Contrary to SJ1, SJ4's total time *decreases* with page size
+    # (upper panel of Figure 8) for every buffer size.
+    for buffer_kb in (0.0, 128.0, 512.0):
+        totals = [data[(buffer_kb, p)]["total"]
+                  for p in (1024, 2048, 4096, 8192)]
+        assert totals == sorted(totals, reverse=True)
+
+    # And SJ4 is I/O-bound at small/medium pages (lower panel).
+    for page_size in (1024, 2048, 4096):
+        entry = data[(128.0, page_size)]
+        assert entry["io"] > entry["cpu"]
+
+    tree_r, tree_s = timing_trees
+    benchmark.pedantic(
+        lambda: spatial_join(tree_r, tree_s, algorithm="sj5",
+                             buffer_kb=128),
+        rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Figure 9 — overall improvement factors of SJ4 over SJ1 and SJ2.
+
+Timed operation: the full SJ1-vs-SJ4 pair on the timing trees (the
+comparison the figure summarizes).
+"""
+
+from conftest import show
+
+from repro.bench import figure9
+from repro.core import spatial_join
+
+
+def test_figure9_improvement(benchmark, timing_trees):
+    report = figure9()
+    show(report)
+    data = report.data
+
+    # The factor over SJ1 grows with page size for every buffer.
+    for buffer_kb in (0.0, 32.0, 128.0, 512.0):
+        factors = [data[(buffer_kb, p)]["vs_sj1"]
+                   for p in (1024, 2048, 4096, 8192)]
+        assert factors == sorted(factors)
+        assert factors[-1] > 3.0     # big pages: large speedups
+
+    # Paper's headline: ~5x at 4 KByte with a realistic buffer.
+    assert data[(128.0, 4096)]["vs_sj1"] > 3.0
+
+    # Consistent (if smaller) gains over SJ2 too.
+    assert all(entry["vs_sj2"] >= 0.95 for entry in data.values())
+
+    tree_r, tree_s = timing_trees
+
+    def both():
+        spatial_join(tree_r, tree_s, algorithm="sj1", buffer_kb=128)
+        spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=128)
+
+    benchmark.pedantic(both, rounds=1, iterations=1)

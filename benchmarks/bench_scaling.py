@@ -1,0 +1,27 @@
+"""Scale robustness — the reproduction's own validity check.
+
+Timed operation: the SJ4 join at the smallest sweep scale.
+"""
+
+from conftest import show
+
+from repro.bench.experiments import scaling
+from repro.bench.runner import test_trees as load_test_trees
+from repro.core import spatial_join
+
+
+def test_scaling(benchmark):
+    report = scaling()
+    show(report)
+    data = report.data
+
+    factors = [data[s]["factor"] for s in sorted(data)]
+    # The headline holds at every scale and does not collapse upward.
+    assert all(f > 2.5 for f in factors)
+    assert factors[-1] >= factors[0] * 0.7
+
+    tree_r, tree_s = load_test_trees("A", 4096, scale=min(data))
+    benchmark.pedantic(
+        lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
+                             buffer_kb=128),
+        rounds=1, iterations=1)

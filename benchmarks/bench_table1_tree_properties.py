@@ -1,0 +1,27 @@
+"""Table 1 — properties of the R*-trees R and S per page size.
+
+Timed operation: building an R*-tree by insertion (the paper's tree
+construction path).
+"""
+
+from conftest import show
+
+from repro.bench import build_tree, table1
+
+
+def test_table1_tree_properties(benchmark, timing_pair):
+    report = table1()
+    show(report)
+
+    # The M column is scale-independent and must match the paper exactly.
+    for page_size, expected_m in ((1024, 51), (2048, 102),
+                                  (4096, 204), (8192, 409)):
+        assert report.data[page_size]["r"].max_entries == expected_m
+    # Larger pages => fewer total pages, monotonically.
+    totals = [report.data[p]["total_pages"]
+              for p in (1024, 2048, 4096, 8192)]
+    assert totals == sorted(totals, reverse=True)
+
+    records = timing_pair.r.records[:2000]
+    benchmark.pedantic(lambda: build_tree(records, 2048),
+                       rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Table 2 — SpatialJoin1 disk accesses and comparisons.
+
+Timed operation: one SJ1 join on the timing trees.
+"""
+
+from conftest import show
+
+from repro.bench import table2
+from repro.core import spatial_join
+
+
+def test_table2_sj1(benchmark, timing_trees):
+    report = table2()
+    show(report)
+    data = report.data
+
+    # Accesses decrease monotonically with the buffer at every page size.
+    for page_size in (1024, 2048, 4096, 8192):
+        accesses = [data[(b, page_size)].disk_accesses
+                    for b in (0.0, 8.0, 32.0, 128.0, 512.0)]
+        assert accesses == sorted(accesses, reverse=True)
+
+    # Comparisons grow superlinearly with the page size (the paper's
+    # central CPU observation): doubling the page more than doubles the
+    # ratio per... check simple monotone growth and >4x overall.
+    comparisons = [data[(0.0, p)].comparisons
+                   for p in (1024, 2048, 4096, 8192)]
+    assert comparisons == sorted(comparisons)
+    assert comparisons[-1] > 4 * comparisons[0]
+
+    tree_r, tree_s = timing_trees
+    benchmark.pedantic(
+        lambda: spatial_join(tree_r, tree_s, algorithm="sj1",
+                             buffer_kb=128),
+        rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""Table 3 — comparisons with/without restricting the search space.
+
+Timed operation: one SJ2 join on the timing trees.
+"""
+
+from conftest import show
+
+from repro.bench import table3
+from repro.core import spatial_join
+
+
+def test_table3_restriction(benchmark, timing_trees):
+    report = table3()
+    show(report)
+    data = report.data
+
+    # The paper's claim: restriction improves comparisons by a factor of
+    # 4 to 8 (we accept a slightly wider band for the synthetic data),
+    # and the gain grows with the page size.
+    gains = [data[p]["gain"] for p in (1024, 2048, 4096, 8192)]
+    assert all(g > 2.5 for g in gains)
+    assert gains[-1] > gains[0]
+
+    tree_r, tree_s = timing_trees
+    benchmark.pedantic(
+        lambda: spatial_join(tree_r, tree_s, algorithm="sj2",
+                             buffer_kb=128),
+        rounds=1, iterations=1)

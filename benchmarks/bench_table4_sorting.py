@@ -1,0 +1,38 @@
+"""Table 4 — spatial sorting and plane sweep (versions I and II).
+
+Timed operation: one SJ3 (restricted sweep) join on the timing trees.
+"""
+
+from conftest import show
+
+from repro.bench import table4
+from repro.core import spatial_join
+
+
+def test_table4_sorting(benchmark, timing_trees):
+    report = table4()
+    show(report)
+    data = report.data
+
+    for page_size in (1024, 2048, 4096, 8192):
+        entry = data[page_size]
+        # Version II (restricted) beats version I on join comparisons.
+        assert entry["v2_join"] <= entry["v1_join"]
+        # Huge improvement over SJ1 once nodes are sorted.
+        assert entry["v2_ratio_sj1"] > 3.0
+        # Clear gain over SJ2 as well.
+        assert entry["v2_ratio_sj2"] > 1.2
+
+    # Join-ratios grow with the page size (Table 4's trend).
+    ratios = [data[p]["v2_ratio_sj1"] for p in (1024, 2048, 4096, 8192)]
+    assert ratios == sorted(ratios)
+
+    # Repeat-factor: a page can be re-sorted several times before
+    # sorting stops paying — well above the ~1.5 reads/page of SJ1.
+    assert all(data[p]["repeat"] > 1.5 for p in (1024, 2048, 4096, 8192))
+
+    tree_r, tree_s = timing_trees
+    benchmark.pedantic(
+        lambda: spatial_join(tree_r, tree_s, algorithm="sj3",
+                             buffer_kb=128),
+        rounds=1, iterations=1)

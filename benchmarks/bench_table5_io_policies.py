@@ -1,0 +1,35 @@
+"""Table 5 — disk accesses of SJ3, SJ4, SJ5 over the buffer sweep.
+
+Timed operation: one SJ4 join on the timing trees.
+"""
+
+from conftest import show
+
+from repro.bench import table5
+from repro.core import spatial_join
+
+
+def test_table5_io_policies(benchmark, timing_trees):
+    report = table5()
+    show(report)
+    data = report.data
+
+    # Pinning helps where it matters: at small buffers SJ4 needs fewer
+    # accesses than SJ3.
+    for buffer_kb in (0.0, 8.0):
+        assert data[buffer_kb]["sj4"] <= data[buffer_kb]["sj3"]
+
+    # SJ5's z-order schedule is on par with SJ4 (within 10%) across the
+    # sweep — its drawback is CPU, not I/O.
+    for buffer_kb, entry in data.items():
+        assert entry["sj5"] <= entry["sj4"] * 1.10
+
+    # All policies converge as the buffer grows.
+    big = data[512.0]
+    assert max(big.values()) <= min(big.values()) * 1.05
+
+    tree_r, tree_s = timing_trees
+    benchmark.pedantic(
+        lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
+                             buffer_kb=128),
+        rounds=1, iterations=1)

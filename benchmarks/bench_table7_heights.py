@@ -1,0 +1,39 @@
+"""Table 7 — joining R*-trees of different height (policies a/b/c).
+
+Timed operation: an SJ4 join with policy (b) on trees of different
+height built from the timing data.
+"""
+
+from conftest import TIMING_SCALE, show
+
+from repro.bench import build_tree, table7
+from repro.core import spatial_join
+from repro.data import load_test
+
+
+def test_table7_heights(benchmark):
+    report = table7()
+    show(report)
+    data = report.data
+
+    buffers = [b for b in data if isinstance(b, float)]
+    # Batching (b) wins decisively at small buffers — at larger buffers
+    # the LRU makes per-pair queries (a) nearly as good (Table 7 shows
+    # the same convergence), so allow 1% noise there.
+    assert data[0.0]["b"] < data[0.0]["a"]
+    assert data[8.0]["b"] <= data[8.0]["a"]
+    for buffer_kb in buffers:
+        assert data[buffer_kb]["b"] <= data[buffer_kb]["a"] * 1.01
+
+    # Policies converge for large buffers.
+    big = data[max(buffers)]
+    assert max(big.values()) <= min(big.values()) * 1.02
+
+    pair = load_test("C", TIMING_SCALE)
+    tree_r = build_tree(pair.r.records, 1024)
+    tree_s = build_tree(pair.s.records[:1000], 1024)
+    assert tree_r.height > tree_s.height
+    benchmark.pedantic(
+        lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
+                             buffer_kb=32, height_policy="b"),
+        rounds=1, iterations=1)

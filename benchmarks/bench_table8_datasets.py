@@ -1,0 +1,28 @@
+"""Table 8 — characteristics of the five dataset pairs (tests A-E).
+
+Timed operation: generating the test-A dataset pair.
+"""
+
+from conftest import TIMING_SCALE, show
+
+from repro.bench import table8
+from repro.data import load_test, scaled_count
+
+
+def test_table8_datasets(benchmark):
+    report = table8()
+    show(report)
+    data = report.data
+
+    # Cardinalities follow the paper's proportions at the active scale.
+    assert data["C"]["r"] > 4 * data["A"]["r"] * 0.9
+    assert data["E"]["r"] > data["E"]["s"]
+    # Every test produces a non-trivial result.
+    for test, entry in data.items():
+        assert entry["pairs"] > 0, test
+    # The self-join (D) is among the most selective line tests, as in
+    # the paper (505,583 intersections at full scale).
+    assert data["D"]["pairs"] > data["A"]["pairs"]
+
+    benchmark.pedantic(lambda: load_test("A", TIMING_SCALE),
+                       rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench module does two things:
+
+1. regenerates its paper exhibit through :mod:`repro.bench` (results are
+   memoized in ``.bench_cache/`` at ``REPRO_SCALE`` of the paper's data
+   volume) and prints the table, and
+2. times one representative operation with pytest-benchmark on small
+   in-memory trees (``TIMING_SCALE``), so wall-clock numbers are quick
+   and stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_tree
+from repro.data import load_test
+
+#: Scale of the trees used for the *timed* portion of each bench.
+TIMING_SCALE = 0.02
+
+
+@pytest.fixture(scope="session")
+def timing_pair():
+    """The test-A dataset pair at timing scale."""
+    return load_test("A", TIMING_SCALE)
+
+
+@pytest.fixture(scope="session")
+def timing_trees(timing_pair):
+    """Small R*-trees (4 KByte pages) for wall-clock measurements."""
+    tree_r = build_tree(timing_pair.r.records, 4096)
+    tree_s = build_tree(timing_pair.s.records, 4096)
+    return tree_r, tree_s
+
+
+def show(report) -> None:
+    """Print an exhibit report under a visual separator."""
+    print()
+    print("=" * 72)
+    print(report.render())

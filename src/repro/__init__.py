@@ -1,0 +1,78 @@
+"""repro — reproduction of Brinkhoff, Kriegel & Seeger,
+"Efficient Processing of Spatial Joins Using R-trees" (SIGMOD 1993).
+
+Quickstart::
+
+    from repro import RStarTree, RTreeParams, Rect, spatial_join
+
+    params = RTreeParams.from_page_size(2048)
+    forests = RStarTree(params)
+    cities = RStarTree(params)
+    ...  # insert (Rect, id) records
+    result = spatial_join(forests, cities, algorithm="sj4", buffer_kb=128)
+    print(len(result), result.stats.disk_accesses)
+
+Package map:
+
+* :mod:`repro.geometry` — MBRs, exact geometry, counted predicates.
+* :mod:`repro.storage` — simulated paged disk, LRU + path buffers.
+* :mod:`repro.rtree` — R-tree family (R*, Guttman, bulk loading).
+* :mod:`repro.core` — the spatial-join algorithms SJ1–SJ5.
+* :mod:`repro.curves` — z-order / Hilbert space-filling curves.
+* :mod:`repro.data` — TIGER-like generators and the tests A–E.
+* :mod:`repro.costmodel` — the paper's time-estimate model.
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+"""
+
+from .core import (JoinResult, JoinStatistics, NearestNeighborEngine,
+                   SpatialJoin1, SpatialJoin2, SpatialJoin3, SpatialJoin4,
+                   SpatialJoin5, WindowQueryEngine, id_spatial_join,
+                   multiway_spatial_join, nearest_neighbors,
+                   nested_loop_join, object_spatial_join, spatial_join)
+from .costmodel import CostModel, JoinCardinalityEstimator, PAPER_COST_MODEL
+from .db import SpatialDatabase, SpatialRelation
+from .geometry import (ComparisonCounter, Point, Polygon, Polyline, Rect,
+                       Segment, SpatialPredicate)
+from .rtree import (GuttmanRTree, RStarTree, RTreeParams, load_tree,
+                    save_tree, str_pack, tree_properties, validate_rtree)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComparisonCounter",
+    "CostModel",
+    "GuttmanRTree",
+    "JoinCardinalityEstimator",
+    "JoinResult",
+    "JoinStatistics",
+    "NearestNeighborEngine",
+    "PAPER_COST_MODEL",
+    "Point",
+    "Polygon",
+    "Polyline",
+    "RStarTree",
+    "RTreeParams",
+    "Rect",
+    "Segment",
+    "SpatialDatabase",
+    "SpatialJoin1",
+    "SpatialJoin2",
+    "SpatialJoin3",
+    "SpatialJoin4",
+    "SpatialJoin5",
+    "SpatialPredicate",
+    "SpatialRelation",
+    "WindowQueryEngine",
+    "id_spatial_join",
+    "load_tree",
+    "multiway_spatial_join",
+    "nearest_neighbors",
+    "nested_loop_join",
+    "object_spatial_join",
+    "save_tree",
+    "spatial_join",
+    "str_pack",
+    "tree_properties",
+    "validate_rtree",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Benchmark harness: experiment runners for every paper exhibit.
+
+``python -m repro.bench table2`` prints one exhibit;
+``python -m repro.bench all`` prints everything.  The pytest-benchmark
+modules under ``benchmarks/`` call the same functions.
+"""
+
+from .ablations import ABLATIONS
+from .experiments import (BUFFER_SIZES_KB, EXHIBITS, PAGE_SIZES, TESTS,
+                          figure2, figure8, figure9, figure10, table1,
+                          table2, table3, table4, table5, table6, table7,
+                          table8)
+from .runner import (JoinOutcome, build_tree, optimum_accesses,
+                     presort_cost, run_join, test_properties, test_tree,
+                     test_trees)
+from .tables import ExperimentReport, format_table
+
+__all__ = [
+    "ABLATIONS",
+    "BUFFER_SIZES_KB",
+    "EXHIBITS",
+    "ExperimentReport",
+    "JoinOutcome",
+    "PAGE_SIZES",
+    "TESTS",
+    "build_tree",
+    "figure10",
+    "figure2",
+    "figure8",
+    "figure9",
+    "format_table",
+    "optimum_accesses",
+    "presort_cost",
+    "run_join",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "test_properties",
+    "test_tree",
+    "test_trees",
+]

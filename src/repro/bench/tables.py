@@ -1,0 +1,105 @@
+"""ASCII table rendering for the experiment reports.
+
+Every benchmark prints its exhibit the way the paper's tables read:
+a title, a header row, aligned data rows, and free-form notes comparing
+against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered exhibit: one table plus commentary."""
+
+    exhibit: str                 # e.g. "Table 2" or "Figure 8"
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: ASCII charts rendered below the table (the figure panels).
+    charts: List[str] = field(default_factory=list)
+    #: Raw values behind the table, for programmatic assertions.
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"{self.exhibit}: {self.title}", ""]
+        lines.append(format_table(self.headers, self.rows))
+        for chart in self.charts:
+            lines.append("")
+            lines.append(chart)
+        for note in self.notes:
+            lines.append(f"  - {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Monospace table with right-aligned numeric-looking cells."""
+    table = [list(map(str, headers))] + [list(map(str, r)) for r in rows]
+    columns = max(len(r) for r in table)
+    for row in table:
+        row.extend([""] * (columns - len(row)))
+    widths = [max(len(row[c]) for row in table) for c in range(columns)]
+
+    def align(cell: str, width: int, is_header: bool) -> str:
+        if is_header or not _looks_numeric(cell):
+            return cell.ljust(width)
+        return cell.rjust(width)
+
+    out_lines = []
+    header_line = "  ".join(align(h, w, True)
+                            for h, w in zip(table[0], widths))
+    out_lines.append(header_line)
+    out_lines.append("  ".join("-" * w for w in widths))
+    for row in table[1:]:
+        out_lines.append("  ".join(align(c, w, False)
+                                   for c, w in zip(row, widths)))
+    return "\n".join(out_lines)
+
+
+def _looks_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("%", "").replace("x", "")
+    stripped = stripped.replace("s", "").strip()
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True
+
+
+def ascii_bar_chart(title: str, labels: Sequence[str],
+                    values: Sequence[float], width: int = 44,
+                    unit: str = "") -> str:
+    """A horizontal bar chart, the terminal stand-in for the paper's
+    figure panels."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return title
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = [title]
+    for label, value in zip(labels, values):
+        length = int(round(width * value / peak)) if peak > 0 else 0
+        bar = "#" * max(length, 1 if value > 0 else 0)
+        lines.append(f"  {label.ljust(label_width)}  "
+                     f"{bar} {value:,.2f}{unit}")
+    return "\n".join(lines)
+
+
+def fmt_int(value: int) -> str:
+    """Thousands-separated integer, like the paper's tables."""
+    return f"{value:,}"
+
+
+def fmt_float(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"

@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+Usage examples::
+
+    repro generate --kind streets -n 5000 --seed 1 -o streets.rct
+    repro build streets.rct -o streets.rtree --page-size 2048
+    repro info streets.rtree
+    repro query streets.rtree --window 0 0 10000 10000
+    repro query streets.rtree --knn 50000 50000 5
+    repro join streets.rtree rivers.rtree --algorithm sj4 --buffer-kb 128
+    repro bench table2
+
+(Also reachable as ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .bench.ablations import ABLATIONS
+from .bench.experiments import EXHIBITS
+from .core.knn import NearestNeighborEngine
+from .core.planner import ALGORITHMS, spatial_join
+from .core.window import WindowQueryEngine
+from .costmodel.model import PAPER_COST_MODEL
+from .data.io import load_records, save_records
+from .data.synthetic import uniform_rects
+from .data.tiger import regions, rivers_railways, streets
+from .geometry.predicates import SpatialPredicate
+from .geometry.rect import Rect
+from .rtree.guttman import GuttmanRTree
+from .rtree.params import RTreeParams
+from .rtree.persist import load_tree, save_tree
+from .rtree.rstar import RStarTree
+from .rtree.stats import tree_properties
+from .rtree.bulk import hilbert_pack, str_pack
+
+_GENERATORS = ("streets", "rivers", "regions", "uniform")
+_VARIANTS = ("rstar", "guttman-quadratic", "guttman-linear", "str",
+             "hilbert")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatial joins with R*-trees (SIGMOD 1993 "
+                    "reproduction).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic dataset as a record file")
+    generate.add_argument("--kind", choices=_GENERATORS, required=True)
+    generate.add_argument("-n", type=int, required=True,
+                          help="number of objects")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", required=True,
+                          help="output .rct record file")
+    generate.set_defaults(handler=_cmd_generate)
+
+    build = commands.add_parser(
+        "build", help="build an R-tree file from a record file")
+    build.add_argument("records", help="input .rct record file")
+    build.add_argument("-o", "--output", required=True,
+                       help="output .rtree file")
+    build.add_argument("--page-size", type=int, default=2048)
+    build.add_argument("--variant", choices=_VARIANTS, default="rstar")
+    build.set_defaults(handler=_cmd_build)
+
+    info = commands.add_parser("info", help="census of a tree file")
+    info.add_argument("tree", help=".rtree file")
+    info.set_defaults(handler=_cmd_info)
+
+    query = commands.add_parser(
+        "query", help="window or kNN query on a tree file")
+    query.add_argument("tree", help=".rtree file")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--window", nargs=4, type=float,
+                       metavar=("XL", "YL", "XU", "YU"))
+    group.add_argument("--knn", nargs=3, type=float,
+                       metavar=("X", "Y", "K"))
+    query.add_argument("--buffer-kb", type=float, default=0.0)
+    query.set_defaults(handler=_cmd_query)
+
+    join = commands.add_parser(
+        "join", help="spatial join of two tree files")
+    join.add_argument("left", help="R-side .rtree file")
+    join.add_argument("right", help="S-side .rtree file")
+    join.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                      default="sj4")
+    join.add_argument("--buffer-kb", type=float, default=128.0)
+    join.add_argument("--predicate",
+                      choices=[p.value for p in SpatialPredicate],
+                      default="intersects")
+    join.add_argument("--height-policy", choices=("a", "b", "c"),
+                      default="b")
+    join.add_argument("-o", "--output",
+                      help="write result pairs to this file")
+    join.add_argument("--json", action="store_true",
+                      help="print machine-readable statistics")
+    join.set_defaults(handler=_cmd_join)
+
+    bench = commands.add_parser(
+        "bench", help="regenerate one of the paper's exhibits")
+    bench.add_argument("exhibit",
+                       choices=sorted({**EXHIBITS, **ABLATIONS}))
+    bench.add_argument("--scale", type=float, default=None)
+    bench.add_argument("--json", action="store_true",
+                       help="emit the raw exhibit data as JSON")
+    bench.set_defaults(handler=_cmd_bench)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Handlers
+# ----------------------------------------------------------------------
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.n < 0:
+        raise ValueError("n cannot be negative")
+    if args.kind == "streets":
+        records = streets(args.n, seed=args.seed).records
+    elif args.kind == "rivers":
+        records = rivers_railways(args.n, seed=args.seed).records
+    elif args.kind == "regions":
+        records = regions(args.n, seed=args.seed).records
+    else:
+        records = uniform_rects(args.n, seed=args.seed)
+    save_records(records, args.output)
+    print(f"wrote {len(records):,} {args.kind} records to {args.output}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    records = load_records(args.records)
+    if not records:
+        raise ValueError(f"{args.records} holds no records")
+    params = RTreeParams.from_page_size(args.page_size)
+    if args.variant == "rstar":
+        tree = RStarTree(params)
+        for rect, ref in records:
+            tree.insert(rect, ref)
+    elif args.variant.startswith("guttman"):
+        tree = GuttmanRTree(params, split=args.variant.split("-")[1])
+        for rect, ref in records:
+            tree.insert(rect, ref)
+    elif args.variant == "str":
+        tree = str_pack(records, params)
+    else:
+        tree = hilbert_pack(records, params)
+    pages = save_tree(tree, args.output)
+    print(f"built {args.variant} tree over {len(records):,} records: "
+          f"height {tree.height}, {pages} pages -> {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    tree = load_tree(args.tree)
+    props = tree_properties(tree)
+    print(f"variant            : {props.variant}")
+    print(f"page size          : {props.page_size} bytes "
+          f"(M = {props.max_entries}, m = {props.min_entries})")
+    print(f"height             : {props.height}")
+    print(f"directory pages    : {props.dir_pages:,}")
+    print(f"data pages         : {props.data_pages:,}")
+    print(f"data entries       : {props.data_entries:,}")
+    print(f"storage utilization: {props.storage_utilization:.1%}")
+    mbr = tree.mbr()
+    if mbr is not None:
+        print(f"MBR                : ({mbr.xl:g}, {mbr.yl:g}) - "
+              f"({mbr.xu:g}, {mbr.yu:g})")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    tree = load_tree(args.tree)
+    if args.window is not None:
+        window = Rect(*args.window)
+        engine = WindowQueryEngine(tree, buffer_kb=args.buffer_kb)
+        result = engine.query(window)
+        for ref in result.refs:
+            print(ref)
+        print(f"# {len(result)} matches, {result.io.disk_reads} disk "
+              f"accesses, {result.comparisons.join} comparisons",
+              file=sys.stderr)
+    else:
+        x, y, k = args.knn
+        engine = NearestNeighborEngine(tree, buffer_kb=args.buffer_kb)
+        result = engine.query(x, y, int(k))
+        for ref, distance in result.neighbors:
+            print(f"{ref}\t{distance:g}")
+        print(f"# {len(result)} neighbours, {result.io.disk_reads} "
+              f"disk accesses", file=sys.stderr)
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    tree_r = load_tree(args.left)
+    tree_s = load_tree(args.right)
+    predicate = SpatialPredicate(args.predicate)
+    result = spatial_join(tree_r, tree_s, algorithm=args.algorithm,
+                          buffer_kb=args.buffer_kb,
+                          height_policy=args.height_policy,
+                          predicate=predicate)
+    stats = result.stats
+    estimate = PAPER_COST_MODEL.estimate(stats)
+    if args.output:
+        with open(args.output, "w") as handle:
+            for a, b in result.pairs:
+                handle.write(f"{a}\t{b}\n")
+    if args.json:
+        print(json.dumps({
+            "algorithm": stats.algorithm,
+            "predicate": predicate.value,
+            "pairs": stats.pairs_output,
+            "disk_accesses": stats.disk_accesses,
+            "comparisons_join": stats.comparisons.join,
+            "comparisons_sort": stats.comparisons.sort,
+            "node_pairs": stats.node_pairs,
+            "estimated_seconds": estimate.total_seconds,
+            "io_fraction": estimate.io_fraction,
+        }, indent=2))
+    else:
+        print(f"{stats.algorithm}: {stats.pairs_output:,} pairs, "
+              f"{stats.disk_accesses:,} disk accesses, "
+              f"{stats.comparisons.total:,} comparisons, "
+              f"estimated {estimate.total_seconds:.2f}s "
+              f"({estimate.io_fraction:.0%} I/O)")
+        if args.output:
+            print(f"pairs written to {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    registry = {**EXHIBITS, **ABLATIONS}
+    function = registry[args.exhibit]
+    if args.scale is not None:
+        report = function(scale=args.scale)
+    else:
+        report = function()
+    if args.json:
+        print(json.dumps({
+            "exhibit": report.exhibit,
+            "title": report.title,
+            "headers": report.headers,
+            "rows": report.rows,
+            "data": _jsonable(report.data),
+            "notes": report.notes,
+        }, indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
+def _jsonable(value):
+    """Best-effort conversion of exhibit data to JSON-safe structures."""
+    import dataclasses
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""The paper's contribution: R-tree spatial-join processing (SJ1–SJ5).
+
+Public surface:
+
+* :func:`spatial_join` — high-level entry point with full accounting.
+* :class:`SpatialJoin1` … :class:`SpatialJoin5` — the five algorithms.
+* :class:`JoinContext` — explicit control over buffers and counters.
+* :func:`id_spatial_join` / :func:`object_spatial_join` — the refinement
+  step on exact geometry.
+* Baselines: :func:`nested_loop_join`, :func:`plane_sweep_join`,
+  :func:`index_nested_loop_join`.
+"""
+
+from .context import (JoinContext, R_SIDE, S_SIDE, counted_sort_cost,
+                      counted_sort_inplace, presort_trees)
+from .engine import JoinAlgorithm
+from .knn import (NearestNeighborEngine, NearestNeighborResult, mindist,
+                  nearest_neighbors)
+from .multiway import MultiwayJoinResult, multiway_spatial_join
+from .naive import index_nested_loop_join, nested_loop_join, plane_sweep_join
+from .pairs import (nested_loop_pairs, restrict_entries,
+                    sorted_intersection_test)
+from .distance import distance_join, rect_mindist
+from .joinindex import SpatialJoinIndex
+from .planner import (ALGORITHMS, make_algorithm, spatial_join,
+                      spatial_join_stream)
+from .refinement import (ObjectIntersection, RefinementStats,
+                         id_spatial_join, object_spatial_join)
+from .sj1 import SpatialJoin1
+from .sj2 import SpatialJoin2
+from .sj3 import SpatialJoin3
+from .sj4 import SpatialJoin4
+from .sj5 import SpatialJoin5
+from .stats import JoinResult, JoinStatistics
+from .window import WindowQueryEngine, WindowQueryResult
+
+__all__ = [
+    "ALGORITHMS",
+    "JoinAlgorithm",
+    "JoinContext",
+    "JoinResult",
+    "JoinStatistics",
+    "MultiwayJoinResult",
+    "NearestNeighborEngine",
+    "NearestNeighborResult",
+    "ObjectIntersection",
+    "R_SIDE",
+    "RefinementStats",
+    "S_SIDE",
+    "SpatialJoin1",
+    "SpatialJoin2",
+    "SpatialJoin3",
+    "SpatialJoin4",
+    "SpatialJoin5",
+    "SpatialJoinIndex",
+    "WindowQueryEngine",
+    "WindowQueryResult",
+    "counted_sort_cost",
+    "counted_sort_inplace",
+    "distance_join",
+    "id_spatial_join",
+    "index_nested_loop_join",
+    "make_algorithm",
+    "mindist",
+    "multiway_spatial_join",
+    "nearest_neighbors",
+    "nested_loop_join",
+    "nested_loop_pairs",
+    "object_spatial_join",
+    "plane_sweep_join",
+    "presort_trees",
+    "rect_mindist",
+    "restrict_entries",
+    "sorted_intersection_test",
+    "spatial_join",
+    "spatial_join_stream",
+]

@@ -1,0 +1,237 @@
+"""The synchronized-traversal join engine shared by SJ1–SJ5.
+
+All five algorithms of Section 4 are depth-first traversals of the two
+R*-trees that differ only in
+
+* how the intersecting entry pairs of a node pair are computed
+  (:meth:`JoinAlgorithm._find_pairs` — nested loop, restricted nested
+  loop, or plane sweep), and
+* in which order the qualifying child pairs are read and recursed into
+  (:meth:`JoinAlgorithm._order_pairs` and pinning).
+
+The engine also owns the different-height boundary (Section 4.4): when
+one side reaches its data pages while the other still has directory
+levels, the configured window-query policy (a)/(b)/(c) takes over.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..geometry.predicates import SpatialPredicate
+from ..geometry.rect import Rect
+from ..rtree.node import Node
+from .context import JoinContext, R_SIDE, S_SIDE
+from .pairs import EntryPair
+from .stats import JoinResult
+
+OutputPair = Tuple[int, int]
+
+
+class _CallbackSink:
+    """List-shaped adapter that forwards appended pairs to a callback."""
+
+    __slots__ = ("_callback", "_count")
+
+    def __init__(self, callback: Callable[[int, int], None]) -> None:
+        self._callback = callback
+        self._count = 0
+
+    def append(self, pair: OutputPair) -> None:
+        self._count += 1
+        self._callback(pair[0], pair[1])
+
+    def extend(self, pairs) -> None:
+        for pair in pairs:
+            self.append(pair)
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class JoinAlgorithm:
+    """Base class implementing the shared traversal."""
+
+    #: Algorithm tag recorded in the statistics ("SJ1" ... "SJ5").
+    name = "base"
+    #: Whether directory recursion passes the node-MBR intersection down
+    #: (the search-space restriction of Section 4.2).
+    restricts_search_space = False
+    #: Whether page pinning groups the read schedule (Section 4.3).
+    uses_pinning = False
+
+    def __init__(self, height_policy: str = "b",
+                 predicate: SpatialPredicate =
+                 SpatialPredicate.INTERSECTS) -> None:
+        if height_policy not in ("a", "b", "c"):
+            raise ValueError(f"unknown height policy: {height_policy!r}")
+        self.height_policy = height_policy
+        #: Join condition on the data rectangles (Section 2.1 allows
+        #: operators beyond intersection, e.g. containment).  Directory
+        #: pruning always uses intersection, which is sound because
+        #: every supported predicate implies MBR intersection.
+        self.predicate = predicate
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self, ctx: JoinContext) -> JoinResult:
+        """Execute the join and return pairs plus statistics."""
+        out: List[OutputPair] = []
+        self._execute(ctx, out)
+        return JoinResult(out, ctx.stats)
+
+    def run_streaming(self, ctx: JoinContext,
+                      callback: Callable[[int, int], None]):
+        """Execute the join, delivering each result pair to *callback*
+        as it is produced instead of materializing the list.
+
+        Useful for pipelines (e.g. refinement on the fly) and for
+        result sets too large to hold; returns the statistics.
+        """
+        self._execute(ctx, _CallbackSink(callback))
+        return ctx.stats
+
+    def _execute(self, ctx: JoinContext, out) -> None:
+        ctx.stats.algorithm = self.name
+        root_r = ctx.read_root(R_SIDE)
+        root_s = ctx.read_root(S_SIDE)
+        if root_r.entries and root_s.entries:
+            rect: Optional[Rect] = None
+            if self.restricts_search_space:
+                rect = root_r.mbr().intersection(root_s.mbr())
+            if not self.restricts_search_space or rect is not None:
+                self._join_nodes(ctx, root_r, 0, root_s, 0, rect, out)
+        ctx.stats.pairs_output = len(out)
+
+    # ------------------------------------------------------------------
+    # Recursion
+    # ------------------------------------------------------------------
+
+    def _join_nodes(self, ctx: JoinContext, nr: Node, dr: int,
+                    ns: Node, ds: int, rect: Optional[Rect],
+                    out: List[OutputPair]) -> None:
+        """Join the subtrees rooted at node pair (nr, ns)."""
+        ctx.stats.node_pairs += 1
+        if nr.is_leaf and ns.is_leaf:
+            pairs = self._find_pairs(ctx, nr, ns, rect)
+            if self.predicate is SpatialPredicate.INTERSECTS:
+                out.extend((er.ref, es.ref) for er, es in pairs)
+            else:
+                predicate = self.predicate
+                counter = ctx.counter
+                out.extend(
+                    (er.ref, es.ref) for er, es in pairs
+                    if predicate.evaluate_counted(er.rect, es.rect,
+                                                  counter))
+            return
+        if nr.is_leaf or ns.is_leaf:
+            self._window_mode(ctx, nr, dr, ns, ds, rect, out)
+            return
+        pairs = self._find_pairs(ctx, nr, ns, rect)
+        if not pairs:
+            return
+        pairs = self._order_pairs(ctx, pairs)
+        process = self._make_pair_processor(ctx, dr, ds, out)
+        if self.uses_pinning:
+            self._process_with_pinning(ctx, pairs, process)
+        else:
+            for pair in pairs:
+                process(pair)
+
+    def _make_pair_processor(
+            self, ctx: JoinContext, dr: int, ds: int,
+            out: List[OutputPair]) -> Callable[[EntryPair], None]:
+        """Build the per-pair step: read both children, recurse."""
+
+        def process(pair: EntryPair) -> None:
+            er, es = pair
+            child_rect: Optional[Rect] = None
+            if self.restricts_search_space:
+                child_rect = er.rect.intersection(es.rect)
+                if child_rect is None:
+                    # Degenerate touch lost to float arithmetic; the pair
+                    # qualifies, so keep the boundary rectangle.
+                    child_rect = er.rect
+            child_r = ctx.read(R_SIDE, er.ref, dr + 1)
+            child_s = ctx.read(S_SIDE, es.ref, ds + 1)
+            self._join_nodes(ctx, child_r, dr + 1, child_s, ds + 1,
+                             child_rect, out)
+
+        return process
+
+    # ------------------------------------------------------------------
+    # Pinning (Section 4.3)
+    # ------------------------------------------------------------------
+
+    def _process_with_pinning(
+            self, ctx: JoinContext, pairs: List[EntryPair],
+            process: Callable[[EntryPair], None]) -> None:
+        """Process *pairs* in order, but after each pair pin the child
+        page with the maximal degree (number of still-unprocessed pairs
+        it takes part in) and finish all its pairs first."""
+        n = len(pairs)
+        done = [False] * n
+        by_r: Dict[int, List[int]] = defaultdict(list)
+        by_s: Dict[int, List[int]] = defaultdict(list)
+        for idx, (er, es) in enumerate(pairs):
+            by_r[er.ref].append(idx)
+            by_s[es.ref].append(idx)
+
+        for i in range(n):
+            if done[i]:
+                continue
+            er, es = pairs[i]
+            process(pairs[i])
+            done[i] = True
+            # Degrees are derived from the already-computed pair list, so
+            # no additional comparisons are charged (the intersections
+            # are known from the plane sweep).
+            deg_r = sum(1 for k in by_r[er.ref] if not done[k])
+            deg_s = sum(1 for k in by_s[es.ref] if not done[k])
+            if deg_r == 0 and deg_s == 0:
+                continue
+            if deg_r >= deg_s:
+                side, ref, group = R_SIDE, er.ref, by_r[er.ref]
+            else:
+                side, ref, group = S_SIDE, es.ref, by_s[es.ref]
+            ctx.pin(side, ref)
+            for k in group:
+                if not done[k]:
+                    process(pairs[k])
+                    done[k] = True
+            ctx.unpin(side, ref)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def _find_pairs(self, ctx: JoinContext, nr: Node, ns: Node,
+                    rect: Optional[Rect]) -> List[EntryPair]:
+        """Intersecting entry pairs of a node pair (algorithm specific)."""
+        raise NotImplementedError
+
+    def _order_pairs(self, ctx: JoinContext,
+                     pairs: List[EntryPair]) -> List[EntryPair]:
+        """Reorder the qualifying pairs into the read schedule.
+
+        Default: keep the order `_find_pairs` produced (discovery order
+        for SJ1/SJ2, sweep order for SJ3/SJ4).  SJ5 overrides this with
+        the local z-order.
+        """
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Different tree heights (Section 4.4)
+    # ------------------------------------------------------------------
+
+    def _window_mode(self, ctx: JoinContext, nr: Node, dr: int,
+                     ns: Node, ds: int, rect: Optional[Rect],
+                     out: List[OutputPair]) -> None:
+        """One side is a data node, the other a directory node: perform
+        window queries with the data rectangles against the directory
+        subtrees, following the configured policy."""
+        from .heights import run_window_mode
+        run_window_mode(self, ctx, nr, dr, ns, ds, rect, out)

@@ -1,0 +1,208 @@
+"""Joining trees of different height (Section 4.4).
+
+When the synchronized descent reaches the data pages of the shallower
+tree while the other side still has directory levels, the join becomes a
+batch of window queries: the data rectangles of the shallow side are the
+query windows, the directory subtrees of the deep side are queried.
+
+Three policies are implemented:
+
+* **(a)** — one window query per qualifying (directory entry, data
+  entry) pair; subtree pages may be read once per query.
+* **(b)** — for each directory entry, all qualifying data rectangles are
+  answered in one batched traversal of its subtree, so each subtree page
+  is read at most once per batch.
+* **(c)** — pairs are processed in plane-sweep order with pinning, like
+  SJ4, each pair as one window query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..geometry.predicates import SpatialPredicate
+from ..geometry.rect import Rect, intersect_count
+from ..rtree.node import Node
+from .context import JoinContext, R_SIDE, S_SIDE
+from .pairs import EntryPair
+
+OutputPair = Tuple[int, int]
+
+
+def run_window_mode(algorithm, ctx: JoinContext, nr: Node, dr: int,
+                    ns: Node, ds: int, rect: Optional[Rect],
+                    out: List[OutputPair]) -> None:
+    """Dispatch the directory/data boundary to the configured policy.
+
+    ``algorithm`` supplies ``_find_pairs`` (so the pair search keeps the
+    algorithm's own CPU technique) and ``height_policy``.
+    """
+    if nr.is_leaf == ns.is_leaf:
+        raise ValueError("window mode needs exactly one data node")
+    # Orient: `deep` is the directory side, `flat` the data side.
+    if nr.is_leaf:
+        deep_side, deep, deep_depth = S_SIDE, ns, ds
+        flat = nr
+    else:
+        deep_side, deep, deep_depth = R_SIDE, nr, dr
+        flat = ns
+
+    if deep_side == S_SIDE:
+        pairs = algorithm._find_pairs(ctx, flat, deep, rect)
+        oriented = [(es, er) for er, es in pairs]   # (deep entry, data entry)
+    else:
+        pairs = algorithm._find_pairs(ctx, deep, flat, rect)
+        oriented = list(pairs)
+    if not oriented:
+        return
+
+    emit = _make_emitter(deep_side, out)
+    accept = _make_leaf_check(algorithm.predicate, deep_side)
+    policy = algorithm.height_policy
+    if policy == "a":
+        _policy_a(ctx, deep_side, deep_depth, oriented, emit, accept)
+    elif policy == "b":
+        _policy_b(ctx, deep_side, deep_depth, oriented, emit, accept)
+    else:
+        _policy_c(ctx, deep_side, deep_depth, oriented, emit, accept)
+
+
+def _make_emitter(deep_side: int,
+                  out: List[OutputPair]) -> Callable[[int, int], None]:
+    """Emit result pairs as (R ref, S ref) regardless of orientation."""
+    if deep_side == R_SIDE:
+        def emit(deep_ref: int, flat_ref: int) -> None:
+            out.append((deep_ref, flat_ref))
+    else:
+        def emit(deep_ref: int, flat_ref: int) -> None:
+            out.append((flat_ref, deep_ref))
+    return emit
+
+
+def _make_leaf_check(predicate: SpatialPredicate, deep_side: int):
+    """Counted data-level join condition with the (R, S) orientation
+    restored: the predicate's left operand is always the R-side rect."""
+    if predicate is SpatialPredicate.INTERSECTS:
+        return intersect_count
+    if deep_side == R_SIDE:
+        def accept(deep_rect, flat_rect, counter):
+            return predicate.evaluate_counted(deep_rect, flat_rect,
+                                              counter)
+    else:
+        def accept(deep_rect, flat_rect, counter):
+            return predicate.evaluate_counted(flat_rect, deep_rect,
+                                              counter)
+    return accept
+
+
+# ----------------------------------------------------------------------
+# Policy (a): one window query per pair
+# ----------------------------------------------------------------------
+
+def _policy_a(ctx: JoinContext, side: int, depth: int,
+              oriented: List[EntryPair],
+              emit: Callable[[int, int], None],
+              accept: Callable) -> None:
+    for deep_entry, data_entry in oriented:
+        _window_query(ctx, side, deep_entry.ref, depth + 1,
+                      data_entry.rect, data_entry.ref, emit, accept)
+
+
+def _window_query(ctx: JoinContext, side: int, page_id: int, depth: int,
+                  window: Rect, partner_ref: int,
+                  emit: Callable[[int, int], None],
+                  accept: Callable) -> None:
+    """Counted single-window query on one subtree."""
+    node = ctx.read(side, page_id, depth)
+    counter = ctx.counter
+    if node.is_leaf:
+        for entry in node.entries:
+            if accept(entry.rect, window, counter):
+                emit(entry.ref, partner_ref)
+        return
+    for entry in node.entries:
+        if intersect_count(entry.rect, window, counter):
+            _window_query(ctx, side, entry.ref, depth + 1,
+                          window, partner_ref, emit, accept)
+
+
+# ----------------------------------------------------------------------
+# Policy (b): batched window queries per subtree
+# ----------------------------------------------------------------------
+
+def _policy_b(ctx: JoinContext, side: int, depth: int,
+              oriented: List[EntryPair],
+              emit: Callable[[int, int], None],
+              accept: Callable) -> None:
+    # Group the query rectangles by directory entry, keeping the order in
+    # which directory entries first appear in the schedule.
+    order: List[int] = []
+    batches: dict[int, List] = {}
+    for deep_entry, data_entry in oriented:
+        if deep_entry.ref not in batches:
+            batches[deep_entry.ref] = []
+            order.append(deep_entry.ref)
+        batches[deep_entry.ref].append(data_entry)
+    for ref in order:
+        _batched_window_query(ctx, side, ref, depth + 1,
+                              batches[ref], emit, accept)
+
+
+def _batched_window_query(ctx: JoinContext, side: int, page_id: int,
+                          depth: int, queries: List,
+                          emit: Callable[[int, int], None],
+                          accept: Callable) -> None:
+    """Answer several window queries in one traversal; every subtree page
+    is read at most once for the whole batch (policy (b))."""
+    node = ctx.read(side, page_id, depth)
+    counter = ctx.counter
+    if node.is_leaf:
+        for entry in node.entries:
+            rect = entry.rect
+            for query in queries:
+                if accept(rect, query.rect, counter):
+                    emit(entry.ref, query.ref)
+        return
+    for entry in node.entries:
+        rect = entry.rect
+        sub = [q for q in queries
+               if intersect_count(rect, q.rect, counter)]
+        if sub:
+            _batched_window_query(ctx, side, entry.ref, depth + 1, sub,
+                                  emit, accept)
+
+
+# ----------------------------------------------------------------------
+# Policy (c): plane-sweep order with pinning
+# ----------------------------------------------------------------------
+
+def _policy_c(ctx: JoinContext, side: int, depth: int,
+              oriented: List[EntryPair],
+              emit: Callable[[int, int], None],
+              accept: Callable) -> None:
+    from collections import defaultdict
+    n = len(oriented)
+    done = [False] * n
+    by_deep: dict[int, List[int]] = defaultdict(list)
+    for idx, (deep_entry, _) in enumerate(oriented):
+        by_deep[deep_entry.ref].append(idx)
+
+    def process(idx: int) -> None:
+        deep_entry, data_entry = oriented[idx]
+        _window_query(ctx, side, deep_entry.ref, depth + 1,
+                      data_entry.rect, data_entry.ref, emit, accept)
+
+    for i in range(n):
+        if done[i]:
+            continue
+        process(i)
+        done[i] = True
+        deep_ref = oriented[i][0].ref
+        group = [k for k in by_deep[deep_ref] if not done[k]]
+        if not group:
+            continue
+        ctx.pin(side, deep_ref)
+        for k in group:
+            process(k)
+            done[k] = True
+        ctx.unpin(side, deep_ref)

@@ -1,0 +1,165 @@
+"""Multiway spatial join (extension).
+
+Section 2.1: "The problem of spatial joins with more than two spatial
+relations is similarly defined and its solution can make use of the
+techniques that will be presented in this paper."
+
+This module joins *n* R-trees at once with a synchronized traversal:
+a tuple (a_1, ..., a_n) qualifies when all MBRs intersect pairwise.
+For axis-parallel rectangles the Helly property makes pairwise
+intersection equivalent to a non-empty common intersection, so the
+traversal can carry a single *common rectangle* as its search-space
+restriction — the natural n-way generalization of SpatialJoin2/3:
+
+* per node tuple, candidate entry tuples are grown side by side, each
+  step restricted to the current common intersection (counted scans),
+* qualifying child tuples are processed in ascending order of their
+  common rectangle's lower x (the plane-sweep read schedule),
+* when some trees reach their data pages before others, the matched
+  data entries ride along as fixed filters while the deeper trees keep
+  descending (the §4.4 idea generalized).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..geometry.counting import ComparisonCounter
+from ..geometry.rect import Rect
+from ..rtree.base import RTreeBase
+from ..rtree.entry import Entry
+from ..rtree.node import Node
+from ..storage.manager import BufferManager
+from .stats import JoinStatistics
+
+OutputTuple = Tuple[int, ...]
+
+
+class MultiwayJoinResult:
+    """Output tuples plus the counters."""
+
+    def __init__(self, tuples: List[OutputTuple],
+                 stats: JoinStatistics) -> None:
+        self.tuples = tuples
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def tuple_set(self) -> set[OutputTuple]:
+        return set(self.tuples)
+
+
+def multiway_spatial_join(trees: Sequence[RTreeBase],
+                          buffer_kb: float = 128.0) -> MultiwayJoinResult:
+    """Join *n >= 2* R-trees on mutual MBR intersection.
+
+    Returns id tuples ordered per input tree.  All trees must share one
+    page size; the LRU buffer is shared across all of them, and each
+    tree gets its own path buffer, exactly like the binary join.
+    """
+    if len(trees) < 2:
+        raise ValueError("a multiway join needs at least two trees")
+    page_size = trees[0].params.page_size
+    for tree in trees[1:]:
+        if tree.params.page_size != page_size:
+            raise ValueError("joined trees must share one page size")
+
+    stats = JoinStatistics(algorithm=f"multiway-{len(trees)}",
+                           page_size=page_size, buffer_kb=buffer_kb)
+    manager = BufferManager.for_buffer_size(buffer_kb, page_size)
+    sides = [manager.register(tree.store) for tree in trees]
+    stats.io = manager.stats
+    counter = stats.comparisons
+
+    roots: List[Node] = []
+    for tree, side in zip(trees, sides):
+        roots.append(manager.read(side, tree.root_id, 0))
+    if any(not root.entries for root in roots):
+        return MultiwayJoinResult([], stats)
+
+    common = roots[0].mbr()
+    for root in roots[1:]:
+        intersection = common.intersection(root.mbr())
+        if intersection is None:
+            return MultiwayJoinResult([], stats)
+        common = intersection
+
+    out: List[OutputTuple] = []
+    _join_level(manager, sides, counter, stats, roots,
+                [0] * len(trees), common, out)
+    stats.pairs_output = len(out)
+    return MultiwayJoinResult(out, stats)
+
+
+def _join_level(manager: BufferManager, sides: List[int],
+                counter: ComparisonCounter, stats: JoinStatistics,
+                nodes: List[Node], depths: List[int], rect: Rect,
+                out: List[OutputTuple]) -> None:
+    """Process one node tuple."""
+    stats.node_pairs += 1
+    tuples = _qualifying_tuples(nodes, rect, counter)
+    if not tuples:
+        return
+    if all(node.is_leaf for node in nodes):
+        out.extend(tuple(entry.ref for entry in entries)
+                   for entries, _ in tuples)
+        return
+    # Plane-sweep order of the common rectangles.
+    tuples.sort(key=lambda item: item[1].xl)
+    for entries, common in tuples:
+        child_nodes: List[Node] = []
+        child_depths: List[int] = []
+        for i, (node, entry) in enumerate(zip(nodes, entries)):
+            if node.is_leaf:
+                # This tree is exhausted: the matched data entry rides
+                # along as a single-entry virtual leaf (no page read).
+                virtual = Node(page_id=-1, level=0, entries=[entry])
+                child_nodes.append(virtual)
+                child_depths.append(depths[i])
+            else:
+                child = manager.read(sides[i], entry.ref, depths[i] + 1)
+                child_nodes.append(child)
+                child_depths.append(depths[i] + 1)
+        _join_level(manager, sides, counter, stats, child_nodes,
+                    child_depths, common, out)
+
+
+def _qualifying_tuples(nodes: List[Node], rect: Rect,
+                       counter: ComparisonCounter,
+                       ) -> List[Tuple[Tuple[Entry, ...], Rect]]:
+    """Entry tuples whose rectangles share a common intersection with
+    *rect*, grown side by side with counted restriction scans."""
+    partials: List[Tuple[Tuple[Entry, ...], Rect]] = [((), rect)]
+    for node in nodes:
+        if not partials:
+            return []
+        grown: List[Tuple[Tuple[Entry, ...], Rect]] = []
+        for partial_entries, common in partials:
+            cxl = common.xl
+            cyl = common.yl
+            cxu = common.xu
+            cyu = common.yu
+            comparisons = 0
+            for entry in node.entries:
+                r = entry.rect
+                if r.xl > cxu:
+                    comparisons += 1
+                elif cxl > r.xu:
+                    comparisons += 2
+                elif r.yl > cyu:
+                    comparisons += 3
+                else:
+                    comparisons += 4
+                    if r.yu >= cyl:
+                        narrowed = common.intersection(r)
+                        if narrowed is None:
+                            # Degenerate float touch; keep the boundary.
+                            narrowed = Rect(
+                                max(cxl, r.xl), max(cyl, r.yl),
+                                max(cxl, r.xl), max(cyl, r.yl))
+                        grown.append(
+                            (partial_entries + (entry,), narrowed))
+            counter.join += comparisons
+        partials = grown
+    return partials

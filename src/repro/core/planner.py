@@ -1,0 +1,135 @@
+"""High-level join entry point.
+
+:func:`spatial_join` is the one call a library user needs: pick two
+trees, an algorithm name ("sj1" ... "sj5"), a buffer size, and get back
+the result pairs with full CPU/I-O accounting.  The defaults are the
+paper's overall recommendation (Section 5): SpatialJoin4 with height
+policy (b).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Type
+
+from ..geometry.predicates import SpatialPredicate
+from ..rtree.base import RTreeBase
+from .context import JoinContext, presort_trees
+from .engine import JoinAlgorithm
+from .sj1 import SpatialJoin1
+from .sj2 import SpatialJoin2
+from .sj3 import SpatialJoin3
+from .sj4 import SpatialJoin4
+from .sj5 import SpatialJoin5
+from .stats import JoinResult
+
+class SweepJoinNoRestrict(SpatialJoin3):
+    """Table 4's "version I": plane sweep *without* restricting the
+    search space (entries of a node pair are swept in full)."""
+
+    name = "SJ3/norestrict"
+    restricts_search_space = False
+
+
+class SpatialJoin4NoRestrict(SpatialJoin4):
+    """SJ4 scheduling on unrestricted sweeps (ablation variant)."""
+
+    name = "SJ4/norestrict"
+    restricts_search_space = False
+
+
+ALGORITHMS: Dict[str, Type[JoinAlgorithm]] = {
+    "sj1": SpatialJoin1,
+    "sj2": SpatialJoin2,
+    "sj3": SpatialJoin3,
+    "sj4": SpatialJoin4,
+    "sj5": SpatialJoin5,
+    "sj3-norestrict": SweepJoinNoRestrict,
+    "sj4-norestrict": SpatialJoin4NoRestrict,
+}
+
+
+def make_algorithm(name: str, height_policy: str = "b",
+                   predicate: SpatialPredicate =
+                   SpatialPredicate.INTERSECTS) -> JoinAlgorithm:
+    """Instantiate a join algorithm by its paper name (case-insensitive)."""
+    try:
+        cls = ALGORITHMS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise ValueError(
+            f"unknown join algorithm {name!r} (known: {known})") from None
+    return cls(height_policy=height_policy, predicate=predicate)
+
+
+def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
+                 algorithm: str = "sj4",
+                 buffer_kb: float = 128.0,
+                 height_policy: str = "b",
+                 sort_mode: str = "maintained",
+                 use_path_buffer: bool = True,
+                 presort: bool = False,
+                 predicate: SpatialPredicate =
+                 SpatialPredicate.INTERSECTS) -> JoinResult:
+    """MBR-spatial-join of two R-trees.
+
+    Parameters
+    ----------
+    tree_r, tree_s:
+        The indexed relations (any :class:`~repro.rtree.RTreeBase`
+        subclass; both must use the same page size).
+    algorithm:
+        "sj1" (straightforward), "sj2" (+search-space restriction),
+        "sj3" (+plane sweep schedule), "sj4" (+pinning — the paper's
+        winner, default), or "sj5" (z-order schedule).
+    buffer_kb:
+        LRU buffer size in KByte shared by both trees.
+    height_policy:
+        "a", "b" (default) or "c" — window-query policy used when the
+        trees differ in height (Section 4.4).
+    sort_mode:
+        "maintained" (nodes kept sorted; sorting charged once as
+        presort) or "on_read" (nodes re-sorted after every disk read,
+        charged to the join's sort counter) — Section 4.2's two regimes.
+    use_path_buffer:
+        Disable only for ablation studies; the paper always assumes the
+        R*-tree path buffer.
+    presort:
+        Eagerly sort all nodes of both trees before the join instead of
+        lazily on first touch (only meaningful with
+        ``sort_mode="maintained"``).
+    predicate:
+        Join condition on the data MBRs: INTERSECTS (default, the
+        MBR-spatial-join), CONTAINS (R contains S) or WITHIN (R within
+        S).  Directory pruning stays intersection-based, which is sound
+        for all three.
+
+    Returns
+    -------
+    JoinResult
+        Output id pairs plus :class:`~repro.core.stats.JoinStatistics`.
+    """
+    ctx = JoinContext(tree_r, tree_s, buffer_kb=buffer_kb,
+                      use_path_buffer=use_path_buffer, sort_mode=sort_mode)
+    if presort and sort_mode == "maintained":
+        presort_trees(ctx)
+    algo = make_algorithm(algorithm, height_policy=height_policy,
+                          predicate=predicate)
+    return algo.run(ctx)
+
+
+def spatial_join_stream(tree_r: RTreeBase, tree_s: RTreeBase,
+                        callback: Callable[[int, int], None],
+                        algorithm: str = "sj4",
+                        buffer_kb: float = 128.0,
+                        height_policy: str = "b",
+                        sort_mode: str = "maintained",
+                        predicate: SpatialPredicate =
+                        SpatialPredicate.INTERSECTS):
+    """Like :func:`spatial_join`, but delivers each pair to *callback*
+    as it is produced (no result list is materialized).  Returns the
+    :class:`~repro.core.stats.JoinStatistics`."""
+    ctx = JoinContext(tree_r, tree_s, buffer_kb=buffer_kb,
+                      sort_mode=sort_mode)
+    algo = make_algorithm(algorithm, height_policy=height_policy,
+                          predicate=predicate)
+    return algo.run_streaming(ctx, callback)

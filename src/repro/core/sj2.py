@@ -1,0 +1,33 @@
+"""SpatialJoin2 — restricting the search space (Section 4.2).
+
+"Only the entries of E1.ref and E2.ref which intersect the intersection
+rectangle ER.rect ∩ ES.rect may have a common intersection."  Each node
+is first scanned linearly against that intersection rectangle; only the
+marked entries enter the nested loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..geometry.rect import Rect
+from ..rtree.node import Node
+from .context import JoinContext
+from .engine import JoinAlgorithm
+from .pairs import EntryPair, nested_loop_pairs, restrict_entries
+
+
+class SpatialJoin2(JoinAlgorithm):
+    """SJ1 plus the search-space restriction."""
+
+    name = "SJ2"
+    restricts_search_space = True
+    uses_pinning = False
+
+    def _find_pairs(self, ctx: JoinContext, nr: Node, ns: Node,
+                    rect: Optional[Rect]) -> List[EntryPair]:
+        if rect is None:
+            return nested_loop_pairs(nr.entries, ns.entries, ctx.counter)
+        marked_r = restrict_entries(nr.entries, rect, ctx.counter)
+        marked_s = restrict_entries(ns.entries, rect, ctx.counter)
+        return nested_loop_pairs(marked_r, marked_s, ctx.counter)

@@ -1,0 +1,35 @@
+"""SpatialJoin3 — local plane-sweep order (Section 4.3).
+
+CPU side: search-space restriction plus the plane sweep over sorted
+entries (the best CPU combination of Section 4.2).  I/O side: the sweep
+emits the intersecting pairs in plane-sweep order, which "can also be
+used to determine the read schedule of the spatial join ... without any
+extra cost".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..geometry.rect import Rect
+from ..rtree.node import Node
+from .context import JoinContext, R_SIDE, S_SIDE
+from .engine import JoinAlgorithm
+from .pairs import EntryPair, restrict_entries, sorted_intersection_test
+
+
+class SpatialJoin3(JoinAlgorithm):
+    """Restriction + plane sweep; pairs processed in sweep order."""
+
+    name = "SJ3"
+    restricts_search_space = True
+    uses_pinning = False
+
+    def _find_pairs(self, ctx: JoinContext, nr: Node, ns: Node,
+                    rect: Optional[Rect]) -> List[EntryPair]:
+        seq_r = ctx.sorted_entries(R_SIDE, nr)
+        seq_s = ctx.sorted_entries(S_SIDE, ns)
+        if rect is not None:
+            seq_r = restrict_entries(seq_r, rect, ctx.counter)
+            seq_s = restrict_entries(seq_s, rect, ctx.counter)
+        return sorted_intersection_test(seq_r, seq_s, ctx.counter)

@@ -1,0 +1,18 @@
+"""SpatialJoin4 — local plane-sweep order with pinning (Section 4.3).
+
+Identical CPU behaviour to SJ3; after each processed pair the child page
+with the maximal degree (number of unprocessed pairs it participates in)
+is pinned in the buffer and all its remaining pairs are completed before
+the sweep order continues.  This is the paper's overall winner.
+"""
+
+from __future__ import annotations
+
+from .sj3 import SpatialJoin3
+
+
+class SpatialJoin4(SpatialJoin3):
+    """SJ3 plus degree-based pinning of the read schedule."""
+
+    name = "SJ4"
+    uses_pinning = True

@@ -1,0 +1,73 @@
+"""Join statistics and results.
+
+Section 4: "a good measure for performance consists of both, the number
+of disk accesses and the number of comparisons."  A join returns the
+output pairs together with exactly these counters, which the cost model
+(:mod:`repro.costmodel`) turns into the paper's time estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..geometry.counting import ComparisonCounter
+from ..storage.stats import IOStatistics
+
+
+@dataclass
+class JoinStatistics:
+    """Counters accumulated over one spatial join."""
+
+    algorithm: str = ""
+    page_size: int = 0
+    buffer_kb: float = 0.0
+    comparisons: ComparisonCounter = field(default_factory=ComparisonCounter)
+    io: IOStatistics = field(default_factory=IOStatistics)
+    #: One-time cost of bringing all tree nodes into sweep order, reported
+    #: separately like the "sorting" rows of Table 4.
+    presort_comparisons: int = 0
+    #: Qualifying node pairs visited below the roots.
+    node_pairs: int = 0
+    #: Result pairs produced.
+    pairs_output: int = 0
+
+    @property
+    def disk_accesses(self) -> int:
+        """The paper's I/O metric."""
+        return self.io.disk_reads
+
+    @property
+    def join_comparisons(self) -> int:
+        """Comparisons charged to checking the join condition."""
+        return self.comparisons.join
+
+    @property
+    def sort_comparisons(self) -> int:
+        """Comparisons charged to sorting during the join itself."""
+        return self.comparisons.sort
+
+    @property
+    def total_comparisons(self) -> int:
+        """All comparisons including the one-time presort."""
+        return self.comparisons.total + self.presort_comparisons
+
+
+@dataclass
+class JoinResult:
+    """Output of a spatial join: id pairs plus the counters."""
+
+    pairs: List[Tuple[int, int]]
+    stats: JoinStatistics
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def pair_set(self) -> set[Tuple[int, int]]:
+        """The result as a set (algorithms may emit different orders)."""
+        return set(self.pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"JoinResult(pairs={len(self.pairs)}, "
+                f"io={self.stats.disk_accesses}, "
+                f"cmp={self.stats.comparisons.total})")

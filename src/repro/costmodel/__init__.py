@@ -1,0 +1,28 @@
+"""Cost models: the paper's time constants, an analytical cardinality
+estimator (reference [9]'s approach), and a disk-array projection
+(Section 6 future work)."""
+
+from .estimate import (JoinCardinalityEstimator, JoinPrediction,
+                       LevelProfile, level_profiles)
+from .model import (CostEstimate, CostModel, PAPER_COST_MODEL, T_COMPARE,
+                    T_POSITION, T_TRANSFER_PER_KB)
+from .parallel import (ParallelIOEstimate, estimate_parallel_io, hashed,
+                       round_robin, scaling_profile)
+
+__all__ = [
+    "CostEstimate",
+    "CostModel",
+    "JoinCardinalityEstimator",
+    "JoinPrediction",
+    "LevelProfile",
+    "PAPER_COST_MODEL",
+    "ParallelIOEstimate",
+    "T_COMPARE",
+    "T_POSITION",
+    "T_TRANSFER_PER_KB",
+    "estimate_parallel_io",
+    "hashed",
+    "level_profiles",
+    "round_robin",
+    "scaling_profile",
+]

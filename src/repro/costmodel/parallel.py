@@ -1,0 +1,141 @@
+"""Disk-array I/O model (extension).
+
+The paper's conclusion points to "parallel computer systems and disk
+arrays" as future work (Section 6, citing Kamel & Faloutsos's Parallel
+R-trees).  This module estimates how a join's disk-access *trace* would
+behave when the pages are declustered over ``d`` independent disks:
+
+* **declustering** assigns every (side, page id) to one disk — round
+  robin (the Parallel-R-tree proposal) or by hash;
+* accesses to distinct disks overlap perfectly, so the parallel I/O
+  time is governed by the most-loaded disk;
+* consecutive accesses to the *same* disk serialize, which is what
+  limits speedup when the schedule has strong per-disk runs.
+
+Two estimates are provided: the optimistic load-balance bound
+(max per-disk count) and a schedule-aware estimate that only overlaps
+accesses within a lookahead window of ``d`` requests, which penalizes
+schedules that hammer one disk in runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from .model import CostModel, PAPER_COST_MODEL
+
+TraceKey = Tuple[int, int]
+Declusterer = Callable[[TraceKey], int]
+
+
+def round_robin(disks: int) -> Declusterer:
+    """Pages striped by page id, independently per tree side."""
+    if disks < 1:
+        raise ValueError("need at least one disk")
+
+    def assign(key: TraceKey) -> int:
+        side, page_id = key
+        return (page_id + side) % disks
+
+    return assign
+
+
+def hashed(disks: int, salt: int = 0x9E3779B9) -> Declusterer:
+    """Pages scattered by a multiplicative hash."""
+    if disks < 1:
+        raise ValueError("need at least one disk")
+
+    def assign(key: TraceKey) -> int:
+        side, page_id = key
+        return ((page_id * salt) ^ (side * 0x85EBCA6B)) % disks
+
+    return assign
+
+
+@dataclass(frozen=True)
+class ParallelIOEstimate:
+    """I/O time estimates for one trace on a disk array."""
+
+    disks: int
+    total_accesses: int
+    busiest_disk_accesses: int
+    serialized_accesses: int     # schedule-aware effective length
+    seconds_single_disk: float
+    seconds_balanced: float      # optimistic bound
+    seconds_scheduled: float     # window-overlap estimate
+
+    @property
+    def speedup_balanced(self) -> float:
+        if self.seconds_balanced == 0.0:
+            return 1.0
+        return self.seconds_single_disk / self.seconds_balanced
+
+    @property
+    def speedup_scheduled(self) -> float:
+        if self.seconds_scheduled == 0.0:
+            return 1.0
+        return self.seconds_single_disk / self.seconds_scheduled
+
+
+def estimate_parallel_io(trace: Sequence[TraceKey], disks: int,
+                         page_size: int,
+                         decluster: Declusterer | None = None,
+                         model: CostModel = PAPER_COST_MODEL,
+                         ) -> ParallelIOEstimate:
+    """Estimate I/O time of *trace* on *disks* independent disks."""
+    if disks < 1:
+        raise ValueError("need at least one disk")
+    assign = decluster if decluster is not None else round_robin(disks)
+
+    loads: Counter[int] = Counter()
+    for key in trace:
+        disk = assign(key)
+        if not 0 <= disk < disks:
+            raise ValueError(
+                f"declusterer mapped {key} to disk {disk} of {disks}")
+        loads[disk] += 1
+    busiest = max(loads.values(), default=0)
+
+    # Schedule-aware pass: requests issue in trace order with at most
+    # `disks` outstanding (the consumer prefetches one request per
+    # spindle); each disk serves its own queue one access per time
+    # unit.  Perfectly striped schedules finish in ~n/d units, same-disk
+    # runs serialize.
+    window = disks
+    free_at = [0] * disks
+    finish: List[int] = []
+    clock = 0
+    for index, key in enumerate(trace):
+        disk = assign(key)
+        ready = finish[index - window] if index >= window else 0
+        start = max(free_at[disk], ready)
+        free_at[disk] = start + 1
+        finish.append(start + 1)
+        if free_at[disk] > clock:
+            clock = free_at[disk]
+    serialized = clock
+
+    per_access = model.io_seconds(1, page_size)
+    total = len(trace)
+    return ParallelIOEstimate(
+        disks=disks,
+        total_accesses=total,
+        busiest_disk_accesses=busiest,
+        serialized_accesses=serialized,
+        seconds_single_disk=total * per_access,
+        seconds_balanced=busiest * per_access,
+        seconds_scheduled=serialized * per_access,
+    )
+
+
+def scaling_profile(trace: Sequence[TraceKey], page_size: int,
+                    disk_counts: Sequence[int] = (1, 2, 4, 8, 16),
+                    decluster_factory: Callable[[int], Declusterer] =
+                    round_robin,
+                    ) -> List[ParallelIOEstimate]:
+    """Estimates for a range of array sizes (the scaling curve)."""
+    return [estimate_parallel_io(trace, d, page_size,
+                                 decluster_factory(d))
+            for d in disk_counts]

@@ -1,0 +1,14 @@
+"""Space-filling curves: z-order (used by SJ5) and Hilbert (extension)."""
+
+from .hilbert import HilbertGrid, hilbert_index, hilbert_point
+from .zorder import DEFAULT_BITS, ZGrid, deinterleave_bits, interleave_bits
+
+__all__ = [
+    "DEFAULT_BITS",
+    "HilbertGrid",
+    "ZGrid",
+    "deinterleave_bits",
+    "hilbert_index",
+    "hilbert_point",
+    "interleave_bits",
+]

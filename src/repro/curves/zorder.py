@@ -1,0 +1,83 @@
+"""Z-ordering (Peano/Morton order) on a 2^k x 2^k grid.
+
+Section 4.3 uses z-ordering to sort intersection rectangles by the
+spatial location of their centers ("local z-order", algorithm SJ5); the
+same curve underlies the Orenstein-style join the paper discusses in
+Section 2.  The z-value of a grid cell interleaves the bits of its column
+and row indices.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..geometry.rect import Rect
+
+#: Default grid resolution: 16 bits per axis (a 65536 x 65536 grid).
+DEFAULT_BITS = 16
+
+
+def interleave_bits(x: int, y: int, bits: int = DEFAULT_BITS) -> int:
+    """Morton code of cell ``(x, y)``: x occupies the even bit positions,
+    y the odd ones (bit 0 of x becomes bit 0 of the code)."""
+    if x < 0 or y < 0:
+        raise ValueError("cell indices must be non-negative")
+    if x >= (1 << bits) or y >= (1 << bits):
+        raise ValueError(f"cell index out of range for {bits}-bit grid")
+    code = 0
+    for i in range(bits):
+        code |= ((x >> i) & 1) << (2 * i)
+        code |= ((y >> i) & 1) << (2 * i + 1)
+    return code
+
+
+def deinterleave_bits(code: int, bits: int = DEFAULT_BITS) -> Tuple[int, int]:
+    """Inverse of :func:`interleave_bits`."""
+    if code < 0:
+        raise ValueError("z-value must be non-negative")
+    x = 0
+    y = 0
+    for i in range(bits):
+        x |= ((code >> (2 * i)) & 1) << i
+        y |= ((code >> (2 * i + 1)) & 1) << i
+    return x, y
+
+
+class ZGrid:
+    """Maps points in a world rectangle onto z-values of a regular grid."""
+
+    def __init__(self, world: Rect, bits: int = DEFAULT_BITS) -> None:
+        if world.width <= 0.0 or world.height <= 0.0:
+            raise ValueError("the world rectangle must have positive extent")
+        self.world = world
+        self.bits = bits
+        self._cells = 1 << bits
+        self._sx = self._cells / world.width
+        self._sy = self._cells / world.height
+
+    def cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        """Grid cell containing point ``(x, y)`` (clamped to the world)."""
+        cx = int((x - self.world.xl) * self._sx)
+        cy = int((y - self.world.yl) * self._sy)
+        last = self._cells - 1
+        if cx < 0:
+            cx = 0
+        elif cx > last:
+            cx = last
+        if cy < 0:
+            cy = 0
+        elif cy > last:
+            cy = last
+        return cx, cy
+
+    def zvalue(self, x: float, y: float) -> int:
+        """Z-value of the cell containing point ``(x, y)``."""
+        cx, cy = self.cell_of(x, y)
+        return interleave_bits(cx, cy, self.bits)
+
+    def zvalue_of_rect(self, rect: Rect) -> int:
+        """Z-value of a rectangle's center — the SJ5 sort key
+        ("we sort the rectangles according to the spatial location of
+        their centers", Section 4.3)."""
+        cx, cy = rect.center()
+        return self.zvalue(cx, cy)

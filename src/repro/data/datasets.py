@@ -1,0 +1,113 @@
+"""Named dataset pairs for the paper's tests A–E (Table 8).
+
+Paper cardinalities:
+
+===== ===================== ========= ===================== =========
+Test  Relation R            ||R||dat  Relation S            ||S||dat
+===== ===================== ========= ===================== =========
+A     streets               131,461   rivers & railways     128,971
+B     streets               131,461   streets (2nd map)     131,192
+C     streets (large)       598,677   rivers & railways     128,971
+D     rivers & railways     128,971   rivers & railways     128,971
+E     region data            67,527   region data            33,696
+===== ===================== ========= ===================== =========
+
+Cardinalities scale with ``REPRO_SCALE`` (environment variable or the
+``scale`` argument; default 0.125) so the full benchmark suite finishes
+in minutes on a laptop.  ``REPRO_SCALE=1.0`` reproduces paper scale.
+Test D joins two *separately built trees over identical data*, exactly
+like the paper ("our algorithms treated the R*-trees as if they would be
+different").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from .tiger import SpatialDataset, regions, rivers_railways, streets
+
+#: Paper cardinalities per test: (R count, S count).
+PAPER_CARDINALITIES: Dict[str, Tuple[int, int]] = {
+    "A": (131_461, 128_971),
+    "B": (131_461, 131_192),
+    "C": (598_677, 128_971),
+    "D": (128_971, 128_971),
+    "E": (67_527, 33_696),
+}
+
+DEFAULT_SCALE = 0.125
+
+# Seeds are fixed per logical map so that, e.g., the street map of test A
+# and test B's R side are the same relation, as in the paper.
+_SEED_STREETS = 101
+_SEED_STREETS_2 = 202
+_SEED_STREETS_BIG = 303
+_SEED_RIVERS = 404
+_SEED_REGIONS_R = 505
+_SEED_REGIONS_S = 606
+
+
+def effective_scale(scale: float | None = None) -> float:
+    """Resolve the scale factor: explicit argument, else REPRO_SCALE,
+    else :data:`DEFAULT_SCALE`."""
+    if scale is not None:
+        value = scale
+    else:
+        raw = os.environ.get("REPRO_SCALE", "")
+        value = float(raw) if raw else DEFAULT_SCALE
+    if value <= 0.0:
+        raise ValueError(f"scale must be positive, got {value}")
+    return value
+
+
+def scaled_count(paper_count: int, scale: float | None = None) -> int:
+    """Paper cardinality scaled down (at least 100 objects)."""
+    return max(100, int(round(paper_count * effective_scale(scale))))
+
+
+@dataclass(frozen=True)
+class DatasetPair:
+    """The two relations of one test."""
+
+    test: str
+    r: SpatialDataset
+    s: SpatialDataset
+
+
+def load_test(test: str, scale: float | None = None) -> DatasetPair:
+    """Generate the dataset pair of one of the paper's tests A–E."""
+    test = test.upper()
+    if test not in PAPER_CARDINALITIES:
+        raise ValueError(f"unknown test {test!r} (expected A-E)")
+    n_r, n_s = PAPER_CARDINALITIES[test]
+    n_r = scaled_count(n_r, scale)
+    n_s = scaled_count(n_s, scale)
+    builders: Dict[str, Callable[[], DatasetPair]] = {
+        "A": lambda: DatasetPair(
+            "A",
+            streets(n_r, seed=_SEED_STREETS, name="streets"),
+            rivers_railways(n_s, seed=_SEED_RIVERS,
+                            name="rivers-railways")),
+        "B": lambda: DatasetPair(
+            "B",
+            streets(n_r, seed=_SEED_STREETS, name="streets"),
+            streets(n_s, seed=_SEED_STREETS_2, name="streets-2")),
+        "C": lambda: DatasetPair(
+            "C",
+            streets(n_r, seed=_SEED_STREETS_BIG, name="streets-big"),
+            rivers_railways(n_s, seed=_SEED_RIVERS,
+                            name="rivers-railways")),
+        "D": lambda: DatasetPair(
+            "D",
+            rivers_railways(n_r, seed=_SEED_RIVERS,
+                            name="rivers-railways"),
+            rivers_railways(n_s, seed=_SEED_RIVERS,
+                            name="rivers-railways")),
+        "E": lambda: DatasetPair(
+            "E",
+            regions(n_r, seed=_SEED_REGIONS_R, name="regions-r"),
+            regions(n_s, seed=_SEED_REGIONS_S, name="regions-s")),
+    }
+    return builders[test]()

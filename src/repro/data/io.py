@@ -1,0 +1,56 @@
+"""Rectangle-file round trip.
+
+A minimal binary format for MBR records so datasets can be exported,
+inspected, and re-imported without regenerating: header ``REPRORCT``,
+version, record count, then ``xl, yl, xu, yu:float64, id:int64`` per
+record.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from ..geometry.rect import Rect
+
+RectRecord = Tuple[Rect, int]
+
+_MAGIC = b"REPRORCT"
+_HEADER = struct.Struct("<8sIQ")
+_RECORD = struct.Struct("<4dq")
+_VERSION = 1
+
+
+class RectFileError(RuntimeError):
+    """Raised for malformed rectangle files."""
+
+
+def save_records(records: List[RectRecord], path: str) -> None:
+    """Write MBR records to *path*."""
+    with open(path, "wb") as f:
+        f.write(_HEADER.pack(_MAGIC, _VERSION, len(records)))
+        for rect, ref in records:
+            f.write(_RECORD.pack(rect.xl, rect.yl, rect.xu, rect.yu, ref))
+
+
+def load_records(path: str) -> List[RectRecord]:
+    """Read MBR records written by :func:`save_records`."""
+    with open(path, "rb") as f:
+        header = f.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise RectFileError(f"{path} is too short")
+        magic, version, count = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise RectFileError(f"{path} is not a rectangle file")
+        if version != _VERSION:
+            raise RectFileError(f"unsupported rectangle file version "
+                                f"{version}")
+        records: List[RectRecord] = []
+        for index in range(count):
+            blob = f.read(_RECORD.size)
+            if len(blob) < _RECORD.size:
+                raise RectFileError(
+                    f"{path} truncated at record {index} of {count}")
+            xl, yl, xu, yu, ref = _RECORD.unpack(blob)
+            records.append((Rect(xl, yl, xu, yu), ref))
+    return records

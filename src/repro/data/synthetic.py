@@ -1,0 +1,76 @@
+"""Generic synthetic rectangle generators.
+
+Used by unit tests, property tests and ablation benches; the paper-shaped
+map data lives in :mod:`repro.data.tiger`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..geometry.rect import Rect
+
+RectRecord = Tuple[Rect, int]
+
+#: Default square world, roughly "California in metres".
+DEFAULT_WORLD = Rect(0.0, 0.0, 100_000.0, 100_000.0)
+
+
+def uniform_rects(n: int, seed: int = 0,
+                  world: Rect = DEFAULT_WORLD,
+                  max_width: float = 500.0,
+                  max_height: float = 500.0) -> List[RectRecord]:
+    """*n* rectangles with uniformly placed lower-left corners."""
+    if n < 0:
+        raise ValueError("n cannot be negative")
+    rng = random.Random(seed)
+    records: List[RectRecord] = []
+    for i in range(n):
+        w = rng.random() * max_width
+        h = rng.random() * max_height
+        x = world.xl + rng.random() * max(world.width - w, 0.0)
+        y = world.yl + rng.random() * max(world.height - h, 0.0)
+        records.append((Rect(x, y, x + w, y + h), i))
+    return records
+
+
+def clustered_rects(n: int, seed: int = 0,
+                    world: Rect = DEFAULT_WORLD,
+                    clusters: int = 10,
+                    spread_fraction: float = 0.03,
+                    max_width: float = 300.0,
+                    max_height: float = 300.0) -> List[RectRecord]:
+    """*n* rectangles in gaussian clusters — the skew typical of maps."""
+    if n < 0:
+        raise ValueError("n cannot be negative")
+    if clusters < 1:
+        raise ValueError("need at least one cluster")
+    rng = random.Random(seed)
+    centers = [(world.xl + rng.random() * world.width,
+                world.yl + rng.random() * world.height)
+               for _ in range(clusters)]
+    sx = world.width * spread_fraction
+    sy = world.height * spread_fraction
+    records: List[RectRecord] = []
+    for i in range(n):
+        cx, cy = centers[rng.randrange(clusters)]
+        x = min(max(rng.gauss(cx, sx), world.xl), world.xu)
+        y = min(max(rng.gauss(cy, sy), world.yl), world.yu)
+        w = rng.random() * max_width
+        h = rng.random() * max_height
+        records.append((Rect(x, y, min(x + w, world.xu),
+                             min(y + h, world.yu)), i))
+    return records
+
+
+def degenerate_points(n: int, seed: int = 0,
+                      world: Rect = DEFAULT_WORLD) -> List[RectRecord]:
+    """*n* zero-extent rectangles (point data edge case)."""
+    rng = random.Random(seed)
+    records: List[RectRecord] = []
+    for i in range(n):
+        x = world.xl + rng.random() * world.width
+        y = world.yl + rng.random() * world.height
+        records.append((Rect.point(x, y), i))
+    return records

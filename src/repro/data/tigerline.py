@@ -1,0 +1,175 @@
+"""Reader/writer for US Census TIGER/Line Record Type 1 files.
+
+The paper's evaluation data "is drawn from the TIGER/Line files used by
+the US Bureau of the Census" (Section 4): Record Type 1 stores one
+*complete chain* (a line segment with endpoints) per fixed-width
+228-byte line.  This module parses the documented subset needed to
+rebuild the paper's relations from real files — and writes the same
+format, so the synthetic generators can be exported as TIGER-compatible
+files.
+
+Field layout (1-based columns, 1990/1992 technical documentation):
+
+====== ========== =====================================================
+Columns Field      Meaning
+====== ========== =====================================================
+1       RT         record type, ``1``
+2–5     VERSION    file version
+6–15    TLID       permanent record id
+56–58   CFCC       census feature class code (A=road, B=rail, H=hydro)
+191–200 FRLONG     start longitude, signed, 6 implied decimals
+201–209 FRLAT      start latitude, signed, 6 implied decimals
+210–219 TOLONG     end longitude
+220–228 TOLAT      end latitude
+====== ========== =====================================================
+
+Coordinates are returned in decimal degrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..geometry.polyline import Polyline
+from ..geometry.rect import Rect
+
+RECORD_LENGTH = 228
+
+#: CFCC prefix -> feature family, per the TIGER/Line documentation.
+CFCC_FAMILIES = {
+    "A": "road",
+    "B": "railroad",
+    "C": "pipeline",
+    "D": "landmark",
+    "E": "physical",
+    "F": "nonvisible",
+    "H": "hydrography",
+    "X": "unclassified",
+}
+
+
+class TigerFormatError(ValueError):
+    """Raised for records that do not parse as Record Type 1."""
+
+
+@dataclass(frozen=True)
+class TigerRecord:
+    """One complete chain of a Record Type 1 file."""
+
+    tlid: int
+    cfcc: str
+    from_point: Tuple[float, float]   # (longitude, latitude)
+    to_point: Tuple[float, float]
+
+    @property
+    def family(self) -> str:
+        """Feature family derived from the CFCC's first letter."""
+        return CFCC_FAMILIES.get(self.cfcc[:1], "unclassified")
+
+    def polyline(self) -> Polyline:
+        """The chain as exact geometry."""
+        return Polyline([self.from_point, self.to_point])
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of the chain."""
+        (x1, y1), (x2, y2) = self.from_point, self.to_point
+        return Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+
+def _parse_coordinate(raw: str) -> float:
+    text = raw.strip()
+    if not text:
+        raise TigerFormatError(f"empty coordinate field {raw!r}")
+    try:
+        return int(text) / 1_000_000.0
+    except ValueError:
+        raise TigerFormatError(f"bad coordinate field {raw!r}") from None
+
+
+def parse_type1_line(line: str) -> TigerRecord:
+    """Parse one fixed-width Record Type 1 line."""
+    if len(line) < RECORD_LENGTH:
+        raise TigerFormatError(
+            f"record of {len(line)} chars, expected {RECORD_LENGTH}")
+    if line[0] != "1":
+        raise TigerFormatError(f"not a Record Type 1 line: RT={line[0]!r}")
+    try:
+        tlid = int(line[5:15])
+    except ValueError:
+        raise TigerFormatError(f"bad TLID field {line[5:15]!r}") from None
+    cfcc = line[55:58].strip()
+    frlong = _parse_coordinate(line[190:200])
+    frlat = _parse_coordinate(line[200:209])
+    tolong = _parse_coordinate(line[209:219])
+    tolat = _parse_coordinate(line[219:228])
+    return TigerRecord(tlid=tlid, cfcc=cfcc,
+                       from_point=(frlong, frlat),
+                       to_point=(tolong, tolat))
+
+
+def read_type1(path: str,
+               cfcc_prefixes: Optional[Iterable[str]] = None,
+               ) -> List[TigerRecord]:
+    """Read all Record Type 1 chains from *path*.
+
+    ``cfcc_prefixes`` filters by feature class (e.g. ``("A",)`` for the
+    street map, ``("H", "B")`` for the paper's rivers & railways map).
+    Lines of other record types are skipped silently, as TIGER files
+    interleave record types.
+    """
+    prefixes = tuple(cfcc_prefixes) if cfcc_prefixes is not None else None
+    records: List[TigerRecord] = []
+    with open(path, "r", encoding="ascii", errors="replace") as handle:
+        for line in handle:
+            line = line.rstrip("\r\n")
+            if not line or line[0] != "1":
+                continue
+            record = parse_type1_line(line)
+            if prefixes is None or record.cfcc.startswith(prefixes):
+                records.append(record)
+    return records
+
+
+def format_type1_line(record: TigerRecord, version: int = 2) -> str:
+    """Render a record back into the fixed-width format."""
+    def coordinate(value: float, width: int) -> str:
+        scaled = int(round(value * 1_000_000))
+        text = f"{scaled:+d}"
+        if len(text) > width:
+            raise TigerFormatError(
+                f"coordinate {value} does not fit in {width} columns")
+        return text.rjust(width)
+
+    line = [" "] * RECORD_LENGTH
+    line[0] = "1"
+    line[1:5] = f"{version:04d}"
+    line[5:15] = f"{record.tlid:>10d}"
+    line[55:58] = f"{record.cfcc:<3s}"[:3]
+    line[190:200] = coordinate(record.from_point[0], 10)
+    line[200:209] = coordinate(record.from_point[1], 9)
+    line[209:219] = coordinate(record.to_point[0], 10)
+    line[219:228] = coordinate(record.to_point[1], 9)
+    return "".join(line)
+
+
+def write_type1(records: Iterable[TigerRecord], path: str) -> int:
+    """Write chains as a Record Type 1 file; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        for record in records:
+            handle.write(format_type1_line(record))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def to_mbr_records(records: Iterable[TigerRecord]
+                   ) -> List[Tuple[Rect, int]]:
+    """(MBR, TLID) pairs ready for tree building."""
+    return [(record.mbr(), record.tlid) for record in records]
+
+
+def to_objects(records: Iterable[TigerRecord]) -> Dict[int, Polyline]:
+    """TLID -> exact polyline mapping for the refinement step."""
+    return {record.tlid: record.polyline() for record in records}

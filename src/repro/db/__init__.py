@@ -1,0 +1,6 @@
+"""The spatial-database facade: named relations, joins, persistence."""
+
+from .database import SpatialDatabase
+from .relation import SpatialRelation
+
+__all__ = ["SpatialDatabase", "SpatialRelation"]

@@ -1,0 +1,222 @@
+"""A minimal spatial database: named relations, joins, persistence.
+
+This is the facade a downstream application uses: it owns several
+:class:`~repro.db.relation.SpatialRelation` objects sharing one page
+size, runs filter+refinement joins between them, and round-trips the
+whole catalog to a directory (R*-trees as checksummed page files,
+geometry as a line-oriented text format, plus a JSON manifest).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Tuple
+
+from ..core.planner import spatial_join
+from ..core.refinement import id_spatial_join
+from ..core.stats import JoinResult
+from ..geometry.polygon import Polygon
+from ..geometry.polyline import Polyline
+from ..geometry.predicates import SpatialPredicate
+from ..geometry.rect import Rect
+from ..rtree.persist import load_tree, save_tree
+from ..rtree.rstar import RStarTree
+from .relation import Geometry, SpatialRelation
+
+_MANIFEST = "manifest.json"
+_MANIFEST_VERSION = 1
+
+
+class SpatialDatabase:
+    """A catalog of spatial relations with join support."""
+
+    def __init__(self, page_size: int = 2048) -> None:
+        self.page_size = page_size
+        self.relations: Dict[str, SpatialRelation] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+
+    def create_relation(self, name: str) -> SpatialRelation:
+        """Create an empty relation."""
+        if name in self.relations:
+            raise KeyError(f"relation {name!r} already exists")
+        relation = SpatialRelation(name, page_size=self.page_size)
+        self.relations[name] = relation
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation and its index."""
+        try:
+            del self.relations[name]
+        except KeyError:
+            raise KeyError(f"no relation {name!r}") from None
+
+    def relation(self, name: str) -> SpatialRelation:
+        """Look up a relation by name."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise KeyError(f"no relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+
+    def join(self, left: str, right: str,
+             algorithm: str = "sj4",
+             buffer_kb: float = 128.0,
+             predicate: SpatialPredicate = SpatialPredicate.INTERSECTS,
+             refine: bool = False) -> JoinResult:
+        """Join two relations.
+
+        ``refine=False`` returns the MBR-spatial-join (the filter step);
+        ``refine=True`` additionally runs the ID-spatial-join on the
+        exact geometry and returns only real intersections.  Refinement
+        requires the intersection predicate (containment on exact
+        geometry is not implemented).
+        """
+        rel_l = self.relation(left)
+        rel_r = self.relation(right)
+        result = spatial_join(rel_l.tree, rel_r.tree,
+                              algorithm=algorithm, buffer_kb=buffer_kb,
+                              predicate=predicate)
+        if not refine:
+            return result
+        if predicate is not SpatialPredicate.INTERSECTS:
+            raise ValueError(
+                "exact-geometry refinement supports only INTERSECTS")
+        refinable = [(a, b) for a, b in result.pairs
+                     if not isinstance(rel_l.objects[a], Rect)
+                     and not isinstance(rel_r.objects[b], Rect)]
+        rect_pairs = [(a, b) for a, b in result.pairs
+                      if isinstance(rel_l.objects[a], Rect)
+                      or isinstance(rel_r.objects[b], Rect)]
+        survivors, _ = id_spatial_join(refinable, rel_l.objects,
+                                       rel_r.objects)
+        result.pairs = rect_pairs + survivors
+        result.stats.pairs_output = len(result.pairs)
+        return result
+
+    def distance_join(self, left: str, right: str, distance: float,
+                      buffer_kb: float = 128.0) -> JoinResult:
+        """All id pairs whose MBRs lie within *distance* of each other
+        (the within-distance join extension)."""
+        from ..core.distance import distance_join as run
+        return run(self.relation(left).tree, self.relation(right).tree,
+                   distance, buffer_kb=buffer_kb)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Write the whole catalog to *directory* (created if needed)."""
+        os.makedirs(directory, exist_ok=True)
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "page_size": self.page_size,
+            "relations": sorted(self.relations),
+        }
+        for name, relation in self.relations.items():
+            save_tree(relation.tree, os.path.join(directory,
+                                                  f"{name}.rtree"))
+            _write_geometry(relation,
+                            os.path.join(directory, f"{name}.geom"))
+        with open(os.path.join(directory, _MANIFEST), "w") as handle:
+            json.dump(manifest, handle, indent=2)
+
+    @classmethod
+    def open(cls, directory: str) -> "SpatialDatabase":
+        """Load a catalog written by :meth:`save`."""
+        manifest_path = os.path.join(directory, _MANIFEST)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported database version {manifest.get('version')}")
+        db = cls(page_size=manifest["page_size"])
+        for name in manifest["relations"]:
+            relation = SpatialRelation(name, page_size=db.page_size)
+            tree = load_tree(os.path.join(directory, f"{name}.rtree"))
+            if not isinstance(tree, RStarTree):
+                raise ValueError(
+                    f"relation {name!r} is not backed by an R*-tree")
+            relation.tree = tree
+            relation.objects = _read_geometry(
+                os.path.join(directory, f"{name}.geom"))
+            relation._next_id = (max(relation.objects) + 1
+                                 if relation.objects else 0)
+            if len(relation.objects) != len(tree):
+                raise ValueError(
+                    f"relation {name!r}: geometry file holds "
+                    f"{len(relation.objects)} objects but the index "
+                    f"holds {len(tree)}")
+            db.relations[name] = relation
+        return db
+
+
+# ----------------------------------------------------------------------
+# Geometry file format: one object per line,
+#   <id> rect <xl> <yl> <xu> <yu>
+#   <id> polyline <x1> <y1> <x2> <y2> ...
+#   <id> polygon <x1> <y1> ...
+# ----------------------------------------------------------------------
+
+def _write_geometry(relation: SpatialRelation, path: str) -> None:
+    with open(path, "w") as handle:
+        for oid, geometry in sorted(relation.objects.items()):
+            handle.write(_format_geometry(oid, geometry))
+            handle.write("\n")
+
+
+def _format_geometry(oid: int, geometry: Geometry) -> str:
+    if isinstance(geometry, Rect):
+        return (f"{oid} rect {geometry.xl!r} {geometry.yl!r} "
+                f"{geometry.xu!r} {geometry.yu!r}")
+    kind = "polygon" if isinstance(geometry, Polygon) else "polyline"
+    coordinates = " ".join(f"{x!r} {y!r}" for x, y in geometry.vertices)
+    return f"{oid} {kind} {coordinates}"
+
+
+def _read_geometry(path: str) -> Dict[int, Geometry]:
+    objects: Dict[int, Geometry] = {}
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            objects.update([_parse_geometry(line, path, line_number)])
+    return objects
+
+
+def _parse_geometry(line: str, path: str,
+                    line_number: int) -> Tuple[int, Geometry]:
+    parts = line.split()
+    try:
+        oid = int(parts[0])
+        kind = parts[1]
+        values = [float(token) for token in parts[2:]]
+        if len(values) % 2 != 0:
+            raise ValueError("odd coordinate count")
+        points = list(zip(values[0::2], values[1::2]))
+        if kind == "rect":
+            if len(values) != 4:
+                raise ValueError("rect needs exactly 4 numbers")
+            return oid, Rect(*values)
+        if kind == "polyline":
+            return oid, Polyline(points)
+        if kind == "polygon":
+            return oid, Polygon(points)
+        raise ValueError(f"unknown geometry kind {kind!r}")
+    except (IndexError, ValueError) as exc:
+        raise ValueError(
+            f"{path}:{line_number}: bad geometry line: {exc}") from None

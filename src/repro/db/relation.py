@@ -1,0 +1,139 @@
+"""A spatial relation: exact geometry + MBR index, kept in sync.
+
+The paper's setting (Section 2.1) is a pair of *spatial relations*
+whose objects carry identifiers, exact geometry, and an R*-tree over
+their MBRs.  :class:`SpatialRelation` packages exactly that: inserts
+and deletes maintain both the object table and the index, queries go
+through the index, and the exact geometry feeds the refinement step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..core.knn import NearestNeighborEngine
+from ..geometry.polygon import Polygon
+from ..geometry.polyline import Polyline
+from ..geometry.rect import Rect
+from ..rtree.params import RTreeParams
+from ..rtree.rstar import RStarTree
+
+SpatialObject = Union[Polyline, Polygon]
+Geometry = Union[SpatialObject, Rect]
+
+
+class SpatialRelation:
+    """A named collection of spatial objects with an R*-tree index."""
+
+    def __init__(self, name: str, page_size: int = 2048) -> None:
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid relation name {name!r}")
+        self.name = name
+        self.params = RTreeParams.from_page_size(page_size)
+        self.tree = RStarTree(self.params)
+        #: Object id -> exact geometry; Rect-only inserts are stored as
+        #: their MBR (the geometry *is* the rectangle then).
+        self.objects: Dict[int, Geometry] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, geometry: Geometry,
+               oid: Optional[int] = None) -> int:
+        """Add an object; returns its id (auto-assigned when omitted)."""
+        if oid is None:
+            oid = self._next_id
+        if oid in self.objects:
+            raise KeyError(f"object id {oid} already exists in "
+                           f"{self.name!r}")
+        self._next_id = max(self._next_id, oid + 1)
+        self.objects[oid] = geometry
+        self.tree.insert(_mbr_of(geometry), oid)
+        return oid
+
+    def delete(self, oid: int) -> None:
+        """Remove an object by id."""
+        try:
+            geometry = self.objects.pop(oid)
+        except KeyError:
+            raise KeyError(f"no object {oid} in {self.name!r}") from None
+        removed = self.tree.delete(_mbr_of(geometry), oid)
+        assert removed, "object table and index diverged"
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def window(self, window: Rect, exact: bool = False) -> List[int]:
+        """Ids of objects whose MBR intersects *window*.
+
+        ``exact=True`` adds the refinement step: only objects whose
+        exact geometry intersects the window rectangle survive.
+        """
+        candidates = self.tree.window_query(window)
+        if not exact:
+            return candidates
+        if window.area() == 0.0:
+            # A degenerate window cannot form a query polygon; the MBR
+            # test is the best available filter then.
+            return candidates
+        survivors = []
+        for oid in candidates:
+            geometry = self.objects[oid]
+            if isinstance(geometry, Rect):
+                survivors.append(oid)     # MBR is the exact geometry
+            elif _exact_meets_window(geometry, window):
+                survivors.append(oid)
+        return survivors
+
+    def nearest(self, x: float, y: float, k: int = 1,
+                buffer_kb: float = 0.0) -> List[Tuple[int, float]]:
+        """The k objects whose MBRs are nearest to a point."""
+        engine = NearestNeighborEngine(self.tree, buffer_kb=buffer_kb)
+        return engine.query(x, y, k).neighbors
+
+    def get(self, oid: int) -> Geometry:
+        """The exact geometry of one object."""
+        return self.objects[oid]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> List[Tuple[Rect, int]]:
+        """(MBR, id) records, id-ordered."""
+        return [(_mbr_of(geometry), oid)
+                for oid, geometry in sorted(self.objects.items())]
+
+    def mbr(self) -> Optional[Rect]:
+        """MBR of the whole relation."""
+        return self.tree.mbr()
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.objects)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpatialRelation({self.name!r}, {len(self)} objects, "
+                f"height {self.tree.height})")
+
+
+def _mbr_of(geometry: Geometry) -> Rect:
+    if isinstance(geometry, Rect):
+        return geometry
+    return geometry.mbr()
+
+
+def _exact_meets_window(geometry: SpatialObject, window: Rect) -> bool:
+    """Exact geometry vs. window rectangle (treated as a polygon)."""
+    window_ring = Polygon([(window.xl, window.yl), (window.xu, window.yl),
+                           (window.xu, window.yu), (window.xl, window.yu)])
+    if isinstance(geometry, Polygon):
+        return geometry.intersects(window_ring)
+    from ..core.refinement import _line_meets_region
+    return _line_meets_region(geometry, window_ring)

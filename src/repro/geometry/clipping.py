@@ -1,0 +1,204 @@
+"""Polygon clipping for the object-spatial-join.
+
+The object-spatial-join (Section 2.1) "does not only compute the
+identifiers of the objects in the response set, but also the resulting
+objects".  For region data we compute the intersection polygon with
+Sutherland–Hodgman clipping, which is exact when the *clip* polygon is
+convex — our region generator produces convex cells, and the refinement
+layer validates convexity before clipping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .polygon import Polygon
+from .segment import orientation
+
+PointT = Tuple[float, float]
+
+
+def is_convex(polygon: Polygon) -> bool:
+    """True when all ring turns share one orientation (collinear allowed)."""
+    verts = polygon.vertices
+    n = len(verts)
+    sign = 0
+    for i in range(n):
+        a = verts[i]
+        b = verts[(i + 1) % n]
+        c = verts[(i + 2) % n]
+        turn = orientation(a[0], a[1], b[0], b[1], c[0], c[1])
+        if turn == 0:
+            continue
+        if sign == 0:
+            sign = turn
+        elif turn != sign:
+            return False
+    return True
+
+
+def clip_polygon(subject: Polygon, clip: Polygon) -> Optional[Polygon]:
+    """Sutherland–Hodgman clip of *subject* against convex *clip*.
+
+    Returns the intersection polygon, or ``None`` when it is empty or
+    degenerate (shares only an edge or point).  Raises ``ValueError``
+    when *clip* is not convex.
+    """
+    if not is_convex(clip):
+        raise ValueError("Sutherland-Hodgman requires a convex clip polygon")
+
+    clip_verts = list(clip.vertices)
+    if clip.signed_area() < 0.0:
+        clip_verts.reverse()    # ensure counter-clockwise clip ring
+
+    output: List[PointT] = list(subject.vertices)
+    n = len(clip_verts)
+    for i in range(n):
+        if len(output) < 3:
+            return None
+        edge_a = clip_verts[i]
+        edge_b = clip_verts[(i + 1) % n]
+        output = _clip_against_edge(output, edge_a, edge_b)
+    if len(output) < 3:
+        return None
+    result = _dedupe_ring(output)
+    if result is None:
+        return None
+    if result.area() == 0.0:
+        return None
+    return result
+
+
+def _clip_against_edge(ring: List[PointT], a: PointT,
+                       b: PointT) -> List[PointT]:
+    """Keep the part of *ring* on the left of directed edge a->b."""
+    result: List[PointT] = []
+    n = len(ring)
+    for i in range(n):
+        current = ring[i]
+        nxt = ring[(i + 1) % n]
+        cur_in = _side(a, b, current) >= 0.0
+        nxt_in = _side(a, b, nxt) >= 0.0
+        if cur_in:
+            result.append(current)
+            if not nxt_in:
+                crossing = _edge_intersection(a, b, current, nxt)
+                if crossing is not None:
+                    result.append(crossing)
+        elif nxt_in:
+            crossing = _edge_intersection(a, b, current, nxt)
+            if crossing is not None:
+                result.append(crossing)
+    return result
+
+
+def _side(a: PointT, b: PointT, p: PointT) -> float:
+    """Signed area: positive when p is left of directed line a->b."""
+    return (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0])
+
+
+def _edge_intersection(a: PointT, b: PointT, p: PointT,
+                       q: PointT) -> Optional[PointT]:
+    """Intersection of segment pq with the infinite line through ab."""
+    line_dx = b[0] - a[0]
+    line_dy = b[1] - a[1]
+    seg_dx = q[0] - p[0]
+    seg_dy = q[1] - p[1]
+    denom = line_dx * seg_dy - line_dy * seg_dx
+    if denom == 0.0:
+        return None
+    t = (line_dy * (p[0] - a[0]) - line_dx * (p[1] - a[1])) / denom
+    return (p[0] + t * seg_dx, p[1] + t * seg_dy)
+
+
+def clip_segment(p0: PointT, p1: PointT,
+                 clip: Polygon) -> Optional[Tuple[PointT, PointT]]:
+    """Cyrus–Beck clip of the segment p0→p1 against convex *clip*.
+
+    Returns the clipped endpoints, or ``None`` when the segment lies
+    entirely outside.  Raises ``ValueError`` for a non-convex clip.
+    """
+    if not is_convex(clip):
+        raise ValueError("Cyrus-Beck requires a convex clip polygon")
+    verts = list(clip.vertices)
+    if clip.signed_area() < 0.0:
+        verts.reverse()
+
+    dx = p1[0] - p0[0]
+    dy = p1[1] - p0[1]
+    t_enter = 0.0
+    t_exit = 1.0
+    n = len(verts)
+    for i in range(n):
+        ax, ay = verts[i]
+        bx, by = verts[(i + 1) % n]
+        # Inward normal of a CCW edge.
+        nx = -(by - ay)
+        ny = bx - ax
+        denom = nx * dx + ny * dy
+        num = nx * (ax - p0[0]) + ny * (ay - p0[1])
+        if denom == 0.0:
+            # Parallel edge: p0 must satisfy n.(p0 - a) >= 0, i.e.
+            # num <= 0, or the segment lies fully outside this edge.
+            if num > 0.0:
+                return None
+            continue
+        t = num / denom
+        if denom > 0.0:
+            if t > t_enter:
+                t_enter = t
+        else:
+            if t < t_exit:
+                t_exit = t
+        if t_enter > t_exit:
+            return None
+    return ((p0[0] + t_enter * dx, p0[1] + t_enter * dy),
+            (p0[0] + t_exit * dx, p0[1] + t_exit * dy))
+
+
+def clip_polyline(line: "PolylineT", clip: Polygon) -> List["PolylineT"]:
+    """The pieces of a polyline inside convex *clip*.
+
+    Each maximal run of consecutive inside-parts forms one output
+    chain; zero-length clip results (a vertex touching the boundary)
+    are dropped.
+    """
+    from .polyline import Polyline
+
+    chains: List[List[PointT]] = []
+    current: List[PointT] = []
+    verts = line.vertices
+    for i in range(len(verts) - 1):
+        clipped = clip_segment(verts[i], verts[i + 1], clip)
+        if clipped is None or clipped[0] == clipped[1]:
+            if len(current) >= 2:
+                chains.append(current)
+            current = []
+            continue
+        start, end = clipped
+        if current and current[-1] == start:
+            current.append(end)
+        else:
+            if len(current) >= 2:
+                chains.append(current)
+            current = [start, end]
+    if len(current) >= 2:
+        chains.append(current)
+    return [Polyline(chain) for chain in chains]
+
+
+#: Forward declaration alias for type hints without import cycles.
+PolylineT = "Polyline"
+
+
+def _dedupe_ring(ring: List[PointT]) -> Optional[Polygon]:
+    """Drop consecutive duplicate vertices and build a polygon."""
+    cleaned: List[PointT] = []
+    for point in ring:
+        if not cleaned or point != cleaned[-1]:
+            cleaned.append(point)
+    if len(cleaned) >= 2 and cleaned[0] == cleaned[-1]:
+        cleaned.pop()
+    if len(cleaned) < 3:
+        return None
+    return Polygon(cleaned)

@@ -1,0 +1,45 @@
+"""Two-dimensional points used by the exact-geometry layer."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+
+class Point:
+    """An immutable 2-D point."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        if not (math.isfinite(x) and math.isfinite(y)):
+            raise ValueError(f"non-finite point: {(x, y)}")
+        object.__setattr__(self, "x", float(x))
+        object.__setattr__(self, "y", float(y))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Point is immutable")
+
+    def __reduce__(self):
+        return (Point, (self.x, self.y))
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter((self.x, self.y))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+    def __repr__(self) -> str:
+        return f"Point({self.x}, {self.y})"

@@ -1,0 +1,79 @@
+"""Spatial predicates for the join condition.
+
+The paper's MBR-spatial-join uses intersection, but Section 2.1 notes that
+"we can introduce other types of joins, if we use other spatial operators
+than intersection, e.g. containment".  The join engine therefore accepts a
+:class:`SpatialPredicate`; all five algorithms keep their pruning sound
+because every predicate here implies MBR intersection of the operands.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from .counting import ComparisonCounter
+from .rect import Rect, intersect_count
+
+
+class SpatialPredicate(enum.Enum):
+    """Join conditions supported on MBRs."""
+
+    INTERSECTS = "intersects"
+    CONTAINS = "contains"      # left argument contains right argument
+    WITHIN = "within"          # left argument lies within right argument
+
+    def evaluate(self, a: Rect, b: Rect) -> bool:
+        """Apply the predicate to a pair of rectangles."""
+        return _EVALUATORS[self](a, b)
+
+    def evaluate_counted(self, a: Rect, b: Rect,
+                         counter: ComparisonCounter) -> bool:
+        """Apply the predicate, charging its floating-point comparisons
+        with the same short-circuit semantics as the intersection test."""
+        return _COUNTED_EVALUATORS[self](a, b, counter)
+
+    def prunes_with_intersection(self) -> bool:
+        """All supported predicates imply MBR intersection.
+
+        This is what makes the directory-level pruning of the join
+        algorithms (Section 4.1) sound for every predicate: if two
+        directory rectangles do not intersect, no data pair below them
+        can intersect, contain, or lie within each other.
+        """
+        return True
+
+
+def contains_count(a: Rect, b: Rect, counter: ComparisonCounter) -> bool:
+    """Counted test that *a* contains *b* (1–4 comparisons)."""
+    if a.xl > b.xl:
+        counter.join += 1
+        return False
+    if b.xu > a.xu:
+        counter.join += 2
+        return False
+    if a.yl > b.yl:
+        counter.join += 3
+        return False
+    counter.join += 4
+    return b.yu <= a.yu
+
+
+def within_count(a: Rect, b: Rect, counter: ComparisonCounter) -> bool:
+    """Counted test that *a* lies within *b*."""
+    return contains_count(b, a, counter)
+
+
+_EVALUATORS: dict[SpatialPredicate, Callable[[Rect, Rect], bool]] = {
+    SpatialPredicate.INTERSECTS: Rect.intersects,
+    SpatialPredicate.CONTAINS: Rect.contains,
+    SpatialPredicate.WITHIN: Rect.within,
+}
+
+_COUNTED_EVALUATORS: dict[
+    SpatialPredicate,
+    Callable[[Rect, Rect, ComparisonCounter], bool]] = {
+    SpatialPredicate.INTERSECTS: intersect_count,
+    SpatialPredicate.CONTAINS: contains_count,
+    SpatialPredicate.WITHIN: within_count,
+}

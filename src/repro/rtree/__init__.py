@@ -1,0 +1,43 @@
+"""The R-tree family: base structure, Guttman R-tree, R*-tree, packing.
+
+The R*-tree (:class:`RStarTree`) is the access method the paper joins;
+:class:`GuttmanRTree` and the packed trees serve as ablation baselines.
+"""
+
+from .base import RTreeBase
+from .bulk import PackedRTree, chunk_balanced, hilbert_pack, str_pack
+from .entry import Entry
+from .guttman import (GuttmanRTree, least_enlargement_index, linear_split,
+                      quadratic_split)
+from .node import Node
+from .params import ENTRY_BYTES, RTreeParams
+from .persist import PersistenceError, load_tree, save_tree
+from .rstar import RStarTree, rstar_split
+from .stats import TreeProperties, tree_properties
+from .validate import RTreeInvariantError, is_valid, validate_rtree
+
+__all__ = [
+    "ENTRY_BYTES",
+    "Entry",
+    "GuttmanRTree",
+    "Node",
+    "PackedRTree",
+    "PersistenceError",
+    "RStarTree",
+    "RTreeBase",
+    "RTreeInvariantError",
+    "RTreeParams",
+    "TreeProperties",
+    "chunk_balanced",
+    "hilbert_pack",
+    "is_valid",
+    "least_enlargement_index",
+    "linear_split",
+    "load_tree",
+    "quadratic_split",
+    "rstar_split",
+    "save_tree",
+    "str_pack",
+    "tree_properties",
+    "validate_rtree",
+]

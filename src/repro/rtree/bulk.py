@@ -1,0 +1,153 @@
+"""Bulk loading (extension).
+
+The paper builds its R*-trees by repeated insertion; bulk loading is a
+later technique (STR: Leutenegger et al. 1997; Hilbert packing: Kamel &
+Faloutsos 1993) included here so the ablation benchmarks can measure how
+the join behaves on near-100 % utilization trees with very low overlap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple, TypeVar
+
+from ..curves.hilbert import HilbertGrid
+from ..geometry.rect import Rect
+from ..storage.pagestore import PageStore
+from .base import Path, RTreeBase
+from .entry import Entry
+from .node import Node
+from .params import RTreeParams
+
+T = TypeVar("T")
+
+
+class PackedRTree(RTreeBase):
+    """An R-tree built bottom-up from a packing of its data entries.
+
+    Queries, joins, deletions and further insertions all work; post-load
+    insertions use Guttman's minimal strategy (least enlargement,
+    quadratic split) — a packed tree is not expected to absorb heavy
+    update traffic.
+    """
+
+    variant = "packed"
+
+    def __init__(self, params: RTreeParams,
+                 store: Optional[PageStore] = None) -> None:
+        super().__init__(params, store)
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> int:
+        from .guttman import least_enlargement_index
+        return least_enlargement_index(node.entries, rect)
+
+    def _handle_overflow(self, path: Path, level: int) -> None:
+        from .guttman import quadratic_split
+        node, _ = path[-1]
+        groups = quadratic_split(node.entries, self.params.min_entries)
+        self._split_node(path, level, groups)
+
+    # ------------------------------------------------------------------
+    # Packing
+    # ------------------------------------------------------------------
+
+    def _pack(self, leaf_runs: List[List[Entry]]) -> None:
+        """Install packed leaves and build the directory bottom-up."""
+        self.store.free(self.root_id)  # discard the empty bootstrap leaf
+        level = 0
+        nodes: List[Node] = []
+        for run in leaf_runs:
+            node = self._new_node(level=0)
+            node.entries = run
+            self._write(node)
+            nodes.append(node)
+        self._size = sum(len(n.entries) for n in nodes)
+        while len(nodes) > 1:
+            level += 1
+            parents: List[Node] = []
+            for chunk in chunk_balanced(nodes, self.params.max_entries,
+                                        self.params.min_entries):
+                parent = self._new_node(level=level)
+                parent.entries = [Entry(c.mbr(), c.page_id) for c in chunk]
+                self._write(parent)
+                parents.append(parent)
+            nodes = parents
+        self.root_id = nodes[0].page_id
+
+
+def chunk_balanced(items: Sequence[T], capacity: int,
+                   minimum: int) -> List[List[T]]:
+    """Split *items* into runs of at most *capacity*, none (except a lone
+    single run) smaller than *minimum*.
+
+    A too-small tail is balanced against the preceding full run, which
+    keeps every packed node within the R-tree fill invariants.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    runs = [list(items[lo:lo + capacity])
+            for lo in range(0, len(items), capacity)]
+    if len(runs) >= 2 and len(runs[-1]) < minimum:
+        tail = runs.pop()
+        combined = runs.pop() + tail
+        if len(combined) <= capacity:
+            runs.append(combined)
+        else:
+            half = len(combined) // 2
+            runs.append(combined[:half])
+            runs.append(combined[half:])
+    return runs
+
+
+def str_pack(rects: Sequence[Tuple[Rect, int]], params: RTreeParams,
+             fill: float = 1.0,
+             store: Optional[PageStore] = None) -> PackedRTree:
+    """Sort-Tile-Recursive packing of ``(rect, ref)`` pairs.
+
+    Entries are sorted by x-center into vertical slabs, each slab sorted
+    by y-center and cut into leaves of ``fill * M`` entries.
+    """
+    if not rects:
+        raise ValueError("cannot bulk-load zero rectangles")
+    if not 0.0 < fill <= 1.0:
+        raise ValueError("fill must be in (0, 1]")
+    tree = PackedRTree(params, store)
+    leaf_capacity = max(params.min_entries, int(params.max_entries * fill))
+    entries = [Entry(rect, ref) for rect, ref in rects]
+    entries.sort(key=lambda e: e.rect.center()[0])
+    leaf_count = math.ceil(len(entries) / leaf_capacity)
+    slab_count = max(1, math.ceil(math.sqrt(leaf_count)))
+    slab_size = math.ceil(len(entries) / slab_count) or 1
+
+    runs: List[List[Entry]] = []
+    for start in range(0, len(entries), slab_size):
+        slab = entries[start:start + slab_size]
+        slab.sort(key=lambda e: e.rect.center()[1])
+        runs.extend(chunk_balanced(slab, leaf_capacity, params.min_entries))
+    if len(runs) >= 2 and len(runs[-1]) < params.min_entries:
+        runs = chunk_balanced([e for run in runs for e in run],
+                              leaf_capacity, params.min_entries)
+    tree._pack(runs)
+    return tree
+
+
+def hilbert_pack(rects: Sequence[Tuple[Rect, int]], params: RTreeParams,
+                 fill: float = 1.0,
+                 store: Optional[PageStore] = None) -> PackedRTree:
+    """Hilbert-curve packing of ``(rect, ref)`` pairs."""
+    if not rects:
+        raise ValueError("cannot bulk-load zero rectangles")
+    if not 0.0 < fill <= 1.0:
+        raise ValueError("fill must be in (0, 1]")
+    tree = PackedRTree(params, store)
+    leaf_capacity = max(params.min_entries, int(params.max_entries * fill))
+    world = Rect.mbr_of(r for r, _ in rects)
+    if world.width <= 0.0 or world.height <= 0.0:
+        world = Rect(world.xl - 0.5, world.yl - 0.5,
+                     world.xu + 0.5, world.yu + 0.5)
+    grid = HilbertGrid(world)
+    entries = [Entry(rect, ref) for rect, ref in rects]
+    entries.sort(key=lambda e: grid.index_of_rect(e.rect))
+    runs = chunk_balanced(entries, leaf_capacity, params.min_entries)
+    tree._pack(runs)
+    return tree

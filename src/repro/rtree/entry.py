@@ -1,0 +1,36 @@
+"""R-tree entries.
+
+Section 3.1: "A non-leaf node contains entries of the form (ref, rect)
+where ref is the address of a child node and rect is the minimum bounding
+rectangle of all rectangles which are entries in that child node.  A leaf
+node contains entries of the same form where ref refers to a spatial
+object."
+
+Both flavours share one class: ``ref`` is a child page id in directory
+nodes and an object identifier in leaf nodes.
+"""
+
+from __future__ import annotations
+
+from ..geometry.rect import Rect
+
+
+class Entry:
+    """A (rect, ref) pair; ``rect`` is replaced as MBRs grow or shrink."""
+
+    __slots__ = ("rect", "ref")
+
+    def __init__(self, rect: Rect, ref: int) -> None:
+        self.rect = rect
+        self.ref = ref
+
+    def __repr__(self) -> str:
+        return f"Entry({self.rect!r}, ref={self.ref})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entry):
+            return NotImplemented
+        return self.rect == other.rect and self.ref == other.ref
+
+    def __hash__(self) -> int:
+        return hash((self.rect, self.ref))

@@ -1,0 +1,195 @@
+"""The original R-tree (Guttman, SIGMOD 1984).
+
+Serves as the baseline access method: ``chooseLeaf`` descends by minimum
+area enlargement, and an overflowing node is split by the quadratic or
+linear split algorithm.  The paper joins R*-trees, but the ablation
+benchmarks measure how much of the join performance is owed to the better
+R*-tree partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..geometry.rect import Rect
+from ..storage.pagestore import PageStore
+from .base import Path, RTreeBase
+from .entry import Entry
+from .params import RTreeParams
+
+
+class GuttmanRTree(RTreeBase):
+    """R-tree with Guttman's insertion and splitting."""
+
+    variant = "guttman-quadratic"
+
+    def __init__(self, params: RTreeParams,
+                 store: Optional[PageStore] = None,
+                 split: str = "quadratic") -> None:
+        if split not in ("quadratic", "linear"):
+            raise ValueError(f"unknown split strategy: {split!r}")
+        super().__init__(params, store)
+        self.split_strategy = split
+        if split == "linear":
+            self.variant = "guttman-linear"
+
+    # ------------------------------------------------------------------
+    # ChooseLeaf: minimum area enlargement, ties by minimum area
+    # ------------------------------------------------------------------
+
+    def _choose_subtree(self, node, rect: Rect) -> int:
+        return least_enlargement_index(node.entries, rect)
+
+    # ------------------------------------------------------------------
+    # Overflow: always split
+    # ------------------------------------------------------------------
+
+    def _handle_overflow(self, path: Path, level: int) -> None:
+        node, _ = path[-1]
+        if self.split_strategy == "quadratic":
+            groups = quadratic_split(node.entries, self.params.min_entries)
+        else:
+            groups = linear_split(node.entries, self.params.min_entries)
+        self._split_node(path, level, groups)
+
+
+def least_enlargement_index(entries: List[Entry], rect: Rect) -> int:
+    """Index of the entry needing the least area enlargement to cover
+    *rect* (Guttman's ChooseLeaf criterion; ties by smaller area)."""
+    best_index = 0
+    best_enlargement = float("inf")
+    best_area = float("inf")
+    for i, entry in enumerate(entries):
+        enlargement = entry.rect.enlargement(rect)
+        if enlargement < best_enlargement or (
+                enlargement == best_enlargement
+                and entry.rect.area() < best_area):
+            best_index = i
+            best_enlargement = enlargement
+            best_area = entry.rect.area()
+    return best_index
+
+
+def quadratic_split(entries: List[Entry],
+                    min_entries: int) -> Tuple[List[Entry], List[Entry]]:
+    """Guttman's quadratic split.
+
+    PickSeeds chooses the pair wasting the most area if grouped together;
+    PickNext repeatedly assigns the entry with the greatest preference
+    difference, short-circuiting when one group must absorb the rest to
+    reach the minimum fill.
+    """
+    n = len(entries)
+    if n < 2:
+        raise ValueError("cannot split fewer than two entries")
+
+    # PickSeeds: maximal dead area d = area(union) - area(a) - area(b).
+    seed1, seed2 = 0, 1
+    worst = float("-inf")
+    for i in range(n - 1):
+        ri = entries[i].rect
+        for j in range(i + 1, n):
+            rj = entries[j].rect
+            d = ri.union(rj).area() - ri.area() - rj.area()
+            if d > worst:
+                worst = d
+                seed1, seed2 = i, j
+
+    group1 = [entries[seed1]]
+    group2 = [entries[seed2]]
+    bb1 = entries[seed1].rect
+    bb2 = entries[seed2].rect
+    remaining = [e for k, e in enumerate(entries) if k not in (seed1, seed2)]
+
+    while remaining:
+        # If one group must take everything left to reach min fill, do so.
+        if len(group1) + len(remaining) == min_entries:
+            group1.extend(remaining)
+            break
+        if len(group2) + len(remaining) == min_entries:
+            group2.extend(remaining)
+            break
+        # PickNext: entry with maximal |d1 - d2|.
+        best_k = 0
+        best_diff = -1.0
+        best_d1 = best_d2 = 0.0
+        for k, e in enumerate(remaining):
+            d1 = bb1.enlargement(e.rect)
+            d2 = bb2.enlargement(e.rect)
+            diff = abs(d1 - d2)
+            if diff > best_diff:
+                best_diff = diff
+                best_k = k
+                best_d1, best_d2 = d1, d2
+        chosen = remaining.pop(best_k)
+        # Prefer smaller enlargement; ties by smaller area, then count.
+        if best_d1 < best_d2:
+            take_first = True
+        elif best_d2 < best_d1:
+            take_first = False
+        elif bb1.area() != bb2.area():
+            take_first = bb1.area() < bb2.area()
+        else:
+            take_first = len(group1) <= len(group2)
+        if take_first:
+            group1.append(chosen)
+            bb1 = bb1.union(chosen.rect)
+        else:
+            group2.append(chosen)
+            bb2 = bb2.union(chosen.rect)
+    return group1, group2
+
+
+def linear_split(entries: List[Entry],
+                 min_entries: int) -> Tuple[List[Entry], List[Entry]]:
+    """Guttman's linear split: seeds by greatest normalized separation,
+    remaining entries assigned by least enlargement."""
+    n = len(entries)
+    if n < 2:
+        raise ValueError("cannot split fewer than two entries")
+
+    seeds: Tuple[int, int] = (0, 1)
+    best_separation = float("-inf")
+    for axis in ("x", "y"):
+        if axis == "x":
+            lows = [(e.rect.xl, i) for i, e in enumerate(entries)]
+            highs = [(e.rect.xu, i) for i, e in enumerate(entries)]
+        else:
+            lows = [(e.rect.yl, i) for i, e in enumerate(entries)]
+            highs = [(e.rect.yu, i) for i, e in enumerate(entries)]
+        highest_low = max(lows)
+        lowest_high = min(highs)
+        width = max(h for h, _ in highs) - min(l for l, _ in lows)
+        if width <= 0.0:
+            continue
+        separation = (highest_low[0] - lowest_high[0]) / width
+        if separation > best_separation and highest_low[1] != lowest_high[1]:
+            best_separation = separation
+            seeds = (highest_low[1], lowest_high[1])
+
+    seed1, seed2 = seeds
+    group1 = [entries[seed1]]
+    group2 = [entries[seed2]]
+    bb1 = entries[seed1].rect
+    bb2 = entries[seed2].rect
+    remaining = [e for k, e in enumerate(entries) if k not in (seed1, seed2)]
+
+    for idx, e in enumerate(remaining):
+        rest = len(remaining) - idx
+        if len(group1) + rest == min_entries:
+            group1.extend(remaining[idx:])
+            bb1 = Rect.mbr_of([bb1] + [x.rect for x in remaining[idx:]])
+            break
+        if len(group2) + rest == min_entries:
+            group2.extend(remaining[idx:])
+            bb2 = Rect.mbr_of([bb2] + [x.rect for x in remaining[idx:]])
+            break
+        d1 = bb1.enlargement(e.rect)
+        d2 = bb2.enlargement(e.rect)
+        if d1 < d2 or (d1 == d2 and len(group1) <= len(group2)):
+            group1.append(e)
+            bb1 = bb1.union(e.rect)
+        else:
+            group2.append(e)
+            bb2 = bb2.union(e.rect)
+    return group1, group2

@@ -1,0 +1,57 @@
+"""R-tree nodes (pages).
+
+A node is the payload of exactly one page.  ``level`` counts from the
+leaves: 0 for data pages, ``height - 1`` for the root.  Nodes carry a
+``sorted_by_xl`` flag so the plane-sweep join variants know whether the
+entries are already in sweep order (Section 4.2 discusses maintaining
+sorted nodes vs. sorting on every read).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..geometry.rect import Rect
+from .entry import Entry
+
+
+class Node:
+    """One R-tree page: a level tag and a list of entries."""
+
+    __slots__ = ("page_id", "level", "entries", "sorted_by_xl")
+
+    def __init__(self, page_id: int, level: int,
+                 entries: List[Entry] | None = None) -> None:
+        self.page_id = page_id
+        self.level = level
+        self.entries = entries if entries is not None else []
+        self.sorted_by_xl = False
+
+    @property
+    def is_leaf(self) -> bool:
+        """Data pages live at level 0."""
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries."""
+        if not self.entries:
+            raise ValueError(f"node {self.page_id} has no entries")
+        return Rect.mbr_of(e.rect for e in self.entries)
+
+    def sort_by_xl(self) -> None:
+        """Bring entries into plane-sweep order (ascending lower x)."""
+        if not self.sorted_by_xl:
+            self.entries.sort(key=_xl_key)
+            self.sorted_by_xl = True
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "dir"
+        return (f"Node(page={self.page_id}, level={self.level}, "
+                f"{kind}, entries={len(self.entries)})")
+
+
+def _xl_key(entry: Entry) -> float:
+    return entry.rect.xl

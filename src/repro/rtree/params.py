@@ -1,0 +1,61 @@
+"""R-tree page parameters.
+
+Table 1 of the paper maps page size to node capacity M: 51 entries for
+1 KByte, 102 for 2 KByte, 204 for 4 KByte, 409 for 8 KByte.  Those values
+correspond exactly to a 20-byte entry (four 4-byte coordinates plus a
+4-byte reference), which is the layout we adopt:
+
+    M = floor(page_size / 20)
+
+The minimum fill m must satisfy ``2 <= m <= ceil(M/2)`` (Section 3.1);
+the R*-tree default is 40 % of M.  Forced reinsertion removes p = 30 % of
+the entries of an overflowing node (the R*-tree paper's recommended
+value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes per entry: 4 coordinates x 4 bytes + 4-byte reference.
+ENTRY_BYTES = 20
+
+
+@dataclass(frozen=True)
+class RTreeParams:
+    """Capacity parameters derived from a page size."""
+
+    page_size: int
+    max_entries: int   # M
+    min_entries: int   # m
+    reinsert_count: int  # p, entries removed by forced reinsertion
+
+    @classmethod
+    def from_page_size(cls, page_size: int, min_fill: float = 0.4,
+                       reinsert_fraction: float = 0.3) -> "RTreeParams":
+        """Derive M, m and p from a page size in bytes."""
+        if page_size < 3 * ENTRY_BYTES:
+            raise ValueError(
+                f"page size {page_size} cannot hold the minimum of 3 entries")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        if not 0.0 < reinsert_fraction < 1.0:
+            raise ValueError("reinsert_fraction must be in (0, 1)")
+        max_entries = page_size // ENTRY_BYTES
+        min_entries = max(2, int(round(min_fill * max_entries)))
+        min_entries = min(min_entries, (max_entries + 1) // 2)
+        reinsert_count = max(1, int(round(reinsert_fraction * max_entries)))
+        # Never reinsert so many that fewer than m entries remain.
+        reinsert_count = min(reinsert_count, max_entries + 1 - min_entries)
+        return cls(page_size=page_size, max_entries=max_entries,
+                   min_entries=min_entries, reinsert_count=reinsert_count)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 3:
+            raise ValueError("M must be at least 3")
+        if not 2 <= self.min_entries <= (self.max_entries + 1) // 2:
+            raise ValueError(
+                f"m={self.min_entries} violates 2 <= m <= ceil(M/2) for "
+                f"M={self.max_entries}")
+        if not 1 <= self.reinsert_count <= self.max_entries:
+            raise ValueError("reinsert count out of range")

@@ -1,0 +1,98 @@
+"""Structural invariant checker.
+
+Verifies the R-tree properties stated in Section 3.1:
+
+* the root has at least two children unless it is a leaf;
+* every other node contains between m and M entries;
+* the tree is balanced (every leaf at the same distance from the root);
+* every directory rectangle is exactly the MBR of its child's entries
+  (Guttman only requires "covers"; our maintenance keeps MBRs tight, so
+  the validator checks tightness and therefore also coverage);
+* page ids are unique and the data-entry count matches ``len(tree)``.
+
+Used throughout the test suite and by the property-based tests after
+random insert/delete workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import RTreeBase
+
+
+class RTreeInvariantError(AssertionError):
+    """Raised when a structural invariant is violated."""
+
+
+def validate_rtree(tree: RTreeBase, check_min_fill: bool = True) -> None:
+    """Raise :class:`RTreeInvariantError` on the first violated invariant.
+
+    ``check_min_fill=False`` relaxes the fill-factor check, which packed
+    trees with a deliberately low fill use.
+    """
+    root = tree.root
+    seen_pages: set[int] = set()
+    data_entries = 0
+
+    if not root.is_leaf and len(root.entries) < 2:
+        raise RTreeInvariantError(
+            f"non-leaf root has {len(root.entries)} children (< 2)")
+    if root.level != tree.height - 1:
+        raise RTreeInvariantError(
+            f"root level {root.level} inconsistent with height {tree.height}")
+
+    stack: List[int] = [tree.root_id]
+    while stack:
+        page_id = stack.pop()
+        if page_id in seen_pages:
+            raise RTreeInvariantError(f"page {page_id} referenced twice")
+        seen_pages.add(page_id)
+        node = tree.node(page_id)
+        if node.page_id != page_id:
+            raise RTreeInvariantError(
+                f"node stored under page {page_id} believes it is "
+                f"{node.page_id}")
+        is_root = page_id == tree.root_id
+
+        if len(node.entries) > tree.params.max_entries:
+            raise RTreeInvariantError(
+                f"node {page_id} holds {len(node.entries)} entries "
+                f"(M = {tree.params.max_entries})")
+        if not is_root and check_min_fill and \
+                len(node.entries) < tree.params.min_entries:
+            raise RTreeInvariantError(
+                f"node {page_id} holds {len(node.entries)} entries "
+                f"(m = {tree.params.min_entries})")
+
+        if node.is_leaf:
+            data_entries += len(node.entries)
+            continue
+
+        for entry in node.entries:
+            child = tree.node(entry.ref)
+            if child.level != node.level - 1:
+                raise RTreeInvariantError(
+                    f"child {entry.ref} at level {child.level} under node "
+                    f"{page_id} at level {node.level} — tree unbalanced")
+            if not child.entries:
+                raise RTreeInvariantError(f"child {entry.ref} is empty")
+            exact = child.mbr()
+            if entry.rect != exact:
+                raise RTreeInvariantError(
+                    f"routing rectangle of child {entry.ref} is "
+                    f"{entry.rect}, exact MBR is {exact}")
+            stack.append(entry.ref)
+
+    if data_entries != len(tree):
+        raise RTreeInvariantError(
+            f"tree reports {len(tree)} data entries but holds {data_entries}")
+
+
+def is_valid(tree: RTreeBase, check_min_fill: bool = True) -> bool:
+    """Boolean convenience wrapper around :func:`validate_rtree`."""
+    try:
+        validate_rtree(tree, check_min_fill=check_min_fill)
+    except RTreeInvariantError:
+        return False
+    return True

@@ -1,0 +1,32 @@
+"""Storage substrate: simulated paged disk, LRU buffer, path buffers.
+
+Disk behaviour is *accounted*, not timed: every ``ReadPage`` that misses
+both the path buffer and the LRU buffer counts one disk access, which is
+the paper's I/O metric.  :class:`FilePageStore` additionally provides real
+fixed-size pages in a file for tree persistence.
+"""
+
+from .buffer import FrameKey, LRUBuffer
+from .manager import BufferManager
+from .page import (INVALID_PAGE, KILOBYTE, PAPER_PAGE_SIZES, PageId,
+                   frames_for_buffer, page_size_kb)
+from .pagestore import FilePageStore, MemoryPageStore, PageStore
+from .pathbuffer import PathBuffer
+from .stats import IOStatistics
+
+__all__ = [
+    "BufferManager",
+    "FilePageStore",
+    "FrameKey",
+    "INVALID_PAGE",
+    "IOStatistics",
+    "KILOBYTE",
+    "LRUBuffer",
+    "MemoryPageStore",
+    "PAPER_PAGE_SIZES",
+    "PageId",
+    "PageStore",
+    "PathBuffer",
+    "frames_for_buffer",
+    "page_size_kb",
+]

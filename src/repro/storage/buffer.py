@@ -1,0 +1,116 @@
+"""LRU page buffer with pinning.
+
+Section 4.1: "an additional buffer is used for single pages, not complete
+paths ... The buffer, called LRU-buffer, follows the last recently used
+policy."  Section 4.3 adds pinning: "we pin the page in the buffer whose
+corresponding rectangle has a maximal degree" — a pinned frame is exempt
+from eviction until unpinned.
+
+Frames are shared by both relations of a join, as the paper assumes for a
+multi-user system buffer.  A buffer of zero frames degenerates to "every
+miss is a disk access".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Set, Tuple
+
+from .page import PageId
+
+#: A page is globally identified inside the buffer by (store tag, page id),
+#: so two trees with independent page-id spaces can share one buffer.
+FrameKey = Tuple[int, PageId]
+
+
+class LRUBuffer:
+    """Fixed-capacity page cache with least-recently-used replacement."""
+
+    def __init__(self, frames: int) -> None:
+        if frames < 0:
+            raise ValueError("frame count cannot be negative")
+        self.frames = frames
+        self._resident: "OrderedDict[FrameKey, None]" = OrderedDict()
+        self._pinned: Set[FrameKey] = set()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: FrameKey) -> bool:
+        """True (and refresh recency) when *key* is resident."""
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            return True
+        return False
+
+    def __contains__(self, key: FrameKey) -> bool:
+        return key in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    # ------------------------------------------------------------------
+    # Admission / eviction
+    # ------------------------------------------------------------------
+
+    def admit(self, key: FrameKey) -> Optional[FrameKey]:
+        """Cache *key* as most-recently-used.
+
+        Returns the evicted frame key, if an eviction was necessary.
+        When every frame is pinned and the buffer is full, the new page is
+        simply not cached (the caller holds it in working memory anyway)
+        and ``None`` is returned.
+        """
+        if self.frames == 0:
+            return None
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            return None
+        evicted: Optional[FrameKey] = None
+        if len(self._resident) >= self.frames:
+            evicted = self._find_victim()
+            if evicted is None:
+                return None
+            del self._resident[evicted]
+        self._resident[key] = None
+        return evicted
+
+    def _find_victim(self) -> Optional[FrameKey]:
+        """Least-recently-used unpinned frame, or ``None``."""
+        for key in self._resident:
+            if key not in self._pinned:
+                return key
+        return None
+
+    def drop(self, key: FrameKey) -> None:
+        """Remove *key* from the buffer if resident (e.g. page freed)."""
+        self._resident.pop(key, None)
+        self._pinned.discard(key)
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+
+    def pin(self, key: FrameKey) -> None:
+        """Protect *key* from eviction.  No-op when the page is not resident
+        (with a zero-frame buffer the algorithm simply holds the node in
+        working memory, which the path buffer accounts for)."""
+        if key in self._resident:
+            self._pinned.add(key)
+
+    def unpin(self, key: FrameKey) -> None:
+        """Lift the eviction protection of *key*."""
+        self._pinned.discard(key)
+
+    def is_pinned(self, key: FrameKey) -> bool:
+        return key in self._pinned
+
+    def clear(self) -> None:
+        """Empty the buffer and forget all pins."""
+        self._resident.clear()
+        self._pinned.clear()
+
+    def resident_keys(self) -> Tuple[FrameKey, ...]:
+        """Resident frames from least to most recently used (for tests)."""
+        return tuple(self._resident)

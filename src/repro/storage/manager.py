@@ -1,0 +1,120 @@
+"""The buffer manager: the paper's ``ReadPage`` procedure.
+
+Section 4.1: "A procedure ReadPage is assumed to read the required page
+from the buffer or, if the page is not in the buffer, from secondary
+storage."  The manager combines, per request:
+
+1. the per-tree *path buffer* (free hit — the node is part of the path a
+   depth-first traversal already holds),
+2. the shared *LRU buffer* (free hit),
+3. otherwise one counted disk access, after which the page is admitted to
+   the LRU buffer.
+
+Several trees (sides) register their page stores; each side gets its own
+path buffer while the LRU buffer is shared, matching the paper's setup of
+a join occupying one system buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .buffer import LRUBuffer
+from .page import PageId, frames_for_buffer
+from .pagestore import PageStore
+from .pathbuffer import PathBuffer
+from .stats import IOStatistics
+
+
+class BufferManager:
+    """Counted page access for one or more trees sharing an LRU buffer."""
+
+    def __init__(self, frames: int, use_path_buffer: bool = True,
+                 record_trace: bool = False) -> None:
+        self.lru = LRUBuffer(frames)
+        self.stats = IOStatistics()
+        self.use_path_buffer = use_path_buffer
+        self.record_trace = record_trace
+        #: Sequence of (side, page id) pairs that went to disk, in order
+        #: (only populated with ``record_trace=True``); feeds the
+        #: disk-array model in :mod:`repro.costmodel.parallel`.
+        self.trace: List[tuple] = []
+        self._stores: List[PageStore] = []
+        self._paths: List[PathBuffer] = []
+
+    @classmethod
+    def for_buffer_size(cls, buffer_kb: float, page_size: int,
+                        use_path_buffer: bool = True,
+                        record_trace: bool = False) -> "BufferManager":
+        """Build a manager whose LRU buffer holds *buffer_kb* KByte of
+        pages of *page_size* bytes, as the paper's tables are labelled."""
+        return cls(frames_for_buffer(buffer_kb, page_size),
+                   use_path_buffer=use_path_buffer,
+                   record_trace=record_trace)
+
+    # ------------------------------------------------------------------
+    # Side registration
+    # ------------------------------------------------------------------
+
+    def register(self, store: PageStore) -> int:
+        """Register a tree's page store; returns its side tag."""
+        self._stores.append(store)
+        self._paths.append(PathBuffer())
+        return len(self._stores) - 1
+
+    def path(self, side: int) -> PathBuffer:
+        """The path buffer of *side* (exposed for tests)."""
+        return self._paths[side]
+
+    # ------------------------------------------------------------------
+    # ReadPage
+    # ------------------------------------------------------------------
+
+    def read(self, side: int, page_id: PageId, depth: int) -> Any:
+        """Fetch a page, charging a disk access on a double miss.
+
+        ``depth`` is the page's distance from its tree's root, which the
+        path buffer needs to know which traversal level is replaced.
+        """
+        path = self._paths[side]
+        if self.use_path_buffer and path.hit(page_id, depth):
+            self.stats.path_hits += 1
+            return self._stores[side].read(page_id)
+        key = (side, page_id)
+        if self.lru.lookup(key):
+            self.stats.lru_hits += 1
+        else:
+            self.stats.disk_reads += 1
+            if self.record_trace:
+                self.trace.append(key)
+            if self.lru.admit(key) is not None:
+                self.stats.evictions += 1
+        if self.use_path_buffer:
+            path.record(page_id, depth)
+        return self._stores[side].read(page_id)
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+
+    def pin(self, side: int, page_id: PageId) -> None:
+        """Protect a resident page from LRU eviction (Section 4.3)."""
+        self.stats.pin_events += 1
+        self.lru.pin((side, page_id))
+
+    def unpin(self, side: int, page_id: PageId) -> None:
+        """Release a pin."""
+        self.lru.unpin((side, page_id))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear buffers, trace, and statistics (fresh join on warm
+        trees)."""
+        self.lru.clear()
+        for path in self._paths:
+            path.clear()
+        self.trace.clear()
+        self.stats.reset()

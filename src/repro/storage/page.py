@@ -1,0 +1,37 @@
+"""Page identities and size bookkeeping.
+
+One R-tree node corresponds to exactly one page on secondary storage
+(Section 3.1: "we will use both terms synonymously").  Pages are
+identified by dense integer ids handed out by a page store.
+"""
+
+from __future__ import annotations
+
+PageId = int
+
+#: Sentinel for "no page".
+INVALID_PAGE: PageId = -1
+
+#: Page sizes evaluated by the paper, in bytes (Tables 1-2, 1-8 KByte).
+PAPER_PAGE_SIZES = (1024, 2048, 4096, 8192)
+
+KILOBYTE = 1024
+
+
+def page_size_kb(page_size: int) -> float:
+    """Page size expressed in KByte, as the paper's tables are labelled."""
+    return page_size / KILOBYTE
+
+
+def frames_for_buffer(buffer_kb: float, page_size: int) -> int:
+    """Number of LRU frames a buffer of *buffer_kb* KByte provides.
+
+    The paper states buffer sizes in KByte independent of the page size;
+    the frame count is the integral number of pages that fit
+    (e.g. a 32 KByte buffer holds 8 pages of 4 KByte).
+    """
+    if buffer_kb < 0:
+        raise ValueError("buffer size cannot be negative")
+    if page_size <= 0:
+        raise ValueError("page size must be positive")
+    return int(buffer_kb * KILOBYTE) // page_size

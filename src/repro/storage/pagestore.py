@@ -1,0 +1,171 @@
+"""Page stores: the simulated secondary storage.
+
+Two implementations share one interface:
+
+* :class:`MemoryPageStore` keeps page payloads (R-tree node objects) in a
+  dictionary.  It is the store used by benchmarks — disk behaviour is
+  *accounted* by the buffer manager, not physically performed, exactly as
+  the paper counts accesses rather than timing a specific disk.
+* :class:`FilePageStore` keeps fixed-size byte pages in a real file and is
+  used by the persistence layer (``repro.rtree.persist``) so a tree can be
+  written to disk and reopened.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List
+
+from .page import PageId
+
+
+class PageStore(ABC):
+    """Allocate / read / write / free fixed-identity pages."""
+
+    @abstractmethod
+    def allocate(self) -> PageId:
+        """Reserve a new page id."""
+
+    @abstractmethod
+    def write(self, page_id: PageId, payload: Any) -> None:
+        """Store *payload* under *page_id*."""
+
+    @abstractmethod
+    def read(self, page_id: PageId) -> Any:
+        """Return the payload stored under *page_id*."""
+
+    @abstractmethod
+    def free(self, page_id: PageId) -> None:
+        """Release *page_id* for reuse."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of live pages."""
+
+    @abstractmethod
+    def page_ids(self) -> List[PageId]:
+        """Ids of all live pages."""
+
+
+class MemoryPageStore(PageStore):
+    """In-memory page store holding arbitrary Python payloads."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[PageId, Any] = {}
+        self._free: List[PageId] = []
+        self._next: PageId = 0
+
+    def allocate(self) -> PageId:
+        if self._free:
+            page_id = self._free.pop()
+        else:
+            page_id = self._next
+            self._next += 1
+        self._pages[page_id] = None
+        return page_id
+
+    def write(self, page_id: PageId, payload: Any) -> None:
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        self._pages[page_id] = payload
+
+    def read(self, page_id: PageId) -> Any:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"page {page_id} is not allocated") from None
+
+    def free(self, page_id: PageId) -> None:
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        del self._pages[page_id]
+        self._free.append(page_id)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def page_ids(self) -> List[PageId]:
+        return list(self._pages)
+
+
+class FilePageStore(PageStore):
+    """Fixed-size byte pages stored in a real file.
+
+    Payloads are ``bytes`` of at most ``page_size - 4``; each on-disk page
+    starts with a 4-byte big-endian payload length.  A freed page is
+    recycled before the file grows.
+    """
+
+    _HEADER = 4
+
+    def __init__(self, path: str, page_size: int, create: bool = True) -> None:
+        if page_size <= self._HEADER:
+            raise ValueError(f"page size {page_size} too small")
+        self.path = path
+        self.page_size = page_size
+        mode = "w+b" if create or not os.path.exists(path) else "r+b"
+        self._file = open(path, mode)
+        self._free: List[PageId] = []
+        self._count = os.path.getsize(path) // page_size if not create else 0
+        self._live: set[PageId] = set(range(self._count))
+
+    def allocate(self) -> PageId:
+        if self._free:
+            page_id = self._free.pop()
+        else:
+            page_id = self._count
+            self._count += 1
+            self._file.seek(page_id * self.page_size)
+            self._file.write(b"\x00" * self.page_size)
+        self._live.add(page_id)
+        return page_id
+
+    def write(self, page_id: PageId, payload: Any) -> None:
+        if page_id not in self._live:
+            raise KeyError(f"page {page_id} is not allocated")
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("FilePageStore payloads must be bytes")
+        if len(payload) > self.page_size - self._HEADER:
+            raise ValueError(
+                f"payload of {len(payload)} bytes exceeds page capacity "
+                f"{self.page_size - self._HEADER}")
+        self._file.seek(page_id * self.page_size)
+        block = len(payload).to_bytes(self._HEADER, "big") + bytes(payload)
+        self._file.write(block.ljust(self.page_size, b"\x00"))
+
+    def read(self, page_id: PageId) -> bytes:
+        if page_id not in self._live:
+            raise KeyError(f"page {page_id} is not allocated")
+        self._file.seek(page_id * self.page_size)
+        block = self._file.read(self.page_size)
+        length = int.from_bytes(block[:self._HEADER], "big")
+        return block[self._HEADER:self._HEADER + length]
+
+    def free(self, page_id: PageId) -> None:
+        if page_id not in self._live:
+            raise KeyError(f"page {page_id} is not allocated")
+        self._live.discard(page_id)
+        self._free.append(page_id)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def page_ids(self) -> List[PageId]:
+        return sorted(self._live)
+
+    def flush(self) -> None:
+        """Force buffered writes to the operating system."""
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the backing file."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "FilePageStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

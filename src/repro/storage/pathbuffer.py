@@ -1,0 +1,54 @@
+"""Per-tree path buffer.
+
+Section 4.1: "The R*-tree makes use of a so-called path buffer
+accommodating all nodes of the path which was accessed last."
+
+The buffer is a stack indexed by depth (0 = root).  Reading a page at
+depth *d* replaces the entry at *d* and discards everything deeper —
+exactly the nodes a depth-first traversal still holds in memory.  A page
+request is free when the page is the one recorded at its depth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .page import PageId
+
+
+class PathBuffer:
+    """The root-to-current-node path of one tree."""
+
+    def __init__(self) -> None:
+        self._path: List[PageId] = []
+
+    def hit(self, page_id: PageId, depth: int) -> bool:
+        """True when *page_id* is the last page accessed at *depth*."""
+        return depth < len(self._path) and self._path[depth] == page_id
+
+    def record(self, page_id: PageId, depth: int) -> None:
+        """Make *page_id* the current page at *depth*, truncating deeper
+        entries (they belong to an abandoned subtree)."""
+        if depth < len(self._path):
+            del self._path[depth + 1:]
+            self._path[depth] = page_id
+        elif depth == len(self._path):
+            self._path.append(page_id)
+        else:
+            raise ValueError(
+                f"path buffer cannot skip levels: depth {depth} requested "
+                f"with path length {len(self._path)}")
+
+    def current(self, depth: int) -> Optional[PageId]:
+        """Page recorded at *depth*, or ``None``."""
+        if depth < len(self._path):
+            return self._path[depth]
+        return None
+
+    def depth(self) -> int:
+        """Number of recorded levels."""
+        return len(self._path)
+
+    def clear(self) -> None:
+        """Forget the whole path."""
+        self._path.clear()

@@ -1,0 +1,54 @@
+"""I/O statistics collected by the buffer manager.
+
+The paper measures I/O in the number of disk accesses (Section 4):
+every ``ReadPage`` that is served neither by the path buffer nor by the
+LRU buffer costs one access.  The breakdown counters exist for analysis
+and tests; only :attr:`IOStatistics.disk_reads` feeds the cost model.
+"""
+
+from __future__ import annotations
+
+
+class IOStatistics:
+    """Mutable tally of page traffic."""
+
+    __slots__ = ("disk_reads", "disk_writes", "lru_hits", "path_hits",
+                 "evictions", "pin_events")
+
+    def __init__(self) -> None:
+        self.disk_reads = 0
+        self.disk_writes = 0
+        self.lru_hits = 0
+        self.path_hits = 0
+        self.evictions = 0
+        self.pin_events = 0
+
+    @property
+    def logical_reads(self) -> int:
+        """All page requests regardless of where they were served from."""
+        return self.disk_reads + self.lru_hits + self.path_hits
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.disk_reads = 0
+        self.disk_writes = 0
+        self.lru_hits = 0
+        self.path_hits = 0
+        self.evictions = 0
+        self.pin_events = 0
+
+    def snapshot(self) -> "IOStatistics":
+        """Return an independent copy of the current tallies."""
+        copy = IOStatistics()
+        copy.disk_reads = self.disk_reads
+        copy.disk_writes = self.disk_writes
+        copy.lru_hits = self.lru_hits
+        copy.path_hits = self.path_hits
+        copy.evictions = self.evictions
+        copy.pin_events = self.pin_events
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IOStatistics(disk_reads={self.disk_reads}, "
+                f"lru_hits={self.lru_hits}, path_hits={self.path_hits}, "
+                f"evictions={self.evictions})")

@@ -1,0 +1,13 @@
+"""SVG visualization of datasets, trees and joins (extension)."""
+
+from .svg import (LEVEL_COLORS, SvgCanvas, render_dataset, render_join,
+                  render_records, render_tree)
+
+__all__ = [
+    "LEVEL_COLORS",
+    "SvgCanvas",
+    "render_dataset",
+    "render_join",
+    "render_records",
+    "render_tree",
+]

@@ -1,0 +1,190 @@
+"""SVG rendering of datasets, trees and join results.
+
+Debugging and documentation aid: draw a map's exact geometry, the MBR
+layers of an R-tree (one colour per level), or the overlap picture of a
+join.  Pure-stdlib string assembly — files open in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..data.tiger import SpatialDataset
+from ..geometry.polygon import Polygon
+from ..geometry.polyline import Polyline
+from ..geometry.rect import Rect
+from ..rtree.base import RTreeBase
+
+#: Level colours, leaf pages first (directory levels get warmer).
+LEVEL_COLORS = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+                "#aa3377")
+
+RectRecord = Tuple[Rect, int]
+
+
+class SvgCanvas:
+    """Accumulates SVG shapes in world coordinates (y-axis flipped)."""
+
+    def __init__(self, world: Rect, width: int = 800,
+                 height: Optional[int] = None) -> None:
+        if world.width <= 0.0 or world.height <= 0.0:
+            world = Rect(world.xl - 0.5, world.yl - 0.5,
+                         world.xu + 0.5, world.yu + 0.5)
+        self.world = world
+        self.width = width
+        self.height = height if height is not None else max(
+            1, int(round(width * world.height / world.width)))
+        self._sx = self.width / world.width
+        self._sy = self.height / world.height
+        self._shapes: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+
+    def _x(self, x: float) -> float:
+        return (x - self.world.xl) * self._sx
+
+    def _y(self, y: float) -> float:
+        # SVG's y grows downward; maps grow upward.
+        return self.height - (y - self.world.yl) * self._sy
+
+    # ------------------------------------------------------------------
+    # Shapes
+    # ------------------------------------------------------------------
+
+    def rect(self, rect: Rect, stroke: str = "#333333",
+             fill: str = "none", opacity: float = 1.0,
+             stroke_width: float = 1.0, title: str = "") -> None:
+        x = self._x(rect.xl)
+        y = self._y(rect.yu)
+        w = max(rect.width * self._sx, 0.5)
+        h = max(rect.height * self._sy, 0.5)
+        tooltip = (f"<title>{html.escape(title)}</title>"
+                   if title else "")
+        self._shapes.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+            f'height="{h:.2f}" stroke="{stroke}" fill="{fill}" '
+            f'opacity="{opacity:g}" stroke-width="{stroke_width:g}">'
+            f'{tooltip}</rect>')
+
+    def polyline(self, line: Polyline, stroke: str = "#225588",
+                 stroke_width: float = 1.0) -> None:
+        points = " ".join(f"{self._x(x):.2f},{self._y(y):.2f}"
+                          for x, y in line.vertices)
+        self._shapes.append(
+            f'<polyline points="{points}" fill="none" '
+            f'stroke="{stroke}" stroke-width="{stroke_width:g}"/>')
+
+    def polygon(self, polygon: Polygon, stroke: str = "#557722",
+                fill: str = "#55772233") -> None:
+        points = " ".join(f"{self._x(x):.2f},{self._y(y):.2f}"
+                          for x, y in polygon.vertices)
+        self._shapes.append(
+            f'<polygon points="{points}" stroke="{stroke}" '
+            f'fill="{fill}"/>')
+
+    def circle(self, x: float, y: float, radius: float = 3.0,
+               fill: str = "#cc3311") -> None:
+        self._shapes.append(
+            f'<circle cx="{self._x(x):.2f}" cy="{self._y(y):.2f}" '
+            f'r="{radius:g}" fill="{fill}"/>')
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        body = "\n".join(self._shapes)
+        return (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                f'width="{self.width}" height="{self.height}" '
+                f'viewBox="0 0 {self.width} {self.height}">\n'
+                f'<rect width="100%" height="100%" fill="#ffffff"/>\n'
+                f"{body}\n</svg>\n")
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+
+def render_records(records: Sequence[RectRecord], path: str,
+                   width: int = 800) -> SvgCanvas:
+    """Draw MBR records as outlined rectangles."""
+    if not records:
+        raise ValueError("nothing to draw")
+    world = Rect.mbr_of(rect for rect, _ in records)
+    canvas = SvgCanvas(world, width=width)
+    for rect, ref in records:
+        canvas.rect(rect, stroke="#4477aa", opacity=0.6,
+                    title=f"#{ref}")
+    canvas.save(path)
+    return canvas
+
+
+def render_dataset(dataset: SpatialDataset, path: str,
+                   width: int = 800) -> SvgCanvas:
+    """Draw a dataset's exact geometry (lines blue, regions green)."""
+    if not dataset.objects:
+        raise ValueError("nothing to draw")
+    canvas = SvgCanvas(dataset.world, width=width)
+    for obj in dataset.objects.values():
+        if isinstance(obj, Polygon):
+            canvas.polygon(obj)
+        else:
+            canvas.polyline(obj)
+    canvas.save(path)
+    return canvas
+
+
+def render_tree(tree: RTreeBase, path: str, width: int = 800,
+                max_level: Optional[int] = None) -> SvgCanvas:
+    """Draw an R-tree's node MBRs, one colour per level.
+
+    ``max_level`` limits the picture to levels <= the given value
+    (level 0 = data pages); by default all levels and the data
+    rectangles themselves are drawn.
+    """
+    world = tree.mbr()
+    if world is None:
+        raise ValueError("cannot draw an empty tree")
+    canvas = SvgCanvas(world, width=width)
+    for node in tree.iter_nodes():
+        if max_level is not None and node.level > max_level:
+            continue
+        color = LEVEL_COLORS[min(node.level, len(LEVEL_COLORS) - 1)]
+        for entry in node.entries:
+            emphasis = 0.35 if node.level == 0 else 0.9
+            canvas.rect(entry.rect, stroke=color, opacity=emphasis,
+                        stroke_width=0.8 + 0.6 * node.level)
+    canvas.save(path)
+    return canvas
+
+
+def render_join(records_r: Sequence[RectRecord],
+                records_s: Sequence[RectRecord],
+                pairs: Iterable[Tuple[int, int]], path: str,
+                width: int = 800) -> SvgCanvas:
+    """Draw both relations and highlight the intersection rectangles of
+    the result pairs."""
+    if not records_r or not records_s:
+        raise ValueError("nothing to draw")
+    world = Rect.mbr_of(rect for rect, _ in records_r).union(
+        Rect.mbr_of(rect for rect, _ in records_s))
+    canvas = SvgCanvas(world, width=width)
+    rects_r = dict((ref, rect) for rect, ref in records_r)
+    rects_s = dict((ref, rect) for rect, ref in records_s)
+    for rect in rects_r.values():
+        canvas.rect(rect, stroke="#4477aa", opacity=0.35)
+    for rect in rects_s.values():
+        canvas.rect(rect, stroke="#228833", opacity=0.35)
+    for ref_r, ref_s in pairs:
+        common = rects_r[ref_r].intersection(rects_s[ref_s])
+        if common is not None:
+            canvas.rect(common, stroke="#ee6677", fill="#ee667755",
+                        opacity=0.9, title=f"({ref_r}, {ref_s})")
+    canvas.save(path)
+    return canvas

@@ -1,0 +1,63 @@
+"""Smoke tests: every exhibit function runs end to end at tiny scale.
+
+These exercise experiments.py / ablations.py themselves (grid assembly,
+formatting, data dictionaries); the scientific assertions live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench import ABLATIONS, EXHIBITS
+
+TINY = 0.004
+
+
+@pytest.fixture(autouse=True)
+def hermetic(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.setenv("REPRO_SCALE", str(TINY))
+    # The runner keeps per-process tree caches keyed by scale, so the
+    # tiny scale never collides with other tests' trees.
+
+
+@pytest.mark.parametrize("name", sorted(EXHIBITS))
+def test_exhibit_renders(name):
+    if name == "table7":
+        pytest.skip("table7 needs a height difference; covered below")
+    report = EXHIBITS[name](scale=TINY)
+    text = report.render()
+    assert report.exhibit.lower().replace(" ", "") == name
+    assert report.rows
+    assert report.data
+    assert report.exhibit in text
+
+
+def test_table7_probes_page_size():
+    # At tiny scale test C's trees may share heights for the paper page
+    # sizes; accept either a valid report or the documented error.
+    try:
+        report = EXHIBITS["table7"](scale=TINY)
+    except RuntimeError as exc:
+        assert "height" in str(exc)
+    else:
+        assert report.rows
+
+
+@pytest.mark.parametrize("name", sorted(ABLATIONS))
+def test_ablation_renders(name):
+    if name == "ablation-sweep-crossover":
+        # Purely synthetic; takes no scale parameter.
+        report = ABLATIONS[name](sizes=(8, 16, 32))
+    else:
+        report = ABLATIONS[name](scale=TINY)
+    assert report.rows
+    assert report.data
+    assert report.render()
+
+
+def test_bench_cli_main(capsys):
+    from repro.bench.__main__ import main
+    assert main(["ablation-sweep-crossover"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep" in out.lower()
+    assert "[ablation-sweep-crossover" in out

@@ -1,0 +1,79 @@
+"""Unit tests for the report rendering."""
+
+from repro.bench import ExperimentReport, format_table
+from repro.bench.tables import fmt_float, fmt_int
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "count"], [["alpha", "1,234"],
+                                           ["b", "56"]])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "-----" in lines[1]
+    # Numeric cells are right-aligned within their column.
+    assert lines[2].endswith("1,234")
+    assert lines[3].endswith("   56")
+
+
+def test_format_table_ragged_rows_padded():
+    out = format_table(["a", "b", "c"], [["1"], ["2", "3"]])
+    assert len(out.splitlines()) == 4
+
+
+def test_fmt_helpers():
+    assert fmt_int(1234567) == "1,234,567"
+    assert fmt_float(3.14159) == "3.14"
+    assert fmt_float(2.0, digits=1) == "2.0"
+
+
+def test_report_render():
+    report = ExperimentReport(
+        exhibit="Table 9", title="demo", headers=["x"], rows=[["1"]],
+        notes=["a note"])
+    text = report.render()
+    assert "Table 9: demo" in text
+    assert "a note" in text
+    assert str(report) == text
+
+
+def test_report_renders_charts():
+    from repro.bench.tables import ascii_bar_chart
+    report = ExperimentReport(
+        exhibit="Figure 9", title="demo", headers=["x"], rows=[["1"]])
+    report.charts.append(ascii_bar_chart("speedups:", ["a", "b"],
+                                         [1.0, 2.0], unit="x"))
+    text = report.render()
+    assert "speedups:" in text
+    assert "2.00x" in text
+
+
+class TestAsciiBarChart:
+    def test_bars_proportional(self):
+        from repro.bench.tables import ascii_bar_chart
+        chart = ascii_bar_chart("t:", ["small", "big"], [1.0, 4.0],
+                                width=40)
+        lines = chart.splitlines()
+        small_bar = lines[1].count("#")
+        big_bar = lines[2].count("#")
+        assert big_bar == 40
+        assert small_bar == 10
+
+    def test_zero_value_has_no_bar(self):
+        from repro.bench.tables import ascii_bar_chart
+        chart = ascii_bar_chart("t:", ["zero", "one"], [0.0, 1.0])
+        assert "#" not in chart.splitlines()[1]
+
+    def test_all_zero_values(self):
+        from repro.bench.tables import ascii_bar_chart
+        chart = ascii_bar_chart("t:", ["a"], [0.0])
+        assert "0.00" in chart
+
+    def test_empty_values(self):
+        from repro.bench.tables import ascii_bar_chart
+        assert ascii_bar_chart("only title", [], []) == "only title"
+
+    def test_mismatched_lengths_rejected(self):
+        import pytest
+        from repro.bench.tables import ascii_bar_chart
+        with pytest.raises(ValueError):
+            ascii_bar_chart("t:", ["a"], [1.0, 2.0])

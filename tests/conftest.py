@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Tree-building is the expensive part of most integration tests, so the
+medium-size trees are session-scoped and must not be mutated
+structurally by tests (joins only sort nodes, which is idempotent).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data import clustered_rects, uniform_rects
+from repro.geometry import Rect
+from repro.rtree import RStarTree, RTreeParams
+
+
+def make_rects(n, seed=0, world=1000.0, max_extent=10.0):
+    """Simple deterministic (rect, id) records for unit tests."""
+    rng = random.Random(seed)
+    records = []
+    for i in range(n):
+        x = rng.random() * world
+        y = rng.random() * world
+        w = rng.random() * max_extent
+        h = rng.random() * max_extent
+        records.append((Rect(x, y, x + w, y + h), i))
+    return records
+
+
+def build_rstar(records, page_size=1024):
+    tree = RStarTree(RTreeParams.from_page_size(page_size))
+    for rect, ref in records:
+        tree.insert(rect, ref)
+    return tree
+
+
+@pytest.fixture(scope="session")
+def small_records():
+    return make_rects(300, seed=1)
+
+
+@pytest.fixture(scope="session")
+def medium_records_pair():
+    left = clustered_rects(2500, seed=11, clusters=8)
+    right = uniform_rects(2500, seed=22)
+    return left, right
+
+
+@pytest.fixture(scope="session")
+def medium_trees(medium_records_pair):
+    left, right = medium_records_pair
+    return build_rstar(left), build_rstar(right)
+
+
+@pytest.fixture(scope="session")
+def unbalanced_trees():
+    """Two trees of different height (big R, small S)."""
+    left = make_rects(6000, seed=33)
+    right = make_rects(250, seed=44)
+    return build_rstar(left), build_rstar(right), left, right

@@ -1,0 +1,70 @@
+"""Property-based tests: every algorithm equals the brute-force oracle
+on random rectangle sets (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import nested_loop_join, spatial_join
+from repro.geometry import Rect
+from repro.rtree import RStarTree, RTreeParams
+
+coords = st.floats(min_value=0.0, max_value=50.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rect_strategy(draw):
+    x = draw(coords)
+    y = draw(coords)
+    w = draw(st.floats(min_value=0.0, max_value=15.0))
+    h = draw(st.floats(min_value=0.0, max_value=15.0))
+    return Rect(x, y, x + w, y + h)
+
+
+rect_lists = st.lists(rect_strategy(), min_size=0, max_size=60)
+
+
+def build(rect_list):
+    tree = RStarTree(RTreeParams.from_page_size(80))   # M=4
+    for i, rect in enumerate(rect_list):
+        tree.insert(rect, i)
+    return tree
+
+
+@settings(max_examples=25, deadline=None)
+@given(rect_lists, rect_lists,
+       st.sampled_from(["sj1", "sj2", "sj3", "sj4", "sj5"]),
+       st.sampled_from([0.0, 1.0, 64.0]))
+def test_join_matches_oracle(left, right, algorithm, buffer_kb):
+    tree_r = build(left)
+    tree_s = build(right)
+    oracle = nested_loop_join(
+        [(r, i) for i, r in enumerate(left)],
+        [(r, i) for i, r in enumerate(right)]).pair_set()
+    result = spatial_join(tree_r, tree_s, algorithm=algorithm,
+                          buffer_kb=buffer_kb)
+    assert result.pair_set() == oracle
+
+
+@settings(max_examples=15, deadline=None)
+@given(rect_lists, rect_lists)
+def test_algorithms_agree_with_each_other(left, right):
+    tree_r = build(left)
+    tree_s = build(right)
+    results = {
+        algorithm: spatial_join(tree_r, tree_s, algorithm=algorithm,
+                                buffer_kb=8).pair_set()
+        for algorithm in ("sj1", "sj3", "sj5")
+    }
+    assert results["sj1"] == results["sj3"] == results["sj5"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(rect_lists)
+def test_self_join_contains_diagonal(rect_list):
+    tree_r = build(rect_list)
+    tree_s = build(rect_list)
+    result = spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=8)
+    pair_set = result.pair_set()
+    for i in range(len(rect_list)):
+        assert (i, i) in pair_set

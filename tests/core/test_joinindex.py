@@ -1,0 +1,115 @@
+"""Tests for the materialized spatial join index (Rotem-style)."""
+
+import random
+
+import pytest
+
+from repro.core.joinindex import SpatialJoinIndex
+from repro.core import nested_loop_join
+from repro.geometry import Rect
+from tests.conftest import build_rstar, make_rects
+
+
+@pytest.fixture
+def setup():
+    left = make_rects(500, seed=901, max_extent=25.0)
+    right = make_rects(500, seed=902, max_extent=25.0)
+    tree_r = build_rstar(left, 256)
+    tree_s = build_rstar(right, 256)
+    index = SpatialJoinIndex(tree_r, tree_s, buffer_kb=32)
+    return left, right, index
+
+
+class TestConstruction:
+    def test_initial_pairs_match_join(self, setup):
+        left, right, index = setup
+        oracle = nested_loop_join(left, right).pair_set()
+        assert set(index.pairs()) == oracle
+        assert len(index) == len(oracle)
+        assert index.build_stats.disk_accesses > 0
+
+    def test_lookups(self, setup):
+        left, right, index = setup
+        oracle = nested_loop_join(left, right).pair_set()
+        some_a = next(iter(oracle))[0]
+        expected = {b for a, b in oracle if a == some_a}
+        assert index.partners_of_left(some_a) == expected
+        some_b = next(iter(oracle))[1]
+        expected = {a for a, b in oracle if b == some_b}
+        assert index.partners_of_right(some_b) == expected
+        assert next(iter(oracle)) in index
+        assert (10**9, 10**9) not in index
+
+
+class TestMaintenance:
+    def test_insert_left_links_new_pairs(self, setup):
+        _, right, index = setup
+        rect = Rect(400, 400, 480, 480)
+        partners = index.insert_left(rect, 9001)
+        expected = {j for r, j in right if r.intersects(rect)}
+        assert partners == expected
+        assert index.partners_of_left(9001) == expected
+        assert index.verify()
+
+    def test_insert_right_links_new_pairs(self, setup):
+        left, _, index = setup
+        rect = Rect(100, 100, 180, 180)
+        partners = index.insert_right(rect, 9002)
+        expected = {i for r, i in left if r.intersects(rect)}
+        assert partners == expected
+        assert index.verify()
+
+    def test_delete_left_unlinks(self, setup):
+        left, _, index = setup
+        rect, ref = left[7]
+        before = index.partners_of_left(ref)
+        assert index.delete_left(rect, ref)
+        assert index.partners_of_left(ref) == set()
+        for b in before:
+            assert ref not in index.partners_of_right(b)
+        assert index.verify()
+
+    def test_delete_missing_returns_false(self, setup):
+        _, _, index = setup
+        assert not index.delete_left(Rect(0, 0, 1, 1), 12345)
+
+    def test_maintenance_accounting(self, setup):
+        _, _, index = setup
+        assert index.maintenance_accesses == 0
+        index.insert_left(Rect(10, 10, 20, 20), 9003)
+        assert index.maintenance_accesses > 0
+
+    def test_random_workload_stays_consistent(self, setup):
+        left, right, index = setup
+        rng = random.Random(11)
+        live_left = dict((ref, rect) for rect, ref in left)
+        next_id = 10_000
+        for _ in range(120):
+            action = rng.random()
+            if action < 0.35 and live_left:
+                ref = rng.choice(sorted(live_left))
+                rect = live_left.pop(ref)
+                assert index.delete_left(rect, ref)
+            elif action < 0.7:
+                x, y = rng.random() * 900, rng.random() * 900
+                rect = Rect(x, y, x + rng.random() * 40,
+                            y + rng.random() * 40)
+                index.insert_left(rect, next_id)
+                live_left[next_id] = rect
+                next_id += 1
+            else:
+                x, y = rng.random() * 900, rng.random() * 900
+                rect = Rect(x, y, x + rng.random() * 40,
+                            y + rng.random() * 40)
+                index.insert_right(rect, next_id)
+                next_id += 1
+        assert index.verify()
+
+    def test_maintenance_cheaper_than_rebuild(self, setup):
+        """The point of a join index: one insert costs a window query,
+        not a whole join."""
+        _, _, index = setup
+        before = index.maintenance_accesses
+        index.insert_left(Rect(5, 5, 6, 6), 9004)
+        per_insert = index.maintenance_accesses - before
+        assert per_insert < index.build_stats.disk_accesses / 5

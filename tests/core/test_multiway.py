@@ -1,0 +1,106 @@
+"""Tests for the multiway spatial join (extension of Section 2.1)."""
+
+import pytest
+
+from repro.core.multiway import multiway_spatial_join
+from repro.geometry import Rect
+from repro.rtree import RStarTree, RTreeParams
+from tests.conftest import build_rstar, make_rects
+
+
+def brute_triples(a, b, c):
+    """Oracle: all (i, j, k) with a common intersection point."""
+    result = set()
+    for ra, ia in a:
+        for rb, ib in b:
+            common = ra.intersection(rb)
+            if common is None:
+                continue
+            for rc, ic in c:
+                if common.intersects(rc):
+                    result.add((ia, ib, ic))
+    return result
+
+
+@pytest.fixture(scope="module")
+def three_way_data():
+    a = make_rects(250, seed=401, max_extent=40.0)
+    b = make_rects(250, seed=402, max_extent=40.0)
+    c = make_rects(250, seed=403, max_extent=40.0)
+    return a, b, c
+
+
+@pytest.fixture(scope="module")
+def three_trees(three_way_data):
+    return tuple(build_rstar(records, page_size=256)
+                 for records in three_way_data)
+
+
+def test_three_way_matches_brute_force(three_way_data, three_trees):
+    a, b, c = three_way_data
+    result = multiway_spatial_join(three_trees, buffer_kb=32)
+    assert result.tuple_set() == brute_triples(a, b, c)
+    assert result.stats.pairs_output == len(result)
+
+
+def test_two_way_degenerates_to_binary_join(three_way_data, three_trees):
+    from repro.core import nested_loop_join
+    a, b, _ = three_way_data
+    result = multiway_spatial_join(three_trees[:2], buffer_kb=32)
+    oracle = nested_loop_join(a, b).pair_set()
+    assert result.tuple_set() == oracle
+
+
+def test_four_way_self_join_contains_diagonal(three_way_data):
+    a, _, _ = three_way_data
+    trees = tuple(build_rstar(a, page_size=256) for _ in range(4))
+    result = multiway_spatial_join(trees, buffer_kb=64)
+    tuples = result.tuple_set()
+    for _, ref in a:
+        assert (ref, ref, ref, ref) in tuples
+
+
+def test_different_heights(three_way_data):
+    a, b, _ = three_way_data
+    big = make_rects(4000, seed=404, max_extent=30.0)
+    tree_big = build_rstar(big, page_size=256)
+    tree_a = build_rstar(a[:150], page_size=256)
+    tree_b = build_rstar(b[:150], page_size=256)
+    assert tree_big.height > tree_a.height
+    result = multiway_spatial_join((tree_big, tree_a, tree_b),
+                                   buffer_kb=32)
+    assert result.tuple_set() == brute_triples(big, a[:150], b[:150])
+
+
+def test_disjoint_world_early_exit():
+    a = [(Rect(i, 0, i + 1, 1), i) for i in range(50)]
+    b = [(Rect(i + 1000, 0, i + 1001, 1), i) for i in range(50)]
+    tree_a = build_rstar(a)
+    tree_b = build_rstar(b)
+    result = multiway_spatial_join((tree_a, tree_b, tree_a))
+    assert result.tuples == []
+    # Only the roots were read.
+    assert result.stats.disk_accesses == 3
+
+
+def test_counters_populated(three_trees):
+    result = multiway_spatial_join(three_trees, buffer_kb=32)
+    assert result.stats.comparisons.join > 0
+    assert result.stats.disk_accesses > 0
+    assert result.stats.algorithm == "multiway-3"
+
+
+def test_validation():
+    tree = RStarTree(RTreeParams.from_page_size(1024))
+    with pytest.raises(ValueError):
+        multiway_spatial_join((tree,))
+    other = RStarTree(RTreeParams.from_page_size(2048))
+    with pytest.raises(ValueError):
+        multiway_spatial_join((tree, other))
+
+
+def test_empty_tree_gives_empty_result(three_trees):
+    empty = RStarTree(RTreeParams.from_page_size(256))
+    result = multiway_spatial_join((three_trees[0], empty,
+                                    three_trees[1]))
+    assert result.tuples == []

@@ -1,0 +1,40 @@
+"""Unit tests for the baseline joins."""
+
+from repro.core import (index_nested_loop_join, nested_loop_join,
+                        plane_sweep_join)
+from repro.geometry import Rect
+from tests.conftest import build_rstar, make_rects
+
+
+def test_nested_loop_simple():
+    left = [(Rect(0, 0, 2, 2), 1), (Rect(10, 10, 11, 11), 2)]
+    right = [(Rect(1, 1, 3, 3), 7), (Rect(50, 50, 51, 51), 8)]
+    result = nested_loop_join(left, right)
+    assert result.pair_set() == {(1, 7)}
+    assert result.stats.comparisons.join > 0
+    assert result.stats.pairs_output == 1
+
+
+def test_plane_sweep_matches_nested_loop():
+    left = make_rects(400, seed=91)
+    right = make_rects(400, seed=92)
+    nested = nested_loop_join(left, right)
+    sweep = plane_sweep_join(left, right)
+    assert sweep.pair_set() == nested.pair_set()
+    assert sweep.stats.comparisons.sort > 0
+    assert sweep.stats.comparisons.join < nested.stats.comparisons.join
+
+
+def test_index_nested_loop_matches(medium_records_pair, medium_trees):
+    left, right = medium_records_pair
+    _, tree_s = medium_trees
+    outer = left[:300]
+    result = index_nested_loop_join(outer, tree_s, buffer_kb=32)
+    expected = nested_loop_join(outer, right).pair_set()
+    assert result.pair_set() == expected
+    assert result.stats.disk_accesses > 0
+
+
+def test_empty_inputs():
+    assert nested_loop_join([], []).pairs == []
+    assert plane_sweep_join([], make_rects(5)).pairs == []

@@ -1,0 +1,123 @@
+"""Tests for joins with non-intersection predicates (Section 2.1:
+"other spatial operators than intersection, e.g. containment")."""
+
+import pytest
+
+from repro.core import spatial_join
+from repro.geometry import SpatialPredicate
+from tests.conftest import build_rstar, make_rects
+
+ALGORITHMS = ("sj1", "sj2", "sj3", "sj4", "sj5")
+
+
+@pytest.fixture(scope="module")
+def containment_data():
+    # Big rectangles on the R side, small ones on the S side, so
+    # containment pairs actually exist.
+    left = make_rects(1200, seed=201, max_extent=60.0)
+    right = make_rects(1200, seed=202, max_extent=4.0)
+    return left, right
+
+
+@pytest.fixture(scope="module")
+def containment_trees(containment_data):
+    left, right = containment_data
+    return build_rstar(left, page_size=256), build_rstar(right,
+                                                         page_size=256)
+
+
+def brute(left, right, predicate):
+    return {(i, j) for r, i in left for s, j in right
+            if predicate.evaluate(r, s)}
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("predicate", [SpatialPredicate.CONTAINS,
+                                       SpatialPredicate.WITHIN])
+def test_predicate_join_matches_brute_force(containment_data,
+                                            containment_trees,
+                                            algorithm, predicate):
+    left, right = containment_data
+    tree_r, tree_s = containment_trees
+    result = spatial_join(tree_r, tree_s, algorithm=algorithm,
+                          buffer_kb=16, predicate=predicate)
+    assert result.pair_set() == brute(left, right, predicate)
+
+
+def test_containment_is_subset_of_intersection(containment_trees):
+    tree_r, tree_s = containment_trees
+    intersect = spatial_join(tree_r, tree_s, algorithm="sj4",
+                             buffer_kb=16).pair_set()
+    contains = spatial_join(tree_r, tree_s, algorithm="sj4",
+                            buffer_kb=16,
+                            predicate=SpatialPredicate.CONTAINS
+                            ).pair_set()
+    assert contains <= intersect
+    assert contains    # the data was built so containment pairs exist
+
+
+def test_contains_and_within_are_transposes(containment_data):
+    left, right = containment_data
+    tree_r = build_rstar(left, page_size=256)
+    tree_s = build_rstar(right, page_size=256)
+    contains = spatial_join(tree_r, tree_s, algorithm="sj4",
+                            predicate=SpatialPredicate.CONTAINS
+                            ).pair_set()
+    within = spatial_join(tree_s, tree_r, algorithm="sj4",
+                          predicate=SpatialPredicate.WITHIN).pair_set()
+    assert {(b, a) for a, b in within} == contains
+
+
+@pytest.mark.parametrize("policy", ["a", "b", "c"])
+def test_predicate_join_with_different_heights(policy):
+    # Deep R side with big rects, shallow S side with small rects.
+    left = make_rects(5000, seed=203, max_extent=40.0)
+    right = make_rects(200, seed=204, max_extent=3.0)
+    tree_r = build_rstar(left, page_size=256)
+    tree_s = build_rstar(right, page_size=256)
+    assert tree_r.height > tree_s.height
+    expected = brute(left, right, SpatialPredicate.CONTAINS)
+    result = spatial_join(tree_r, tree_s, algorithm="sj4",
+                          buffer_kb=16, height_policy=policy,
+                          predicate=SpatialPredicate.CONTAINS)
+    assert result.pair_set() == expected
+    assert expected  # non-trivial
+
+
+def test_predicate_comparisons_counted(containment_trees):
+    tree_r, tree_s = containment_trees
+    plain = spatial_join(tree_r, tree_s, algorithm="sj2", buffer_kb=16)
+    contains = spatial_join(tree_r, tree_s, algorithm="sj2",
+                            buffer_kb=16,
+                            predicate=SpatialPredicate.CONTAINS)
+    # The extra containment checks on candidate pairs cost comparisons.
+    assert contains.stats.comparisons.join > plain.stats.comparisons.join
+
+
+def test_counted_predicate_semantics():
+    from repro.geometry import ComparisonCounter, Rect
+    from repro.geometry.predicates import contains_count, within_count
+    c = ComparisonCounter()
+    assert contains_count(Rect(0, 0, 10, 10), Rect(1, 1, 2, 2), c)
+    assert c.join == 4
+    c.reset()
+    assert not contains_count(Rect(5, 0, 10, 10), Rect(1, 1, 2, 2), c)
+    assert c.join == 1
+    c.reset()
+    assert within_count(Rect(1, 1, 2, 2), Rect(0, 0, 10, 10), c)
+    assert c.join == 4
+
+
+def test_evaluate_counted_agrees_with_plain():
+    import random
+    from repro.geometry import ComparisonCounter, Rect
+    rng = random.Random(8)
+    counter = ComparisonCounter()
+    for _ in range(300):
+        a = Rect(rng.random() * 5, rng.random() * 5,
+                 rng.random() * 5 + 5, rng.random() * 5 + 5)
+        b = Rect(rng.random() * 5, rng.random() * 5,
+                 rng.random() * 5 + 5, rng.random() * 5 + 5)
+        for predicate in SpatialPredicate:
+            assert predicate.evaluate_counted(a, b, counter) == \
+                predicate.evaluate(a, b)

@@ -1,0 +1,121 @@
+"""Unit tests for the ID- and object-spatial-joins (refinement step)."""
+
+import pytest
+
+from repro.core import id_spatial_join, object_spatial_join
+from repro.core.refinement import RefinementStats
+from repro.geometry import Polygon, Polyline
+
+
+@pytest.fixture
+def line_objects():
+    # r1 crosses s1; r2's MBR overlaps s2's but the lines do not touch.
+    objects_r = {
+        1: Polyline([(0, 0), (4, 4)]),
+        2: Polyline([(10, 10), (10, 14), (11, 14)]),
+    }
+    objects_s = {
+        1: Polyline([(0, 4), (4, 0)]),
+        2: Polyline([(10.5, 10), (10.5, 13), (11, 13)]),
+    }
+    return objects_r, objects_s
+
+
+def test_id_join_filters_false_hits(line_objects):
+    objects_r, objects_s = line_objects
+    candidates = [(1, 1), (2, 2)]
+    survivors, stats = id_spatial_join(candidates, objects_r, objects_s)
+    assert survivors == [(1, 1)]
+    assert stats.candidates == 2
+    assert stats.survivors == 1
+    assert stats.false_hit_ratio == 0.5
+
+
+def test_id_join_empty_candidates(line_objects):
+    objects_r, objects_s = line_objects
+    survivors, stats = id_spatial_join([], objects_r, objects_s)
+    assert survivors == []
+    assert stats.false_hit_ratio == 0.0
+
+
+def test_object_join_line_line_returns_crossing(line_objects):
+    objects_r, objects_s = line_objects
+    results, stats = object_spatial_join([(1, 1)], objects_r, objects_s)
+    assert len(results) == 1
+    intersection = results[0]
+    assert intersection.id_r == 1 and intersection.id_s == 1
+    assert intersection.points == [(2.0, 2.0)]
+    assert intersection.region is None
+
+
+def test_object_join_polygons_returns_region():
+    square_a = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+    square_b = Polygon([(2, 2), (6, 2), (6, 6), (2, 6)])
+    results, _ = object_spatial_join([(1, 1)], {1: square_a},
+                                     {1: square_b})
+    assert len(results) == 1
+    region = results[0].region
+    assert region is not None
+    assert region.area() == pytest.approx(4.0)
+    # Boundary crossings are reported too.
+    assert len(results[0].points) == 2
+
+
+def test_object_join_contained_polygon():
+    outer = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+    inner = Polygon([(4, 4), (5, 4), (5, 5), (4, 5)])
+    results, _ = object_spatial_join([(1, 1)], {1: outer}, {1: inner})
+    assert len(results) == 1
+    region = results[0].region
+    assert region is not None
+    assert region.area() == pytest.approx(1.0)
+    assert results[0].points == []
+
+
+def test_line_meets_region():
+    region = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+    crossing = Polyline([(-1, 2), (5, 2)])
+    inside = Polyline([(1, 1), (2, 2)])
+    outside = Polyline([(10, 10), (12, 12)])
+    survivors, _ = id_spatial_join(
+        [(1, 1), (2, 1), (3, 1)],
+        {1: crossing, 2: inside, 3: outside},
+        {1: region})
+    assert survivors == [(1, 1), (2, 1)]
+
+
+def test_object_join_line_region_returns_clipped_pieces():
+    region = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+    crossing = Polyline([(-2, 2), (6, 2)])
+    results, _ = object_spatial_join([(1, 1)], {1: crossing},
+                                     {1: region})
+    assert len(results) == 1
+    pieces = results[0].line_pieces
+    assert len(pieces) == 1
+    assert pieces[0].length() == pytest.approx(4.0)
+    # Boundary crossings reported as well (entry and exit).
+    assert len(results[0].points) == 2
+
+
+def test_object_join_line_inside_region_kept_whole():
+    region = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+    inside = Polyline([(2, 2), (4, 4), (6, 2)])
+    results, _ = object_spatial_join([(1, 1)], {1: inside}, {1: region})
+    pieces = results[0].line_pieces
+    assert len(pieces) == 1
+    assert pieces[0].length() == pytest.approx(inside.length())
+    assert results[0].points == []
+
+
+def test_mixed_candidate_rejected_pairs_counted():
+    a = Polyline([(0, 0), (1, 1)])
+    b = Polyline([(5, 5), (6, 6)])
+    survivors, stats = id_spatial_join([(1, 1)], {1: a}, {1: b})
+    assert survivors == []
+    assert stats.candidates == 1 and stats.survivors == 0
+    assert stats.false_hit_ratio == 1.0
+
+
+def test_refinement_stats_defaults():
+    stats = RefinementStats()
+    assert stats.false_hit_ratio == 0.0

@@ -1,0 +1,146 @@
+"""Integration tests: all five algorithms produce the oracle result and
+their counters relate the way the paper claims."""
+
+import pytest
+
+from repro.core import nested_loop_join, spatial_join
+from repro.rtree import tree_properties
+
+ALGORITHMS = ("sj1", "sj2", "sj3", "sj4", "sj5")
+
+
+@pytest.fixture(scope="module")
+def oracle(medium_records_pair):
+    left, right = medium_records_pair
+    return nested_loop_join(left, right).pair_set()
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_algorithm_matches_oracle(medium_trees, oracle, algorithm):
+    tree_r, tree_s = medium_trees
+    result = spatial_join(tree_r, tree_s, algorithm=algorithm,
+                          buffer_kb=32)
+    assert result.pair_set() == oracle
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("buffer_kb", [0, 8, 512])
+def test_result_independent_of_buffer(medium_trees, oracle, algorithm,
+                                      buffer_kb):
+    tree_r, tree_s = medium_trees
+    result = spatial_join(tree_r, tree_s, algorithm=algorithm,
+                          buffer_kb=buffer_kb)
+    assert result.pair_set() == oracle
+
+
+def test_no_duplicate_output_pairs(medium_trees):
+    tree_r, tree_s = medium_trees
+    for algorithm in ALGORITHMS:
+        result = spatial_join(tree_r, tree_s, algorithm=algorithm,
+                              buffer_kb=32)
+        assert len(result.pairs) == len(result.pair_set())
+
+
+def test_sj2_reduces_comparisons(medium_trees):
+    tree_r, tree_s = medium_trees
+    sj1 = spatial_join(tree_r, tree_s, algorithm="sj1", buffer_kb=0)
+    sj2 = spatial_join(tree_r, tree_s, algorithm="sj2", buffer_kb=0)
+    assert sj2.stats.comparisons.total < sj1.stats.comparisons.total
+
+
+def test_sweep_reduces_comparisons_further(medium_trees):
+    tree_r, tree_s = medium_trees
+    sj2 = spatial_join(tree_r, tree_s, algorithm="sj2", buffer_kb=0)
+    sj3 = spatial_join(tree_r, tree_s, algorithm="sj3", buffer_kb=0)
+    assert sj3.stats.comparisons.join < sj2.stats.comparisons.join
+
+
+def test_sj4_io_not_worse_than_sj3_in_aggregate(medium_trees):
+    """Pinning helps "particularly if the buffer is small" (Section
+    4.3); pointwise dominance is not guaranteed on sparse schedules, so
+    the claim is checked in aggregate over the buffer sweep."""
+    tree_r, tree_s = medium_trees
+    total_sj3 = 0
+    total_sj4 = 0
+    for buffer_kb in (0, 8, 32):
+        total_sj3 += spatial_join(tree_r, tree_s, algorithm="sj3",
+                                  buffer_kb=buffer_kb).stats.disk_accesses
+        total_sj4 += spatial_join(tree_r, tree_s, algorithm="sj4",
+                                  buffer_kb=buffer_kb).stats.disk_accesses
+    assert total_sj4 <= total_sj3 * 1.02
+
+
+def test_sj5_charges_zorder_sort(medium_trees):
+    tree_r, tree_s = medium_trees
+    sj5 = spatial_join(tree_r, tree_s, algorithm="sj5", buffer_kb=32)
+    assert sj5.stats.comparisons.sort > 0
+
+
+def test_large_buffer_reaches_near_optimum(medium_trees):
+    tree_r, tree_s = medium_trees
+    props = (tree_properties(tree_r), tree_properties(tree_s))
+    optimum = props[0].total_pages + props[1].total_pages
+    result = spatial_join(tree_r, tree_s, algorithm="sj4",
+                          buffer_kb=4096)
+    assert result.stats.disk_accesses <= optimum
+
+
+def test_io_monotone_in_buffer_size(medium_trees):
+    tree_r, tree_s = medium_trees
+    accesses = [
+        spatial_join(tree_r, tree_s, algorithm="sj4",
+                     buffer_kb=b).stats.disk_accesses
+        for b in (0, 32, 512)
+    ]
+    assert accesses[0] >= accesses[1] >= accesses[2]
+
+
+def test_stats_fields_populated(medium_trees):
+    tree_r, tree_s = medium_trees
+    result = spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=32)
+    stats = result.stats
+    assert stats.algorithm == "SJ4"
+    assert stats.page_size == 1024
+    assert stats.buffer_kb == 32
+    assert stats.pairs_output == len(result.pairs)
+    assert stats.node_pairs > 0
+    assert stats.disk_accesses > 0
+
+
+def test_unknown_algorithm_rejected(medium_trees):
+    tree_r, tree_s = medium_trees
+    with pytest.raises(ValueError):
+        spatial_join(tree_r, tree_s, algorithm="sj9")
+
+
+def test_mismatched_page_sizes_rejected(medium_records_pair):
+    from tests.conftest import build_rstar
+    left, right = medium_records_pair
+    tree_r = build_rstar(left[:200], page_size=1024)
+    tree_s = build_rstar(right[:200], page_size=2048)
+    with pytest.raises(ValueError):
+        spatial_join(tree_r, tree_s)
+
+
+def test_empty_tree_join(medium_trees):
+    from repro.rtree import RStarTree, RTreeParams
+    tree_r, _ = medium_trees
+    empty = RStarTree(RTreeParams.from_page_size(1024))
+    result = spatial_join(tree_r, empty, algorithm="sj4", buffer_kb=8)
+    assert result.pairs == []
+    result = spatial_join(empty, tree_r, algorithm="sj1", buffer_kb=8)
+    assert result.pairs == []
+
+
+def test_disjoint_trees_join(medium_records_pair):
+    from tests.conftest import build_rstar
+    from repro.geometry import Rect
+    left = [(Rect(r.xl, r.yl, r.xu, r.yu), i)
+            for (r, i) in medium_records_pair[0][:300]]
+    shifted = [(Rect(r.xl + 10_000_000, r.yl, r.xu + 10_000_000, r.yu), i)
+               for (r, i) in medium_records_pair[1][:300]]
+    tree_r = build_rstar(left)
+    tree_s = build_rstar(shifted)
+    for algorithm in ALGORITHMS:
+        result = spatial_join(tree_r, tree_s, algorithm=algorithm)
+        assert result.pairs == []

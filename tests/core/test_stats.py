@@ -1,0 +1,30 @@
+"""Unit tests for join statistics and results."""
+
+from repro.core import JoinResult, JoinStatistics
+
+
+def test_defaults():
+    stats = JoinStatistics()
+    assert stats.disk_accesses == 0
+    assert stats.total_comparisons == 0
+    assert stats.join_comparisons == 0
+    assert stats.sort_comparisons == 0
+
+
+def test_properties_delegate_to_counters():
+    stats = JoinStatistics()
+    stats.comparisons.join = 10
+    stats.comparisons.sort = 5
+    stats.presort_comparisons = 100
+    stats.io.disk_reads = 7
+    assert stats.join_comparisons == 10
+    assert stats.sort_comparisons == 5
+    assert stats.total_comparisons == 115
+    assert stats.disk_accesses == 7
+
+
+def test_join_result_container():
+    stats = JoinStatistics(algorithm="SJ4")
+    result = JoinResult([(1, 2), (3, 4), (1, 2)], stats)
+    assert len(result) == 3
+    assert result.pair_set() == {(1, 2), (3, 4)}

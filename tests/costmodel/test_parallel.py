@@ -1,0 +1,119 @@
+"""Tests for the disk-array I/O model (extension)."""
+
+import pytest
+
+from repro.costmodel.parallel import (estimate_parallel_io, hashed,
+                                      round_robin, scaling_profile)
+
+
+def stripe_trace(n, disks):
+    """A perfectly striped trace: page ids cycle through the disks."""
+    return [(0, i) for i in range(n)]
+
+
+def single_disk_run(n):
+    """Every access hits the same page-id class (one disk under RR)."""
+    return [(0, i * 4) for i in range(n)]
+
+
+class TestDeclusterers:
+    def test_round_robin_assignment(self):
+        assign = round_robin(4)
+        assert [assign((0, i)) for i in range(4)] == [0, 1, 2, 3]
+        assert assign((1, 0)) == 1   # side offsets the stripe
+
+    def test_hashed_in_range(self):
+        assign = hashed(7)
+        for key in [(0, i) for i in range(100)] + [(1, i) for i in range(50)]:
+            assert 0 <= assign(key) < 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            round_robin(0)
+        with pytest.raises(ValueError):
+            hashed(0)
+        with pytest.raises(ValueError):
+            estimate_parallel_io([], 0, 4096)
+
+
+class TestEstimates:
+    def test_single_disk_equals_sequential(self):
+        trace = stripe_trace(100, 1)
+        estimate = estimate_parallel_io(trace, 1, 4096)
+        assert estimate.serialized_accesses == 100
+        assert estimate.busiest_disk_accesses == 100
+        assert estimate.speedup_balanced == pytest.approx(1.0)
+        assert estimate.speedup_scheduled == pytest.approx(1.0)
+
+    def test_perfect_stripe_scales_linearly(self):
+        trace = stripe_trace(400, 4)
+        estimate = estimate_parallel_io(trace, 4, 4096)
+        assert estimate.busiest_disk_accesses == 100
+        assert estimate.speedup_balanced == pytest.approx(4.0)
+        # The scheduled estimate reaches (nearly) the same.
+        assert estimate.speedup_scheduled > 3.5
+
+    def test_same_disk_run_does_not_speed_up(self):
+        trace = single_disk_run(100)
+        estimate = estimate_parallel_io(trace, 4, 4096)
+        assert estimate.busiest_disk_accesses == 100
+        assert estimate.speedup_balanced == pytest.approx(1.0)
+        assert estimate.speedup_scheduled == pytest.approx(1.0)
+
+    def test_scheduled_never_faster_than_balanced(self):
+        import random
+        rng = random.Random(1)
+        trace = [(rng.randrange(2), rng.randrange(500))
+                 for _ in range(300)]
+        for disks in (2, 4, 8):
+            estimate = estimate_parallel_io(trace, disks, 4096)
+            assert estimate.serialized_accesses >= \
+                estimate.busiest_disk_accesses
+
+    def test_empty_trace(self):
+        estimate = estimate_parallel_io([], 4, 4096)
+        assert estimate.total_accesses == 0
+        assert estimate.seconds_single_disk == 0.0
+        assert estimate.speedup_balanced == 1.0
+
+    def test_declusterer_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_parallel_io([(0, 1)], 2, 4096,
+                                 decluster=lambda key: 5)
+
+
+class TestScalingProfile:
+    def test_profile_monotone_for_random_trace(self):
+        import random
+        rng = random.Random(2)
+        trace = [(0, rng.randrange(1000)) for _ in range(500)]
+        profile = scaling_profile(trace, 4096, disk_counts=(1, 2, 4, 8))
+        times = [e.seconds_scheduled for e in profile]
+        assert times == sorted(times, reverse=True)
+        assert profile[0].disks == 1
+
+
+class TestJoinTraceIntegration:
+    def test_sj4_trace_scales(self):
+        from repro.core import JoinContext, make_algorithm
+        from tests.conftest import build_rstar, make_rects
+
+        tree_r = build_rstar(make_rects(2000, seed=501), page_size=256)
+        tree_s = build_rstar(make_rects(2000, seed=502), page_size=256)
+        ctx = JoinContext(tree_r, tree_s, buffer_kb=8, record_trace=True)
+        make_algorithm("sj4").run(ctx)
+        trace = ctx.manager.trace
+        assert len(trace) == ctx.stats.io.disk_reads
+        estimate = estimate_parallel_io(trace, 4, 256)
+        # A join schedule on 4 disks should save a good share of I/O time.
+        assert estimate.speedup_scheduled > 1.5
+
+    def test_trace_disabled_by_default(self):
+        from repro.core import JoinContext, make_algorithm
+        from tests.conftest import build_rstar, make_rects
+
+        tree_r = build_rstar(make_rects(300, seed=503))
+        tree_s = build_rstar(make_rects(300, seed=504))
+        ctx = JoinContext(tree_r, tree_s, buffer_kb=8)
+        make_algorithm("sj4").run(ctx)
+        assert ctx.manager.trace == []

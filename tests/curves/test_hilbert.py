@@ -1,0 +1,66 @@
+"""Unit tests for the Hilbert curve."""
+
+import pytest
+
+from repro.curves import HilbertGrid, hilbert_index, hilbert_point
+from repro.geometry import Rect
+
+
+def test_first_cells_of_order_1():
+    assert hilbert_index(0, 0, bits=1) == 0
+    # The order-1 curve visits all 4 cells exactly once.
+    visited = sorted(hilbert_index(x, y, bits=1)
+                     for x in range(2) for y in range(2))
+    assert visited == [0, 1, 2, 3]
+
+
+def test_roundtrip():
+    bits = 6
+    for d in range(0, 1 << (2 * bits), 97):
+        x, y = hilbert_point(d, bits)
+        assert hilbert_index(x, y, bits) == d
+
+
+def test_bijection_small_grid():
+    bits = 3
+    seen = set()
+    for x in range(8):
+        for y in range(8):
+            seen.add(hilbert_index(x, y, bits))
+    assert seen == set(range(64))
+
+
+def test_adjacent_curve_positions_are_adjacent_cells():
+    # The defining locality property: consecutive indices differ by one
+    # grid step.
+    bits = 4
+    previous = hilbert_point(0, bits)
+    for d in range(1, 1 << (2 * bits)):
+        x, y = hilbert_point(d, bits)
+        px, py = previous
+        assert abs(x - px) + abs(y - py) == 1
+        previous = (x, y)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        hilbert_index(-1, 0)
+    with pytest.raises(ValueError):
+        hilbert_index(4, 0, bits=2)
+    with pytest.raises(ValueError):
+        hilbert_point(-1)
+    with pytest.raises(ValueError):
+        hilbert_point(16, bits=2)
+
+
+def test_grid_wrapper():
+    grid = HilbertGrid(Rect(0, 0, 100, 100), bits=4)
+    assert grid.index(0, 0) == hilbert_index(0, 0, 4)
+    assert grid.index(-5, -5) == grid.index(0, 0)          # clamped
+    rect = Rect(10, 10, 30, 30)
+    assert grid.index_of_rect(rect) == grid.index(20, 20)
+
+
+def test_grid_degenerate_world_rejected():
+    with pytest.raises(ValueError):
+        HilbertGrid(Rect(0, 0, 10, 0))

@@ -1,0 +1,64 @@
+"""Unit tests for z-ordering."""
+
+import pytest
+
+from repro.curves import ZGrid, deinterleave_bits, interleave_bits
+from repro.geometry import Rect
+
+
+class TestInterleave:
+    def test_known_values(self):
+        # x bits occupy even positions, y bits odd positions.
+        assert interleave_bits(0, 0) == 0
+        assert interleave_bits(1, 0) == 1
+        assert interleave_bits(0, 1) == 2
+        assert interleave_bits(1, 1) == 3
+        assert interleave_bits(2, 0) == 4
+        assert interleave_bits(0, 2) == 8
+        assert interleave_bits(3, 3) == 15
+
+    def test_roundtrip(self):
+        for x in (0, 1, 5, 100, 65535):
+            for y in (0, 2, 77, 65535):
+                assert deinterleave_bits(interleave_bits(x, y)) == (x, y)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_bits(-1, 0)
+        with pytest.raises(ValueError):
+            deinterleave_bits(-1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_bits(4, 0, bits=2)
+
+    def test_z_curve_order_within_quadrants(self):
+        # The first four cells of a 2-bit grid follow the Z shape.
+        order = sorted(((x, y) for x in range(2) for y in range(2)),
+                       key=lambda c: interleave_bits(*c))
+        assert order == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+
+class TestZGrid:
+    def test_zvalue_monotone_in_quadrant(self):
+        grid = ZGrid(Rect(0, 0, 100, 100), bits=4)
+        assert grid.zvalue(1, 1) < grid.zvalue(99, 99)
+
+    def test_clamping_outside_world(self):
+        grid = ZGrid(Rect(0, 0, 100, 100), bits=4)
+        assert grid.zvalue(-50, -50) == grid.zvalue(0, 0)
+        assert grid.zvalue(500, 500) == grid.zvalue(99.9, 99.9)
+
+    def test_cell_of_boundaries(self):
+        grid = ZGrid(Rect(0, 0, 16, 16), bits=4)
+        assert grid.cell_of(0, 0) == (0, 0)
+        assert grid.cell_of(16, 16) == (15, 15)
+
+    def test_zvalue_of_rect_uses_center(self):
+        grid = ZGrid(Rect(0, 0, 16, 16), bits=4)
+        rect = Rect(2, 2, 6, 6)
+        assert grid.zvalue_of_rect(rect) == grid.zvalue(4, 4)
+
+    def test_degenerate_world_rejected(self):
+        with pytest.raises(ValueError):
+            ZGrid(Rect(0, 0, 0, 10))

@@ -1,0 +1,76 @@
+"""Unit tests for the named tests A-E."""
+
+import pytest
+
+from repro.data import (PAPER_CARDINALITIES, effective_scale, load_test,
+                        scaled_count)
+
+
+def test_paper_cardinalities_table8():
+    assert PAPER_CARDINALITIES["A"] == (131_461, 128_971)
+    assert PAPER_CARDINALITIES["C"] == (598_677, 128_971)
+    assert PAPER_CARDINALITIES["E"] == (67_527, 33_696)
+
+
+def test_effective_scale_argument_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert effective_scale(0.25) == 0.25
+
+
+def test_effective_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert effective_scale() == 0.5
+
+
+def test_effective_scale_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert effective_scale() == 0.125
+
+
+def test_effective_scale_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        effective_scale(0.0)
+    with pytest.raises(ValueError):
+        effective_scale(-1.0)
+
+
+def test_scaled_count_floor():
+    assert scaled_count(131_461, 0.001) == 131
+    assert scaled_count(200, 0.001) == 100   # never below 100
+
+
+def test_load_test_cardinalities():
+    pair = load_test("A", scale=0.01)
+    assert pair.test == "A"
+    assert len(pair.r) == scaled_count(131_461, 0.01)
+    assert len(pair.s) == scaled_count(128_971, 0.01)
+
+
+def test_unknown_test_rejected():
+    with pytest.raises(ValueError):
+        load_test("Z")
+
+
+def test_lowercase_accepted():
+    assert load_test("a", scale=0.002).test == "A"
+
+
+def test_test_b_shares_r_side_with_a():
+    """Tests A and B use the same street map as R (as in the paper)."""
+    a = load_test("A", scale=0.005)
+    b = load_test("B", scale=0.005)
+    assert a.r.records == b.r.records
+    assert a.r.name == b.r.name
+
+
+def test_test_d_is_self_join():
+    d = load_test("D", scale=0.005)
+    assert d.r.records == d.s.records
+    assert d.r is not d.s   # but built independently
+
+
+def test_test_e_uses_regions():
+    e = load_test("E", scale=0.01)
+    from repro.geometry import Polygon
+    assert all(isinstance(o, Polygon) for o in e.r.objects.values())
+    assert len(e.r) > len(e.s)

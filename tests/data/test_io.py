@@ -1,0 +1,51 @@
+"""Unit tests for the rectangle file round trip."""
+
+import pytest
+
+from repro.data import RectFileError, load_records, save_records
+from tests.conftest import make_rects
+
+
+def test_roundtrip(tmp_path):
+    records = make_rects(200, seed=1)
+    path = str(tmp_path / "rects.bin")
+    save_records(records, path)
+    assert load_records(path) == records
+
+
+def test_empty_roundtrip(tmp_path):
+    path = str(tmp_path / "empty.bin")
+    save_records([], path)
+    assert load_records(path) == []
+
+
+def test_negative_ids(tmp_path):
+    from repro.geometry import Rect
+    records = [(Rect(0, 0, 1, 1), -7), (Rect(2, 2, 3, 3), 2**40)]
+    path = str(tmp_path / "ids.bin")
+    save_records(records, path)
+    assert load_records(path) == records
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"JUNKJUNK" + b"\x00" * 16)
+    with pytest.raises(RectFileError):
+        load_records(str(path))
+
+
+def test_truncated_header_rejected(tmp_path):
+    path = tmp_path / "short.bin"
+    path.write_bytes(b"REP")
+    with pytest.raises(RectFileError):
+        load_records(str(path))
+
+
+def test_truncated_records_rejected(tmp_path):
+    records = make_rects(10, seed=2)
+    path = tmp_path / "trunc.bin"
+    save_records(records, str(path))
+    data = path.read_bytes()
+    path.write_bytes(data[:-10])
+    with pytest.raises(RectFileError):
+        load_records(str(path))

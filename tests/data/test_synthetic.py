@@ -1,0 +1,58 @@
+"""Unit tests for the generic rectangle generators."""
+
+import pytest
+
+from repro.data import (DEFAULT_WORLD, clustered_rects, degenerate_points,
+                        uniform_rects)
+
+
+def test_uniform_count_and_world():
+    records = uniform_rects(500, seed=1)
+    assert len(records) == 500
+    for rect, _ in records:
+        assert DEFAULT_WORLD.contains(rect)
+
+
+def test_uniform_deterministic():
+    assert uniform_rects(50, seed=7) == uniform_rects(50, seed=7)
+    assert uniform_rects(50, seed=7) != uniform_rects(50, seed=8)
+
+
+def test_uniform_ids_sequential():
+    records = uniform_rects(20, seed=2)
+    assert [ref for _, ref in records] == list(range(20))
+
+
+def test_uniform_zero():
+    assert uniform_rects(0) == []
+
+
+def test_uniform_negative_rejected():
+    with pytest.raises(ValueError):
+        uniform_rects(-1)
+
+
+def test_clustered_is_skewed():
+    """Clustered data concentrates: the densest decile cell holds far
+    more than 10% of the centers."""
+    records = clustered_rects(2000, seed=3, clusters=5)
+    from collections import Counter
+    cells = Counter()
+    for rect, _ in records:
+        cx, cy = rect.center()
+        cells[(int(cx / (DEFAULT_WORLD.width / 10)),
+               int(cy / (DEFAULT_WORLD.height / 10)))] += 1
+    assert max(cells.values()) > 2000 * 0.10
+
+
+def test_clustered_validation():
+    with pytest.raises(ValueError):
+        clustered_rects(10, clusters=0)
+    with pytest.raises(ValueError):
+        clustered_rects(-5)
+
+
+def test_degenerate_points_have_zero_area():
+    records = degenerate_points(100, seed=4)
+    assert len(records) == 100
+    assert all(rect.area() == 0.0 for rect, _ in records)

@@ -1,0 +1,118 @@
+"""Unit tests for the TIGER-like map generators."""
+
+import pytest
+
+from repro.data import (DEFAULT_WORLD, regions, rivers_railways, streets)
+from repro.geometry import Polygon, Polyline
+from repro.geometry.clipping import is_convex
+
+
+class TestStreets:
+    def test_count_and_type(self):
+        ds = streets(2000, seed=1)
+        assert len(ds) == 2000
+        assert all(isinstance(o, Polyline) for o in ds.objects.values())
+
+    def test_single_segment_records(self):
+        ds = streets(500, seed=2)
+        assert all(len(o) == 2 for o in ds.objects.values())
+
+    def test_records_match_objects(self):
+        ds = streets(300, seed=3)
+        records = ds.records
+        assert len(records) == 300
+        for rect, oid in records:
+            assert rect == ds.objects[oid].mbr()
+
+    def test_inside_world(self):
+        ds = streets(1000, seed=4)
+        for obj in ds.objects.values():
+            assert DEFAULT_WORLD.contains(obj.mbr())
+
+    def test_deterministic(self):
+        a = streets(200, seed=5)
+        b = streets(200, seed=5)
+        assert a.records == b.records
+
+    def test_clustering(self):
+        """Most street segments concentrate around cities."""
+        from collections import Counter
+        ds = streets(3000, seed=6)
+        cells = Counter()
+        for rect, _ in ds.records:
+            cx, cy = rect.center()
+            cells[(int(cx / (DEFAULT_WORLD.width / 20)),
+                   int(cy / (DEFAULT_WORLD.height / 20)))] += 1
+        # 400 cells; the top 20 (5%) must hold >40% of the segments.
+        top = sum(count for _, count in cells.most_common(20))
+        assert top > 0.4 * 3000
+
+    def test_zero_and_negative(self):
+        assert len(streets(0)) == 0
+        with pytest.raises(ValueError):
+            streets(-1)
+
+
+class TestRiversRailways:
+    def test_count_and_type(self):
+        ds = rivers_railways(1500, seed=1)
+        assert len(ds) == 1500
+        assert all(isinstance(o, Polyline) and len(o) == 2
+                   for o in ds.objects.values())
+
+    def test_chains_are_locally_continuous(self):
+        """Consecutive records of one chain share endpoints most of the
+        time (rivers are split chains, not scattered segments)."""
+        ds = rivers_railways(1000, seed=2)
+        shared = 0
+        for oid in range(len(ds) - 1):
+            a = ds.objects[oid].vertices
+            b = ds.objects[oid + 1].vertices
+            if a[-1] == b[0]:
+                shared += 1
+        assert shared > 0.8 * (len(ds) - 1)
+
+    def test_deterministic(self):
+        assert rivers_railways(300, seed=9).records == \
+            rivers_railways(300, seed=9).records
+
+    def test_zero(self):
+        assert len(rivers_railways(0)) == 0
+        with pytest.raises(ValueError):
+            rivers_railways(-2)
+
+
+class TestRegions:
+    def test_count_and_type(self):
+        ds = regions(400, seed=1)
+        assert len(ds) == 400
+        assert all(isinstance(o, Polygon) for o in ds.objects.values())
+
+    def test_regions_are_convex(self):
+        """The generator promises convex cells (required by the
+        object-join clipping)."""
+        ds = regions(300, seed=2)
+        assert all(is_convex(o) for o in ds.objects.values())
+
+    def test_neighbouring_mbrs_overlap(self):
+        """Region MBRs must overlap their neighbours (the property that
+        makes test E selective)."""
+        ds = regions(400, seed=3)
+        records = ds.records
+        overlapping = 0
+        for i in range(0, 100):
+            rect = records[i][0]
+            if any(rect.intersects(records[j][0])
+                   for j in range(len(records)) if j != i):
+                overlapping += 1
+        assert overlapping > 90
+
+    def test_inside_world(self):
+        ds = regions(200, seed=4)
+        for obj in ds.objects.values():
+            assert DEFAULT_WORLD.contains(obj.mbr())
+
+    def test_zero(self):
+        assert len(regions(0)) == 0
+        with pytest.raises(ValueError):
+            regions(-1)

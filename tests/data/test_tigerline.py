@@ -1,0 +1,131 @@
+"""Tests for the TIGER/Line Record Type 1 reader/writer."""
+
+import pytest
+
+from repro.data.tigerline import (CFCC_FAMILIES, TigerFormatError,
+                                  TigerRecord, format_type1_line,
+                                  parse_type1_line, read_type1,
+                                  to_mbr_records, to_objects, write_type1)
+
+
+@pytest.fixture
+def sample_records():
+    return [
+        TigerRecord(tlid=100001, cfcc="A41",
+                    from_point=(-122.419416, 37.774929),
+                    to_point=(-122.418500, 37.775600)),
+        TigerRecord(tlid=100002, cfcc="H11",
+                    from_point=(-122.400000, 37.700000),
+                    to_point=(-122.390000, 37.710000)),
+        TigerRecord(tlid=100003, cfcc="B01",
+                    from_point=(-122.380000, 37.720000),
+                    to_point=(-122.370000, 37.730000)),
+    ]
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self, sample_records):
+        for record in sample_records:
+            line = format_type1_line(record)
+            assert len(line) == 228
+            parsed = parse_type1_line(line)
+            assert parsed == record
+
+    def test_file_roundtrip(self, tmp_path, sample_records):
+        path = str(tmp_path / "TGR06075.RT1")
+        assert write_type1(sample_records, path) == 3
+        assert read_type1(path) == sample_records
+
+    def test_cfcc_filter(self, tmp_path, sample_records):
+        path = str(tmp_path / "chains.rt1")
+        write_type1(sample_records, path)
+        roads = read_type1(path, cfcc_prefixes=("A",))
+        assert [r.tlid for r in roads] == [100001]
+        water_rail = read_type1(path, cfcc_prefixes=("H", "B"))
+        assert [r.tlid for r in water_rail] == [100002, 100003]
+
+    def test_other_record_types_skipped(self, tmp_path, sample_records):
+        path = str(tmp_path / "mixed.rt1")
+        with open(path, "w") as f:
+            f.write("2" + " " * 227 + "\n")          # Record Type 2
+            f.write(format_type1_line(sample_records[0]) + "\n")
+            f.write("\n")                             # blank line
+        assert read_type1(path) == [sample_records[0]]
+
+
+class TestParsing:
+    def test_short_line_rejected(self):
+        with pytest.raises(TigerFormatError):
+            parse_type1_line("1" + " " * 40)
+
+    def test_wrong_record_type_rejected(self, sample_records):
+        line = format_type1_line(sample_records[0])
+        with pytest.raises(TigerFormatError):
+            parse_type1_line("2" + line[1:])
+
+    def test_bad_tlid_rejected(self, sample_records):
+        line = format_type1_line(sample_records[0])
+        broken = line[:5] + "xxxxxxxxxx" + line[15:]
+        with pytest.raises(TigerFormatError):
+            parse_type1_line(broken)
+
+    def test_bad_coordinate_rejected(self, sample_records):
+        line = format_type1_line(sample_records[0])
+        broken = line[:190] + "??????????" + line[200:]
+        with pytest.raises(TigerFormatError):
+            parse_type1_line(broken)
+
+    def test_coordinate_overflow_rejected(self):
+        record = TigerRecord(tlid=1, cfcc="A41",
+                             from_point=(99999.0, 0.0),
+                             to_point=(0.0, 0.0))
+        with pytest.raises(TigerFormatError):
+            format_type1_line(record)
+
+
+class TestConversions:
+    def test_family_classification(self, sample_records):
+        assert sample_records[0].family == "road"
+        assert sample_records[1].family == "hydrography"
+        assert sample_records[2].family == "railroad"
+        weird = TigerRecord(1, "Z99", (0, 0), (1, 1))
+        assert weird.family == "unclassified"
+
+    def test_families_cover_documented_prefixes(self):
+        assert set("ABCDEFHX") <= set(CFCC_FAMILIES)
+
+    def test_mbr_records(self, sample_records):
+        records = to_mbr_records(sample_records)
+        assert len(records) == 3
+        rect, tlid = records[0]
+        assert tlid == 100001
+        assert rect.xl == pytest.approx(-122.419416)
+        assert rect.xu == pytest.approx(-122.4185)
+
+    def test_objects(self, sample_records):
+        objects = to_objects(sample_records)
+        assert set(objects) == {100001, 100002, 100003}
+        assert len(objects[100001]) == 2
+
+    def test_pipeline_into_tree_and_join(self, tmp_path):
+        """Synthetic streets exported as TIGER, re-imported, joined."""
+        from repro.core import spatial_join
+        from repro.data import streets
+        from tests.conftest import build_rstar
+
+        dataset = streets(400, seed=9)
+        # Scale world coordinates into plausible lat/long magnitudes.
+        records = []
+        for oid, obj in dataset.objects.items():
+            (x1, y1), (x2, y2) = obj.vertices
+            records.append(TigerRecord(
+                tlid=oid, cfcc="A41",
+                from_point=(x1 / 1e6 - 122.0, y1 / 1e6 + 37.0),
+                to_point=(x2 / 1e6 - 122.0, y2 / 1e6 + 37.0)))
+        path = str(tmp_path / "streets.rt1")
+        write_type1(records, path)
+        reloaded = read_type1(path, cfcc_prefixes=("A",))
+        assert len(reloaded) == 400
+        tree = build_rstar(to_mbr_records(reloaded), page_size=256)
+        result = spatial_join(tree, tree, algorithm="sj4", buffer_kb=16)
+        assert len(result) >= 400   # at least the diagonal

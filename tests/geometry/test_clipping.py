@@ -1,0 +1,74 @@
+"""Unit tests for Sutherland-Hodgman clipping."""
+
+import pytest
+
+from repro.geometry import Polygon, clip_polygon, is_convex
+
+
+SQUARE = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+
+
+class TestIsConvex:
+    def test_square_is_convex(self):
+        assert is_convex(SQUARE)
+
+    def test_triangle_is_convex(self):
+        assert is_convex(Polygon([(0, 0), (2, 0), (1, 2)]))
+
+    def test_concave_detected(self):
+        arrow = Polygon([(0, 0), (4, 0), (2, 1), (2, 4)])
+        assert not is_convex(arrow)
+
+    def test_collinear_vertices_still_convex(self):
+        p = Polygon([(0, 0), (2, 0), (4, 0), (4, 4), (0, 4)])
+        assert is_convex(p)
+
+
+class TestClip:
+    def test_overlapping_squares(self):
+        other = Polygon([(2, 2), (6, 2), (6, 6), (2, 6)])
+        result = clip_polygon(SQUARE, other)
+        assert result is not None
+        assert result.area() == pytest.approx(4.0)
+        assert result.mbr().as_tuple() == (2.0, 2.0, 4.0, 4.0)
+
+    def test_contained_subject_unchanged(self):
+        inner = Polygon([(1, 1), (2, 1), (2, 2), (1, 2)])
+        result = clip_polygon(inner, SQUARE)
+        assert result is not None
+        assert result.area() == pytest.approx(1.0)
+
+    def test_disjoint_gives_none(self):
+        far = Polygon([(10, 10), (12, 10), (12, 12), (10, 12)])
+        assert clip_polygon(SQUARE, far) is None
+
+    def test_edge_touch_gives_none(self):
+        neighbour = Polygon([(4, 0), (8, 0), (8, 4), (4, 4)])
+        assert clip_polygon(SQUARE, neighbour) is None
+
+    def test_concave_clip_rejected(self):
+        arrow = Polygon([(0, 0), (4, 0), (2, 1), (2, 4)])
+        with pytest.raises(ValueError):
+            clip_polygon(SQUARE, arrow)
+
+    def test_clockwise_clip_ring_handled(self):
+        cw = Polygon([(2, 2), (2, 6), (6, 6), (6, 2)])
+        assert cw.signed_area() < 0
+        result = clip_polygon(SQUARE, cw)
+        assert result is not None
+        assert result.area() == pytest.approx(4.0)
+
+    def test_concave_subject_against_convex_clip(self):
+        # The subject may be concave; only the clip must be convex.
+        c_shape = Polygon([(0, 0), (3, 0), (3, 1), (1, 1), (1, 2),
+                           (3, 2), (3, 3), (0, 3)])
+        window = Polygon([(0, 0), (3, 0), (3, 3), (0, 3)])
+        result = clip_polygon(c_shape, window)
+        assert result is not None
+        assert result.area() == pytest.approx(c_shape.area())
+
+    def test_triangle_against_square(self):
+        tri = Polygon([(2, -2), (6, 2), (2, 6)])
+        result = clip_polygon(tri, SQUARE)
+        assert result is not None
+        assert 0.0 < result.area() < tri.area()

@@ -1,0 +1,88 @@
+"""Property-based tests for the clipping routines (hypothesis)."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Polygon, Polyline, clip_polygon
+from repro.geometry.clipping import clip_polyline, clip_segment
+
+coords = st.floats(min_value=-100.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def convex_polygons(draw):
+    """Random convex polygon: points on a randomly scaled ellipse."""
+    cx = draw(coords)
+    cy = draw(coords)
+    rx = draw(st.floats(min_value=1.0, max_value=50.0))
+    ry = draw(st.floats(min_value=1.0, max_value=50.0))
+    sides = draw(st.integers(min_value=3, max_value=9))
+    phase = draw(st.floats(min_value=0.0, max_value=2.0 * math.pi))
+    return Polygon([
+        (cx + rx * math.cos(phase + 2 * math.pi * k / sides),
+         cy + ry * math.sin(phase + 2 * math.pi * k / sides))
+        for k in range(sides)
+    ])
+
+
+points = st.tuples(coords, coords)
+
+
+@settings(max_examples=80, deadline=None)
+@given(points, points, convex_polygons())
+def test_clip_segment_endpoints_lie_on_segment(p0, p1, clip):
+    assume(p0 != p1)
+    clipped = clip_segment(p0, p1, clip)
+    if clipped is None:
+        return
+    (ax, ay), (bx, by) = clipped
+    # Clipped endpoints stay within the original segment's bounding box
+    # (they are p0 + t(p1-p0) with t in [0, 1]).
+    for x, y in clipped:
+        assert min(p0[0], p1[0]) - 1e-6 <= x <= max(p0[0], p1[0]) + 1e-6
+        assert min(p0[1], p1[1]) - 1e-6 <= y <= max(p0[1], p1[1]) + 1e-6
+    # And the clipped piece is no longer than the original.
+    original = math.hypot(p1[0] - p0[0], p1[1] - p0[1])
+    piece = math.hypot(bx - ax, by - ay)
+    assert piece <= original + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(points, points, convex_polygons())
+def test_clip_segment_midpoint_inside_clip(p0, p1, clip):
+    assume(p0 != p1)
+    clipped = clip_segment(p0, p1, clip)
+    if clipped is None or clipped[0] == clipped[1]:
+        return
+    (ax, ay), (bx, by) = clipped
+    mx, my = (ax + bx) / 2.0, (ay + by) / 2.0
+    # The midpoint of the clipped piece must lie in (or on) the clip
+    # polygon; tiny float tolerance through the MBR.
+    mbr = clip.mbr()
+    assert mbr.xl - 1e-6 <= mx <= mbr.xu + 1e-6
+    assert mbr.yl - 1e-6 <= my <= mbr.yu + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(points, min_size=2, max_size=8, unique=True),
+       convex_polygons())
+def test_clip_polyline_total_length_bounded(vertices, clip):
+    line = Polyline(vertices)
+    pieces = clip_polyline(line, clip)
+    total = sum(piece.length() for piece in pieces)
+    assert total <= line.length() + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(convex_polygons(), convex_polygons())
+def test_clip_polygon_area_bounded(subject, clip):
+    result = clip_polygon(subject, clip)
+    if result is None:
+        return
+    assert result.area() <= subject.area() + 1e-6
+    assert result.area() <= clip.area() + 1e-6
+    # The result lies inside both MBRs.
+    assert subject.mbr().intersection(clip.mbr()) is not None

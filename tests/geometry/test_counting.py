@@ -1,0 +1,47 @@
+"""Unit tests for the comparison counter."""
+
+from repro.geometry import ComparisonCounter
+
+
+def test_initial_state():
+    c = ComparisonCounter()
+    assert c.join == 0 and c.sort == 0 and c.total == 0
+
+
+def test_add_methods():
+    c = ComparisonCounter()
+    c.add_join(3)
+    c.add_sort(5)
+    assert c.join == 3 and c.sort == 5 and c.total == 8
+
+
+def test_direct_increment():
+    c = ComparisonCounter()
+    c.join += 7
+    assert c.total == 7
+
+
+def test_reset():
+    c = ComparisonCounter(4, 2)
+    c.reset()
+    assert c.total == 0
+
+
+def test_snapshot_is_independent():
+    c = ComparisonCounter(1, 1)
+    snap = c.snapshot()
+    c.join += 10
+    assert snap.join == 1 and c.join == 11
+
+
+def test_iadd_merges():
+    a = ComparisonCounter(1, 2)
+    b = ComparisonCounter(10, 20)
+    a += b
+    assert a.join == 11 and a.sort == 22
+
+
+def test_equality():
+    assert ComparisonCounter(1, 2) == ComparisonCounter(1, 2)
+    assert ComparisonCounter(1, 2) != ComparisonCounter(2, 1)
+    assert ComparisonCounter() != "not a counter"

@@ -1,0 +1,44 @@
+"""Unit tests for Point."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.geometry import Point
+
+
+def test_construction():
+    p = Point(1, 2)
+    assert p.x == 1.0 and p.y == 2.0
+
+
+def test_nonfinite_rejected():
+    with pytest.raises(ValueError):
+        Point(math.nan, 0)
+    with pytest.raises(ValueError):
+        Point(0, math.inf)
+
+
+def test_immutable():
+    p = Point(0, 0)
+    with pytest.raises(AttributeError):
+        p.x = 5
+
+
+def test_distance():
+    assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+
+def test_value_semantics():
+    assert Point(1, 2) == Point(1, 2)
+    assert hash(Point(1, 2)) == hash(Point(1, 2))
+    assert Point(1, 2) != Point(2, 1)
+    assert Point(1, 2) != (1, 2)
+    assert tuple(Point(1, 2)) == (1, 2)
+    assert Point(1, 2).as_tuple() == (1, 2)
+
+
+def test_pickle():
+    p = Point(1.5, -2.5)
+    assert pickle.loads(pickle.dumps(p)) == p

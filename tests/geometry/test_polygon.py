@@ -1,0 +1,102 @@
+"""Unit tests for polygons."""
+
+import pytest
+
+from repro.geometry import Polygon, Rect, regular_polygon
+
+
+UNIT_SQUARE = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+
+class TestConstruction:
+    def test_three_vertices_minimum(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_closing_vertex_dropped(self):
+        p = Polygon([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(p) == 3
+
+    def test_closed_triangle_still_needs_three_distinct(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (1, 0), (0, 0)])
+
+    def test_regular_polygon(self):
+        p = regular_polygon(0, 0, 1.0, sides=6)
+        assert len(p) == 6
+        assert p.area() == pytest.approx(2.598, abs=1e-3)
+
+    def test_regular_polygon_too_few_sides(self):
+        with pytest.raises(ValueError):
+            regular_polygon(0, 0, 1.0, sides=2)
+
+
+class TestMetrics:
+    def test_area_square(self):
+        assert UNIT_SQUARE.area() == 1.0
+
+    def test_signed_area_ccw_positive(self):
+        assert UNIT_SQUARE.signed_area() == 0.5 * 2  # 1.0, CCW ring
+
+    def test_signed_area_cw_negative(self):
+        p = Polygon([(0, 0), (0, 1), (1, 1), (1, 0)])
+        assert p.signed_area() == -1.0
+
+    def test_mbr(self):
+        assert UNIT_SQUARE.mbr() == Rect(0, 0, 1, 1)
+
+    def test_edges_include_closing_edge(self):
+        assert len(list(UNIT_SQUARE.edges())) == 4
+
+
+class TestContainsPoint:
+    def test_interior(self):
+        assert UNIT_SQUARE.contains_point(0.5, 0.5)
+
+    def test_exterior(self):
+        assert not UNIT_SQUARE.contains_point(2.0, 0.5)
+
+    def test_boundary_counts_as_inside(self):
+        assert UNIT_SQUARE.contains_point(0.0, 0.5)
+        assert UNIT_SQUARE.contains_point(0.0, 0.0)
+
+    def test_concave_polygon(self):
+        # A "C" shape: point in the notch is outside.
+        c_shape = Polygon([(0, 0), (3, 0), (3, 1), (1, 1), (1, 2),
+                           (3, 2), (3, 3), (0, 3)])
+        assert c_shape.contains_point(0.5, 1.5)
+        assert not c_shape.contains_point(2.0, 1.5)
+
+
+class TestIntersects:
+    def test_overlapping_squares(self):
+        other = Polygon([(0.5, 0.5), (1.5, 0.5), (1.5, 1.5), (0.5, 1.5)])
+        assert UNIT_SQUARE.intersects(other)
+
+    def test_nested_polygon_detected(self):
+        inner = Polygon([(0.25, 0.25), (0.75, 0.25), (0.5, 0.75)])
+        assert UNIT_SQUARE.intersects(inner)
+        assert inner.intersects(UNIT_SQUARE)
+
+    def test_disjoint(self):
+        far = Polygon([(5, 5), (6, 5), (6, 6)])
+        assert not UNIT_SQUARE.intersects(far)
+
+    def test_mbr_overlap_but_disjoint_shapes(self):
+        # Two triangles in opposite corners of a shared bounding box.
+        a = Polygon([(0, 0), (1, 0), (0, 1)])
+        b = Polygon([(3.2, 3.2), (4, 3.99), (4, 4), (3.99, 4)])
+        big = Polygon([(0, 0), (4, 0), (0, 4)])
+        assert not big.intersects(b)
+        assert big.mbr().intersects(b.mbr())
+        assert big.intersects(a)
+
+
+def test_equality_hash_pickle():
+    import pickle
+    a = Polygon([(0, 0), (1, 0), (0, 1)])
+    b = Polygon([(0, 0), (1, 0), (0, 1)])
+    assert a == b and hash(a) == hash(b)
+    assert a != UNIT_SQUARE
+    assert a != 3
+    assert pickle.loads(pickle.dumps(a)) == a

@@ -1,0 +1,77 @@
+"""Unit tests for polylines."""
+
+import pytest
+
+from repro.geometry import Polyline, Rect, split_into_records
+
+
+class TestConstruction:
+    def test_two_vertices_minimum(self):
+        with pytest.raises(ValueError):
+            Polyline([(0, 0)])
+
+    def test_vertices_preserved(self):
+        line = Polyline([(0, 0), (1, 1), (2, 0)])
+        assert line.vertices == ((0, 0), (1, 1), (2, 0))
+        assert len(line) == 3
+
+    def test_immutable(self):
+        line = Polyline([(0, 0), (1, 1)])
+        with pytest.raises(AttributeError):
+            line._vertices = ()
+
+
+class TestGeometry:
+    def test_mbr(self):
+        line = Polyline([(0, 2), (3, 0), (1, 4)])
+        assert line.mbr() == Rect(0, 0, 3, 4)
+
+    def test_segments(self):
+        line = Polyline([(0, 0), (1, 0), (1, 1)])
+        segs = list(line.segments())
+        assert len(segs) == 2
+        assert (segs[0].x1, segs[0].y1, segs[0].x2, segs[0].y2) == (0, 0, 1, 0)
+
+    def test_length(self):
+        line = Polyline([(0, 0), (3, 0), (3, 4)])
+        assert line.length() == pytest.approx(7.0)
+
+
+class TestIntersects:
+    def test_crossing_chains(self):
+        a = Polyline([(0, 1), (4, 1)])
+        b = Polyline([(2, 0), (2, 2)])
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_mbr_overlap_but_no_crossing(self):
+        # L-shapes whose MBRs overlap but segments never touch.
+        a = Polyline([(0, 0), (0, 4), (1, 4)])
+        b = Polyline([(0.5, 0), (0.5, 3), (1, 3)])
+        assert a.mbr().intersects(b.mbr())
+        assert not a.intersects(b)
+
+    def test_disjoint_mbrs_shortcut(self):
+        a = Polyline([(0, 0), (1, 1)])
+        b = Polyline([(10, 10), (11, 11)])
+        assert not a.intersects(b)
+
+
+class TestSplitIntoRecords:
+    def test_chain_splits_to_single_segments(self):
+        line = Polyline([(0, 0), (1, 0), (2, 1), (3, 1)])
+        records = split_into_records(line)
+        assert len(records) == 3
+        assert all(len(r) == 2 for r in records)
+        assert records[1].vertices == ((1, 0), (2, 1))
+
+
+def test_equality_hash_pickle():
+    import pickle
+    a = Polyline([(0, 0), (1, 1)])
+    b = Polyline([(0, 0), (1, 1)])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Polyline([(0, 0), (2, 2)])
+    assert a != "line"
+    assert pickle.loads(pickle.dumps(a)) == a

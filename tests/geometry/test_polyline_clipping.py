@@ -1,0 +1,94 @@
+"""Tests for segment/polyline clipping against convex polygons."""
+
+import pytest
+
+from repro.geometry import Polygon, Polyline
+from repro.geometry.clipping import clip_polyline, clip_segment
+
+SQUARE = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+
+
+class TestClipSegment:
+    def test_fully_inside_unchanged(self):
+        assert clip_segment((1, 1), (3, 3), SQUARE) == ((1, 1), (3, 3))
+
+    def test_fully_outside_is_none(self):
+        assert clip_segment((10, 10), (12, 12), SQUARE) is None
+        assert clip_segment((-2, 2), (-1, 2), SQUARE) is None
+
+    def test_crossing_clipped_both_ends(self):
+        start, end = clip_segment((-2, 2), (6, 2), SQUARE)
+        assert start == pytest.approx((0.0, 2.0))
+        assert end == pytest.approx((4.0, 2.0))
+
+    def test_one_end_inside(self):
+        start, end = clip_segment((2, 2), (8, 2), SQUARE)
+        assert start == (2, 2)
+        assert end == pytest.approx((4.0, 2.0))
+
+    def test_diagonal_through_corner_region(self):
+        start, end = clip_segment((-1, -1), (5, 5), SQUARE)
+        assert start == pytest.approx((0.0, 0.0))
+        assert end == pytest.approx((4.0, 4.0))
+
+    def test_parallel_outside_edge(self):
+        assert clip_segment((-1, 5), (5, 5), SQUARE) is None
+
+    def test_parallel_on_edge_kept(self):
+        clipped = clip_segment((1, 4), (3, 4), SQUARE)
+        assert clipped == ((1, 4), (3, 4))
+
+    def test_misses_corner(self):
+        # Passes near the corner but outside.
+        assert clip_segment((3.5, 5.5), (5.5, 3.5), SQUARE) is None
+
+    def test_clockwise_clip_ring_handled(self):
+        cw = Polygon([(0, 0), (0, 4), (4, 4), (4, 0)])
+        assert cw.signed_area() < 0
+        assert clip_segment((1, 1), (3, 3), cw) == ((1, 1), (3, 3))
+
+    def test_concave_clip_rejected(self):
+        arrow = Polygon([(0, 0), (4, 0), (2, 1), (2, 4)])
+        with pytest.raises(ValueError):
+            clip_segment((0, 0), (1, 1), arrow)
+
+    def test_triangle_clip(self):
+        triangle = Polygon([(0, 0), (4, 0), (2, 4)])
+        start, end = clip_segment((-2, 1), (6, 1), triangle)
+        assert start == pytest.approx((0.5, 1.0))
+        assert end == pytest.approx((3.5, 1.0))
+
+
+class TestClipPolyline:
+    def test_chain_inside(self):
+        line = Polyline([(1, 1), (2, 2), (3, 1)])
+        pieces = clip_polyline(line, SQUARE)
+        assert len(pieces) == 1
+        assert pieces[0].vertices == ((1, 1), (2, 2), (3, 1))
+
+    def test_chain_crossing_out_and_back(self):
+        # Leaves the square through the right edge and re-enters.
+        line = Polyline([(1, 1), (6, 1), (6, 3), (1, 3)])
+        pieces = clip_polyline(line, SQUARE)
+        assert len(pieces) == 2
+        first, second = pieces
+        assert first.vertices[0] == (1, 1)
+        assert first.vertices[-1] == pytest.approx((4.0, 1.0))
+        assert second.vertices[0] == pytest.approx((4.0, 3.0))
+        assert second.vertices[-1] == (1, 3)
+
+    def test_chain_fully_outside(self):
+        line = Polyline([(10, 10), (12, 10), (12, 12)])
+        assert clip_polyline(line, SQUARE) == []
+
+    def test_length_preserved_when_inside(self):
+        line = Polyline([(0.5, 0.5), (3.5, 0.5), (3.5, 3.5)])
+        pieces = clip_polyline(line, SQUARE)
+        assert len(pieces) == 1
+        assert pieces[0].length() == pytest.approx(line.length())
+
+    def test_clipped_length_shorter(self):
+        line = Polyline([(-2, 2), (6, 2)])
+        pieces = clip_polyline(line, SQUARE)
+        assert len(pieces) == 1
+        assert pieces[0].length() == pytest.approx(4.0)

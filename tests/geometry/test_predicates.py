@@ -1,0 +1,40 @@
+"""Unit tests for spatial predicates."""
+
+from repro.geometry import Rect, SpatialPredicate
+
+
+def test_intersects():
+    p = SpatialPredicate.INTERSECTS
+    assert p.evaluate(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3))
+    assert not p.evaluate(Rect(0, 0, 1, 1), Rect(5, 5, 6, 6))
+
+
+def test_contains():
+    p = SpatialPredicate.CONTAINS
+    assert p.evaluate(Rect(0, 0, 10, 10), Rect(1, 1, 2, 2))
+    assert not p.evaluate(Rect(1, 1, 2, 2), Rect(0, 0, 10, 10))
+
+
+def test_within():
+    p = SpatialPredicate.WITHIN
+    assert p.evaluate(Rect(1, 1, 2, 2), Rect(0, 0, 10, 10))
+    assert not p.evaluate(Rect(0, 0, 10, 10), Rect(1, 1, 2, 2))
+
+
+def test_all_predicates_imply_intersection():
+    # The directory-level pruning soundness assumption.
+    for predicate in SpatialPredicate:
+        assert predicate.prunes_with_intersection()
+
+
+def test_containment_implies_intersection_on_samples():
+    import random
+    rng = random.Random(3)
+    for _ in range(200):
+        a = Rect(rng.random(), rng.random(),
+                 rng.random() + 1, rng.random() + 1)
+        b = Rect(rng.random(), rng.random(),
+                 rng.random() + 1, rng.random() + 1)
+        for predicate in SpatialPredicate:
+            if predicate.evaluate(a, b):
+                assert a.intersects(b)

@@ -1,0 +1,91 @@
+"""Property-based tests for rectangle algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import ComparisonCounter, Rect, intersect_count
+
+coords = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(coords)
+    x2 = draw(coords)
+    y1 = draw(coords)
+    y2 = draw(coords)
+    return Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+
+@given(rects(), rects())
+def test_intersection_symmetric(a, b):
+    assert a.intersects(b) == b.intersects(a)
+
+
+@given(rects(), rects())
+def test_counted_test_agrees_with_predicate(a, b):
+    c = ComparisonCounter()
+    assert intersect_count(a, b, c) == a.intersects(b)
+    assert 1 <= c.join <= 4
+
+
+@given(rects(), rects())
+def test_intersection_consistent_with_predicate(a, b):
+    common = a.intersection(b)
+    assert (common is not None) == a.intersects(b)
+    if common is not None:
+        assert a.contains(common)
+        assert b.contains(common)
+
+
+@given(rects(), rects())
+def test_union_covers_both(a, b):
+    u = a.union(b)
+    assert u.contains(a) and u.contains(b)
+
+
+@given(rects(), rects())
+def test_union_is_tight(a, b):
+    u = a.union(b)
+    assert u.xl == min(a.xl, b.xl)
+    assert u.yl == min(a.yl, b.yl)
+    assert u.xu == max(a.xu, b.xu)
+    assert u.yu == max(a.yu, b.yu)
+
+
+@given(rects(), rects())
+def test_enlargement_non_negative(a, b):
+    assert a.enlargement(b) >= 0.0
+
+
+@given(rects(), rects())
+def test_intersection_area_matches_intersection(a, b):
+    area = a.intersection_area(b)
+    common = a.intersection(b)
+    if common is None:
+        assert area == 0.0
+    else:
+        assert area == common.area()
+
+
+@given(rects())
+def test_self_relations(a):
+    assert a.intersects(a)
+    assert a.contains(a)
+    assert a.union(a) == a
+    assert a.intersection(a) == a
+    assert a.enlargement(a) == 0.0
+
+
+@given(rects(), rects(), rects())
+def test_containment_transitive(a, b, c):
+    if a.contains(b) and b.contains(c):
+        assert a.contains(c)
+
+
+@given(st.lists(rects(), min_size=1, max_size=20))
+def test_mbr_of_covers_all(rect_list):
+    mbr = Rect.mbr_of(rect_list)
+    for r in rect_list:
+        assert mbr.contains(r)

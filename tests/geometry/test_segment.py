@@ -1,0 +1,89 @@
+"""Unit tests for segments and segment intersection."""
+
+import pytest
+
+from repro.geometry import Rect, Segment, segment_intersection_point
+from repro.geometry.segment import orientation, segments_intersect
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(0, 0, 1, 0, 1, 1) == 1
+
+    def test_clockwise(self):
+        assert orientation(0, 0, 1, 0, 1, -1) == -1
+
+    def test_collinear(self):
+        assert orientation(0, 0, 1, 1, 2, 2) == 0
+
+
+class TestSegmentsIntersect:
+    def test_proper_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_shared_endpoint(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect((0, 0), (2, 0), (1, -1), (1, 0))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_parallel_non_collinear(self):
+        assert not segments_intersect((0, 0), (2, 0), (0, 1), (2, 1))
+
+
+class TestIntersectionPoint:
+    def test_proper_crossing_point(self):
+        p = segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert p == (1.0, 1.0)
+
+    def test_disjoint_gives_none(self):
+        assert segment_intersection_point(
+            (0, 0), (1, 1), (5, 5), (6, 6)) is None
+
+    def test_touching_endpoint(self):
+        p = segment_intersection_point((0, 0), (1, 1), (1, 1), (2, 0))
+        assert p == (1.0, 1.0)
+
+    def test_collinear_overlap_gives_none(self):
+        assert segment_intersection_point(
+            (0, 0), (2, 0), (1, 0), (3, 0)) is None
+
+    def test_lines_cross_but_segments_do_not(self):
+        assert segment_intersection_point(
+            (0, 0), (1, 1), (0, 10), (10, 0)) is None
+
+
+class TestSegmentClass:
+    def test_mbr(self):
+        assert Segment(3, 1, 0, 4).mbr() == Rect(0, 1, 3, 4)
+
+    def test_intersects_method(self):
+        assert Segment(0, 0, 2, 2).intersects(Segment(0, 2, 2, 0))
+        assert not Segment(0, 0, 1, 0).intersects(Segment(0, 1, 1, 1))
+
+    def test_immutable(self):
+        s = Segment(0, 0, 1, 1)
+        with pytest.raises(AttributeError):
+            s.x1 = 9
+
+    def test_equality_and_hash(self):
+        assert Segment(0, 0, 1, 1) == Segment(0, 0, 1, 1)
+        assert hash(Segment(0, 0, 1, 1)) == hash(Segment(0, 0, 1, 1))
+        assert Segment(0, 0, 1, 1) != "seg"
+
+    def test_endpoints(self):
+        assert Segment(0, 1, 2, 3).endpoints() == ((0, 1), (2, 3))
+
+    def test_pickle(self):
+        import pickle
+        s = Segment(0, 1, 2, 3)
+        assert pickle.loads(pickle.dumps(s)) == s

@@ -1,0 +1,66 @@
+"""Unit tests for the red/blue segment sweep."""
+
+import random
+
+from repro.geometry import (Segment, count_intersecting_pairs,
+                            intersecting_segment_pairs)
+
+
+def brute_force(red, blue):
+    return {(i, j) for i, a in enumerate(red) for j, b in enumerate(blue)
+            if a.intersects(b)}
+
+
+def random_segments(n, seed, span=100.0, length=10.0):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        x = rng.random() * span
+        y = rng.random() * span
+        out.append(Segment(x, y, x + (rng.random() - 0.5) * length,
+                           y + (rng.random() - 0.5) * length))
+    return out
+
+
+def test_simple_crossing():
+    red = [Segment(0, 0, 2, 2)]
+    blue = [Segment(0, 2, 2, 0)]
+    assert set(intersecting_segment_pairs(red, blue)) == {(0, 0)}
+
+
+def test_disjoint_sets():
+    red = [Segment(0, 0, 1, 0)]
+    blue = [Segment(5, 5, 6, 5)]
+    assert list(intersecting_segment_pairs(red, blue)) == []
+
+
+def test_x_overlap_but_y_disjoint():
+    red = [Segment(0, 0, 10, 0)]
+    blue = [Segment(0, 5, 10, 5)]
+    assert list(intersecting_segment_pairs(red, blue)) == []
+
+
+def test_matches_brute_force_random():
+    red = random_segments(120, seed=1)
+    blue = random_segments(120, seed=2)
+    expected = brute_force(red, blue)
+    actual = set(intersecting_segment_pairs(red, blue))
+    assert actual == expected
+
+
+def test_matches_brute_force_dense():
+    red = random_segments(80, seed=3, span=20.0, length=15.0)
+    blue = random_segments(80, seed=4, span=20.0, length=15.0)
+    assert set(intersecting_segment_pairs(red, blue)) == \
+        brute_force(red, blue)
+
+
+def test_count_helper():
+    red = [Segment(0, 0, 2, 2), Segment(5, 5, 6, 6)]
+    blue = [Segment(0, 2, 2, 0)]
+    assert count_intersecting_pairs(red, blue) == 1
+
+
+def test_empty_inputs():
+    assert list(intersecting_segment_pairs([], [])) == []
+    assert list(intersecting_segment_pairs([Segment(0, 0, 1, 1)], [])) == []

@@ -1,0 +1,79 @@
+"""Unit tests for bulk loading (STR / Hilbert packing)."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import (RTreeParams, chunk_balanced, hilbert_pack, str_pack,
+                         tree_properties, validate_rtree)
+from tests.conftest import make_rects
+
+
+@pytest.mark.parametrize("pack", [str_pack, hilbert_pack])
+class TestPacking:
+    def test_queries_match_brute_force(self, pack):
+        records = make_rects(2000, seed=31)
+        tree = pack(records, RTreeParams.from_page_size(512))
+        validate_rtree(tree)
+        window = Rect(100, 100, 400, 400)
+        expected = sorted(ref for rect, ref in records
+                          if rect.intersects(window))
+        assert sorted(tree.window_query(window)) == expected
+
+    def test_high_utilization(self, pack):
+        records = make_rects(2000, seed=32)
+        tree = pack(records, RTreeParams.from_page_size(512))
+        assert tree_properties(tree).storage_utilization > 0.9
+
+    def test_partial_fill(self, pack):
+        records = make_rects(1000, seed=33)
+        tree = pack(records, RTreeParams.from_page_size(512), fill=0.7)
+        validate_rtree(tree)
+        props = tree_properties(tree)
+        assert 0.55 < props.storage_utilization < 0.85
+
+    def test_updates_after_packing(self, pack):
+        records = make_rects(500, seed=34)
+        tree = pack(records, RTreeParams.from_page_size(256))
+        tree.insert(Rect(1, 1, 2, 2), 9999)
+        assert 9999 in tree.window_query(Rect(0, 0, 3, 3))
+        rect, ref = records[0]
+        assert tree.delete(rect, ref)
+        validate_rtree(tree)
+
+    def test_empty_input_rejected(self, pack):
+        with pytest.raises(ValueError):
+            pack([], RTreeParams.from_page_size(512))
+
+    def test_bad_fill_rejected(self, pack):
+        records = make_rects(10, seed=35)
+        with pytest.raises(ValueError):
+            pack(records, RTreeParams.from_page_size(512), fill=0.0)
+
+    def test_single_record(self, pack):
+        tree = pack([(Rect(0, 0, 1, 1), 7)],
+                    RTreeParams.from_page_size(512))
+        assert tree.window_query(Rect(0, 0, 2, 2)) == [7]
+        assert len(tree) == 1
+
+
+class TestChunkBalanced:
+    def test_even_chunks(self):
+        runs = chunk_balanced(list(range(10)), 5, 2)
+        assert [len(r) for r in runs] == [5, 5]
+
+    def test_small_tail_balanced(self):
+        runs = chunk_balanced(list(range(11)), 10, 4)
+        assert [len(r) for r in runs] == [5, 6]
+        assert sorted(x for run in runs for x in run) == list(range(11))
+
+    def test_small_tail_merged_when_fits(self):
+        runs = chunk_balanced(list(range(7)), 10, 4)
+        assert [len(r) for r in runs] == [7]
+
+    def test_single_small_run_allowed(self):
+        runs = chunk_balanced([1], 10, 4)
+        assert runs == [[1]]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_balanced([1], 0, 1)

@@ -1,0 +1,43 @@
+"""Unit tests for the Guttman R-tree variants."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import GuttmanRTree, RTreeParams, validate_rtree
+from tests.conftest import make_rects
+
+
+@pytest.mark.parametrize("split", ["quadratic", "linear"])
+def test_build_query_delete(split):
+    records = make_rects(1500, seed=21)
+    tree = GuttmanRTree(RTreeParams.from_page_size(256), split=split)
+    for rect, ref in records:
+        tree.insert(rect, ref)
+    validate_rtree(tree)
+    window = Rect(200, 200, 500, 500)
+    expected = sorted(ref for rect, ref in records if rect.intersects(window))
+    assert sorted(tree.window_query(window)) == expected
+    for rect, ref in records[:500]:
+        assert tree.delete(rect, ref)
+    validate_rtree(tree)
+    assert len(tree) == 1000
+
+
+def test_variant_tags():
+    params = RTreeParams.from_page_size(256)
+    assert GuttmanRTree(params).variant == "guttman-quadratic"
+    assert GuttmanRTree(params, split="linear").variant == "guttman-linear"
+
+
+def test_unknown_split_rejected():
+    with pytest.raises(ValueError):
+        GuttmanRTree(RTreeParams.from_page_size(256), split="magic")
+
+
+def test_least_enlargement_choice():
+    from repro.rtree import Entry, least_enlargement_index
+    entries = [Entry(Rect(0, 0, 10, 10), 0), Entry(Rect(20, 20, 21, 21), 1)]
+    # Inserting near the small rectangle should choose it (less growth).
+    assert least_enlargement_index(entries, Rect(22, 22, 23, 23)) == 1
+    # Inserting inside the big one chooses it (zero growth).
+    assert least_enlargement_index(entries, Rect(1, 1, 2, 2)) == 0

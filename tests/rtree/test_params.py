@@ -1,0 +1,62 @@
+"""Unit tests for capacity parameters (Table 1's M column)."""
+
+import pytest
+
+from repro.rtree import ENTRY_BYTES, RTreeParams
+
+
+def test_entry_size_is_twenty_bytes():
+    assert ENTRY_BYTES == 20
+
+
+@pytest.mark.parametrize("page_size,expected_m", [
+    (1024, 51), (2048, 102), (4096, 204), (8192, 409),
+])
+def test_paper_capacities(page_size, expected_m):
+    params = RTreeParams.from_page_size(page_size)
+    assert params.max_entries == expected_m
+
+
+def test_min_entries_default_forty_percent():
+    params = RTreeParams.from_page_size(1024)
+    assert params.min_entries == 20            # round(0.4 * 51)
+
+
+def test_min_entries_within_bounds():
+    # The paper's constraint: 2 <= m <= ceil(M/2).
+    for page_size in (64, 128, 1024, 8192):
+        params = RTreeParams.from_page_size(page_size)
+        assert 2 <= params.min_entries <= (params.max_entries + 1) // 2
+
+
+def test_reinsert_count_default_thirty_percent():
+    params = RTreeParams.from_page_size(1024)
+    assert params.reinsert_count == 15         # round(0.3 * 51)
+
+
+def test_tiny_page_rejected():
+    with pytest.raises(ValueError):
+        RTreeParams.from_page_size(40)
+
+
+def test_invalid_min_fill_rejected():
+    with pytest.raises(ValueError):
+        RTreeParams.from_page_size(1024, min_fill=0.0)
+    with pytest.raises(ValueError):
+        RTreeParams.from_page_size(1024, min_fill=0.7)
+
+
+def test_invalid_reinsert_fraction_rejected():
+    with pytest.raises(ValueError):
+        RTreeParams.from_page_size(1024, reinsert_fraction=0.0)
+    with pytest.raises(ValueError):
+        RTreeParams.from_page_size(1024, reinsert_fraction=1.0)
+
+
+def test_direct_construction_validated():
+    with pytest.raises(ValueError):
+        RTreeParams(page_size=1024, max_entries=10, min_entries=6,
+                    reinsert_count=3)
+    with pytest.raises(ValueError):
+        RTreeParams(page_size=1024, max_entries=2, min_entries=2,
+                    reinsert_count=1)

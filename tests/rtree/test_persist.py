@@ -1,0 +1,125 @@
+"""Unit tests for tree persistence."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import (GuttmanRTree, PersistenceError, RStarTree,
+                         RTreeParams, load_tree, save_tree, str_pack,
+                         tree_properties, validate_rtree)
+from tests.conftest import build_rstar, make_rects
+
+
+def test_roundtrip_preserves_queries(tmp_path):
+    records = make_rects(1200, seed=51)
+    tree = build_rstar(records, page_size=256)
+    path = str(tmp_path / "tree.rt")
+    pages = save_tree(tree, path)
+    assert pages > 1
+    loaded = load_tree(path)
+    validate_rtree(loaded)
+    assert len(loaded) == len(tree)
+    assert loaded.height == tree.height
+    for window in (Rect(0, 0, 200, 200), Rect(400, 400, 900, 900)):
+        assert sorted(loaded.window_query(window)) == \
+            sorted(tree.window_query(window))
+
+
+def test_roundtrip_preserves_properties(tmp_path):
+    records = make_rects(800, seed=52)
+    tree = build_rstar(records, page_size=512)
+    path = str(tmp_path / "tree.rt")
+    save_tree(tree, path)
+    loaded = load_tree(path)
+    assert tree_properties(loaded) == tree_properties(tree)
+
+
+def test_loaded_tree_is_updatable(tmp_path):
+    records = make_rects(300, seed=53)
+    tree = build_rstar(records)
+    path = str(tmp_path / "tree.rt")
+    save_tree(tree, path)
+    loaded = load_tree(path)
+    loaded.insert(Rect(1, 1, 2, 2), 7777)
+    assert 7777 in loaded.window_query(Rect(0, 0, 3, 3))
+    rect, ref = records[0]
+    assert loaded.delete(rect, ref)
+    validate_rtree(loaded)
+
+
+@pytest.mark.parametrize("make_tree", [
+    lambda records: build_rstar(records),
+    lambda records: _guttman(records, "quadratic"),
+    lambda records: _guttman(records, "linear"),
+    lambda records: str_pack(records, RTreeParams.from_page_size(1024)),
+])
+def test_all_variants_roundtrip(tmp_path, make_tree):
+    records = make_rects(400, seed=54)
+    tree = make_tree(records)
+    path = str(tmp_path / "tree.rt")
+    save_tree(tree, path)
+    loaded = load_tree(path)
+    assert loaded.variant == tree.variant
+    assert sorted(loaded.window_query(Rect(0, 0, 1000, 1000))) == \
+        sorted(tree.window_query(Rect(0, 0, 1000, 1000)))
+
+
+def _guttman(records, split):
+    tree = GuttmanRTree(RTreeParams.from_page_size(1024), split=split)
+    for rect, ref in records:
+        tree.insert(rect, ref)
+    return tree
+
+
+def test_negative_leaf_refs_roundtrip(tmp_path):
+    tree = RStarTree(RTreeParams.from_page_size(1024))
+    tree.insert(Rect(0, 0, 1, 1), -5)
+    path = str(tmp_path / "tree.rt")
+    save_tree(tree, path)
+    assert load_tree(path).window_query(Rect(0, 0, 1, 1)) == [-5]
+
+
+def test_garbage_file_rejected(tmp_path):
+    path = tmp_path / "junk.rt"
+    path.write_bytes(b"not a tree at all" * 10)
+    with pytest.raises(PersistenceError):
+        load_tree(str(path))
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "short.rt"
+    path.write_bytes(b"xx")
+    with pytest.raises(PersistenceError):
+        load_tree(str(path))
+
+
+def test_bitflip_detected_by_checksum(tmp_path):
+    records = make_rects(300, seed=55)
+    tree = build_rstar(records)
+    path = tmp_path / "tree.rt"
+    save_tree(tree, str(path))
+    data = bytearray(path.read_bytes())
+    # Flip one byte in the middle of a node page (past the header page).
+    target = len(data) // 2
+    data[target] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(PersistenceError, match="checksum|corrupt|variant|"
+                                               "height|nodes"):
+        load_tree(str(path))
+
+
+def test_checksum_catches_payload_corruption_specifically(tmp_path):
+    records = make_rects(200, seed=56)
+    tree = build_rstar(records)
+    path = tmp_path / "tree.rt"
+    pages = save_tree(tree, str(path))
+    assert pages >= 2
+    data = bytearray(path.read_bytes())
+    # Corrupt a coordinate byte inside the *last* node page, well past
+    # its CRC field: offset = page_start + 4 (store header) + 4 (crc)
+    # + 8 (node header) + a few bytes into the first entry.
+    page_size = len(data) // pages
+    offset = (pages - 1) * page_size + 4 + 4 + 8 + 3
+    data[offset] ^= 0x5A
+    path.write_bytes(bytes(data))
+    with pytest.raises(PersistenceError, match="checksum"):
+        load_tree(str(path))

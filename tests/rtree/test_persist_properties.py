@@ -1,0 +1,54 @@
+"""Property-based persistence round trips (hypothesis)."""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.rtree import (RStarTree, RTreeParams, load_tree, save_tree,
+                         tree_properties, validate_rtree)
+
+coords = st.floats(min_value=-1e5, max_value=1e5,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rect_strategy(draw):
+    x = draw(coords)
+    y = draw(coords)
+    w = draw(st.floats(min_value=0.0, max_value=1e3))
+    h = draw(st.floats(min_value=0.0, max_value=1e3))
+    return Rect(x, y, x + w, y + h)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(rect_strategy(), min_size=1, max_size=80),
+       st.lists(st.integers(min_value=-2**40, max_value=2**40),
+                min_size=1, max_size=80))
+def test_roundtrip_preserves_everything(rect_list, refs):
+    refs = (refs * (len(rect_list) // len(refs) + 1))[:len(rect_list)]
+    # Make refs unique to keep delete-by-id meaningful.
+    refs = [r * 100 + i for i, r in enumerate(refs)]
+    tree = RStarTree(RTreeParams.from_page_size(80))
+    for rect, ref in zip(rect_list, refs):
+        tree.insert(rect, ref)
+
+    handle, path = tempfile.mkstemp(suffix=".rtree")
+    os.close(handle)
+    try:
+        save_tree(tree, path)
+        loaded = load_tree(path)
+    finally:
+        os.unlink(path)
+
+    validate_rtree(loaded)
+    assert tree_properties(loaded) == tree_properties(tree)
+    window = Rect(-1e5, -1e5, 2e5, 2e5)
+    assert sorted(loaded.window_query(window)) == \
+        sorted(tree.window_query(window))
+    # Exact coordinates survive the float64 serialization.
+    original = {(e.rect, e.ref) for e in tree.iter_data_entries()}
+    reloaded = {(e.rect, e.ref) for e in loaded.iter_data_entries()}
+    assert reloaded == original

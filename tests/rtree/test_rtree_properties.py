@@ -1,0 +1,68 @@
+"""Property-based tests: random workloads keep structural invariants
+and query correctness (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.rtree import (GuttmanRTree, RStarTree, RTreeParams,
+                         validate_rtree)
+
+coords = st.floats(min_value=0.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rect_strategy(draw):
+    x = draw(coords)
+    y = draw(coords)
+    w = draw(st.floats(min_value=0.0, max_value=10.0))
+    h = draw(st.floats(min_value=0.0, max_value=10.0))
+    return Rect(x, y, x + w, y + h)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(rect_strategy(), min_size=0, max_size=120))
+def test_rstar_insert_invariants_and_queries(rect_list):
+    params = RTreeParams.from_page_size(80)   # M=4: splits happen early
+    tree = RStarTree(params)
+    for i, rect in enumerate(rect_list):
+        tree.insert(rect, i)
+    validate_rtree(tree)
+    window = Rect(25, 25, 75, 75)
+    expected = sorted(i for i, rect in enumerate(rect_list)
+                      if rect.intersects(window))
+    assert sorted(tree.window_query(window)) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(rect_strategy(), min_size=1, max_size=100),
+       st.data())
+def test_rstar_delete_subset_keeps_invariants(rect_list, data):
+    params = RTreeParams.from_page_size(80)
+    tree = RStarTree(params)
+    for i, rect in enumerate(rect_list):
+        tree.insert(rect, i)
+    to_delete = data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(rect_list) - 1)))
+    for i in sorted(to_delete):
+        assert tree.delete(rect_list[i], i)
+    validate_rtree(tree)
+    window = Rect(0, 0, 100, 100)
+    expected = sorted(i for i, rect in enumerate(rect_list)
+                      if i not in to_delete and rect.intersects(window))
+    assert sorted(tree.window_query(window)) == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(rect_strategy(), min_size=0, max_size=80))
+def test_guttman_invariants_and_queries(rect_list):
+    params = RTreeParams.from_page_size(80)
+    tree = GuttmanRTree(params)
+    for i, rect in enumerate(rect_list):
+        tree.insert(rect, i)
+    validate_rtree(tree)
+    window = Rect(10, 10, 60, 60)
+    expected = sorted(i for i, rect in enumerate(rect_list)
+                      if rect.intersects(window))
+    assert sorted(tree.window_query(window)) == expected

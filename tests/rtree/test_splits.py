@@ -1,0 +1,94 @@
+"""Unit tests for the split algorithms (Guttman and R*)."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import (Entry, linear_split, quadratic_split, rstar_split)
+
+
+def entries_from(rects):
+    return [Entry(r, i) for i, r in enumerate(rects)]
+
+
+def random_entries(n, seed):
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(n):
+        x, y = rng.random() * 100, rng.random() * 100
+        rects.append(Rect(x, y, x + rng.random() * 10, y + rng.random() * 10))
+    return entries_from(rects)
+
+
+@pytest.mark.parametrize("split", [quadratic_split, linear_split,
+                                   rstar_split])
+class TestSplitContracts:
+    def test_partition_is_complete_and_disjoint(self, split):
+        entries = random_entries(30, seed=1)
+        g1, g2 = split(entries, 6)
+        refs1 = {e.ref for e in g1}
+        refs2 = {e.ref for e in g2}
+        assert refs1 | refs2 == {e.ref for e in entries}
+        assert not refs1 & refs2
+
+    def test_min_fill_respected(self, split):
+        for seed in range(5):
+            entries = random_entries(21, seed=seed)
+            g1, g2 = split(entries, 8)
+            assert len(g1) >= 8 and len(g2) >= 8
+
+    def test_two_entries(self, split):
+        entries = entries_from([Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)])
+        if split is rstar_split:
+            g1, g2 = split(entries, 1)
+        else:
+            g1, g2 = split(entries, 1)
+        assert len(g1) == 1 and len(g2) == 1
+
+    def test_identical_rectangles(self, split):
+        entries = entries_from([Rect(0, 0, 1, 1)] * 10)
+        g1, g2 = split(entries, 4)
+        assert len(g1) + len(g2) == 10
+        assert len(g1) >= 4 and len(g2) >= 4
+
+
+class TestSeparationQuality:
+    def test_quadratic_separates_two_clusters(self):
+        cluster_a = [Rect(x, 0, x + 1, 1) for x in range(5)]
+        cluster_b = [Rect(x + 100, 0, x + 101, 1) for x in range(5)]
+        g1, g2 = quadratic_split(entries_from(cluster_a + cluster_b), 2)
+        mbr1 = Rect.mbr_of(e.rect for e in g1)
+        mbr2 = Rect.mbr_of(e.rect for e in g2)
+        assert not mbr1.intersects(mbr2)
+
+    def test_rstar_separates_two_clusters(self):
+        cluster_a = [Rect(x, 0, x + 1, 1) for x in range(5)]
+        cluster_b = [Rect(x + 100, 0, x + 101, 1) for x in range(5)]
+        g1, g2 = rstar_split(entries_from(cluster_a + cluster_b), 2)
+        mbr1 = Rect.mbr_of(e.rect for e in g1)
+        mbr2 = Rect.mbr_of(e.rect for e in g2)
+        assert not mbr1.intersects(mbr2)
+
+    def test_rstar_picks_better_axis(self):
+        # Entries form a vertical strip: the split must be along y.
+        rects = [Rect(0, 10 * i, 1, 10 * i + 1) for i in range(10)]
+        g1, g2 = rstar_split(entries_from(rects), 3)
+        mbr1 = Rect.mbr_of(e.rect for e in g1)
+        mbr2 = Rect.mbr_of(e.rect for e in g2)
+        assert mbr1.intersection_area(mbr2) == 0.0
+        assert mbr1.yu <= mbr2.yl or mbr2.yu <= mbr1.yl
+
+
+class TestErrors:
+    def test_quadratic_single_entry_rejected(self):
+        with pytest.raises(ValueError):
+            quadratic_split(entries_from([Rect(0, 0, 1, 1)]), 1)
+
+    def test_linear_single_entry_rejected(self):
+        with pytest.raises(ValueError):
+            linear_split(entries_from([Rect(0, 0, 1, 1)]), 1)
+
+    def test_rstar_too_few_for_min_fill_rejected(self):
+        with pytest.raises(ValueError):
+            rstar_split(random_entries(5, seed=2), 3)

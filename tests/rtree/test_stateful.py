@@ -1,0 +1,69 @@
+"""Model-based test: R*-tree against a dictionary under random
+insert/delete/query interleavings."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 precondition, rule)
+
+from repro.geometry import Rect
+from repro.rtree import RStarTree, RTreeParams, validate_rtree
+
+coords = st.floats(min_value=0.0, max_value=64.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rect_strategy(draw):
+    x = draw(coords)
+    y = draw(coords)
+    w = draw(st.floats(min_value=0.0, max_value=8.0))
+    h = draw(st.floats(min_value=0.0, max_value=8.0))
+    return Rect(x, y, x + w, y + h)
+
+
+class RTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        # M=4 so splits/reinsertions/condensations trigger quickly.
+        self.tree = RStarTree(RTreeParams.from_page_size(80))
+        self.model = {}
+        self.next_id = 0
+
+    @rule(rect=rect_strategy())
+    def insert(self, rect):
+        oid = self.next_id
+        self.next_id += 1
+        self.tree.insert(rect, oid)
+        self.model[oid] = rect
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        rect = self.model.pop(oid)
+        assert self.tree.delete(rect, oid)
+
+    @rule(rect=rect_strategy())
+    def delete_missing(self, rect):
+        assert not self.tree.delete(rect, self.next_id + 1000)
+
+    @rule(window=rect_strategy())
+    def window_query_agrees(self, window):
+        expected = sorted(oid for oid, rect in self.model.items()
+                          if rect.intersects(window))
+        assert sorted(self.tree.window_query(window)) == expected
+
+    @invariant()
+    def size_agrees(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def structure_valid(self):
+        validate_rtree(self.tree)
+
+
+TestRTreeStateful = RTreeMachine.TestCase
+TestRTreeStateful.settings = settings(max_examples=25,
+                                      stateful_step_count=30,
+                                      deadline=None)

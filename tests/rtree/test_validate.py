@@ -1,0 +1,94 @@
+"""Unit tests for the invariant checker itself."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import (RStarTree, RTreeInvariantError, RTreeParams,
+                         is_valid, validate_rtree)
+from tests.conftest import build_rstar, make_rects
+
+
+@pytest.fixture
+def valid_tree():
+    return build_rstar(make_rects(600, seed=41), page_size=256)
+
+
+def test_valid_tree_passes(valid_tree):
+    validate_rtree(valid_tree)
+    assert is_valid(valid_tree)
+
+
+def test_detects_loose_routing_rectangle(valid_tree):
+    root = valid_tree.root
+    entry = root.entries[0]
+    entry.rect = entry.rect.union(Rect(-1000, -1000, -999, -999))
+    with pytest.raises(RTreeInvariantError, match="routing rectangle"):
+        validate_rtree(valid_tree)
+    assert not is_valid(valid_tree)
+
+
+def test_detects_wrong_count(valid_tree):
+    valid_tree._size += 1
+    with pytest.raises(RTreeInvariantError, match="data entries"):
+        validate_rtree(valid_tree)
+
+
+def test_detects_underfull_node(valid_tree):
+    for node in valid_tree.iter_nodes():
+        if node.is_leaf and node.page_id != valid_tree.root_id:
+            removed = node.entries.pop()
+            break
+    # Fix the count so only the fill violation (or the MBR) trips.
+    valid_tree._size -= 1
+    with pytest.raises(RTreeInvariantError):
+        validate_rtree(valid_tree)
+
+
+def test_min_fill_check_can_be_relaxed():
+    params = RTreeParams.from_page_size(80)
+    tree = RStarTree(params)
+    for i in range(30):
+        tree.insert(Rect(i, 0, i + 1, 1), i)
+    # Manufacture an underfull leaf but keep its parent MBR exact.
+    for node in tree.iter_nodes():
+        if node.is_leaf and node.page_id != tree.root_id:
+            while len(node.entries) >= params.min_entries:
+                node.entries.pop()
+                tree._size -= 1
+            break
+    # Recompute ancestors' rectangles so only the fill check trips.
+    def fix(node):
+        if node.is_leaf:
+            return
+        for entry in node.entries:
+            child = tree.node(entry.ref)
+            fix(child)
+            entry.rect = child.mbr()
+    fix(tree.root)
+    with pytest.raises(RTreeInvariantError, match="entries"):
+        validate_rtree(tree, check_min_fill=True)
+    validate_rtree(tree, check_min_fill=False)
+
+
+def test_detects_overfull_node(valid_tree):
+    for node in valid_tree.iter_nodes():
+        if node.is_leaf:
+            from repro.rtree import Entry
+            extra = valid_tree.params.max_entries + 1 - len(node.entries)
+            for k in range(extra):
+                node.entries.append(Entry(node.entries[0].rect, 100000 + k))
+            break
+    with pytest.raises(RTreeInvariantError):
+        validate_rtree(valid_tree)
+
+
+def test_detects_nonleaf_root_with_single_child():
+    params = RTreeParams.from_page_size(80)
+    tree = RStarTree(params)
+    for i in range(30):
+        tree.insert(Rect(i, 0, i + 1, 1), i)
+    root = tree.root
+    assert not root.is_leaf
+    del root.entries[1:]
+    with pytest.raises(RTreeInvariantError, match="children"):
+        validate_rtree(tree)

@@ -1,0 +1,123 @@
+"""Unit tests for the LRU buffer with pinning."""
+
+import pytest
+
+from repro.storage import LRUBuffer
+
+
+def key(n):
+    return (0, n)
+
+
+class TestBasicLRU:
+    def test_empty_lookup_misses(self):
+        buf = LRUBuffer(2)
+        assert not buf.lookup(key(1))
+
+    def test_admit_then_hit(self):
+        buf = LRUBuffer(2)
+        buf.admit(key(1))
+        assert buf.lookup(key(1))
+
+    def test_eviction_order_is_lru(self):
+        buf = LRUBuffer(2)
+        buf.admit(key(1))
+        buf.admit(key(2))
+        evicted = buf.admit(key(3))
+        assert evicted == key(1)
+        assert not buf.lookup(key(1))
+        assert buf.lookup(key(2)) and buf.lookup(key(3))
+
+    def test_lookup_refreshes_recency(self):
+        buf = LRUBuffer(2)
+        buf.admit(key(1))
+        buf.admit(key(2))
+        buf.lookup(key(1))           # 1 becomes MRU
+        evicted = buf.admit(key(3))
+        assert evicted == key(2)
+
+    def test_readmit_refreshes_without_eviction(self):
+        buf = LRUBuffer(2)
+        buf.admit(key(1))
+        buf.admit(key(2))
+        assert buf.admit(key(1)) is None   # already resident
+        evicted = buf.admit(key(3))
+        assert evicted == key(2)
+
+    def test_zero_frames_never_caches(self):
+        buf = LRUBuffer(0)
+        assert buf.admit(key(1)) is None
+        assert not buf.lookup(key(1))
+        assert len(buf) == 0
+
+    def test_negative_frames_rejected(self):
+        with pytest.raises(ValueError):
+            LRUBuffer(-1)
+
+    def test_contains_and_len(self):
+        buf = LRUBuffer(3)
+        buf.admit(key(1))
+        assert key(1) in buf
+        assert len(buf) == 1
+
+    def test_drop(self):
+        buf = LRUBuffer(2)
+        buf.admit(key(1))
+        buf.pin(key(1))
+        buf.drop(key(1))
+        assert not buf.lookup(key(1))
+        assert not buf.is_pinned(key(1))
+
+    def test_clear(self):
+        buf = LRUBuffer(2)
+        buf.admit(key(1))
+        buf.pin(key(1))
+        buf.clear()
+        assert len(buf) == 0
+        assert not buf.is_pinned(key(1))
+
+
+class TestPinning:
+    def test_pinned_frame_survives_eviction(self):
+        buf = LRUBuffer(2)
+        buf.admit(key(1))
+        buf.admit(key(2))
+        buf.pin(key(1))
+        evicted = buf.admit(key(3))
+        assert evicted == key(2)       # 1 was LRU but pinned
+        assert buf.lookup(key(1))
+
+    def test_unpin_restores_evictability(self):
+        buf = LRUBuffer(2)
+        buf.admit(key(1))
+        buf.admit(key(2))
+        buf.pin(key(1))
+        buf.unpin(key(1))
+        evicted = buf.admit(key(3))
+        assert evicted == key(1)
+
+    def test_pin_nonresident_is_noop(self):
+        buf = LRUBuffer(2)
+        buf.pin(key(9))
+        assert not buf.is_pinned(key(9))
+
+    def test_pin_with_zero_frames_is_noop(self):
+        buf = LRUBuffer(0)
+        buf.admit(key(1))
+        buf.pin(key(1))
+        assert not buf.is_pinned(key(1))
+
+    def test_all_pinned_full_buffer_skips_caching(self):
+        buf = LRUBuffer(1)
+        buf.admit(key(1))
+        buf.pin(key(1))
+        assert buf.admit(key(2)) is None
+        assert not buf.lookup(key(2))
+        assert buf.lookup(key(1))
+
+    def test_resident_keys_order(self):
+        buf = LRUBuffer(3)
+        buf.admit(key(1))
+        buf.admit(key(2))
+        buf.lookup(key(1))
+        assert buf.resident_keys() == (key(2), key(1))

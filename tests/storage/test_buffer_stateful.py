@@ -1,0 +1,102 @@
+"""Model-based test: LRUBuffer against a reference implementation."""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant, rule)
+
+from repro.storage import LRUBuffer
+
+KEYS = st.tuples(st.integers(min_value=0, max_value=1),
+                 st.integers(min_value=0, max_value=15))
+
+
+class LRUModel:
+    """Straightforward reference: ordered dict + pinned set."""
+
+    def __init__(self, frames):
+        self.frames = frames
+        self.entries = OrderedDict()
+        self.pinned = set()
+
+    def lookup(self, key):
+        if key in self.entries:
+            self.entries.move_to_end(key)
+            return True
+        return False
+
+    def admit(self, key):
+        if self.frames == 0:
+            return None
+        if key in self.entries:
+            self.entries.move_to_end(key)
+            return None
+        evicted = None
+        if len(self.entries) >= self.frames:
+            for candidate in self.entries:
+                if candidate not in self.pinned:
+                    evicted = candidate
+                    break
+            if evicted is None:
+                return None
+            del self.entries[evicted]
+        self.entries[key] = None
+        return evicted
+
+    def pin(self, key):
+        if key in self.entries:
+            self.pinned.add(key)
+
+    def unpin(self, key):
+        self.pinned.discard(key)
+
+    def drop(self, key):
+        self.entries.pop(key, None)
+        self.pinned.discard(key)
+
+
+class BufferMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.frames = 3
+        self.buffer = LRUBuffer(self.frames)
+        self.model = LRUModel(self.frames)
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        assert self.buffer.lookup(key) == self.model.lookup(key)
+
+    @rule(key=KEYS)
+    def admit(self, key):
+        assert self.buffer.admit(key) == self.model.admit(key)
+
+    @rule(key=KEYS)
+    def pin(self, key):
+        self.buffer.pin(key)
+        self.model.pin(key)
+
+    @rule(key=KEYS)
+    def unpin(self, key):
+        self.buffer.unpin(key)
+        self.model.unpin(key)
+
+    @rule(key=KEYS)
+    def drop(self, key):
+        self.buffer.drop(key)
+        self.model.drop(key)
+
+    @invariant()
+    def same_residents_in_same_order(self):
+        assert self.buffer.resident_keys() == \
+            tuple(self.model.entries)
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.buffer) <= self.frames
+
+
+TestBufferStateful = BufferMachine.TestCase
+TestBufferStateful.settings = settings(max_examples=60,
+                                       stateful_step_count=40,
+                                       deadline=None)

@@ -1,0 +1,114 @@
+"""Unit tests for the buffer manager (the paper's ReadPage)."""
+
+from repro.storage import BufferManager, MemoryPageStore
+
+
+def make_store(pages):
+    store = MemoryPageStore()
+    for value in pages:
+        page = store.allocate()
+        store.write(page, value)
+    return store
+
+
+def test_first_read_is_disk_access():
+    manager = BufferManager(frames=4)
+    side = manager.register(make_store(["a"]))
+    assert manager.read(side, 0, 0) == "a"
+    assert manager.stats.disk_reads == 1
+
+
+def test_path_buffer_hit_is_free():
+    manager = BufferManager(frames=0)
+    side = manager.register(make_store(["a", "b"]))
+    manager.read(side, 0, 0)
+    manager.read(side, 0, 0)    # same page, same depth
+    assert manager.stats.disk_reads == 1
+    assert manager.stats.path_hits == 1
+
+
+def test_lru_hit_after_path_replacement():
+    manager = BufferManager(frames=4)
+    side = manager.register(make_store(["a", "b"]))
+    manager.read(side, 0, 0)
+    manager.read(side, 1, 0)    # replaces path level 0
+    manager.read(side, 0, 0)    # not on path, but in LRU
+    assert manager.stats.disk_reads == 2
+    assert manager.stats.lru_hits == 1
+
+
+def test_zero_buffer_re_reads_from_disk():
+    manager = BufferManager(frames=0)
+    side = manager.register(make_store(["a", "b"]))
+    manager.read(side, 0, 0)
+    manager.read(side, 1, 0)
+    manager.read(side, 0, 0)
+    assert manager.stats.disk_reads == 3
+
+
+def test_two_sides_have_separate_paths():
+    manager = BufferManager(frames=0)
+    side_a = manager.register(make_store(["a"]))
+    side_b = manager.register(make_store(["b"]))
+    manager.read(side_a, 0, 0)
+    manager.read(side_b, 0, 0)
+    manager.read(side_a, 0, 0)  # still on side A's path
+    manager.read(side_b, 0, 0)
+    assert manager.stats.disk_reads == 2
+    assert manager.stats.path_hits == 2
+
+
+def test_sides_share_lru_frames():
+    manager = BufferManager(frames=1)
+    side_a = manager.register(make_store(["a", "a2"]))
+    side_b = manager.register(make_store(["b"]))
+    manager.read(side_a, 0, 0)
+    manager.read(side_b, 0, 0)   # evicts side A's page from the 1 frame
+    manager.read(side_a, 1, 0)   # path replaced; LRU holds side B's page
+    manager.read(side_a, 0, 0)   # miss again
+    assert manager.stats.disk_reads == 4
+
+
+def test_disable_path_buffer():
+    manager = BufferManager(frames=0, use_path_buffer=False)
+    side = manager.register(make_store(["a"]))
+    manager.read(side, 0, 0)
+    manager.read(side, 0, 0)
+    assert manager.stats.disk_reads == 2
+    assert manager.stats.path_hits == 0
+
+
+def test_pinned_page_survives():
+    manager = BufferManager(frames=1)
+    side = manager.register(make_store(["a", "b", "c"]))
+    manager.read(side, 0, 0)
+    manager.pin(side, 0)
+    manager.read(side, 1, 0)     # cannot evict the pinned frame
+    manager.read(side, 2, 0)
+    manager.read(side, 0, 0)     # pinned page still resident
+    assert manager.stats.lru_hits == 1
+    manager.unpin(side, 0)
+    assert manager.stats.pin_events == 1
+
+
+def test_for_buffer_size_constructor():
+    manager = BufferManager.for_buffer_size(32, 4096)
+    assert manager.lru.frames == 8
+
+
+def test_reset():
+    manager = BufferManager(frames=2)
+    side = manager.register(make_store(["a"]))
+    manager.read(side, 0, 0)
+    manager.reset()
+    assert manager.stats.disk_reads == 0
+    manager.read(side, 0, 0)
+    assert manager.stats.disk_reads == 1
+
+
+def test_eviction_counted():
+    manager = BufferManager(frames=1)
+    side = manager.register(make_store(["a", "b"]))
+    manager.read(side, 0, 0)
+    manager.read(side, 1, 0)
+    assert manager.stats.evictions == 1

@@ -1,0 +1,35 @@
+"""Unit tests for page-size arithmetic."""
+
+import pytest
+
+from repro.storage import PAPER_PAGE_SIZES, frames_for_buffer, page_size_kb
+
+
+def test_paper_page_sizes():
+    assert PAPER_PAGE_SIZES == (1024, 2048, 4096, 8192)
+
+
+def test_page_size_kb():
+    assert page_size_kb(1024) == 1.0
+    assert page_size_kb(8192) == 8.0
+
+
+def test_frames_for_buffer_exact():
+    assert frames_for_buffer(32, 4096) == 8
+    assert frames_for_buffer(512, 1024) == 512
+
+
+def test_frames_for_buffer_zero():
+    assert frames_for_buffer(0, 4096) == 0
+
+
+def test_frames_for_buffer_rounds_down():
+    assert frames_for_buffer(5, 4096) == 1
+    assert frames_for_buffer(3, 4096) == 0
+
+
+def test_frames_for_buffer_validation():
+    with pytest.raises(ValueError):
+        frames_for_buffer(-1, 4096)
+    with pytest.raises(ValueError):
+        frames_for_buffer(8, 0)

@@ -1,0 +1,121 @@
+"""Unit tests for the page stores."""
+
+import pytest
+
+from repro.storage import FilePageStore, MemoryPageStore
+
+
+class TestMemoryPageStore:
+    def test_allocate_write_read(self):
+        store = MemoryPageStore()
+        page = store.allocate()
+        store.write(page, {"hello": 1})
+        assert store.read(page) == {"hello": 1}
+
+    def test_sequential_ids(self):
+        store = MemoryPageStore()
+        assert [store.allocate() for _ in range(3)] == [0, 1, 2]
+
+    def test_free_and_reuse(self):
+        store = MemoryPageStore()
+        a = store.allocate()
+        store.free(a)
+        b = store.allocate()
+        assert b == a
+        assert len(store) == 1
+
+    def test_read_unallocated_raises(self):
+        store = MemoryPageStore()
+        with pytest.raises(KeyError):
+            store.read(42)
+
+    def test_write_unallocated_raises(self):
+        store = MemoryPageStore()
+        with pytest.raises(KeyError):
+            store.write(42, "x")
+
+    def test_free_unallocated_raises(self):
+        store = MemoryPageStore()
+        with pytest.raises(KeyError):
+            store.free(0)
+
+    def test_double_free_raises(self):
+        store = MemoryPageStore()
+        page = store.allocate()
+        store.free(page)
+        with pytest.raises(KeyError):
+            store.free(page)
+
+    def test_page_ids(self):
+        store = MemoryPageStore()
+        ids = [store.allocate() for _ in range(4)]
+        store.free(ids[1])
+        assert sorted(store.page_ids()) == [0, 2, 3]
+
+
+class TestFilePageStore:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 64) as store:
+            a = store.allocate()
+            b = store.allocate()
+            store.write(a, b"hello")
+            store.write(b, b"world!")
+            assert store.read(a) == b"hello"
+            assert store.read(b) == b"world!"
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 64) as store:
+            page = store.allocate()
+            store.write(page, b"payload")
+        with FilePageStore(path, 64, create=False) as store:
+            assert store.read(page) == b"payload"
+
+    def test_payload_too_large(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 16) as store:
+            page = store.allocate()
+            with pytest.raises(ValueError):
+                store.write(page, b"x" * 13)
+
+    def test_non_bytes_rejected(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 64) as store:
+            page = store.allocate()
+            with pytest.raises(TypeError):
+                store.write(page, "not bytes")
+
+    def test_free_and_reuse(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 64) as store:
+            a = store.allocate()
+            store.free(a)
+            assert store.allocate() == a
+
+    def test_unallocated_access_raises(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 64) as store:
+            with pytest.raises(KeyError):
+                store.read(7)
+            with pytest.raises(KeyError):
+                store.write(7, b"")
+            with pytest.raises(KeyError):
+                store.free(7)
+
+    def test_tiny_page_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FilePageStore(str(tmp_path / "x"), 4)
+
+    def test_empty_payload(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 64) as store:
+            page = store.allocate()
+            store.write(page, b"")
+            assert store.read(page) == b""
+
+    def test_page_ids_sorted(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 64) as store:
+            ids = [store.allocate() for _ in range(3)]
+            assert store.page_ids() == sorted(ids)

@@ -1,0 +1,62 @@
+"""Unit tests for the path buffer."""
+
+import pytest
+
+from repro.storage import PathBuffer
+
+
+def test_empty_never_hits():
+    pb = PathBuffer()
+    assert not pb.hit(0, 0)
+
+
+def test_record_and_hit():
+    pb = PathBuffer()
+    pb.record(10, 0)
+    assert pb.hit(10, 0)
+    assert not pb.hit(11, 0)
+    assert not pb.hit(10, 1)
+
+
+def test_descend_path():
+    pb = PathBuffer()
+    pb.record(1, 0)
+    pb.record(2, 1)
+    pb.record(3, 2)
+    assert pb.depth() == 3
+    assert pb.hit(1, 0) and pb.hit(2, 1) and pb.hit(3, 2)
+
+
+def test_replace_truncates_deeper_levels():
+    pb = PathBuffer()
+    pb.record(1, 0)
+    pb.record(2, 1)
+    pb.record(3, 2)
+    pb.record(9, 1)         # move to a sibling subtree
+    assert pb.hit(9, 1)
+    assert not pb.hit(3, 2)  # the abandoned subtree is gone
+    assert pb.hit(1, 0)      # ancestors stay
+    assert pb.depth() == 2
+
+
+def test_cannot_skip_levels():
+    pb = PathBuffer()
+    pb.record(1, 0)
+    with pytest.raises(ValueError):
+        pb.record(5, 2)
+
+
+def test_current():
+    pb = PathBuffer()
+    assert pb.current(0) is None
+    pb.record(4, 0)
+    assert pb.current(0) == 4
+    assert pb.current(3) is None
+
+
+def test_clear():
+    pb = PathBuffer()
+    pb.record(1, 0)
+    pb.clear()
+    assert pb.depth() == 0
+    assert not pb.hit(1, 0)

@@ -1,0 +1,34 @@
+"""Unit tests for IO statistics."""
+
+from repro.storage import IOStatistics
+
+
+def test_initial_zero():
+    stats = IOStatistics()
+    assert stats.disk_reads == 0
+    assert stats.logical_reads == 0
+
+
+def test_logical_reads_sums_all_sources():
+    stats = IOStatistics()
+    stats.disk_reads = 3
+    stats.lru_hits = 2
+    stats.path_hits = 5
+    assert stats.logical_reads == 10
+
+
+def test_reset():
+    stats = IOStatistics()
+    stats.disk_reads = 3
+    stats.evictions = 1
+    stats.reset()
+    assert stats.disk_reads == 0 and stats.evictions == 0
+
+
+def test_snapshot_is_independent():
+    stats = IOStatistics()
+    stats.disk_reads = 1
+    snap = stats.snapshot()
+    stats.disk_reads = 99
+    assert snap.disk_reads == 1
+    assert snap.lru_hits == 0

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def records_file(tmp_path):
+    path = str(tmp_path / "data.rct")
+    assert main(["generate", "--kind", "uniform", "-n", "800",
+                 "--seed", "3", "-o", path]) == 0
+    return path
+
+
+@pytest.fixture
+def tree_file(tmp_path, records_file):
+    path = str(tmp_path / "data.rtree")
+    assert main(["build", records_file, "-o", path,
+                 "--page-size", "1024"]) == 0
+    return path
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["streets", "rivers", "regions",
+                                      "uniform"])
+    def test_all_kinds(self, tmp_path, kind, capsys):
+        path = str(tmp_path / f"{kind}.rct")
+        assert main(["generate", "--kind", kind, "-n", "200",
+                     "-o", path]) == 0
+        out = capsys.readouterr().out
+        assert "200" in out
+        from repro.data import load_records
+        assert len(load_records(path)) == 200
+
+    def test_negative_n_fails(self, tmp_path):
+        assert main(["generate", "--kind", "uniform", "-n", "-5",
+                     "-o", str(tmp_path / "x.rct")]) == 1
+
+
+class TestBuild:
+    @pytest.mark.parametrize("variant", ["rstar", "guttman-quadratic",
+                                         "guttman-linear", "str",
+                                         "hilbert"])
+    def test_variants(self, tmp_path, records_file, variant):
+        path = str(tmp_path / f"{variant}.rtree")
+        assert main(["build", records_file, "-o", path,
+                     "--variant", variant]) == 0
+        from repro.rtree import load_tree, validate_rtree
+        validate_rtree(load_tree(path),
+                       check_min_fill=(variant != "str"))
+
+    def test_missing_input_fails(self, tmp_path):
+        assert main(["build", str(tmp_path / "missing.rct"),
+                     "-o", str(tmp_path / "out.rtree")]) == 1
+
+
+class TestInfo:
+    def test_census_printed(self, tree_file, capsys):
+        assert main(["info", tree_file]) == 0
+        out = capsys.readouterr().out
+        assert "rstar" in out
+        assert "M = 51" in out
+        assert "data entries       : 800" in out
+
+
+class TestQuery:
+    def test_window(self, tree_file, capsys):
+        assert main(["query", tree_file, "--window",
+                     "0", "0", "100000", "100000"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 800
+        assert "800 matches" in captured.err
+
+    def test_knn(self, tree_file, capsys):
+        assert main(["query", tree_file, "--knn",
+                     "50000", "50000", "3"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 3
+
+    def test_empty_window(self, tree_file, capsys):
+        assert main(["query", tree_file, "--window",
+                     "-10", "-10", "-5", "-5"]) == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestJoin:
+    def test_join_text_output(self, tmp_path, tree_file, capsys):
+        assert main(["join", tree_file, tree_file,
+                     "--algorithm", "sj4"]) == 0
+        out = capsys.readouterr().out
+        assert "SJ4" in out and "pairs" in out
+
+    def test_join_json_and_pairs_file(self, tmp_path, tree_file,
+                                      capsys):
+        pairs_path = str(tmp_path / "pairs.tsv")
+        assert main(["join", tree_file, tree_file, "--json",
+                     "-o", pairs_path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "SJ4"
+        assert payload["pairs"] >= 800     # at least the diagonal
+        lines = open(pairs_path).read().splitlines()
+        assert len(lines) == payload["pairs"]
+
+    def test_join_with_predicate(self, tree_file, capsys):
+        assert main(["join", tree_file, tree_file,
+                     "--predicate", "contains", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["predicate"] == "contains"
+        assert payload["pairs"] >= 800     # self-containment diagonal
+
+    def test_missing_tree_fails(self, tmp_path, tree_file):
+        assert main(["join", tree_file,
+                     str(tmp_path / "missing.rtree")]) == 1
+
+
+class TestBench:
+    def test_bench_exhibit(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        monkeypatch.setenv("REPRO_SCALE", "0.004")
+        assert main(["bench", "ablation-sweep-crossover"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out.lower()
+
+    def test_bench_json_output(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert main(["bench", "ablation-sweep-crossover",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exhibit"] == "Ablation: sweep crossover"
+        assert payload["rows"]
+        assert "512" in payload["data"]

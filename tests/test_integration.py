@@ -1,0 +1,86 @@
+"""End-to-end integration: generate -> index -> join -> refine ->
+persist -> reload, the full pipeline a library user would run."""
+
+import pytest
+
+from repro import (PAPER_COST_MODEL, RStarTree, RTreeParams, load_tree,
+                   save_tree, spatial_join, id_spatial_join,
+                   object_spatial_join, validate_rtree)
+from repro.core import nested_loop_join
+from repro.data import load_test
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    pair = load_test("A", scale=0.015)
+    params = RTreeParams.from_page_size(2048)
+    tree_r = RStarTree(params)
+    tree_s = RStarTree(params)
+    for rect, ref in pair.r.records:
+        tree_r.insert(rect, ref)
+    for rect, ref in pair.s.records:
+        tree_s.insert(rect, ref)
+    return pair, tree_r, tree_s
+
+
+def test_trees_are_valid(pipeline):
+    _, tree_r, tree_s = pipeline
+    validate_rtree(tree_r)
+    validate_rtree(tree_s)
+
+
+def test_filter_step_matches_oracle(pipeline):
+    pair, tree_r, tree_s = pipeline
+    result = spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=128)
+    oracle = nested_loop_join(pair.r.records, pair.s.records).pair_set()
+    assert result.pair_set() == oracle
+
+
+def test_refinement_pipeline(pipeline):
+    pair, tree_r, tree_s = pipeline
+    candidates = spatial_join(tree_r, tree_s, algorithm="sj4",
+                              buffer_kb=128).pairs
+    survivors, stats = id_spatial_join(candidates, pair.r.objects,
+                                       pair.s.objects)
+    assert stats.candidates == len(candidates)
+    assert 0 < stats.survivors <= stats.candidates
+    # Exact survivors are a subset of the MBR candidates.
+    assert set(survivors) <= set(candidates)
+    # Oracle: brute-force exact intersection.
+    expected = {(ir, js) for ir, js in candidates
+                if pair.r.objects[ir].intersects(pair.s.objects[js])}
+    assert set(survivors) == expected
+
+
+def test_object_join_emits_geometry(pipeline):
+    pair, tree_r, tree_s = pipeline
+    candidates = spatial_join(tree_r, tree_s, algorithm="sj4",
+                              buffer_kb=128).pairs[:200]
+    results, stats = object_spatial_join(candidates, pair.r.objects,
+                                         pair.s.objects)
+    assert stats.survivors == len(results)
+    for item in results:
+        # Line data: every surviving pair has crossing points.
+        assert item.points or item.region is not None
+
+
+def test_cost_model_integration(pipeline):
+    _, tree_r, tree_s = pipeline
+    result = spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=128)
+    estimate = PAPER_COST_MODEL.estimate(result.stats)
+    assert estimate.total_seconds > 0.0
+
+
+def test_persist_roundtrip_preserves_join(pipeline, tmp_path):
+    _, tree_r, tree_s = pipeline
+    before = spatial_join(tree_r, tree_s, algorithm="sj4",
+                          buffer_kb=64).pair_set()
+    path_r = str(tmp_path / "r.rt")
+    path_s = str(tmp_path / "s.rt")
+    save_tree(tree_r, path_r)
+    save_tree(tree_s, path_s)
+    loaded_r = load_tree(path_r)
+    loaded_s = load_tree(path_s)
+    after = spatial_join(loaded_r, loaded_s, algorithm="sj4",
+                         buffer_kb=64).pair_set()
+    assert after == before

@@ -1,0 +1,109 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.data import regions, streets
+from repro.geometry import Rect
+from repro.viz import (SvgCanvas, render_dataset, render_join,
+                       render_records, render_tree)
+from tests.conftest import build_rstar, make_rects
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(path):
+    return ET.parse(path).getroot()
+
+
+class TestCanvas:
+    def test_valid_svg_document(self, tmp_path):
+        canvas = SvgCanvas(Rect(0, 0, 100, 100), width=400)
+        canvas.rect(Rect(10, 10, 20, 20))
+        canvas.circle(50, 50)
+        path = str(tmp_path / "c.svg")
+        canvas.save(path)
+        root = parse(path)
+        assert root.tag == f"{SVG_NS}svg"
+        assert root.get("width") == "400"
+        # background + rect + circle
+        assert len(list(root)) == 3
+
+    def test_aspect_ratio_preserved(self):
+        canvas = SvgCanvas(Rect(0, 0, 200, 100), width=400)
+        assert canvas.height == 200
+
+    def test_y_axis_flipped(self, tmp_path):
+        canvas = SvgCanvas(Rect(0, 0, 100, 100), width=100)
+        canvas.circle(0, 0, radius=1)     # world origin: bottom-left
+        path = str(tmp_path / "flip.svg")
+        canvas.save(path)
+        circle = parse(path).find(f"{SVG_NS}circle")
+        assert float(circle.get("cy")) == 100.0   # bottom of the image
+
+    def test_degenerate_world_padded(self):
+        canvas = SvgCanvas(Rect(5, 5, 5, 5), width=100)
+        assert canvas.world.width > 0
+
+    def test_title_escaped(self, tmp_path):
+        canvas = SvgCanvas(Rect(0, 0, 10, 10))
+        canvas.rect(Rect(1, 1, 2, 2), title="<&>")
+        path = str(tmp_path / "esc.svg")
+        canvas.save(path)
+        title = parse(path).find(f"{SVG_NS}rect/{SVG_NS}title")
+        assert title.text == "<&>"
+
+
+class TestRenderers:
+    def test_render_records(self, tmp_path):
+        records = make_rects(50, seed=701)
+        path = str(tmp_path / "records.svg")
+        canvas = render_records(records, path)
+        root = parse(path)
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 51     # 50 records + background
+
+    def test_render_dataset_lines_and_regions(self, tmp_path):
+        line_path = str(tmp_path / "lines.svg")
+        render_dataset(streets(40, seed=1), line_path)
+        assert len(parse(line_path).findall(f"{SVG_NS}polyline")) == 40
+
+        region_path = str(tmp_path / "regions.svg")
+        render_dataset(regions(25, seed=2), region_path)
+        assert len(parse(region_path).findall(f"{SVG_NS}polygon")) == 25
+
+    def test_render_tree_levels(self, tmp_path):
+        tree = build_rstar(make_rects(400, seed=702), page_size=256)
+        path = str(tmp_path / "tree.svg")
+        render_tree(tree, path)
+        rects = parse(path).findall(f"{SVG_NS}rect")
+        # background + every entry of every node.
+        total_entries = sum(len(n.entries) for n in tree.iter_nodes())
+        assert len(rects) == total_entries + 1
+
+    def test_render_tree_level_filter(self, tmp_path):
+        tree = build_rstar(make_rects(400, seed=703), page_size=256)
+        path = str(tmp_path / "dirs.svg")
+        render_tree(tree, path, max_level=0)
+        rects = parse(path).findall(f"{SVG_NS}rect")
+        assert len(rects) == 400 + 1    # only the data rectangles
+
+    def test_render_join_highlights_pairs(self, tmp_path):
+        left = make_rects(30, seed=704, max_extent=100.0)
+        right = make_rects(30, seed=705, max_extent=100.0)
+        from repro.core import nested_loop_join
+        pairs = nested_loop_join(left, right).pairs
+        assert pairs
+        path = str(tmp_path / "join.svg")
+        render_join(left, right, pairs, path)
+        rects = parse(path).findall(f"{SVG_NS}rect")
+        assert len(rects) == 1 + 30 + 30 + len(pairs)
+
+    def test_empty_inputs_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            render_records([], str(tmp_path / "e.svg"))
+        from repro.rtree import RStarTree, RTreeParams
+        with pytest.raises(ValueError):
+            render_tree(RStarTree(RTreeParams.from_page_size(1024)),
+                        str(tmp_path / "t.svg"))
