@@ -1,0 +1,197 @@
+"""Parallel partitioned join vs. serial SJ4.
+
+Two questions, answered on the same synthetic join:
+
+1. **Speedup** — wall-clock of ``parallel_spatial_join`` (partition at
+   the top of both trees, z-order-clustered batches, one process per
+   batch) against the serial SJ4 engine.  Speedup is bounded by the
+   fan-out available at the partitioning level and, of course, by the
+   number of physical cores.
+2. **I/O balance** — how evenly the measured per-worker disk reads
+   spread, compared against the round-robin declustering estimate of
+   :mod:`repro.costmodel.parallel` evaluated on a recorded serial
+   access trace.  The cost model stripes *pages* over disks; the
+   executor partitions *subtree pairs* over workers — the comparison
+   shows how close spatial batching comes to the page-striping ideal.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_join.py --quick
+    PYTHONPATH=src python benchmarks/bench_parallel_join.py \
+        --n 10000 --workers 4
+
+or through pytest (correctness + one timed round, like the other bench
+modules): ``pytest benchmarks/bench_parallel_join.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+from typing import List
+
+from repro.bench import build_tree
+from repro.core import (JoinSpec, build_context, make_algorithm,
+                        parallel_spatial_join, spatial_join)
+from repro.costmodel.parallel import (ParallelIOEstimate,
+                                      estimate_parallel_io, round_robin)
+from repro.data.synthetic import uniform_rects
+
+PAGE_SIZE = 2048
+BUFFER_KB = 64.0
+
+
+@dataclass
+class Comparison:
+    """One serial-vs-parallel measurement."""
+
+    n: int
+    workers: int
+    serial_seconds: float
+    parallel_seconds: float
+    pairs: int
+    serial_reads: int
+    parallel_reads: int
+    worker_reads: List[int]        # per-worker disk reads (measured)
+    estimate: ParallelIOEstimate   # round-robin striping of the trace
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_seconds == 0.0:
+            return 1.0
+        return self.serial_seconds / self.parallel_seconds
+
+    @property
+    def measured_balance(self) -> float:
+        """Busiest worker's reads over the perfectly even share."""
+        if not self.worker_reads or sum(self.worker_reads) == 0:
+            return 1.0
+        even = sum(self.worker_reads) / len(self.worker_reads)
+        return max(self.worker_reads) / even
+
+    @property
+    def estimated_balance(self) -> float:
+        """Same ratio for the round-robin page-striping estimate."""
+        if self.estimate.total_accesses == 0:
+            return 1.0
+        even = self.estimate.total_accesses / self.estimate.disks
+        return self.estimate.busiest_disk_accesses / even
+
+
+def _trees(n: int):
+    left = uniform_rects(n, seed=11)
+    right = uniform_rects(n, seed=23)
+    return (build_tree(left, PAGE_SIZE), build_tree(right, PAGE_SIZE))
+
+
+def compare(n: int, workers: int) -> Comparison:
+    """Run the serial and parallel joins once and collect both sides."""
+    tree_r, tree_s = _trees(n)
+    spec = JoinSpec(algorithm="sj4", buffer_kb=BUFFER_KB)
+
+    start = time.perf_counter()
+    serial = spatial_join(tree_r, tree_s, spec=spec)
+    serial_seconds = time.perf_counter() - start
+
+    # Recorded trace of the same serial run, for the cost-model side.
+    ctx = build_context(tree_r, tree_s, spec, record_trace=True)
+    make_algorithm(spec.algorithm).run(ctx)
+    estimate = estimate_parallel_io(ctx.manager.trace, workers,
+                                    PAGE_SIZE, round_robin(workers))
+
+    par_spec = JoinSpec(algorithm="sj4", buffer_kb=BUFFER_KB,
+                        workers=workers)
+    start = time.perf_counter()
+    parallel = parallel_spatial_join(tree_r, tree_s, par_spec)
+    parallel_seconds = time.perf_counter() - start
+
+    if sorted(parallel.pairs) != sorted(serial.pairs):
+        raise AssertionError("parallel result diverges from serial")
+
+    return Comparison(
+        n=n, workers=workers,
+        serial_seconds=serial_seconds,
+        parallel_seconds=parallel_seconds,
+        pairs=len(serial.pairs),
+        serial_reads=serial.stats.disk_accesses,
+        parallel_reads=parallel.stats.disk_accesses,
+        worker_reads=[part.io.disk_reads
+                      for part in parallel.worker_stats],
+        estimate=estimate,
+    )
+
+
+def render(comparison: Comparison) -> str:
+    c = comparison
+    lines = [
+        f"parallel SJ4 join — n={c.n} x {c.n}, "
+        f"workers={c.workers}, buffer={BUFFER_KB:g} KB",
+        "-" * 64,
+        f"pairs found            : {c.pairs}",
+        f"serial wall-clock      : {c.serial_seconds * 1e3:9.1f} ms",
+        f"parallel wall-clock    : {c.parallel_seconds * 1e3:9.1f} ms",
+        f"speedup                : {c.speedup:9.2f} x",
+        f"serial disk reads      : {c.serial_reads}",
+        f"parallel disk reads    : {c.parallel_reads} "
+        "(workers re-descend ancestor chains)",
+        f"per-worker disk reads  : {c.worker_reads}",
+        f"measured balance       : {c.measured_balance:9.2f} "
+        "(busiest / even share)",
+        f"round-robin estimate   : {c.estimated_balance:9.2f} "
+        f"(busiest disk {c.estimate.busiest_disk_accesses} "
+        f"of {c.estimate.total_accesses})",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pytest entry point (correctness; one timed round)
+# ----------------------------------------------------------------------
+
+def test_parallel_join_bench(benchmark):
+    comparison = benchmark.pedantic(compare, args=(2000, 4),
+                                    rounds=1, iterations=1)
+    print()
+    print("=" * 72)
+    print(render(comparison))
+
+    # compare() already asserted pair parity.  Check the shape of the
+    # balance numbers, not machine-dependent speedup.
+    assert comparison.pairs > 0
+    assert 1 <= len(comparison.worker_reads) <= 4
+    assert sum(comparison.worker_reads) > 0
+    assert comparison.measured_balance >= 1.0
+    # Round-robin page striping is the even-spread ideal; spatial
+    # batching should stay within a small factor of it.
+    assert comparison.estimated_balance >= 1.0
+    assert comparison.measured_balance <= 3.0 * comparison.estimated_balance
+
+
+# ----------------------------------------------------------------------
+# Standalone entry point (CI smoke test)
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the parallel partitioned join "
+                    "against serial SJ4.")
+    parser.add_argument("--n", type=int, default=10_000,
+                        help="rectangles per input (default 10000)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes (default 4)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke run (n=1500, workers=2)")
+    args = parser.parse_args(argv)
+
+    n, workers = args.n, args.workers
+    if args.quick:
+        n, workers = 1500, 2
+
+    comparison = compare(n, workers)
+    print(render(comparison))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

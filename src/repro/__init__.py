@@ -3,14 +3,19 @@
 
 Quickstart::
 
-    from repro import RStarTree, RTreeParams, Rect, spatial_join
+    from repro import JoinSpec, RStarTree, RTreeParams, Rect, spatial_join
 
     params = RTreeParams.from_page_size(2048)
     forests = RStarTree(params)
     cities = RStarTree(params)
     ...  # insert (Rect, id) records
-    result = spatial_join(forests, cities, algorithm="sj4", buffer_kb=128)
+    result = spatial_join(forests, cities,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=128))
     print(len(result), result.stats.disk_accesses)
+
+(``spatial_join(forests, cities, algorithm="sj4", buffer_kb=128)``
+still works — the classic keywords build the same ``JoinSpec``.  Add
+``workers=4`` to either style for the parallel executor.)
 
 Package map:
 
@@ -24,11 +29,14 @@ Package map:
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
 """
 
-from .core import (JoinResult, JoinStatistics, NearestNeighborEngine,
+from .core import (JoinResult, JoinSpec, JoinStatistics,
+                   NearestNeighborEngine, ParallelJoinResult,
                    SpatialJoin1, SpatialJoin2, SpatialJoin3, SpatialJoin4,
                    SpatialJoin5, WindowQueryEngine, id_spatial_join,
                    multiway_spatial_join, nearest_neighbors,
-                   nested_loop_join, object_spatial_join, spatial_join)
+                   nested_loop_join, object_spatial_join,
+                   parallel_spatial_join, spatial_join,
+                   spatial_join_stream)
 from .costmodel import CostModel, JoinCardinalityEstimator, PAPER_COST_MODEL
 from .db import SpatialDatabase, SpatialRelation
 from .geometry import (ComparisonCounter, Point, Polygon, Polyline, Rect,
@@ -44,9 +52,11 @@ __all__ = [
     "GuttmanRTree",
     "JoinCardinalityEstimator",
     "JoinResult",
+    "JoinSpec",
     "JoinStatistics",
     "NearestNeighborEngine",
     "PAPER_COST_MODEL",
+    "ParallelJoinResult",
     "Point",
     "Polygon",
     "Polyline",
@@ -69,8 +79,10 @@ __all__ = [
     "nearest_neighbors",
     "nested_loop_join",
     "object_spatial_join",
+    "parallel_spatial_join",
     "save_tree",
     "spatial_join",
+    "spatial_join_stream",
     "str_pack",
     "tree_properties",
     "validate_rtree",

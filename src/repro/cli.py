@@ -24,6 +24,7 @@ from .bench.ablations import ABLATIONS
 from .bench.experiments import EXHIBITS
 from .core.knn import NearestNeighborEngine
 from .core.planner import ALGORITHMS, spatial_join
+from .core.spec import JoinSpec
 from .core.window import WindowQueryEngine
 from .costmodel.model import PAPER_COST_MODEL
 from .data.io import load_records, save_records
@@ -106,6 +107,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="intersects")
     join.add_argument("--height-policy", choices=("a", "b", "c"),
                       default="b")
+    join.add_argument("--workers", type=int, default=1,
+                      help="number of worker processes (default 1 = "
+                           "serial; >= 2 uses the partitioned parallel "
+                           "executor)")
     join.add_argument("-o", "--output",
                       help="write result pairs to this file")
     join.add_argument("--json", action="store_true",
@@ -211,10 +216,12 @@ def _cmd_join(args: argparse.Namespace) -> int:
     tree_r = load_tree(args.left)
     tree_s = load_tree(args.right)
     predicate = SpatialPredicate(args.predicate)
-    result = spatial_join(tree_r, tree_s, algorithm=args.algorithm,
-                          buffer_kb=args.buffer_kb,
-                          height_policy=args.height_policy,
-                          predicate=predicate)
+    spec = JoinSpec(algorithm=args.algorithm,
+                    buffer_kb=args.buffer_kb,
+                    height_policy=args.height_policy,
+                    predicate=predicate,
+                    workers=args.workers)
+    result = spatial_join(tree_r, tree_s, spec=spec)
     stats = result.stats
     estimate = PAPER_COST_MODEL.estimate(stats)
     if args.output:
@@ -224,6 +231,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps({
             "algorithm": stats.algorithm,
+            "workers": spec.workers,
             "predicate": predicate.value,
             "pairs": stats.pairs_output,
             "disk_accesses": stats.disk_accesses,

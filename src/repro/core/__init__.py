@@ -3,6 +3,10 @@
 Public surface:
 
 * :func:`spatial_join` — high-level entry point with full accounting.
+* :class:`JoinSpec` — the unified join configuration object shared by
+  every entry point (including ``workers`` for parallel execution).
+* :func:`parallel_spatial_join` — the partitioned multi-process
+  executor behind ``JoinSpec(workers=N)``.
 * :class:`SpatialJoin1` … :class:`SpatialJoin5` — the five algorithms.
 * :class:`JoinContext` — explicit control over buffers and counters.
 * :func:`id_spatial_join` / :func:`object_spatial_join` — the refinement
@@ -22,8 +26,11 @@ from .pairs import (nested_loop_pairs, restrict_entries,
                     sorted_intersection_test)
 from .distance import distance_join, rect_mindist
 from .joinindex import SpatialJoinIndex
-from .planner import (ALGORITHMS, make_algorithm, spatial_join,
-                      spatial_join_stream)
+from .parallel import (PairTask, ParallelJoinResult, cluster_tasks,
+                       parallel_spatial_join, partition_tasks)
+from .planner import (ALGORITHMS, build_context, make_algorithm,
+                      spatial_join, spatial_join_stream)
+from .spec import JoinSpec, resolve_spec
 from .refinement import (ObjectIntersection, RefinementStats,
                          id_spatial_join, object_spatial_join)
 from .sj1 import SpatialJoin1
@@ -39,7 +46,10 @@ __all__ = [
     "JoinAlgorithm",
     "JoinContext",
     "JoinResult",
+    "JoinSpec",
     "JoinStatistics",
+    "PairTask",
+    "ParallelJoinResult",
     "MultiwayJoinResult",
     "NearestNeighborEngine",
     "NearestNeighborResult",
@@ -55,6 +65,8 @@ __all__ = [
     "SpatialJoinIndex",
     "WindowQueryEngine",
     "WindowQueryResult",
+    "build_context",
+    "cluster_tasks",
     "counted_sort_cost",
     "counted_sort_inplace",
     "distance_join",
@@ -67,9 +79,12 @@ __all__ = [
     "nested_loop_join",
     "nested_loop_pairs",
     "object_spatial_join",
+    "parallel_spatial_join",
+    "partition_tasks",
     "plane_sweep_join",
     "presort_trees",
     "rect_mindist",
+    "resolve_spec",
     "restrict_entries",
     "sorted_intersection_test",
     "spatial_join",

@@ -94,8 +94,18 @@ class JoinAlgorithm:
         self._execute(ctx, _CallbackSink(callback))
         return ctx.stats
 
+    def _prepare(self, ctx: JoinContext) -> None:
+        """Set up per-run state that depends on the trees (hook).
+
+        Called once before the traversal starts — both by
+        :meth:`_execute` and by the parallel executor, whose workers
+        enter the traversal at interior node pairs via
+        :meth:`_join_nodes` without going through :meth:`_execute`.
+        """
+
     def _execute(self, ctx: JoinContext, out) -> None:
         ctx.stats.algorithm = self.name
+        self._prepare(ctx)
         root_r = ctx.read_root(R_SIDE)
         root_s = ctx.read_root(S_SIDE)
         if root_r.entries and root_s.entries:

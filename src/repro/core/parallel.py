@@ -1,0 +1,354 @@
+"""Partition-based parallel spatial join (multi-process execution).
+
+The paper's conclusion names "parallel computer systems and disk
+arrays" as the natural next step, and
+:mod:`repro.costmodel.parallel` already *estimates* how the access
+trace would behave on a disk array.  This module actually executes the
+join on several OS processes, following the partition-to-tasks design
+of Tsitsigkos & Mamoulis, "Parallel In-Memory Evaluation of Spatial
+Joins" (SIGSPATIAL 2019):
+
+1. **Partition** — the coordinator descends both trees synchronously
+   (reusing the configured algorithm's ``_find_pairs``, so the
+   search-space restriction of Section 4.2 prunes exactly like the
+   serial engine) until the frontier of qualifying subtree-root pairs
+   is large enough: ``workers * oversubscribe`` tasks by default, or a
+   fixed number of levels when ``fanout_level`` is given.
+2. **Cluster** — tasks are sorted by the z-value of their restriction
+   rectangle's center (the same :class:`~repro.curves.zorder.ZGrid`
+   SJ5 uses) and cut into ``workers`` contiguous, spatially-clustered
+   batches, so the pages a worker touches stay local and its private
+   LRU buffer is effective.
+3. **Execute** — each batch runs in a ``multiprocessing`` worker with
+   its own :class:`~repro.core.context.JoinContext`.  The serial
+   ``buffer_kb`` budget is split evenly over the workers, so the
+   aggregate buffer memory of a parallel run equals the serial run.
+4. **Merge** — worker pair lists are concatenated in batch order and
+   the per-worker :class:`~repro.core.stats.JoinStatistics` are folded
+   with :meth:`~repro.core.stats.JoinStatistics.merge` into one
+   join-wide tally (total I/O across all workers).
+
+The result pair *multiset* is identical to the serial run: every
+qualifying node pair below the roots is reached through a unique chain
+of parent pairs, so the frontier partitions the remaining work without
+overlap.  Speedup is bounded by how evenly the frontier splits — a join
+whose working set hides behind a handful of root entries cannot occupy
+more workers than there are qualifying subtree pairs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..curves.zorder import ZGrid
+from ..geometry.rect import Rect
+from ..rtree.base import RTreeBase
+from .context import JoinContext, R_SIDE, S_SIDE, presort_trees
+from .engine import JoinAlgorithm
+from .spec import JoinSpec, resolve_spec
+from .stats import JoinResult, JoinStatistics
+
+#: Default number of tasks per worker the partitioner aims for; spare
+#: tasks let the batch cut even out skewed subtree sizes.
+OVERSUBSCRIBE = 4
+
+RectTuple = Tuple[float, float, float, float]
+
+
+@dataclass(frozen=True)
+class PairTask:
+    """One unit of parallel work: join the subtrees rooted at a
+    qualifying node pair.  Plain numbers only, so a task pickles
+    cheaply into a worker process.
+
+    ``r_path``/``s_path`` are the root-to-node page-id chains; the
+    worker descends them through counted reads, so its path buffer sees
+    a contiguous traversal (and the re-read of the top levels is
+    charged honestly — a parallel traversal really does touch them once
+    per worker)."""
+
+    r_path: Tuple[int, ...]
+    s_path: Tuple[int, ...]
+    #: Search-space restriction handed down from the partitioning
+    #: descent (None for algorithms that do not restrict).
+    rect: Optional[RectTuple]
+    #: Cluster key: center of the restriction rectangle (or of the
+    #: union of the two subtree MBRs when there is no restriction).
+    center: Tuple[float, float]
+
+    @property
+    def r_page(self) -> int:
+        return self.r_path[-1]
+
+    @property
+    def s_page(self) -> int:
+        return self.s_path[-1]
+
+    @property
+    def r_depth(self) -> int:
+        return len(self.r_path) - 1
+
+    @property
+    def s_depth(self) -> int:
+        return len(self.s_path) - 1
+
+
+@dataclass
+class ParallelJoinResult(JoinResult):
+    """A :class:`~repro.core.stats.JoinResult` plus the parallel
+    breakdown: ``stats`` holds the merged counters, the extra fields
+    expose how the work was split."""
+
+    workers: int = 1
+    batch_sizes: List[int] = field(default_factory=list)
+    partition_stats: Optional[JoinStatistics] = None
+    worker_stats: List[JoinStatistics] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Step 1: partition
+# ----------------------------------------------------------------------
+
+def partition_tasks(ctx: JoinContext, algo: JoinAlgorithm,
+                    target: int,
+                    fanout_level: Optional[int] = None) -> List[PairTask]:
+    """Descend both trees from the roots, expanding qualifying node
+    pairs level by level until the frontier holds at least *target*
+    tasks (or exactly *fanout_level* levels were descended).
+
+    Reads and comparisons are charged to *ctx* — the coordinator pays
+    for the top levels once, workers pay for everything below their
+    frontier pairs.  Pairs that reach a data page on either side stop
+    expanding and become tasks themselves (the worker's window mode
+    takes over from there, exactly like the serial engine).
+    """
+    root_r = ctx.read_root(R_SIDE)
+    root_s = ctx.read_root(S_SIDE)
+    if not root_r.entries or not root_s.entries:
+        return []
+    rect: Optional[Rect] = None
+    if algo.restricts_search_space:
+        rect = root_r.mbr().intersection(root_s.mbr())
+        if rect is None:
+            return []
+    frontier = [(root_r, (root_r.page_id,), root_s, (root_s.page_id,),
+                 rect)]
+    level = 0
+    while frontier:
+        if fanout_level is not None:
+            if level >= fanout_level:
+                break
+        elif len(frontier) >= target:
+            break
+        expandable = any(not nr.is_leaf and not ns.is_leaf
+                         for nr, _, ns, _, _ in frontier)
+        if not expandable:
+            break
+        next_frontier = []
+        for nr, pr, ns, ps, rc in frontier:
+            if nr.is_leaf or ns.is_leaf:
+                next_frontier.append((nr, pr, ns, ps, rc))
+                continue
+            ctx.stats.node_pairs += 1
+            dr = len(pr) - 1
+            ds = len(ps) - 1
+            for er, es in algo._find_pairs(ctx, nr, ns, rc):
+                child_rect: Optional[Rect] = None
+                if algo.restricts_search_space:
+                    child_rect = er.rect.intersection(es.rect)
+                    if child_rect is None:
+                        # Degenerate touch lost to float arithmetic; the
+                        # pair qualifies, so keep the boundary rectangle.
+                        child_rect = er.rect
+                child_r = ctx.read(R_SIDE, er.ref, dr + 1)
+                child_s = ctx.read(S_SIDE, es.ref, ds + 1)
+                next_frontier.append(
+                    (child_r, pr + (er.ref,), child_s, ps + (es.ref,),
+                     child_rect))
+        frontier = next_frontier
+        level += 1
+
+    tasks = []
+    for nr, pr, ns, ps, rc in frontier:
+        if rc is not None:
+            cx, cy = rc.center()
+        else:
+            cx, cy = nr.mbr().union(ns.mbr()).center()
+        tasks.append(PairTask(
+            r_path=pr, s_path=ps,
+            rect=(rc.xl, rc.yl, rc.xu, rc.yu) if rc is not None else None,
+            center=(cx, cy)))
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# Step 2: cluster
+# ----------------------------------------------------------------------
+
+def cluster_tasks(tasks: Sequence[PairTask], batches: int,
+                  world: Optional[Rect]) -> List[List[PairTask]]:
+    """Cut *tasks* into at most *batches* spatially-clustered groups of
+    near-equal size: sort by the z-value of the task centers, then
+    slice the z-order into contiguous runs."""
+    if not tasks:
+        return []
+    if batches <= 1 or len(tasks) == 1:
+        return [list(tasks)]
+    ordered = list(tasks)
+    if world is not None:
+        grid = ZGrid(world)
+        ordered.sort(key=lambda t: grid.zvalue(*t.center))
+    count = min(batches, len(ordered))
+    base, extra = divmod(len(ordered), count)
+    cut: List[List[PairTask]] = []
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        cut.append(ordered[start:start + size])
+        start += size
+    return cut
+
+
+def _world_rect(tree_r: RTreeBase, tree_s: RTreeBase) -> Optional[Rect]:
+    """Union of both tree MBRs, padded when degenerate (mirrors SJ5's
+    z-grid setup)."""
+    mbr_r = tree_r.mbr()
+    mbr_s = tree_s.mbr()
+    if mbr_r is None or mbr_s is None:
+        return None
+    world = mbr_r.union(mbr_s)
+    if world.width <= 0.0 or world.height <= 0.0:
+        world = Rect(world.xl - 0.5, world.yl - 0.5,
+                     world.xu + 0.5, world.yu + 0.5)
+    return world
+
+
+# ----------------------------------------------------------------------
+# Step 3: execute
+# ----------------------------------------------------------------------
+
+#: Per-process payload installed by the pool initializer, so the trees
+#: are shipped once per worker instead of once per task.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(tree_r: RTreeBase, tree_s: RTreeBase,
+                 spec: JoinSpec) -> None:
+    _WORKER_STATE["payload"] = (tree_r, tree_s, spec)
+
+
+def _run_batch(batch: List[PairTask]):
+    tree_r, tree_s, spec = _WORKER_STATE["payload"]
+    return _execute_batch(tree_r, tree_s, spec, batch)
+
+
+def _execute_batch(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
+                   batch: Sequence[PairTask]):
+    """Run one batch against a private context; returns
+    ``(pairs, stats)``.  Also used in-process for ``workers=1`` and
+    single-batch joins, so the merge path is identical either way."""
+    from .planner import make_algorithm
+    ctx = JoinContext(tree_r, tree_s, buffer_kb=spec.buffer_kb,
+                      use_path_buffer=spec.use_path_buffer,
+                      sort_mode=spec.sort_mode)
+    algo = make_algorithm(spec.algorithm,
+                          height_policy=spec.height_policy,
+                          predicate=spec.predicate)
+    ctx.stats.algorithm = algo.name
+    algo._prepare(ctx)
+    out: List[Tuple[int, int]] = []
+    for task in batch:
+        # Descend the ancestor chains so the path buffer sees a real
+        # root-to-node traversal; shared prefixes between consecutive
+        # tasks of a z-ordered batch are path-buffer hits.
+        for depth, page_id in enumerate(task.r_path):
+            nr = ctx.read(R_SIDE, page_id, depth)
+        for depth, page_id in enumerate(task.s_path):
+            ns = ctx.read(S_SIDE, page_id, depth)
+        rect = Rect(*task.rect) if task.rect is not None else None
+        algo._join_nodes(ctx, nr, task.r_depth, ns, task.s_depth,
+                         rect, out)
+    ctx.stats.pairs_output = len(out)
+    return out, ctx.stats
+
+
+# ----------------------------------------------------------------------
+# Step 4: the executor
+# ----------------------------------------------------------------------
+
+def parallel_spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
+                          spec: Optional[JoinSpec] = None,
+                          *, fanout_level: Optional[int] = None,
+                          oversubscribe: int = OVERSUBSCRIBE,
+                          ) -> ParallelJoinResult:
+    """MBR-spatial-join executed by ``spec.workers`` processes.
+
+    Produces the same pair multiset as the serial engine (pairs are
+    ordered by batch, then by each worker's traversal order).  The
+    returned :class:`ParallelJoinResult` carries the merged statistics
+    in ``stats`` plus the per-worker breakdown; ``stats.disk_accesses``
+    of a parallel run is the *total* I/O across coordinator and
+    workers — wall-clock I/O time on a disk array is what
+    :func:`repro.costmodel.parallel.estimate_parallel_io` models.
+
+    Parameters
+    ----------
+    spec:
+        The join configuration; ``spec.workers`` determines the degree
+        of parallelism (a missing spec defaults to ``JoinSpec()``,
+        i.e. one worker).
+    fanout_level:
+        Descend exactly this many levels below the roots when
+        partitioning instead of auto-sizing the frontier.
+    oversubscribe:
+        Tasks per worker the auto-sized partitioning aims for.
+    """
+    spec = resolve_spec(spec)
+    if oversubscribe < 1:
+        raise ValueError(f"oversubscribe must be >= 1 ({oversubscribe})")
+    from .planner import make_algorithm
+    ctx = JoinContext(tree_r, tree_s, buffer_kb=spec.buffer_kb,
+                      use_path_buffer=spec.use_path_buffer,
+                      sort_mode=spec.sort_mode)
+    algo = make_algorithm(spec.algorithm,
+                          height_policy=spec.height_policy,
+                          predicate=spec.predicate)
+    ctx.stats.algorithm = algo.name
+    # Presort before any tree state is shipped to workers, so the
+    # one-time sorting cost is charged once, in the coordinator, like
+    # the serial path does.
+    if spec.presort and spec.sort_mode == "maintained":
+        presort_trees(ctx)
+    algo._prepare(ctx)
+
+    tasks = partition_tasks(ctx, algo, target=spec.workers * oversubscribe,
+                            fanout_level=fanout_level)
+    batches = cluster_tasks(tasks, spec.workers,
+                            _world_rect(tree_r, tree_s))
+    # Split the serial buffer budget so aggregate memory stays equal.
+    worker_spec = replace(spec, workers=1,
+                          buffer_kb=spec.buffer_kb / max(1, len(batches)))
+
+    if len(batches) <= 1:
+        results = [_execute_batch(tree_r, tree_s, worker_spec, batch)
+                   for batch in batches]
+    else:
+        with multiprocessing.get_context().Pool(
+                processes=len(batches),
+                initializer=_init_worker,
+                initargs=(tree_r, tree_s, worker_spec)) as pool:
+            results = pool.map(_run_batch, batches, chunksize=1)
+
+    pairs: List[Tuple[int, int]] = []
+    worker_stats: List[JoinStatistics] = []
+    for out, stats in results:
+        pairs.extend(out)
+        worker_stats.append(stats)
+    partition_stats = ctx.stats
+    merged = partition_stats.merge(*worker_stats)
+    return ParallelJoinResult(
+        pairs=pairs, stats=merged, workers=spec.workers,
+        batch_sizes=[len(batch) for batch in batches],
+        partition_stats=partition_stats, worker_stats=worker_stats)

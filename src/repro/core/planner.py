@@ -5,16 +5,25 @@ trees, an algorithm name ("sj1" ... "sj5"), a buffer size, and get back
 the result pairs with full CPU/I-O accounting.  The defaults are the
 paper's overall recommendation (Section 5): SpatialJoin4 with height
 policy (b).
+
+All configuration flows through one :class:`~repro.core.spec.JoinSpec`
+(either passed explicitly as ``spec=`` or assembled from the classic
+keyword arguments), so :func:`spatial_join`,
+:func:`spatial_join_stream`, and :meth:`repro.db.SpatialDatabase.join`
+share a single validation and normalization path.  A spec with
+``workers >= 2`` routes the join through the partitioned parallel
+executor (:mod:`repro.core.parallel`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Type
+from typing import Callable, Dict, Optional, Type, Union
 
 from ..geometry.predicates import SpatialPredicate
 from ..rtree.base import RTreeBase
 from .context import JoinContext, presort_trees
 from .engine import JoinAlgorithm
+from .spec import JoinSpec, UNSET, resolve_spec
 from .sj1 import SpatialJoin1
 from .sj2 import SpatialJoin2
 from .sj3 import SpatialJoin3
@@ -61,16 +70,37 @@ def make_algorithm(name: str, height_policy: str = "b",
     return cls(height_policy=height_policy, predicate=predicate)
 
 
+def build_context(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
+                  record_trace: bool = False) -> JoinContext:
+    """Materialize a :class:`~repro.core.context.JoinContext` (and run
+    the eager presort, when configured) for *spec* — the one place the
+    spec's buffering/sorting fields are interpreted."""
+    ctx = JoinContext(tree_r, tree_s, buffer_kb=spec.buffer_kb,
+                      use_path_buffer=spec.use_path_buffer,
+                      sort_mode=spec.sort_mode,
+                      record_trace=record_trace)
+    if spec.presort and spec.sort_mode == "maintained":
+        presort_trees(ctx)
+    return ctx
+
+
 def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
-                 algorithm: str = "sj4",
-                 buffer_kb: float = 128.0,
-                 height_policy: str = "b",
-                 sort_mode: str = "maintained",
-                 use_path_buffer: bool = True,
-                 presort: bool = False,
-                 predicate: SpatialPredicate =
-                 SpatialPredicate.INTERSECTS) -> JoinResult:
+                 algorithm: Union[str, object] = UNSET,
+                 buffer_kb: Union[float, object] = UNSET,
+                 height_policy: Union[str, object] = UNSET,
+                 sort_mode: Union[str, object] = UNSET,
+                 use_path_buffer: Union[bool, object] = UNSET,
+                 presort: Union[bool, object] = UNSET,
+                 predicate: Union[SpatialPredicate, str, object] = UNSET,
+                 workers: Union[int, object] = UNSET,
+                 spec: Optional[JoinSpec] = None) -> JoinResult:
     """MBR-spatial-join of two R-trees.
+
+    Configuration lives in a :class:`~repro.core.spec.JoinSpec`; the
+    individual keyword arguments remain as shims that fill (or, with a
+    deprecation warning, override) the spec.  Defaults are the spec's
+    defaults: SJ4, 128 KByte buffer, height policy (b), maintained
+    sorting, path buffer on, intersection predicate, one worker.
 
     Parameters
     ----------
@@ -82,7 +112,8 @@ def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
         "sj3" (+plane sweep schedule), "sj4" (+pinning — the paper's
         winner, default), or "sj5" (z-order schedule).
     buffer_kb:
-        LRU buffer size in KByte shared by both trees.
+        LRU buffer size in KByte shared by both trees (split evenly
+        over the workers of a parallel run).
     height_policy:
         "a", "b" (default) or "c" — window-query policy used when the
         trees differ in height (Section 4.4).
@@ -102,34 +133,65 @@ def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
         MBR-spatial-join), CONTAINS (R contains S) or WITHIN (R within
         S).  Directory pruning stays intersection-based, which is sound
         for all three.
+    workers:
+        Number of processes executing the join; >= 2 uses the
+        partitioned parallel executor and returns its
+        :class:`~repro.core.parallel.ParallelJoinResult` (a
+        ``JoinResult`` with merged statistics plus the per-worker
+        breakdown).
+    spec:
+        Explicit :class:`~repro.core.spec.JoinSpec`; replaces all of
+        the above in one object.
 
     Returns
     -------
     JoinResult
         Output id pairs plus :class:`~repro.core.stats.JoinStatistics`.
     """
-    ctx = JoinContext(tree_r, tree_s, buffer_kb=buffer_kb,
-                      use_path_buffer=use_path_buffer, sort_mode=sort_mode)
-    if presort and sort_mode == "maintained":
-        presort_trees(ctx)
-    algo = make_algorithm(algorithm, height_policy=height_policy,
-                          predicate=predicate)
+    spec = resolve_spec(spec, algorithm=algorithm, buffer_kb=buffer_kb,
+                        height_policy=height_policy, sort_mode=sort_mode,
+                        use_path_buffer=use_path_buffer, presort=presort,
+                        predicate=predicate, workers=workers)
+    if spec.workers > 1:
+        from .parallel import parallel_spatial_join
+        return parallel_spatial_join(tree_r, tree_s, spec)
+    ctx = build_context(tree_r, tree_s, spec)
+    algo = make_algorithm(spec.algorithm, height_policy=spec.height_policy,
+                          predicate=spec.predicate)
     return algo.run(ctx)
 
 
 def spatial_join_stream(tree_r: RTreeBase, tree_s: RTreeBase,
                         callback: Callable[[int, int], None],
-                        algorithm: str = "sj4",
-                        buffer_kb: float = 128.0,
-                        height_policy: str = "b",
-                        sort_mode: str = "maintained",
-                        predicate: SpatialPredicate =
-                        SpatialPredicate.INTERSECTS):
+                        algorithm: Union[str, object] = UNSET,
+                        buffer_kb: Union[float, object] = UNSET,
+                        height_policy: Union[str, object] = UNSET,
+                        sort_mode: Union[str, object] = UNSET,
+                        use_path_buffer: Union[bool, object] = UNSET,
+                        presort: Union[bool, object] = UNSET,
+                        predicate: Union[SpatialPredicate, str,
+                                         object] = UNSET,
+                        spec: Optional[JoinSpec] = None):
     """Like :func:`spatial_join`, but delivers each pair to *callback*
     as it is produced (no result list is materialized).  Returns the
-    :class:`~repro.core.stats.JoinStatistics`."""
-    ctx = JoinContext(tree_r, tree_s, buffer_kb=buffer_kb,
-                      sort_mode=sort_mode)
-    algo = make_algorithm(algorithm, height_policy=height_policy,
-                          predicate=predicate)
+    :class:`~repro.core.stats.JoinStatistics`.
+
+    Shares :func:`spatial_join`'s configuration path, so a streaming
+    run of a given :class:`~repro.core.spec.JoinSpec` reports the same
+    counters as the materialized run (``use_path_buffer`` and
+    ``presort`` used to be silently dropped here).  Streaming delivery
+    is inherently ordered, so ``workers`` must stay 1.
+    """
+    spec = resolve_spec(spec, algorithm=algorithm, buffer_kb=buffer_kb,
+                        height_policy=height_policy, sort_mode=sort_mode,
+                        use_path_buffer=use_path_buffer, presort=presort,
+                        predicate=predicate)
+    if spec.workers > 1:
+        raise ValueError(
+            "spatial_join_stream delivers pairs in traversal order and "
+            "cannot run parallel; use spatial_join(spec=...) with "
+            "workers>1 or a workers=1 spec here")
+    ctx = build_context(tree_r, tree_s, spec)
+    algo = make_algorithm(spec.algorithm, height_policy=spec.height_policy,
+                          predicate=spec.predicate)
     return algo.run_streaming(ctx, callback)

@@ -30,12 +30,11 @@ class SpatialJoin5(SpatialJoin3):
         self.zgrid_bits = zgrid_bits
         self._grid: Optional[ZGrid] = None
 
-    def _execute(self, ctx: JoinContext, out) -> None:
-        # Hooked here (not in run()) so the streaming entry point gets
-        # the z-order schedule as well.
+    def _prepare(self, ctx: JoinContext) -> None:
+        # Hooked here (not in run()) so the streaming entry point and
+        # the parallel executor's workers get the z-order schedule too.
         world = self._world_rect(ctx)
         self._grid = ZGrid(world, self.zgrid_bits) if world else None
-        super()._execute(ctx, out)
 
     def _world_rect(self, ctx: JoinContext) -> Optional[Rect]:
         mbr_r = ctx.trees[R_SIDE].mbr()

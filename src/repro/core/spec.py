@@ -1,0 +1,161 @@
+"""The unified join configuration: :class:`JoinSpec`.
+
+Every join entry point (:func:`repro.core.planner.spatial_join`,
+:func:`~repro.core.planner.spatial_join_stream`,
+:meth:`repro.db.SpatialDatabase.join`, the CLI) historically grew its
+own copy of the same keyword arguments, and they drifted: the streaming
+path silently dropped ``use_path_buffer`` and ``presort``.  ``JoinSpec``
+is the single, frozen description of *how* a join runs — algorithm,
+buffer, sorting regime, height policy, predicate, and (new) the number
+of parallel workers — with one validation/normalization path shared by
+all entry points.
+
+The old keyword signatures keep working: they are thin shims that build
+a ``JoinSpec`` via :func:`resolve_spec`.  Passing both a spec and a
+*conflicting* keyword emits a :class:`DeprecationWarning` (the explicit
+keyword wins, so existing call sites that tweak one knob keep their
+meaning).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Optional, Union
+
+from ..geometry.predicates import SpatialPredicate
+
+
+class _Unset:
+    """Sentinel for "keyword not passed" (distinguishes an explicit
+    default from an omitted argument in the shim signatures)."""
+
+    _instance: Optional["_Unset"] = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNSET"
+
+
+#: The shared sentinel used as default for all shim keywords.
+UNSET = _Unset()
+
+_SORT_MODES = ("maintained", "on_read")
+_HEIGHT_POLICIES = ("a", "b", "c")
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Complete configuration of one spatial join.
+
+    Immutable and picklable, so a spec can be shipped to worker
+    processes, stored alongside benchmark results, or reused across
+    joins.  Use :func:`dataclasses.replace` to derive variants.
+
+    Parameters
+    ----------
+    algorithm:
+        "sj1" ... "sj5" plus the ablation variants registered in
+        :data:`repro.core.planner.ALGORITHMS` (case-insensitive).
+    buffer_kb:
+        LRU buffer size in KByte shared by both trees.  A parallel run
+        splits this budget evenly over the workers so the aggregate
+        buffer memory matches the serial run.
+    height_policy:
+        "a", "b" or "c" — Section 4.4's window-query policy for trees
+        of different height.
+    sort_mode:
+        "maintained" or "on_read" — Section 4.2's two sorting regimes.
+    presort:
+        Eagerly sort all nodes before the join (only meaningful with
+        ``sort_mode="maintained"``).
+    use_path_buffer:
+        Disable only for ablation studies.
+    predicate:
+        Join condition on the data MBRs; accepts a
+        :class:`~repro.geometry.predicates.SpatialPredicate` or its
+        string value ("intersects", "contains", "within").
+    workers:
+        Number of OS processes executing the join.  1 (default) is the
+        classic serial engine; >= 2 routes through the partitioned
+        parallel executor (:mod:`repro.core.parallel`).
+    """
+
+    algorithm: str = "sj4"
+    buffer_kb: float = 128.0
+    height_policy: str = "b"
+    sort_mode: str = "maintained"
+    presort: bool = False
+    use_path_buffer: bool = True
+    predicate: Union[SpatialPredicate, str] = SpatialPredicate.INTERSECTS
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        # Normalize before validating so "SJ4" or predicate strings from
+        # the CLI land in canonical form.
+        object.__setattr__(self, "algorithm", str(self.algorithm).lower())
+        if not isinstance(self.predicate, SpatialPredicate):
+            object.__setattr__(self, "predicate",
+                               SpatialPredicate(self.predicate))
+        from .planner import ALGORITHMS  # deferred: planner imports us
+        if self.algorithm not in ALGORITHMS:
+            known = ", ".join(sorted(ALGORITHMS))
+            raise ValueError(f"unknown join algorithm "
+                             f"{self.algorithm!r} (known: {known})")
+        if self.height_policy not in _HEIGHT_POLICIES:
+            raise ValueError(
+                f"unknown height policy: {self.height_policy!r}")
+        if self.sort_mode not in _SORT_MODES:
+            raise ValueError(f"unknown sort mode: {self.sort_mode!r}")
+        if self.buffer_kb < 0:
+            raise ValueError(f"buffer_kb cannot be negative "
+                             f"({self.buffer_kb})")
+        if not isinstance(self.workers, int) or isinstance(self.workers,
+                                                           bool):
+            raise TypeError(f"workers must be an int, got "
+                            f"{self.workers!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1 ({self.workers})")
+
+
+def resolve_spec(spec: Optional[JoinSpec] = None, **overrides) -> JoinSpec:
+    """Fold shim keywords and an optional explicit spec into one
+    :class:`JoinSpec`.
+
+    *overrides* maps field names to either :data:`UNSET` (keyword not
+    passed) or the caller's value.  Rules:
+
+    * no spec — the passed keywords fill a fresh ``JoinSpec``;
+    * spec only — used as-is;
+    * spec plus keywords — the keywords win; a keyword whose
+      (normalized) value differs from the spec's additionally emits a
+      :class:`DeprecationWarning`, because mixing the two styles is how
+      configuration drift crept in before.
+    """
+    given = {name: value for name, value in overrides.items()
+             if value is not UNSET}
+    unknown = set(given) - {f.name for f in fields(JoinSpec)}
+    if unknown:
+        raise TypeError(f"unknown join option(s): "
+                        f"{', '.join(sorted(unknown))}")
+    if spec is None:
+        return JoinSpec(**given)
+    if not isinstance(spec, JoinSpec):
+        raise TypeError(f"spec must be a JoinSpec, got {spec!r}")
+    if not given:
+        return spec
+    resolved = replace(spec, **given)
+    conflicting = [name for name in given
+                   if getattr(resolved, name) != getattr(spec, name)]
+    if conflicting:
+        warnings.warn(
+            "passing keyword arguments that conflict with an explicit "
+            f"JoinSpec is deprecated (overriding: "
+            f"{', '.join(sorted(conflicting))}); build the spec with "
+            "dataclasses.replace(spec, ...) instead",
+            DeprecationWarning, stacklevel=3)
+    return resolved

@@ -52,6 +52,28 @@ class JoinStatistics:
         """All comparisons including the one-time presort."""
         return self.comparisons.total + self.presort_comparisons
 
+    def merge(self, *others: "JoinStatistics") -> "JoinStatistics":
+        """Combine this statistics object with *others* into a new one.
+
+        Every counter is summed; the identifying fields (``algorithm``,
+        ``page_size``, ``buffer_kb``) are taken from ``self``.  The
+        parallel executor uses this to fold the per-worker counters into
+        one join-wide tally, so "disk accesses" of a parallel run means
+        the total I/O performed across all workers (wall-clock I/O time
+        is what the declustering model in :mod:`repro.costmodel.parallel`
+        estimates).
+        """
+        merged = JoinStatistics(algorithm=self.algorithm,
+                                page_size=self.page_size,
+                                buffer_kb=self.buffer_kb)
+        for part in (self, *others):
+            merged.comparisons += part.comparisons
+            merged.io += part.io
+            merged.presort_comparisons += part.presort_comparisons
+            merged.node_pairs += part.node_pairs
+            merged.pairs_output += part.pairs_output
+        return merged
+
 
 @dataclass
 class JoinResult:

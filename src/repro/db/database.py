@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from ..core.planner import spatial_join
 from ..core.refinement import id_spatial_join
+from ..core.spec import JoinSpec, UNSET, resolve_spec
 from ..core.stats import JoinResult
 from ..geometry.polygon import Polygon
 from ..geometry.polyline import Polyline
@@ -72,11 +73,17 @@ class SpatialDatabase:
     # ------------------------------------------------------------------
 
     def join(self, left: str, right: str,
-             algorithm: str = "sj4",
-             buffer_kb: float = 128.0,
-             predicate: SpatialPredicate = SpatialPredicate.INTERSECTS,
-             refine: bool = False) -> JoinResult:
+             algorithm: Union[str, object] = UNSET,
+             buffer_kb: Union[float, object] = UNSET,
+             predicate: Union[SpatialPredicate, str, object] = UNSET,
+             refine: bool = False,
+             workers: Union[int, object] = UNSET,
+             spec: Optional[JoinSpec] = None) -> JoinResult:
         """Join two relations.
+
+        Configuration goes through the shared
+        :class:`~repro.core.spec.JoinSpec` path — pass ``spec=`` (with
+        ``workers`` for parallel execution) or the classic keywords.
 
         ``refine=False`` returns the MBR-spatial-join (the filter step);
         ``refine=True`` additionally runs the ID-spatial-join on the
@@ -86,12 +93,13 @@ class SpatialDatabase:
         """
         rel_l = self.relation(left)
         rel_r = self.relation(right)
-        result = spatial_join(rel_l.tree, rel_r.tree,
-                              algorithm=algorithm, buffer_kb=buffer_kb,
-                              predicate=predicate)
+        spec = resolve_spec(spec, algorithm=algorithm,
+                            buffer_kb=buffer_kb, predicate=predicate,
+                            workers=workers)
+        result = spatial_join(rel_l.tree, rel_r.tree, spec=spec)
         if not refine:
             return result
-        if predicate is not SpatialPredicate.INTERSECTS:
+        if spec.predicate is not SpatialPredicate.INTERSECTS:
             raise ValueError(
                 "exact-geometry refinement supports only INTERSECTS")
         refinable = [(a, b) for a, b in result.pairs

@@ -48,6 +48,21 @@ class IOStatistics:
         copy.pin_events = self.pin_events
         return copy
 
+    def __iadd__(self, other: "IOStatistics") -> "IOStatistics":
+        self.disk_reads += other.disk_reads
+        self.disk_writes += other.disk_writes
+        self.lru_hits += other.lru_hits
+        self.path_hits += other.path_hits
+        self.evictions += other.evictions
+        self.pin_events += other.pin_events
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IOStatistics):
+            return NotImplemented
+        return all(getattr(self, slot) == getattr(other, slot)
+                   for slot in self.__slots__)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"IOStatistics(disk_reads={self.disk_reads}, "
                 f"lru_hits={self.lru_hits}, path_hits={self.path_hits}, "

@@ -1,0 +1,214 @@
+"""Tests for the partitioned parallel join executor.
+
+The contract: a parallel run returns the exact same pair multiset as
+the serial engine for every algorithm, any worker count, and trees of
+equal or different height — and its merged statistics are precisely
+the partitioning counters plus the sum of the per-worker counters.
+"""
+
+import pytest
+
+from repro.core import (JoinContext, JoinSpec, ParallelJoinResult,
+                        cluster_tasks, make_algorithm,
+                        parallel_spatial_join, partition_tasks,
+                        spatial_join)
+from repro.core.parallel import _world_rect
+from repro.geometry import SpatialPredicate
+
+ALGORITHMS = ("sj1", "sj2", "sj3", "sj4", "sj5")
+WORKER_COUNTS = (1, 2, 4)
+
+
+# ----------------------------------------------------------------------
+# Result parity with the serial engine
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parity_with_serial_equal_heights(medium_trees, algorithm,
+                                          workers):
+    tree_r, tree_s = medium_trees
+    serial = spatial_join(tree_r, tree_s, algorithm=algorithm,
+                          buffer_kb=16)
+    parallel = spatial_join(
+        tree_r, tree_s,
+        spec=JoinSpec(algorithm=algorithm, buffer_kb=16,
+                      workers=workers))
+    assert sorted(parallel.pairs) == sorted(serial.pairs)
+
+
+@pytest.mark.parametrize("algorithm", ("sj1", "sj4"))
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parity_with_serial_different_heights(unbalanced_trees,
+                                              algorithm, workers):
+    tree_r, tree_s, _, _ = unbalanced_trees
+    assert tree_r.height != tree_s.height
+    serial = spatial_join(tree_r, tree_s, algorithm=algorithm,
+                          buffer_kb=16)
+    parallel = spatial_join(
+        tree_r, tree_s,
+        spec=JoinSpec(algorithm=algorithm, buffer_kb=16,
+                      workers=workers))
+    assert sorted(parallel.pairs) == sorted(serial.pairs)
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+def test_parity_with_non_default_predicate(medium_trees, workers):
+    tree_r, tree_s = medium_trees
+    spec = JoinSpec(predicate=SpatialPredicate.CONTAINS, buffer_kb=16,
+                    workers=workers)
+    serial = spatial_join(tree_r, tree_s,
+                          predicate=SpatialPredicate.CONTAINS,
+                          buffer_kb=16)
+    parallel = spatial_join(tree_r, tree_s, spec=spec)
+    assert sorted(parallel.pairs) == sorted(serial.pairs)
+
+
+def test_no_duplicate_pairs(medium_trees):
+    tree_r, tree_s = medium_trees
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(buffer_kb=16, workers=4))
+    assert len(result.pairs) == len(set(result.pairs))
+
+
+# ----------------------------------------------------------------------
+# Merged statistics
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_merged_counters_are_the_sum_of_the_parts(medium_trees, workers):
+    # Called directly so workers=1 also exercises the partition/merge
+    # machinery (spatial_join routes workers=1 to the serial engine).
+    tree_r, tree_s = medium_trees
+    result = parallel_spatial_join(
+        tree_r, tree_s, JoinSpec(buffer_kb=16, workers=workers))
+    assert isinstance(result, ParallelJoinResult)
+    parts = [result.partition_stats, *result.worker_stats]
+    for counter in ("node_pairs", "pairs_output",
+                    "presort_comparisons"):
+        assert getattr(result.stats, counter) == sum(
+            getattr(part, counter) for part in parts)
+    assert result.stats.disk_accesses == sum(
+        part.io.disk_reads for part in parts)
+    assert result.stats.comparisons.join == sum(
+        part.comparisons.join for part in parts)
+    assert result.stats.comparisons.sort == sum(
+        part.comparisons.sort for part in parts)
+    assert result.stats.pairs_output == len(result.pairs)
+
+
+def test_workers_field_and_batches(medium_trees):
+    tree_r, tree_s = medium_trees
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(buffer_kb=16, workers=4))
+    assert result.workers == 4
+    assert 1 <= len(result.batch_sizes) <= 4
+    assert len(result.worker_stats) == len(result.batch_sizes)
+    assert sum(result.batch_sizes) >= len(result.batch_sizes)
+    # Contiguous z-order cuts are balanced to within one task.
+    assert max(result.batch_sizes) - min(result.batch_sizes) <= 1
+
+
+def test_statistics_identify_the_algorithm(medium_trees):
+    tree_r, tree_s = medium_trees
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm="sj5", buffer_kb=16,
+                                        workers=2))
+    assert result.stats.algorithm == "SJ5"
+    for part in result.worker_stats:
+        assert part.algorithm == "SJ5"
+
+
+# ----------------------------------------------------------------------
+# Partitioning and clustering internals
+# ----------------------------------------------------------------------
+
+def test_partition_reaches_the_requested_fanout(medium_trees):
+    tree_r, tree_s = medium_trees
+    ctx = JoinContext(tree_r, tree_s, buffer_kb=16)
+    algo = make_algorithm("sj4")
+    tasks = partition_tasks(ctx, algo, target=8)
+    assert len(tasks) >= 8
+    # Every task carries a root-anchored ancestor chain.
+    for task in tasks:
+        assert task.r_path[0] == tree_r.root_id
+        assert task.s_path[0] == tree_s.root_id
+        assert task.r_depth == len(task.r_path) - 1
+
+
+def test_partition_fanout_level_one_stays_at_root_children(
+        medium_trees):
+    tree_r, tree_s = medium_trees
+    ctx = JoinContext(tree_r, tree_s, buffer_kb=16)
+    tasks = partition_tasks(ctx, make_algorithm("sj4"), target=1,
+                            fanout_level=1)
+    assert tasks
+    assert all(task.r_depth == 1 and task.s_depth == 1
+               for task in tasks)
+
+
+def test_cluster_tasks_balances_and_preserves_tasks(medium_trees):
+    tree_r, tree_s = medium_trees
+    ctx = JoinContext(tree_r, tree_s, buffer_kb=16)
+    tasks = partition_tasks(ctx, make_algorithm("sj4"), target=16)
+    batches = cluster_tasks(tasks, 4, _world_rect(tree_r, tree_s))
+    assert len(batches) == 4
+    flattened = [task for batch in batches for task in batch]
+    assert sorted(t.center for t in flattened) == sorted(
+        t.center for t in tasks)
+    sizes = [len(batch) for batch in batches]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_cluster_tasks_handles_empty_and_tiny_inputs():
+    assert cluster_tasks([], 4, None) == []
+
+
+# ----------------------------------------------------------------------
+# Direct executor entry point and edge cases
+# ----------------------------------------------------------------------
+
+def test_direct_call_defaults_to_one_worker(medium_trees):
+    tree_r, tree_s = medium_trees
+    result = parallel_spatial_join(tree_r, tree_s)
+    serial = spatial_join(tree_r, tree_s, buffer_kb=128)
+    assert sorted(result.pairs) == sorted(serial.pairs)
+    assert result.workers == 1
+
+
+def test_empty_tree_yields_empty_result(medium_trees):
+    from repro.rtree import RStarTree, RTreeParams
+    tree_r, _ = medium_trees
+    empty = RStarTree(RTreeParams.from_page_size(
+        tree_r.params.page_size))
+    result = parallel_spatial_join(
+        tree_r, empty, JoinSpec(buffer_kb=16, workers=2))
+    assert result.pairs == []
+    assert result.stats.pairs_output == 0
+    assert result.batch_sizes == []
+
+
+def test_presort_charged_once_in_the_coordinator(medium_records_pair):
+    # Fresh trees: the session-scoped fixtures may already be sorted by
+    # earlier joins, which would make the presort a no-op.
+    from tests.conftest import build_rstar
+    left, right = medium_records_pair
+    tree_r = build_rstar(left[:800])
+    tree_s = build_rstar(right[:800])
+    result = parallel_spatial_join(
+        tree_r, tree_s,
+        JoinSpec(buffer_kb=16, presort=True, workers=2))
+    assert result.partition_stats.presort_comparisons > 0
+    assert all(part.presort_comparisons == 0
+               for part in result.worker_stats)
+    serial_trees = (build_rstar(left[:800]), build_rstar(right[:800]))
+    serial = spatial_join(*serial_trees, buffer_kb=16, presort=True)
+    assert sorted(result.pairs) == sorted(serial.pairs)
+
+
+def test_streaming_refuses_parallel_spec(medium_trees):
+    from repro.core import spatial_join_stream
+    tree_r, tree_s = medium_trees
+    with pytest.raises(ValueError):
+        spatial_join_stream(tree_r, tree_s, lambda a, b: None,
+                            spec=JoinSpec(workers=2))

@@ -1,0 +1,130 @@
+"""Tests for the unified JoinSpec configuration object."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core import JoinSpec, resolve_spec, spatial_join
+from repro.core.spec import UNSET
+from repro.geometry import SpatialPredicate
+
+
+class TestConstruction:
+    def test_defaults_match_paper_recommendation(self):
+        spec = JoinSpec()
+        assert spec.algorithm == "sj4"
+        assert spec.buffer_kb == 128.0
+        assert spec.height_policy == "b"
+        assert spec.sort_mode == "maintained"
+        assert spec.presort is False
+        assert spec.use_path_buffer is True
+        assert spec.predicate is SpatialPredicate.INTERSECTS
+        assert spec.workers == 1
+
+    def test_algorithm_normalized_to_lowercase(self):
+        assert JoinSpec(algorithm="SJ3").algorithm == "sj3"
+
+    def test_predicate_accepts_string(self):
+        spec = JoinSpec(predicate="contains")
+        assert spec.predicate is SpatialPredicate.CONTAINS
+
+    def test_frozen(self):
+        spec = JoinSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.workers = 2
+
+    def test_picklable(self):
+        spec = JoinSpec(algorithm="sj5", workers=4,
+                        predicate=SpatialPredicate.WITHIN)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    @pytest.mark.parametrize("bad", [
+        dict(algorithm="sj9"),
+        dict(height_policy="d"),
+        dict(sort_mode="never"),
+        dict(buffer_kb=-1.0),
+        dict(workers=0),
+        dict(predicate="touches"),
+    ])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            JoinSpec(**bad)
+
+    @pytest.mark.parametrize("bad_workers", [1.5, "2", True])
+    def test_workers_must_be_a_plain_int(self, bad_workers):
+        with pytest.raises(TypeError):
+            JoinSpec(workers=bad_workers)
+
+
+class TestResolveSpec:
+    def test_kwargs_build_a_spec(self):
+        spec = resolve_spec(None, algorithm="sj1", buffer_kb=8.0)
+        assert spec == JoinSpec(algorithm="sj1", buffer_kb=8.0)
+
+    def test_unset_kwargs_are_ignored(self):
+        spec = resolve_spec(None, algorithm=UNSET, buffer_kb=UNSET)
+        assert spec == JoinSpec()
+
+    def test_explicit_spec_passes_through_unchanged(self):
+        spec = JoinSpec(algorithm="sj2", workers=3)
+        assert resolve_spec(spec, algorithm=UNSET) is spec
+
+    def test_conflicting_kwarg_warns_and_wins(self):
+        spec = JoinSpec(algorithm="sj4")
+        with pytest.warns(DeprecationWarning):
+            resolved = resolve_spec(spec, algorithm="sj1")
+        assert resolved.algorithm == "sj1"
+        assert spec.algorithm == "sj4"  # original untouched
+
+    def test_equal_kwarg_does_not_warn(self):
+        import warnings
+        spec = JoinSpec(algorithm="sj4")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = resolve_spec(spec, algorithm="SJ4")
+        assert resolved.algorithm == "sj4"
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_spec(None, fanout=3)
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_spec({"algorithm": "sj4"})
+
+
+class TestEntryPointsShareTheSpecPath:
+    def test_spec_equals_kwargs(self, medium_trees):
+        tree_r, tree_s = medium_trees
+        by_spec = spatial_join(
+            tree_r, tree_s,
+            spec=JoinSpec(algorithm="sj3", buffer_kb=16.0))
+        by_kwargs = spatial_join(tree_r, tree_s, algorithm="sj3",
+                                 buffer_kb=16.0)
+        assert by_spec.pair_set() == by_kwargs.pair_set()
+        assert (by_spec.stats.disk_accesses
+                == by_kwargs.stats.disk_accesses)
+        assert (by_spec.stats.comparisons.join
+                == by_kwargs.stats.comparisons.join)
+
+    def test_invalid_algorithm_rejected_before_io(self, medium_trees):
+        tree_r, tree_s = medium_trees
+        with pytest.raises(ValueError):
+            spatial_join(tree_r, tree_s, algorithm="nope")
+
+    def test_database_join_accepts_spec(self):
+        from repro.db import SpatialDatabase
+        from repro.geometry import Rect
+        db = SpatialDatabase(page_size=1024)
+        left = db.create_relation("left")
+        right = db.create_relation("right")
+        for i in range(40):
+            left.insert(Rect(i, 0, i + 1.5, 1))
+            right.insert(Rect(i + 0.5, 0, i + 2, 1))
+        by_spec = db.join("left", "right",
+                          spec=JoinSpec(algorithm="sj1", buffer_kb=8.0))
+        by_kwargs = db.join("left", "right", algorithm="sj1",
+                            buffer_kb=8.0)
+        assert by_spec.pair_set() == by_kwargs.pair_set()
+        assert len(by_spec) > 0

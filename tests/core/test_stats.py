@@ -28,3 +28,59 @@ def test_join_result_container():
     result = JoinResult([(1, 2), (3, 4), (1, 2)], stats)
     assert len(result) == 3
     assert result.pair_set() == {(1, 2), (3, 4)}
+
+
+def _stats(join=0, sort=0, reads=0, lru=0, path=0, presort=0,
+           node_pairs=0, pairs=0):
+    stats = JoinStatistics()
+    stats.comparisons.join = join
+    stats.comparisons.sort = sort
+    stats.io.disk_reads = reads
+    stats.io.lru_hits = lru
+    stats.io.path_hits = path
+    stats.presort_comparisons = presort
+    stats.node_pairs = node_pairs
+    stats.pairs_output = pairs
+    return stats
+
+
+def test_merge_sums_every_counter():
+    a = _stats(join=10, sort=2, reads=5, lru=1, path=3, presort=7,
+               node_pairs=4, pairs=9)
+    b = _stats(join=1, sort=1, reads=1, lru=1, path=1, presort=1,
+               node_pairs=1, pairs=1)
+    c = _stats(join=100, reads=50, pairs=20)
+    a.algorithm = "SJ4"
+    a.page_size = 2048
+    a.buffer_kb = 128.0
+    merged = a.merge(b, c)
+    assert merged.algorithm == "SJ4"
+    assert merged.page_size == 2048
+    assert merged.buffer_kb == 128.0
+    assert merged.comparisons.join == 111
+    assert merged.comparisons.sort == 3
+    assert merged.io.disk_reads == 56
+    assert merged.io.lru_hits == 2
+    assert merged.io.path_hits == 4
+    assert merged.presort_comparisons == 8
+    assert merged.node_pairs == 5
+    assert merged.pairs_output == 30
+
+
+def test_merge_leaves_operands_untouched():
+    a = _stats(join=10, reads=5)
+    b = _stats(join=1, reads=1)
+    merged = a.merge(b)
+    merged.comparisons.join += 1000
+    merged.io.disk_reads += 1000
+    assert a.comparisons.join == 10 and a.io.disk_reads == 5
+    assert b.comparisons.join == 1 and b.io.disk_reads == 1
+
+
+def test_merge_of_nothing_is_a_copy():
+    a = _stats(join=3, reads=2, pairs=1)
+    merged = a.merge()
+    assert merged.comparisons.join == 3
+    assert merged.io.disk_reads == 2
+    assert merged.pairs_output == 1
+    assert merged is not a

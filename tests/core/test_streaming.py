@@ -66,6 +66,40 @@ def test_streaming_with_predicate(medium_trees):
     assert set(collected) == reference.pair_set()
 
 
+@pytest.mark.parametrize("options", [
+    dict(use_path_buffer=False),
+    dict(presort=True),
+    dict(use_path_buffer=False, presort=True),
+])
+def test_streaming_honors_path_buffer_and_presort(medium_records_pair,
+                                                  options):
+    """Regression: spatial_join_stream used to silently drop
+    ``use_path_buffer`` and ``presort``, so streaming and materialized
+    runs of the same configuration reported different I/O.  Both now
+    flow through the shared JoinSpec path.  Fresh trees per run because
+    presort physically sorts the shared fixture trees."""
+    from tests.conftest import build_rstar
+    left, right = medium_records_pair
+
+    def fresh():
+        return build_rstar(left[:1000]), build_rstar(right[:1000])
+
+    stream_stats = spatial_join_stream(*fresh(), lambda a, b: None,
+                                       buffer_kb=16, **options)
+    reference = spatial_join(*fresh(), buffer_kb=16, **options)
+    assert stream_stats.disk_accesses == reference.stats.disk_accesses
+    assert (stream_stats.io.path_hits
+            == reference.stats.io.path_hits)
+    assert (stream_stats.presort_comparisons
+            == reference.stats.presort_comparisons)
+    assert (stream_stats.comparisons.join
+            == reference.stats.comparisons.join)
+    if options.get("presort"):
+        assert stream_stats.presort_comparisons > 0
+    if not options.get("use_path_buffer", True):
+        assert stream_stats.io.path_hits == 0
+
+
 def test_streaming_pipeline_early_use(unbalanced_trees):
     """Pairs arrive during the traversal, usable immediately — e.g.
     keeping only a running aggregate instead of the full result."""

@@ -111,6 +111,19 @@ class TestJoin:
         assert payload["predicate"] == "contains"
         assert payload["pairs"] >= 800     # self-containment diagonal
 
+    def test_join_with_workers(self, tree_file, capsys):
+        assert main(["join", tree_file, tree_file, "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["join", tree_file, tree_file, "--workers", "2",
+                     "--json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["workers"] == 2
+        assert parallel["pairs"] == serial["pairs"]
+
+    def test_join_rejects_bad_workers(self, tree_file):
+        assert main(["join", tree_file, tree_file,
+                     "--workers", "0"]) == 1
+
     def test_missing_tree_fails(self, tmp_path, tree_file):
         assert main(["join", tree_file,
                      str(tmp_path / "missing.rtree")]) == 1
