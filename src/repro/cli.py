@@ -8,6 +8,10 @@ Usage examples::
     repro query streets.rtree --window 0 0 10000 10000
     repro query streets.rtree --knn 50000 50000 5
     repro join streets.rtree rivers.rtree --algorithm sj4 --buffer-kb 128
+    repro join streets.rtree rivers.rtree --workers 4 \\
+        --fault-read-p 0.05 --fault-seed 7 --max-retries 3
+    repro scrub streets.rtree
+    repro scrub damaged.rtree --repair -o repaired.rtree
     repro bench table2
 
 (Also reachable as ``python -m repro ...``.)
@@ -34,8 +38,11 @@ from .geometry.predicates import SpatialPredicate
 from .geometry.rect import Rect
 from .rtree.guttman import GuttmanRTree
 from .rtree.params import RTreeParams
-from .rtree.persist import load_tree, save_tree
+from .rtree.persist import PersistenceError, load_tree, save_tree
 from .rtree.rstar import RStarTree
+from .rtree.scrub import repair_tree, scrub_tree
+from .rtree.validate import validate_rtree
+from .storage.faults import FaultInjectingPageStore, FaultPlan
 from .rtree.stats import tree_properties
 from .rtree.bulk import hilbert_pack, str_pack
 
@@ -49,7 +56,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (OSError, ValueError, KeyError) as exc:
+    except (OSError, ValueError, KeyError, PersistenceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -111,11 +118,32 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="number of worker processes (default 1 = "
                            "serial; >= 2 uses the partitioned parallel "
                            "executor)")
+    join.add_argument("--max-retries", type=int, default=2,
+                      help="transient read faults tolerated per page "
+                           "fetch before escalating (default 2)")
+    join.add_argument("--fault-read-p", type=float, default=0.0,
+                      help="chaos mode: probability of an injected "
+                           "transient fault per page read (default 0 "
+                           "= no injection)")
+    join.add_argument("--fault-seed", type=int, default=0,
+                      help="seed of the deterministic fault plan")
     join.add_argument("-o", "--output",
                       help="write result pairs to this file")
     join.add_argument("--json", action="store_true",
                       help="print machine-readable statistics")
     join.set_defaults(handler=_cmd_join)
+
+    scrub = commands.add_parser(
+        "scrub", help="verify every page checksum of a tree file; "
+                      "optionally rebuild from surviving pages")
+    scrub.add_argument("tree", help=".rtree file to scrub")
+    scrub.add_argument("--repair", action="store_true",
+                       help="rebuild a valid tree from surviving leaf "
+                            "pages")
+    scrub.add_argument("-o", "--output",
+                       help="destination of the repaired tree "
+                            "(required with --repair)")
+    scrub.set_defaults(handler=_cmd_scrub)
 
     bench = commands.add_parser(
         "bench", help="regenerate one of the paper's exhibits")
@@ -220,9 +248,22 @@ def _cmd_join(args: argparse.Namespace) -> int:
                     buffer_kb=args.buffer_kb,
                     height_policy=args.height_policy,
                     predicate=predicate,
-                    workers=args.workers)
+                    workers=args.workers,
+                    max_retries=args.max_retries)
+    injectors = []
+    if args.fault_read_p > 0.0:
+        plan = FaultPlan(seed=args.fault_seed,
+                         read_transient_p=args.fault_read_p)
+        for tree in (tree_r, tree_s):
+            tree.store = FaultInjectingPageStore(tree.store, plan)
+            injectors.append(tree.store)
     result = spatial_join(tree_r, tree_s, spec=spec)
     stats = result.stats
+    # A serial run tracks faults only in the stores themselves; prefer
+    # the live wrapper tally when it is larger (parallel runs fold the
+    # worker-side counts into the merged statistics instead).
+    faults = max(stats.faults_injected,
+                 sum(s.stats.total_injected for s in injectors))
     estimate = PAPER_COST_MODEL.estimate(stats)
     if args.output:
         with open(args.output, "w") as handle:
@@ -240,6 +281,11 @@ def _cmd_join(args: argparse.Namespace) -> int:
             "node_pairs": stats.node_pairs,
             "estimated_seconds": estimate.total_seconds,
             "io_fraction": estimate.io_fraction,
+            "faults_injected": faults,
+            "read_retries": stats.io.read_retries,
+            "backoff_ticks": stats.io.backoff_ticks,
+            "batch_retries": stats.batch_retries,
+            "degraded_batches": stats.degraded_batches,
         }, indent=2))
     else:
         print(f"{stats.algorithm}: {stats.pairs_output:,} pairs, "
@@ -247,8 +293,30 @@ def _cmd_join(args: argparse.Namespace) -> int:
               f"{stats.comparisons.total:,} comparisons, "
               f"estimated {estimate.total_seconds:.2f}s "
               f"({estimate.io_fraction:.0%} I/O)")
+        if faults or stats.io.read_retries or stats.batch_retries \
+                or stats.degraded_batches:
+            print(f"faults: {faults} injected, "
+                  f"{stats.io.read_retries} page retries "
+                  f"({stats.io.backoff_ticks} backoff ticks), "
+                  f"{stats.batch_retries} batch retries, "
+                  f"{stats.degraded_batches} degraded batches")
         if args.output:
             print(f"pairs written to {args.output}")
+    return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    if args.repair and not args.output:
+        raise ValueError("--repair requires -o/--output for the "
+                         "rebuilt tree")
+    report = scrub_tree(args.tree)
+    print(report.render())
+    if not args.repair:
+        return 0 if report.ok else 1
+    repair = repair_tree(args.tree, args.output)
+    validate_rtree(load_tree(args.output),
+                   check_min_fill=(repair.scrub.variant != "packed"))
+    print(repair.render())
     return 0
 
 

@@ -29,7 +29,8 @@ class JoinContext:
                  buffer_kb: float = 0.0,
                  use_path_buffer: bool = True,
                  sort_mode: str = "maintained",
-                 record_trace: bool = False) -> None:
+                 record_trace: bool = False,
+                 max_retries: int = 0) -> None:
         if tree_r.params.page_size != tree_s.params.page_size:
             raise ValueError(
                 "joined trees must share one page size "
@@ -41,7 +42,8 @@ class JoinContext:
         self.sort_mode = sort_mode
         self.manager = BufferManager.for_buffer_size(
             buffer_kb, tree_r.params.page_size,
-            use_path_buffer=use_path_buffer, record_trace=record_trace)
+            use_path_buffer=use_path_buffer, record_trace=record_trace,
+            max_retries=max_retries)
         for tree in self.trees:
             self.manager.register(tree.store)
         self.counter = ComparisonCounter()

@@ -34,6 +34,30 @@ of parent pairs, so the frontier partitions the remaining work without
 overlap.  Speedup is bounded by how evenly the frontier splits — a join
 whose working set hides behind a handful of root entries cannot occupy
 more workers than there are qualifying subtree pairs.
+
+Fault tolerance
+---------------
+
+The batch is also the unit of *recovery* (Tsitsigkos & Mamoulis treat
+partition tasks the same way).  Dispatch is asynchronous with a
+per-batch timeout (``spec.batch_timeout``), and a batch that crashes
+its worker, hangs past the timeout, or exhausts the buffer manager's
+transient-fault retries climbs a degradation ladder:
+
+1. re-dispatch to a **fresh worker** (``spec.batch_retries`` times;
+   fault-injecting stores are reseeded so a retry does not replay the
+   exact failure),
+2. **degrade**: the coordinator runs the batch serially itself against
+   pristine stores (fault injectors stripped) — correctness is never
+   sacrificed to parallelism.
+
+Retries, degradations, and injected faults are surfaced in the merged
+:class:`~repro.core.stats.JoinStatistics` (``batch_retries``,
+``degraded_batches``, ``faults_injected``) and per-batch in
+:class:`ParallelJoinResult`.  Because a failed batch is replayed or
+degraded *wholesale* — partial output is discarded with its worker —
+the pair multiset stays exactly the serial engine's even under injected
+faults.
 """
 
 from __future__ import annotations
@@ -45,6 +69,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..curves.zorder import ZGrid
 from ..geometry.rect import Rect
 from ..rtree.base import RTreeBase
+from ..storage.faults import FaultInjectingPageStore, pristine_store
 from .context import JoinContext, R_SIDE, S_SIDE, presort_trees
 from .engine import JoinAlgorithm
 from .spec import JoinSpec, resolve_spec
@@ -105,6 +130,10 @@ class ParallelJoinResult(JoinResult):
     batch_sizes: List[int] = field(default_factory=list)
     partition_stats: Optional[JoinStatistics] = None
     worker_stats: List[JoinStatistics] = field(default_factory=list)
+    #: Batch indices that needed at least one re-dispatch.
+    retried_batch_ids: List[int] = field(default_factory=list)
+    #: Batch indices that fell through to serial coordinator execution.
+    degraded_batch_ids: List[int] = field(default_factory=list)
 
 
 # ----------------------------------------------------------------------
@@ -235,7 +264,13 @@ _WORKER_STATE: dict = {}
 
 
 def _init_worker(tree_r: RTreeBase, tree_s: RTreeBase,
-                 spec: JoinSpec) -> None:
+                 spec: JoinSpec, fault_salt: int = 0) -> None:
+    if fault_salt:
+        # A retry must not replay the exact fault sequence that killed
+        # the first attempt: reseed any injectors shipped with the trees.
+        for tree in (tree_r, tree_s):
+            if isinstance(tree.store, FaultInjectingPageStore):
+                tree.store.reseed(fault_salt)
     _WORKER_STATE["payload"] = (tree_r, tree_s, spec)
 
 
@@ -244,15 +279,30 @@ def _run_batch(batch: List[PairTask]):
     return _execute_batch(tree_r, tree_s, spec, batch)
 
 
+def _fault_injectors(tree_r: RTreeBase,
+                     tree_s: RTreeBase) -> List[FaultInjectingPageStore]:
+    """The distinct fault-injecting stores behind the two trees."""
+    injectors: List[FaultInjectingPageStore] = []
+    for tree in (tree_r, tree_s):
+        store = tree.store
+        if isinstance(store, FaultInjectingPageStore) and \
+                all(store is not seen for seen in injectors):
+            injectors.append(store)
+    return injectors
+
+
 def _execute_batch(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
                    batch: Sequence[PairTask]):
     """Run one batch against a private context; returns
     ``(pairs, stats)``.  Also used in-process for ``workers=1`` and
     single-batch joins, so the merge path is identical either way."""
     from .planner import make_algorithm
+    injectors = _fault_injectors(tree_r, tree_s)
+    faults_before = sum(s.stats.total_injected for s in injectors)
     ctx = JoinContext(tree_r, tree_s, buffer_kb=spec.buffer_kb,
                       use_path_buffer=spec.use_path_buffer,
-                      sort_mode=spec.sort_mode)
+                      sort_mode=spec.sort_mode,
+                      max_retries=spec.max_retries)
     algo = make_algorithm(spec.algorithm,
                           height_policy=spec.height_policy,
                           predicate=spec.predicate)
@@ -271,7 +321,25 @@ def _execute_batch(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
         algo._join_nodes(ctx, nr, task.r_depth, ns, task.s_depth,
                          rect, out)
     ctx.stats.pairs_output = len(out)
+    ctx.stats.faults_injected = (
+        sum(s.stats.total_injected for s in injectors) - faults_before)
     return out, ctx.stats
+
+
+def _degraded_batch(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
+                    batch: Sequence[PairTask]):
+    """Last rung of the ladder: run *batch* serially in the coordinator
+    against pristine stores.  Fault injectors are stripped for the
+    duration — the fallback must not fail the way the workers did — and
+    restored afterwards, so a later batch still sees its faults."""
+    originals = [(tree, tree.store) for tree in (tree_r, tree_s)]
+    try:
+        for tree, store in originals:
+            tree.store = pristine_store(store)
+        return _execute_batch(tree_r, tree_s, spec, batch)
+    finally:
+        for tree, store in originals:
+            tree.store = store
 
 
 # ----------------------------------------------------------------------
@@ -311,7 +379,8 @@ def parallel_spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
     from .planner import make_algorithm
     ctx = JoinContext(tree_r, tree_s, buffer_kb=spec.buffer_kb,
                       use_path_buffer=spec.use_path_buffer,
-                      sort_mode=spec.sort_mode)
+                      sort_mode=spec.sort_mode,
+                      max_retries=spec.max_retries)
     algo = make_algorithm(spec.algorithm,
                           height_policy=spec.height_policy,
                           predicate=spec.predicate)
@@ -323,23 +392,80 @@ def parallel_spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
         presort_trees(ctx)
     algo._prepare(ctx)
 
+    coordinator_injectors = _fault_injectors(tree_r, tree_s)
+    faults_before = sum(s.stats.total_injected
+                        for s in coordinator_injectors)
     tasks = partition_tasks(ctx, algo, target=spec.workers * oversubscribe,
                             fanout_level=fanout_level)
+    ctx.stats.faults_injected = (
+        sum(s.stats.total_injected for s in coordinator_injectors)
+        - faults_before)
     batches = cluster_tasks(tasks, spec.workers,
                             _world_rect(tree_r, tree_s))
     # Split the serial buffer budget so aggregate memory stays equal.
     worker_spec = replace(spec, workers=1,
                           buffer_kb=spec.buffer_kb / max(1, len(batches)))
 
+    results: List[Optional[tuple]] = [None] * len(batches)
+    failed: List[int] = []
     if len(batches) <= 1:
-        results = [_execute_batch(tree_r, tree_s, worker_spec, batch)
-                   for batch in batches]
+        for index, batch in enumerate(batches):
+            try:
+                results[index] = _execute_batch(tree_r, tree_s,
+                                                worker_spec, batch)
+            except Exception:
+                failed.append(index)
     else:
-        with multiprocessing.get_context().Pool(
-                processes=len(batches),
-                initializer=_init_worker,
-                initargs=(tree_r, tree_s, worker_spec)) as pool:
-            results = pool.map(_run_batch, batches, chunksize=1)
+        mp = multiprocessing.get_context()
+        # Async dispatch: every batch gets its own worker up front; the
+        # per-batch timeout turns a hung or crashed worker (whose
+        # result would otherwise never arrive) into a recoverable
+        # failure.  Leaving the ``with`` block terminates the pool, so
+        # a worker stuck past its deadline is killed, not leaked.
+        with mp.Pool(processes=len(batches),
+                     initializer=_init_worker,
+                     initargs=(tree_r, tree_s, worker_spec)) as pool:
+            handles = [pool.apply_async(_run_batch, (batch,))
+                       for batch in batches]
+            for index, handle in enumerate(handles):
+                try:
+                    results[index] = handle.get(timeout=spec.batch_timeout)
+                except Exception:
+                    failed.append(index)
+
+    # Recovery ladder for failed batches, outside the main pool so a
+    # retry always lands in a fresh worker process.
+    retried_ids: List[int] = []
+    degraded_ids: List[int] = []
+    for index in failed:
+        recovered = False
+        for attempt in range(1, spec.batch_retries + 1):
+            if len(batches) <= 1:
+                break  # in-process failure: a fresh pool replays it
+                # identically only when deterministic; skip straight to
+                # the serial pristine run below.
+            ctx.stats.batch_retries += 1
+            if index not in retried_ids:
+                retried_ids.append(index)
+            mp = multiprocessing.get_context()
+            salt = index * 8191 + attempt
+            try:
+                with mp.Pool(processes=1,
+                             initializer=_init_worker,
+                             initargs=(tree_r, tree_s, worker_spec,
+                                       salt)) as pool:
+                    results[index] = pool.apply_async(
+                        _run_batch, (batches[index],)).get(
+                            timeout=spec.batch_timeout)
+                recovered = True
+                break
+            except Exception:
+                continue
+        if not recovered:
+            ctx.stats.degraded_batches += 1
+            degraded_ids.append(index)
+            results[index] = _degraded_batch(tree_r, tree_s, worker_spec,
+                                             batches[index])
 
     pairs: List[Tuple[int, int]] = []
     worker_stats: List[JoinStatistics] = []
@@ -351,4 +477,5 @@ def parallel_spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
     return ParallelJoinResult(
         pairs=pairs, stats=merged, workers=spec.workers,
         batch_sizes=[len(batch) for batch in batches],
-        partition_stats=partition_stats, worker_stats=worker_stats)
+        partition_stats=partition_stats, worker_stats=worker_stats,
+        retried_batch_ids=retried_ids, degraded_batch_ids=degraded_ids)

@@ -78,7 +78,8 @@ def build_context(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
     ctx = JoinContext(tree_r, tree_s, buffer_kb=spec.buffer_kb,
                       use_path_buffer=spec.use_path_buffer,
                       sort_mode=spec.sort_mode,
-                      record_trace=record_trace)
+                      record_trace=record_trace,
+                      max_retries=spec.max_retries)
     if spec.presort and spec.sort_mode == "maintained":
         presort_trees(ctx)
     return ctx

@@ -83,6 +83,21 @@ class JoinSpec:
         Number of OS processes executing the join.  1 (default) is the
         classic serial engine; >= 2 routes through the partitioned
         parallel executor (:mod:`repro.core.parallel`).
+    max_retries:
+        Transient read faults the buffer manager tolerates per page
+        fetch before escalating (retry-with-exponential-backoff; the
+        backoff is counted into ``stats.io.backoff_ticks``, never
+        slept).  Only observable when a fault-injecting store is in
+        play — a healthy store never raises transients.
+    batch_timeout:
+        Seconds a parallel worker may spend on one batch before the
+        coordinator declares it hung/crashed and moves down the
+        recovery ladder (retry, then serial degradation).  ``None``
+        disables the timeout — and with it crash detection.
+    batch_retries:
+        Crashed/timed-out/fault-exhausted batches are re-dispatched to
+        a fresh worker this many times before the coordinator runs the
+        batch serially itself (graceful degradation).
     """
 
     algorithm: str = "sj4"
@@ -93,6 +108,9 @@ class JoinSpec:
     use_path_buffer: bool = True
     predicate: Union[SpatialPredicate, str] = SpatialPredicate.INTERSECTS
     workers: int = 1
+    max_retries: int = 2
+    batch_timeout: Optional[float] = 60.0
+    batch_retries: int = 1
 
     def __post_init__(self) -> None:
         # Normalize before validating so "SJ4" or predicate strings from
@@ -120,6 +138,16 @@ class JoinSpec:
                             f"{self.workers!r}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1 ({self.workers})")
+        for name in ("max_retries", "batch_retries"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TypeError(f"{name} must be an int, got {value!r}")
+            if value < 0:
+                raise ValueError(f"{name} cannot be negative ({value})")
+        if self.batch_timeout is not None and self.batch_timeout <= 0:
+            raise ValueError(
+                f"batch_timeout must be positive or None "
+                f"({self.batch_timeout})")
 
 
 def resolve_spec(spec: Optional[JoinSpec] = None, **overrides) -> JoinSpec:

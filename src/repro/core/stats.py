@@ -31,6 +31,15 @@ class JoinStatistics:
     node_pairs: int = 0
     #: Result pairs produced.
     pairs_output: int = 0
+    #: Faults a fault-injecting store delivered during this join slice
+    #: (coordinator partitioning or one worker batch).
+    faults_injected: int = 0
+    #: Parallel batches the coordinator re-dispatched to a fresh worker
+    #: after a crash, hang, or fault exhaustion.
+    batch_retries: int = 0
+    #: Parallel batches that exhausted their retries and were executed
+    #: serially by the coordinator (graceful degradation).
+    degraded_batches: int = 0
 
     @property
     def disk_accesses(self) -> int:
@@ -72,6 +81,9 @@ class JoinStatistics:
             merged.presort_comparisons += part.presort_comparisons
             merged.node_pairs += part.node_pairs
             merged.pairs_output += part.pairs_output
+            merged.faults_injected += part.faults_injected
+            merged.batch_retries += part.batch_retries
+            merged.degraded_batches += part.degraded_batches
         return merged
 
 

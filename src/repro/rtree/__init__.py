@@ -13,6 +13,8 @@ from .node import Node
 from .params import ENTRY_BYTES, RTreeParams
 from .persist import PersistenceError, load_tree, save_tree
 from .rstar import RStarTree, rstar_split
+from .scrub import (PageDamage, RepairReport, ScrubReport, repair_tree,
+                    scrub_tree)
 from .stats import TreeProperties, tree_properties
 from .validate import RTreeInvariantError, is_valid, validate_rtree
 
@@ -22,11 +24,14 @@ __all__ = [
     "GuttmanRTree",
     "Node",
     "PackedRTree",
+    "PageDamage",
     "PersistenceError",
     "RStarTree",
     "RTreeBase",
     "RTreeInvariantError",
     "RTreeParams",
+    "RepairReport",
+    "ScrubReport",
     "TreeProperties",
     "chunk_balanced",
     "hilbert_pack",
@@ -35,8 +40,10 @@ __all__ = [
     "linear_split",
     "load_tree",
     "quadratic_split",
+    "repair_tree",
     "rstar_split",
     "save_tree",
+    "scrub_tree",
     "str_pack",
     "tree_properties",
     "validate_rtree",

@@ -1,0 +1,224 @@
+"""Scrub and repair for persisted R-tree files.
+
+Every node page written by :mod:`repro.rtree.persist` carries a CRC32
+over its body.  :func:`load_tree` *refuses* a corrupt file; this module
+is the operational counterpart:
+
+* :func:`scrub_tree` walks every node page, verifies its checksum and
+  structure, and reports the damage (without ever raising on a bad
+  page — a scrub is a census, not a gate).
+* :func:`repair_tree` rebuilds a fully valid tree from the surviving
+  leaf pages.  Leaf pages are self-contained (their refs are the user's
+  object ids, not file offsets), so a damaged *directory* page loses no
+  data at all; a damaged *leaf* page loses exactly the entries it held,
+  and the report says how many.
+
+Scrubbing reads the file raw rather than through
+:class:`~repro.storage.pagestore.FilePageStore`, so it also tolerates a
+torn-tail file (a size that is not a page multiple) that the store —
+correctly — refuses to open.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..geometry.rect import Rect
+from .base import RTreeBase
+from .bulk import str_pack
+from .params import RTreeParams
+from .persist import (_CRC, _ENTRY, _HEADER, _MAGIC, _NODE_HEADER,
+                      _VARIANTS, _VERSION, PersistenceError, save_tree)
+
+#: FilePageStore's per-page length prefix.
+_STORE_HEADER = 4
+
+
+@dataclass(frozen=True)
+class PageDamage:
+    """One damaged node page."""
+
+    page: int
+    reason: str
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of a :func:`scrub_tree` pass."""
+
+    path: str
+    variant: str
+    node_count: int
+    expected_entries: int
+    damaged: List[PageDamage] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.damaged
+
+    def render(self) -> str:
+        lines = [f"{self.path}: {self.node_count} node pages "
+                 f"({self.variant}), {len(self.damaged)} damaged"]
+        for damage in self.damaged:
+            lines.append(f"  page {damage.page}: {damage.reason}")
+        if self.ok:
+            lines.append("  all checksums verify")
+        return "\n".join(lines)
+
+
+@dataclass
+class RepairReport:
+    """Outcome of a :func:`repair_tree` pass."""
+
+    scrub: ScrubReport
+    output: str
+    recovered_entries: int
+    lost_entries: int
+
+    @property
+    def complete(self) -> bool:
+        """True when no data entry was lost (directory-only damage)."""
+        return self.lost_entries == 0
+
+    def render(self) -> str:
+        status = ("complete" if self.complete
+                  else f"{self.lost_entries} entries lost")
+        return (f"rebuilt {self.recovered_entries:,}/"
+                f"{self.scrub.expected_entries:,} entries from "
+                f"{self.scrub.node_count - len(self.scrub.damaged)} "
+                f"surviving pages -> {self.output} ({status})")
+
+
+def _read_header(path: str) -> Tuple[int, int, int, str, int]:
+    """Parse and validate the header page; returns
+    ``(physical, logical, node_count, variant, expected_entries)``."""
+    with open(path, "rb") as handle:
+        raw = handle.read(_STORE_HEADER + _HEADER.size)
+    if len(raw) < _STORE_HEADER + _HEADER.size:
+        raise PersistenceError(f"{path} is too short to be a tree file")
+    (magic, version, physical, logical, _root, size, _height,
+     node_count, variant_raw) = _HEADER.unpack(
+        raw[_STORE_HEADER:_STORE_HEADER + _HEADER.size])
+    if magic != _MAGIC:
+        raise PersistenceError(f"{path} is not a repro R-tree file")
+    if version != _VERSION:
+        raise PersistenceError(f"unsupported tree file version {version}")
+    variant = variant_raw.rstrip(b"\x00").decode("ascii", "replace")
+    return physical, logical, node_count, variant, size
+
+
+def _scan_pages(path: str, physical: int, node_count: int):
+    """Yield ``(page_index, node_or_None, damage_or_None)`` where the
+    node is ``(level, entries)`` for every healthy page."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    for index in range(1, node_count + 1):
+        offset = index * physical
+        block = data[offset:offset + physical]
+        if len(block) < physical:
+            yield index, None, PageDamage(
+                index, "page lies beyond the end of the file "
+                       "(truncated file)")
+            continue
+        length = int.from_bytes(block[:_STORE_HEADER], "big")
+        if length > physical - _STORE_HEADER:
+            yield index, None, PageDamage(
+                index, f"payload length {length} exceeds the page "
+                       f"capacity (corrupt length prefix)")
+            continue
+        blob = block[_STORE_HEADER:_STORE_HEADER + length]
+        if len(blob) < _CRC.size + _NODE_HEADER.size:
+            yield index, None, PageDamage(
+                index, "payload too short for a node header "
+                       "(torn write)")
+            continue
+        (stored_crc,) = _CRC.unpack_from(blob, 0)
+        body = blob[_CRC.size:]
+        if zlib.crc32(body) != stored_crc:
+            yield index, None, PageDamage(
+                index, "checksum mismatch (bit rot or torn write)")
+            continue
+        level, count = _NODE_HEADER.unpack_from(body, 0)
+        needed = _NODE_HEADER.size + count * _ENTRY.size
+        if level < 0 or len(body) < needed:
+            yield index, None, PageDamage(
+                index, f"node header claims {count} entries at level "
+                       f"{level}, which does not fit the payload")
+            continue
+        entries = []
+        offset_in = _NODE_HEADER.size
+        for _ in range(count):
+            xl, yl, xu, yu, ref = _ENTRY.unpack_from(body, offset_in)
+            offset_in += _ENTRY.size
+            entries.append((Rect(xl, yl, xu, yu), ref))
+        yield index, (level, entries), None
+
+
+def scrub_tree(path: str) -> ScrubReport:
+    """Verify every node page of the tree file at *path*.
+
+    Raises :class:`PersistenceError` only when the header page itself
+    is unusable (wrong magic, bad version, truncated header) — damage
+    to node pages is *reported*, never raised.
+    """
+    physical, _logical, node_count, variant, size = _read_header(path)
+    report = ScrubReport(path=path, variant=variant,
+                         node_count=node_count, expected_entries=size)
+    for _index, _node, damage in _scan_pages(path, physical, node_count):
+        if damage is not None:
+            report.damaged.append(damage)
+    return report
+
+
+def repair_tree(path: str, output: str) -> RepairReport:
+    """Rebuild a valid tree from the surviving pages of *path* into
+    *output*.
+
+    The rebuilt tree contains every data entry held by a leaf page
+    whose checksum verifies; it passes
+    :func:`~repro.rtree.validate.validate_rtree` and is written with
+    :func:`~repro.rtree.persist.save_tree` (fresh checksums
+    throughout).  Entries on damaged leaf pages are gone — the report's
+    ``lost_entries`` counts them.
+    """
+    physical, logical, node_count, variant, size = _read_header(path)
+    scrub = ScrubReport(path=path, variant=variant,
+                        node_count=node_count, expected_entries=size)
+    records: List[Tuple[Rect, int]] = []
+    for _index, node, damage in _scan_pages(path, physical, node_count):
+        if damage is not None:
+            scrub.damaged.append(damage)
+            continue
+        level, entries = node
+        if level == 0:
+            records.extend(entries)
+    if not records:
+        raise PersistenceError(
+            f"no leaf entries survive in {path}; nothing to rebuild")
+    tree = _rebuild(records, logical, variant)
+    save_tree(tree, output)
+    return RepairReport(scrub=scrub, output=output,
+                        recovered_entries=len(records),
+                        lost_entries=max(0, size - len(records)))
+
+
+def _rebuild(records: List[Tuple[Rect, int]], logical: int,
+             variant: str) -> RTreeBase:
+    """A fresh, valid tree of the original variant over *records*."""
+    params = RTreeParams.from_page_size(logical)
+    if variant == "packed":
+        return str_pack(records, params)
+    try:
+        tree_cls = _VARIANTS[variant]
+    except KeyError:
+        raise PersistenceError(
+            f"unknown tree variant {variant!r}") from None
+    if variant == "guttman-linear":
+        tree = tree_cls(params, split="linear")  # type: ignore[call-arg]
+    else:
+        tree = tree_cls(params)
+    for rect, ref in records:
+        tree.insert(rect, ref)
+    return tree

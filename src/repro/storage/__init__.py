@@ -7,6 +7,8 @@ fixed-size pages in a file for tree persistence.
 """
 
 from .buffer import FrameKey, LRUBuffer
+from .faults import (CorruptPageError, FaultInjectingPageStore, FaultPlan,
+                     StorageStatistics, TransientIOError, pristine_store)
 from .manager import BufferManager
 from .page import (INVALID_PAGE, KILOBYTE, PAPER_PAGE_SIZES, PageId,
                    frames_for_buffer, page_size_kb)
@@ -16,6 +18,9 @@ from .stats import IOStatistics
 
 __all__ = [
     "BufferManager",
+    "CorruptPageError",
+    "FaultInjectingPageStore",
+    "FaultPlan",
     "FilePageStore",
     "FrameKey",
     "INVALID_PAGE",
@@ -27,6 +32,9 @@ __all__ = [
     "PageId",
     "PageStore",
     "PathBuffer",
+    "StorageStatistics",
+    "TransientIOError",
     "frames_for_buffer",
     "page_size_kb",
+    "pristine_store",
 ]

@@ -1,0 +1,345 @@
+"""Deterministic fault injection for the storage layer.
+
+The paper's evaluation assumes a disk that never fails; a production
+deployment does not get that luxury.  This module makes failure a
+first-class, *reproducible* input: a :class:`FaultPlan` is a pure
+function of a seed and per-operation counters, so the exact same fault
+sequence replays run after run (and process after process), which keeps
+chaos tests deterministic.
+
+:class:`FaultInjectingPageStore` wraps any
+:class:`~repro.storage.pagestore.PageStore` and, driven by its plan,
+
+* raises :class:`TransientIOError` on reads and writes (the retryable
+  class of failure — a loose cable, a busy controller),
+* flips a payload bit or tears a write in half before it reaches a
+  byte-oriented store such as
+  :class:`~repro.storage.pagestore.FilePageStore` (the *persistent*
+  class of failure, surfaced later by the persistence layer's CRCs as
+  :class:`~repro.rtree.persist.PersistenceError`),
+* optionally kills the hosting *worker* process outright on a read
+  (``crash_read_p``), simulating a crashed executor — never the
+  coordinator: crash faults only fire in daemonic pool workers,
+
+and records every injected fault in a :class:`StorageStatistics` tally.
+
+The buffer manager (:class:`~repro.storage.manager.BufferManager`)
+retries transients with counted exponential backoff and escalates
+:class:`CorruptPageError`; the parallel executor
+(:mod:`repro.core.parallel`) retries or degrades whole batches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from .page import PageId
+from .pagestore import PageStore
+
+#: Odd multiplier used to derive an independent stream per retry salt.
+_RESEED_MIX = 0x9E3779B1
+
+
+class TransientIOError(IOError):
+    """A retryable storage failure: the same operation may succeed when
+    attempted again."""
+
+
+class CorruptPageError(IOError):
+    """A non-retryable storage failure: the stored page is damaged and
+    retrying cannot help.  The buffer manager escalates this
+    immediately instead of burning retries on it."""
+
+
+class StorageStatistics:
+    """Mutable tally of injected faults (one per wrapped store)."""
+
+    __slots__ = ("transient_read_faults", "transient_write_faults",
+                 "bit_flips", "torn_writes", "crashes_scheduled")
+
+    def __init__(self) -> None:
+        self.transient_read_faults = 0
+        self.transient_write_faults = 0
+        self.bit_flips = 0
+        self.torn_writes = 0
+        self.crashes_scheduled = 0
+
+    @property
+    def total_injected(self) -> int:
+        """Every injected fault regardless of kind."""
+        return (self.transient_read_faults + self.transient_write_faults
+                + self.bit_flips + self.torn_writes
+                + self.crashes_scheduled)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for slot in self.__slots__:
+            setattr(self, slot, 0)
+
+    def snapshot(self) -> "StorageStatistics":
+        """Independent copy of the current tallies."""
+        copy = StorageStatistics()
+        for slot in self.__slots__:
+            setattr(copy, slot, getattr(self, slot))
+        return copy
+
+    def __iadd__(self, other: "StorageStatistics") -> "StorageStatistics":
+        for slot in self.__slots__:
+            setattr(self, slot, getattr(self, slot) + getattr(other, slot))
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StorageStatistics):
+            return NotImplemented
+        return all(getattr(self, slot) == getattr(other, slot)
+                   for slot in self.__slots__)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StorageStatistics(transient_read="
+                f"{self.transient_read_faults}, transient_write="
+                f"{self.transient_write_faults}, bit_flips={self.bit_flips}, "
+                f"torn_writes={self.torn_writes})")
+
+
+def _in_worker_process() -> bool:
+    """True inside a daemonic worker (multiprocessing pool) process."""
+    return multiprocessing.current_process().daemon
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic description of which operations fail.
+
+    Every decision is a pure hash of ``(seed, kind, page, occurrence)``
+    — no global RNG state — so the plan is insensitive to unrelated
+    code drawing random numbers and replays identically in any process.
+
+    Parameters
+    ----------
+    seed:
+        Stream selector; two plans with different seeds fail different
+        operations.
+    read_transient_p, write_transient_p:
+        Probability that a read / write raises
+        :class:`TransientIOError`.
+    bit_flip_p:
+        Probability that a written ``bytes`` payload has one bit
+        flipped before it reaches the inner store (detected later by
+        the persistence layer's CRC).
+    torn_write_p:
+        Probability that a written ``bytes`` payload is truncated to
+        its first half (a torn write).
+    crash_read_p:
+        Probability that a read kills the hosting process via
+        ``os._exit`` — but only inside daemonic pool workers, so the
+        coordinator (and plain test processes) never die.  Simulates a
+        crashed parallel executor.
+    max_transients_per_page:
+        Cap on transient faults injected per (operation kind, page).
+        The default of 2 guarantees that a bounded retry loop
+        eventually succeeds; ``None`` removes the cap (a page can fail
+        forever, which exercises retry exhaustion and degradation).
+    worker_only:
+        Restrict *all* fault kinds to daemonic worker processes.  Lets
+        a chaos test hammer the workers while the coordinator's
+        partitioning descent stays clean.
+    """
+
+    seed: int = 0
+    read_transient_p: float = 0.0
+    write_transient_p: float = 0.0
+    bit_flip_p: float = 0.0
+    torn_write_p: float = 0.0
+    crash_read_p: float = 0.0
+    max_transients_per_page: Optional[int] = 2
+    worker_only: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("read_transient_p", "write_transient_p",
+                     "bit_flip_p", "torn_write_p", "crash_read_p"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1] ({value})")
+        cap = self.max_transients_per_page
+        if cap is not None and cap < 0:
+            raise ValueError(
+                f"max_transients_per_page cannot be negative ({cap})")
+
+    def reseeded(self, salt: int) -> "FaultPlan":
+        """An otherwise-identical plan drawing from a different stream.
+
+        A retried batch runs under a reseeded plan — replaying the
+        exact same draws would make every retry fail exactly like the
+        first attempt."""
+        if salt == 0:
+            return self
+        return replace(self, seed=(self.seed * _RESEED_MIX + salt)
+                       & 0xFFFFFFFF)
+
+    # ------------------------------------------------------------------
+    # Deterministic draws
+    # ------------------------------------------------------------------
+
+    def _draw(self, kind: str, page_id: PageId, occurrence: int) -> float:
+        # blake2b, not crc32: the draw must be uniform over short,
+        # near-identical tokens, and stable across processes (unlike
+        # the salted built-in str hash).
+        token = f"{self.seed}|{kind}|{page_id}|{occurrence}".encode()
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2 ** 64
+
+    def fires(self, kind: str, probability: float, page_id: PageId,
+              occurrence: int) -> bool:
+        """Whether occurrence number *occurrence* of *kind* on
+        *page_id* faults."""
+        if probability <= 0.0:
+            return False
+        if self.worker_only and not _in_worker_process():
+            return False
+        return self._draw(kind, page_id, occurrence) < probability
+
+    def flip_position(self, page_id: PageId, occurrence: int,
+                      nbits: int) -> int:
+        """Deterministic bit index to flip in an *nbits*-bit payload."""
+        token = f"{self.seed}|flipbit|{page_id}|{occurrence}".encode()
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        return int.from_bytes(digest, "big") % nbits
+
+
+class FaultInjectingPageStore(PageStore):
+    """Wrap a :class:`PageStore`, injecting the faults of a
+    :class:`FaultPlan` and recording them in :attr:`stats`.
+
+    The wrapper is transparent for everything the plan leaves alone:
+    unknown attributes (``flush``, ``close``, ``path``, ``page_size``,
+    ...) delegate to the inner store, so the persistence layer can use
+    a wrapped :class:`~repro.storage.pagestore.FilePageStore`
+    unchanged.  The wrapper pickles with its inner store, so a fault
+    plan travels into multiprocessing workers alongside the tree it
+    torments.
+    """
+
+    def __init__(self, inner: PageStore, plan: FaultPlan) -> None:
+        if isinstance(inner, FaultInjectingPageStore):
+            raise ValueError("refusing to stack fault injectors")
+        self.inner = inner
+        self.plan = plan
+        self.stats = StorageStatistics()
+        self._occurrences: Dict[Tuple[str, PageId], int] = {}
+        self._transients: Dict[Tuple[str, PageId], int] = {}
+
+    # ------------------------------------------------------------------
+    # Plan bookkeeping
+    # ------------------------------------------------------------------
+
+    def reseed(self, salt: int) -> None:
+        """Switch to a reseeded plan and restart the occurrence
+        counters (used by the parallel executor's batch retries)."""
+        self.plan = self.plan.reseeded(salt)
+        self._occurrences.clear()
+        self._transients.clear()
+
+    def _occurrence(self, kind: str, page_id: PageId) -> int:
+        key = (kind, page_id)
+        count = self._occurrences.get(key, 0) + 1
+        self._occurrences[key] = count
+        return count
+
+    def _transient_allowed(self, kind: str, page_id: PageId) -> bool:
+        cap = self.plan.max_transients_per_page
+        if cap is None:
+            return True
+        return self._transients.get((kind, page_id), 0) < cap
+
+    def _count_transient(self, kind: str, page_id: PageId) -> None:
+        key = (kind, page_id)
+        self._transients[key] = self._transients.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # PageStore interface
+    # ------------------------------------------------------------------
+
+    def allocate(self) -> PageId:
+        return self.inner.allocate()
+
+    def read(self, page_id: PageId) -> Any:
+        """Clean passthrough.
+
+        Trees use ``store.read`` directly for *structural* access
+        (``tree.node``, ``tree.mbr``) — the simulation's stand-in for
+        already-resident metadata, which the paper does not charge as
+        disk I/O and which therefore cannot fault.  The physical,
+        counted read path of the buffer manager goes through
+        :meth:`read_faulty` instead."""
+        return self.inner.read(page_id)
+
+    def read_faulty(self, page_id: PageId) -> Any:
+        """One simulated *disk* read: this is where the plan strikes."""
+        occurrence = self._occurrence("read", page_id)
+        plan = self.plan
+        if plan.fires("crash", plan.crash_read_p, page_id, occurrence) \
+                and _in_worker_process():
+            self.stats.crashes_scheduled += 1
+            os._exit(13)
+        if plan.fires("read", plan.read_transient_p, page_id, occurrence) \
+                and self._transient_allowed("read", page_id):
+            self._count_transient("read", page_id)
+            self.stats.transient_read_faults += 1
+            raise TransientIOError(
+                f"injected transient read fault on page {page_id} "
+                f"(occurrence {occurrence})")
+        return self.inner.read(page_id)
+
+    def write(self, page_id: PageId, payload: Any) -> None:
+        occurrence = self._occurrence("write", page_id)
+        plan = self.plan
+        if plan.fires("write", plan.write_transient_p, page_id,
+                      occurrence) \
+                and self._transient_allowed("write", page_id):
+            self._count_transient("write", page_id)
+            self.stats.transient_write_faults += 1
+            raise TransientIOError(
+                f"injected transient write fault on page {page_id} "
+                f"(occurrence {occurrence})")
+        if isinstance(payload, (bytes, bytearray)) and len(payload) > 0:
+            if plan.fires("torn", plan.torn_write_p, page_id, occurrence):
+                self.stats.torn_writes += 1
+                payload = bytes(payload)[:len(payload) // 2]
+            elif plan.fires("flip", plan.bit_flip_p, page_id, occurrence):
+                self.stats.bit_flips += 1
+                mutable = bytearray(payload)
+                position = plan.flip_position(page_id, occurrence,
+                                              len(mutable) * 8)
+                mutable[position // 8] ^= 1 << (position % 8)
+                payload = bytes(mutable)
+        self.inner.write(page_id, payload)
+
+    def free(self, page_id: PageId) -> None:
+        self.inner.free(page_id)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def page_ids(self) -> List[PageId]:
+        return self.inner.page_ids()
+
+    def __getattr__(self, name: str) -> Any:
+        inner = self.__dict__.get("inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
+
+
+def pristine_store(store: PageStore) -> PageStore:
+    """The store stripped of any fault injector (itself when plain).
+
+    The parallel executor's degraded path runs a failed batch in the
+    coordinator against pristine stores — the last rung of the ladder
+    must not fail the same way the workers did."""
+    if isinstance(store, FaultInjectingPageStore):
+        return store.inner
+    return store

@@ -13,6 +13,15 @@ storage."  The manager combines, per request:
 Several trees (sides) register their page stores; each side gets its own
 path buffer while the LRU buffer is shared, matching the paper's setup of
 a join occupying one system buffer.
+
+Physical page fetches additionally pass through a bounded
+retry-with-exponential-backoff loop: a
+:class:`~repro.storage.faults.TransientIOError` (e.g. injected by a
+:class:`~repro.storage.faults.FaultInjectingPageStore`) is retried up to
+``max_retries`` times with the would-be backoff delay *counted* into
+``stats.backoff_ticks`` instead of slept, while a
+:class:`~repro.storage.faults.CorruptPageError` escalates immediately —
+retrying cannot repair a damaged page.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 from typing import Any, List
 
 from .buffer import LRUBuffer
+from .faults import CorruptPageError, TransientIOError
 from .page import PageId, frames_for_buffer
 from .pagestore import PageStore
 from .pathbuffer import PathBuffer
@@ -30,11 +40,21 @@ class BufferManager:
     """Counted page access for one or more trees sharing an LRU buffer."""
 
     def __init__(self, frames: int, use_path_buffer: bool = True,
-                 record_trace: bool = False) -> None:
+                 record_trace: bool = False, max_retries: int = 0,
+                 backoff_base: int = 1) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries cannot be negative "
+                             f"({max_retries})")
+        if backoff_base < 1:
+            raise ValueError(f"backoff_base must be >= 1 ({backoff_base})")
         self.lru = LRUBuffer(frames)
         self.stats = IOStatistics()
         self.use_path_buffer = use_path_buffer
         self.record_trace = record_trace
+        #: Transient read faults tolerated per fetch before giving up.
+        self.max_retries = max_retries
+        #: First backoff delay in simulated ticks; doubles per attempt.
+        self.backoff_base = backoff_base
         #: Sequence of (side, page id) pairs that went to disk, in order
         #: (only populated with ``record_trace=True``); feeds the
         #: disk-array model in :mod:`repro.costmodel.parallel`.
@@ -45,12 +65,14 @@ class BufferManager:
     @classmethod
     def for_buffer_size(cls, buffer_kb: float, page_size: int,
                         use_path_buffer: bool = True,
-                        record_trace: bool = False) -> "BufferManager":
+                        record_trace: bool = False,
+                        max_retries: int = 0) -> "BufferManager":
         """Build a manager whose LRU buffer holds *buffer_kb* KByte of
         pages of *page_size* bytes, as the paper's tables are labelled."""
         return cls(frames_for_buffer(buffer_kb, page_size),
                    use_path_buffer=use_path_buffer,
-                   record_trace=record_trace)
+                   record_trace=record_trace,
+                   max_retries=max_retries)
 
     # ------------------------------------------------------------------
     # Side registration
@@ -81,9 +103,11 @@ class BufferManager:
             self.stats.path_hits += 1
             return self._stores[side].read(page_id)
         key = (side, page_id)
+        physical = False
         if self.lru.lookup(key):
             self.stats.lru_hits += 1
         else:
+            physical = True
             self.stats.disk_reads += 1
             if self.record_trace:
                 self.trace.append(key)
@@ -91,7 +115,36 @@ class BufferManager:
                 self.stats.evictions += 1
         if self.use_path_buffer:
             path.record(page_id, depth)
+        if physical:
+            return self._disk_read(side, page_id)
         return self._stores[side].read(page_id)
+
+    def _disk_read(self, side: int, page_id: PageId) -> Any:
+        """One physical page fetch with the bounded retry loop.
+
+        Only this path can fault: buffer hits never touch the
+        simulated disk.  Transients are retried ``max_retries`` times;
+        the exponential backoff a real system would sleep (base,
+        2*base, 4*base, ...) is accumulated in ``stats.backoff_ticks``.
+        Corruption (:class:`CorruptPageError`) escalates on the first
+        attempt — retrying cannot repair a damaged page."""
+        store = self._stores[side]
+        # Fault-injecting stores expose the physical read path as
+        # ``read_faulty`` (their plain ``read`` models already-resident
+        # structural access and never faults).
+        reader = getattr(store, "read_faulty", None) or store.read
+        attempt = 0
+        while True:
+            try:
+                return reader(page_id)
+            except CorruptPageError:
+                raise
+            except TransientIOError:
+                if attempt >= self.max_retries:
+                    raise
+                self.stats.read_retries += 1
+                self.stats.backoff_ticks += self.backoff_base << attempt
+                attempt += 1
 
     # ------------------------------------------------------------------
     # Pinning

@@ -104,7 +104,15 @@ class FilePageStore(PageStore):
             raise ValueError(f"page size {page_size} too small")
         self.path = path
         self.page_size = page_size
-        mode = "w+b" if create or not os.path.exists(path) else "r+b"
+        exists = os.path.exists(path)
+        if not create and exists:
+            size = os.path.getsize(path)
+            if size % page_size:
+                raise ValueError(
+                    f"{path} is {size} bytes, not a multiple of the "
+                    f"page size {page_size} — the file has a torn tail "
+                    f"(or was written with a different page size)")
+        mode = "w+b" if create or not exists else "r+b"
         self._file = open(path, mode)
         self._free: List[PageId] = []
         self._count = os.path.getsize(path) // page_size if not create else 0
@@ -116,8 +124,11 @@ class FilePageStore(PageStore):
         else:
             page_id = self._count
             self._count += 1
-            self._file.seek(page_id * self.page_size)
-            self._file.write(b"\x00" * self.page_size)
+        # Zero the page even when recycling a freed one: a
+        # read-before-write must see an empty page, not the stale
+        # payload of the previous tenant.
+        self._file.seek(page_id * self.page_size)
+        self._file.write(b"\x00" * self.page_size)
         self._live.add(page_id)
         return page_id
 

@@ -13,7 +13,8 @@ class IOStatistics:
     """Mutable tally of page traffic."""
 
     __slots__ = ("disk_reads", "disk_writes", "lru_hits", "path_hits",
-                 "evictions", "pin_events")
+                 "evictions", "pin_events", "read_retries",
+                 "backoff_ticks")
 
     def __init__(self) -> None:
         self.disk_reads = 0
@@ -22,6 +23,12 @@ class IOStatistics:
         self.path_hits = 0
         self.evictions = 0
         self.pin_events = 0
+        #: Transient read faults the buffer manager retried away.
+        self.read_retries = 0
+        #: Simulated backoff clock: the sum of the exponential delays a
+        #: real system would have slept between retries (counted, never
+        #: slept, so chaos tests stay fast).
+        self.backoff_ticks = 0
 
     @property
     def logical_reads(self) -> int:
@@ -30,31 +37,19 @@ class IOStatistics:
 
     def reset(self) -> None:
         """Zero every counter."""
-        self.disk_reads = 0
-        self.disk_writes = 0
-        self.lru_hits = 0
-        self.path_hits = 0
-        self.evictions = 0
-        self.pin_events = 0
+        for slot in self.__slots__:
+            setattr(self, slot, 0)
 
     def snapshot(self) -> "IOStatistics":
         """Return an independent copy of the current tallies."""
         copy = IOStatistics()
-        copy.disk_reads = self.disk_reads
-        copy.disk_writes = self.disk_writes
-        copy.lru_hits = self.lru_hits
-        copy.path_hits = self.path_hits
-        copy.evictions = self.evictions
-        copy.pin_events = self.pin_events
+        for slot in self.__slots__:
+            setattr(copy, slot, getattr(self, slot))
         return copy
 
     def __iadd__(self, other: "IOStatistics") -> "IOStatistics":
-        self.disk_reads += other.disk_reads
-        self.disk_writes += other.disk_writes
-        self.lru_hits += other.lru_hits
-        self.path_hits += other.path_hits
-        self.evictions += other.evictions
-        self.pin_events += other.pin_events
+        for slot in self.__slots__:
+            setattr(self, slot, getattr(self, slot) + getattr(other, slot))
         return self
 
     def __eq__(self, other: object) -> bool:

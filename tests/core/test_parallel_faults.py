@@ -1,0 +1,193 @@
+"""Fault tolerance of the parallel executor.
+
+The contract under injected storage faults: the pair multiset never
+changes.  Transients are absorbed by the buffer manager's retries, a
+failed batch is re-dispatched to a fresh worker, and a batch that stays
+unrecoverable runs serially in the coordinator against pristine stores
+— every rung of the ladder is exact, only slower.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core import JoinSpec, parallel_spatial_join, spatial_join
+from repro.core.stats import JoinStatistics
+from repro.storage import (FaultInjectingPageStore, FaultPlan,
+                           MemoryPageStore, TransientIOError)
+from tests.conftest import build_rstar, make_rects
+
+ALGORITHMS = ("sj1", "sj2", "sj3", "sj4", "sj5")
+
+
+def _fresh_trees(count=700, seeds=(71, 72)):
+    tree_r = build_rstar(make_rects(count, seed=seeds[0]), page_size=256)
+    tree_s = build_rstar(make_rects(count, seed=seeds[1]), page_size=256)
+    return tree_r, tree_s
+
+
+def _inject(tree, plan):
+    tree.store = FaultInjectingPageStore(tree.store, plan)
+    return tree.store
+
+
+# ----------------------------------------------------------------------
+# Rung 1: transients absorbed by the buffer manager's retries
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_parity_under_seeded_transients(algorithm):
+    tree_r, tree_s = _fresh_trees()
+    baseline = sorted(spatial_join(tree_r, tree_s, algorithm=algorithm,
+                                   buffer_kb=16).pairs)
+    plan = FaultPlan(seed=101, read_transient_p=0.3,
+                     max_transients_per_page=2)
+    _inject(tree_r, plan)
+    _inject(tree_s, plan)
+    result = parallel_spatial_join(
+        tree_r, tree_s,
+        JoinSpec(algorithm=algorithm, buffer_kb=16, workers=2,
+                 max_retries=2))
+    assert sorted(result.pairs) == baseline
+    assert result.stats.faults_injected > 0
+    assert result.stats.io.read_retries > 0
+    assert result.stats.io.backoff_ticks > 0
+    # The cap (2 transients/page) vs max_retries (2) guarantees every
+    # fetch eventually lands: nothing escalated past the manager.
+    assert result.stats.batch_retries == 0
+    assert result.stats.degraded_batches == 0
+
+
+# ----------------------------------------------------------------------
+# Rung 2: a failed batch is re-dispatched to a fresh worker
+# ----------------------------------------------------------------------
+
+class FirstContactStore(MemoryPageStore):
+    """Physical reads in *worker* processes raise one transient until
+    the sentinel file exists (created on first failure), so the first
+    dispatch of a batch fails and its retry — in a fresh worker, with
+    the sentinel now on disk — succeeds.  File-based state makes the
+    failure exactly-once across processes."""
+
+    def __init__(self, sentinel):
+        super().__init__()
+        self.sentinel = sentinel
+
+    def read_faulty(self, page_id):
+        if multiprocessing.current_process().daemon and \
+                not os.path.exists(self.sentinel):
+            with open(self.sentinel, "w"):
+                pass
+            raise TransientIOError("first contact with the disk")
+        return self.read(page_id)
+
+
+def test_batch_retry_recovers_in_a_fresh_worker(tmp_path):
+    tree_r, tree_s = _fresh_trees(500, seeds=(73, 74))
+    baseline = sorted(spatial_join(tree_r, tree_s, buffer_kb=16).pairs)
+    failing = FirstContactStore(str(tmp_path / "fault-fired"))
+    donor = tree_r.store
+    failing._pages = donor._pages
+    failing._free = donor._free
+    failing._next = donor._next
+    tree_r.store = failing
+
+    result = parallel_spatial_join(
+        tree_r, tree_s,
+        JoinSpec(buffer_kb=16, workers=2, max_retries=0,
+                 batch_retries=1, batch_timeout=60.0))
+    assert sorted(result.pairs) == baseline
+    assert result.stats.batch_retries >= 1
+    assert result.retried_batch_ids
+    assert result.stats.degraded_batches == 0
+    assert result.degraded_batch_ids == []
+
+
+# ----------------------------------------------------------------------
+# Rung 3: unrecoverable batches degrade to serial coordinator runs
+# ----------------------------------------------------------------------
+
+def test_unrecoverable_workers_degrade_to_serial():
+    tree_r, tree_s = _fresh_trees(500, seeds=(75, 76))
+    baseline = sorted(spatial_join(tree_r, tree_s, buffer_kb=16).pairs)
+    # Unbounded certain transients, workers only: the coordinator's
+    # partitioning descent stays clean, every worker attempt is doomed.
+    plan = FaultPlan(seed=9, read_transient_p=1.0,
+                     max_transients_per_page=None, worker_only=True)
+    _inject(tree_r, plan)
+    _inject(tree_s, plan)
+    spec = JoinSpec(buffer_kb=16, workers=2, max_retries=1,
+                    batch_retries=1, batch_timeout=60.0)
+    result = parallel_spatial_join(tree_r, tree_s, spec)
+
+    assert sorted(result.pairs) == baseline
+    batches = len(result.batch_sizes)
+    assert batches == 2
+    assert sorted(result.retried_batch_ids) == list(range(batches))
+    assert sorted(result.degraded_batch_ids) == list(range(batches))
+    assert result.stats.batch_retries == batches * spec.batch_retries
+    assert result.stats.degraded_batches == batches
+
+
+def test_crashed_worker_degrades_instead_of_raising():
+    tree_r, tree_s = _fresh_trees(400, seeds=(77, 78))
+    baseline = sorted(spatial_join(tree_r, tree_s, buffer_kb=16).pairs)
+    # Every physical read in a worker kills it outright (os._exit); the
+    # pool never delivers a result, so the per-batch timeout is what
+    # turns the death into a recoverable failure.
+    plan = FaultPlan(seed=10, crash_read_p=1.0)
+    _inject(tree_r, plan)
+    _inject(tree_s, plan)
+    result = parallel_spatial_join(
+        tree_r, tree_s,
+        JoinSpec(buffer_kb=16, workers=2, batch_retries=0,
+                 batch_timeout=2.0))
+
+    assert sorted(result.pairs) == baseline
+    assert result.stats.degraded_batches == len(result.batch_sizes) >= 1
+    assert result.stats.batch_retries == 0
+    assert sorted(result.degraded_batch_ids) == \
+        list(range(len(result.batch_sizes)))
+
+
+def test_degraded_run_restores_the_injectors():
+    tree_r, tree_s = _fresh_trees(400, seeds=(79, 80))
+    plan = FaultPlan(seed=9, read_transient_p=1.0,
+                     max_transients_per_page=None, worker_only=True)
+    injector_r = _inject(tree_r, plan)
+    injector_s = _inject(tree_s, plan)
+    parallel_spatial_join(
+        tree_r, tree_s,
+        JoinSpec(buffer_kb=16, workers=2, max_retries=0,
+                 batch_retries=0, batch_timeout=60.0))
+    # The pristine swap during degradation is scoped to the batch.
+    assert tree_r.store is injector_r
+    assert tree_s.store is injector_s
+
+
+# ----------------------------------------------------------------------
+# Plumbing
+# ----------------------------------------------------------------------
+
+def test_fault_counters_merge():
+    a = JoinStatistics()
+    a.faults_injected = 2
+    a.batch_retries = 1
+    a.degraded_batches = 1
+    b = JoinStatistics()
+    b.faults_injected = 3
+    merged = a.merge(b)
+    assert merged.faults_injected == 5
+    assert merged.batch_retries == 1
+    assert merged.degraded_batches == 1
+
+
+def test_spec_validates_fault_tolerance_fields():
+    with pytest.raises(ValueError):
+        JoinSpec(max_retries=-1)
+    with pytest.raises(ValueError):
+        JoinSpec(batch_retries=-1)
+    with pytest.raises(ValueError):
+        JoinSpec(batch_timeout=0.0)
+    assert JoinSpec(batch_timeout=None).batch_timeout is None

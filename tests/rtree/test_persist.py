@@ -123,3 +123,20 @@ def test_checksum_catches_payload_corruption_specifically(tmp_path):
     path.write_bytes(bytes(data))
     with pytest.raises(PersistenceError, match="checksum"):
         load_tree(str(path))
+
+
+def test_corrupted_crc_field_itself_rejected(tmp_path):
+    # Flipping a byte of the *stored checksum* (rather than the body it
+    # guards) must fail the same way: the comparison is symmetric.
+    records = make_rects(300, seed=57)
+    tree = build_rstar(records)
+    path = tmp_path / "tree.rt"
+    pages = save_tree(tree, str(path))
+    data = bytearray(path.read_bytes())
+    page_size = len(data) // pages
+    # First node page: store header (4) puts the CRC at offset 4.
+    offset = page_size + 4
+    data[offset] ^= 0x01
+    path.write_bytes(bytes(data))
+    with pytest.raises(PersistenceError, match="checksum"):
+        load_tree(str(path))

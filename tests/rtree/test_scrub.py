@@ -1,0 +1,170 @@
+"""Unit tests for scrub/repair of persisted tree files."""
+
+import struct
+
+import pytest
+
+from repro.core import spatial_join
+from repro.geometry import Rect
+from repro.rtree import (PersistenceError, load_tree, repair_tree,
+                         save_tree, scrub_tree, str_pack, validate_rtree,
+                         RTreeParams)
+from tests.conftest import build_rstar, make_rects
+
+_EVERYTHING = Rect(-1e9, -1e9, 1e9, 1e9)
+
+
+def _saved_tree(tmp_path, count=600, seed=61, page_size=256):
+    records = make_rects(count, seed=seed)
+    tree = build_rstar(records, page_size=page_size)
+    path = str(tmp_path / "tree.rt")
+    pages = save_tree(tree, path)
+    return tree, path, pages
+
+
+def _page_levels(path, pages):
+    """Map file page index -> node level, parsed raw from the file."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    physical = len(data) // pages
+    levels = {}
+    for index in range(1, pages):
+        offset = index * physical + 4 + 4      # store header + crc
+        (level,) = struct.unpack_from("<i", data, offset)
+        levels[index] = level
+    return levels, physical
+
+
+def _corrupt_page(path, page, physical):
+    """Flip a byte inside *page*'s body (past store header and CRC)."""
+    with open(path, "r+b") as handle:
+        handle.seek(page * physical + 4 + 4 + 10)
+        byte = handle.read(1)
+        handle.seek(-1, 1)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestScrub:
+    def test_clean_file_scrubs_ok(self, tmp_path):
+        tree, path, pages = _saved_tree(tmp_path)
+        report = scrub_tree(path)
+        assert report.ok
+        assert report.node_count == pages - 1
+        assert report.expected_entries == len(tree)
+        assert report.damaged == []
+        assert "all checksums verify" in report.render()
+
+    def test_corrupted_page_is_reported_not_raised(self, tmp_path):
+        _tree, path, pages = _saved_tree(tmp_path)
+        _levels, physical = _page_levels(path, pages)
+        _corrupt_page(path, 2, physical)
+        report = scrub_tree(path)
+        assert not report.ok
+        assert [d.page for d in report.damaged] == [2]
+        assert "checksum mismatch" in report.damaged[0].reason
+        # load_tree refuses the same file the scrub merely censuses.
+        with pytest.raises(PersistenceError):
+            load_tree(path)
+
+    def test_torn_tail_file_is_scrubbable(self, tmp_path):
+        _tree, path, pages = _saved_tree(tmp_path)
+        _levels, physical = _page_levels(path, pages)
+        with open(path, "r+b") as handle:
+            handle.truncate(pages * physical - physical // 2)
+        report = scrub_tree(path)
+        assert [d.page for d in report.damaged] == [pages - 1]
+        assert "end of the file" in report.damaged[0].reason
+
+    def test_non_tree_file_raises(self, tmp_path):
+        path = tmp_path / "junk.rt"
+        path.write_bytes(b"garbage" * 100)
+        with pytest.raises(PersistenceError):
+            scrub_tree(str(path))
+
+    def test_truncated_header_raises(self, tmp_path):
+        path = tmp_path / "short.rt"
+        path.write_bytes(b"xx")
+        with pytest.raises(PersistenceError):
+            scrub_tree(str(path))
+
+
+class TestRepair:
+    def test_directory_damage_loses_nothing(self, tmp_path):
+        tree, path, pages = _saved_tree(tmp_path)
+        levels, physical = _page_levels(path, pages)
+        directory = next(p for p, lv in levels.items() if lv > 0)
+        _corrupt_page(path, directory, physical)
+
+        output = str(tmp_path / "repaired.rt")
+        report = repair_tree(path, output)
+        assert report.complete
+        assert report.recovered_entries == len(tree)
+        assert report.lost_entries == 0
+        assert "complete" in report.render()
+
+        repaired = load_tree(output)
+        validate_rtree(repaired)
+        assert sorted(repaired.window_query(_EVERYTHING)) == \
+            sorted(tree.window_query(_EVERYTHING))
+
+    def test_repaired_tree_reproduces_join_result(self, tmp_path):
+        tree, path, pages = _saved_tree(tmp_path, count=500, seed=62)
+        other = build_rstar(make_rects(500, seed=63), page_size=256)
+        baseline = sorted(spatial_join(tree, other).pairs)
+
+        levels, physical = _page_levels(path, pages)
+        directory = next(p for p, lv in levels.items() if lv > 0)
+        _corrupt_page(path, directory, physical)
+        output = str(tmp_path / "repaired.rt")
+        repair_tree(path, output)
+
+        repaired = load_tree(output)
+        assert sorted(spatial_join(repaired, other).pairs) == baseline
+
+    def test_leaf_damage_loses_exactly_that_leaf(self, tmp_path):
+        tree, path, pages = _saved_tree(tmp_path)
+        levels, physical = _page_levels(path, pages)
+        leaf = next(p for p, lv in levels.items() if lv == 0)
+        _corrupt_page(path, leaf, physical)
+
+        output = str(tmp_path / "repaired.rt")
+        report = repair_tree(path, output)
+        assert not report.complete
+        assert 0 < report.lost_entries < len(tree)
+        assert report.recovered_entries == len(tree) - report.lost_entries
+        assert "lost" in report.render()
+
+        repaired = load_tree(output)
+        validate_rtree(repaired)
+        survivors = set(repaired.window_query(_EVERYTHING))
+        assert survivors < set(tree.window_query(_EVERYTHING))
+        assert len(survivors) == report.recovered_entries
+
+    def test_packed_variant_repairs_via_str_pack(self, tmp_path):
+        records = make_rects(400, seed=64)
+        tree = str_pack(records, RTreeParams.from_page_size(1024))
+        path = str(tmp_path / "packed.rt")
+        pages = save_tree(tree, path)
+        levels, physical = _page_levels(path, pages)
+        directory = next(p for p, lv in levels.items() if lv > 0)
+        _corrupt_page(path, directory, physical)
+
+        output = str(tmp_path / "repaired.rt")
+        report = repair_tree(path, output)
+        assert report.complete
+        repaired = load_tree(output)
+        assert repaired.variant == "packed"
+        validate_rtree(repaired, check_min_fill=False)
+        assert sorted(repaired.window_query(_EVERYTHING)) == \
+            sorted(tree.window_query(_EVERYTHING))
+
+    def test_nothing_to_rebuild_raises(self, tmp_path):
+        # A single-node tree whose only (leaf) page is destroyed.
+        tree = build_rstar(make_rects(5, seed=65))
+        path = str(tmp_path / "tiny.rt")
+        pages = save_tree(tree, path)
+        assert pages == 2
+        _levels, physical = _page_levels(path, pages)
+        _corrupt_page(path, 1, physical)
+        with pytest.raises(PersistenceError, match="no leaf entries"):
+            repair_tree(path, str(tmp_path / "out.rt"))

@@ -1,0 +1,255 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+import pickle
+
+import pytest
+
+from repro.storage import (FaultInjectingPageStore, FaultPlan,
+                           FilePageStore, MemoryPageStore,
+                           StorageStatistics, TransientIOError,
+                           pristine_store)
+
+
+def _memory_store(pages=8):
+    store = MemoryPageStore()
+    for i in range(pages):
+        page = store.allocate()
+        store.write(page, f"payload-{i}")
+    return store
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(read_transient_p=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(bit_flip_p=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(max_transients_per_page=-1)
+
+    def test_draws_are_deterministic(self):
+        a = FaultPlan(seed=7, read_transient_p=0.5)
+        b = FaultPlan(seed=7, read_transient_p=0.5)
+        for page in range(50):
+            for occurrence in (1, 2, 3):
+                assert a.fires("read", 0.5, page, occurrence) == \
+                    b.fires("read", 0.5, page, occurrence)
+
+    def test_draws_are_roughly_uniform(self):
+        plan = FaultPlan(seed=11)
+        draws = [plan._draw("read", page, occ)
+                 for page in range(300) for occ in (1, 2)]
+        fraction = sum(d < 0.25 for d in draws) / len(draws)
+        assert 0.15 < fraction < 0.35
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, read_transient_p=0.5)
+        b = FaultPlan(seed=2, read_transient_p=0.5)
+        outcomes_a = [a.fires("read", 0.5, p, 1) for p in range(100)]
+        outcomes_b = [b.fires("read", 0.5, p, 1) for p in range(100)]
+        assert outcomes_a != outcomes_b
+
+    def test_reseeded_changes_the_stream(self):
+        plan = FaultPlan(seed=3, read_transient_p=0.5)
+        salted = plan.reseeded(1)
+        assert salted.seed != plan.seed
+        assert salted.read_transient_p == plan.read_transient_p
+        assert plan.reseeded(0) is plan
+
+    def test_zero_probability_never_fires(self):
+        plan = FaultPlan(seed=9)
+        assert not any(plan.fires("read", 0.0, p, 1) for p in range(100))
+
+
+# ----------------------------------------------------------------------
+# FaultInjectingPageStore: transients
+# ----------------------------------------------------------------------
+
+class TestTransients:
+    def test_certain_read_fault_recorded(self):
+        store = FaultInjectingPageStore(
+            _memory_store(),
+            FaultPlan(seed=1, read_transient_p=1.0,
+                      max_transients_per_page=None))
+        with pytest.raises(TransientIOError):
+            store.read_faulty(0)
+        assert store.stats.transient_read_faults == 1
+        assert store.stats.total_injected == 1
+
+    def test_plain_read_never_faults(self):
+        # tree.node()-style structural access bypasses the fault plan.
+        store = FaultInjectingPageStore(
+            _memory_store(),
+            FaultPlan(seed=1, read_transient_p=1.0,
+                      max_transients_per_page=None))
+        assert store.read(0) == "payload-0"
+        assert store.stats.total_injected == 0
+
+    def test_per_page_transient_cap(self):
+        store = FaultInjectingPageStore(
+            _memory_store(),
+            FaultPlan(seed=1, read_transient_p=1.0,
+                      max_transients_per_page=2))
+        for _ in range(2):
+            with pytest.raises(TransientIOError):
+                store.read_faulty(0)
+        assert store.read_faulty(0) == "payload-0"
+        assert store.stats.transient_read_faults == 2
+
+    def test_write_transient(self):
+        store = FaultInjectingPageStore(
+            _memory_store(),
+            FaultPlan(seed=1, write_transient_p=1.0,
+                      max_transients_per_page=1))
+        with pytest.raises(TransientIOError):
+            store.write(0, "new")
+        store.write(0, "new")  # cap reached: second attempt lands
+        assert store.read(0) == "new"
+        assert store.stats.transient_write_faults == 1
+
+    def test_same_seed_same_fault_sequence(self):
+        def run():
+            store = FaultInjectingPageStore(
+                _memory_store(),
+                FaultPlan(seed=77, read_transient_p=0.4,
+                          max_transients_per_page=None))
+            outcome = []
+            for page in range(8):
+                for _ in range(3):
+                    try:
+                        store.read_faulty(page)
+                        outcome.append("ok")
+                    except TransientIOError:
+                        outcome.append("fault")
+            return outcome, store.stats.snapshot()
+
+        first, stats_a = run()
+        second, stats_b = run()
+        assert first == second
+        assert stats_a == stats_b
+        assert "fault" in first and "ok" in first
+
+
+# ----------------------------------------------------------------------
+# FaultInjectingPageStore: corruption of byte payloads
+# ----------------------------------------------------------------------
+
+class TestCorruption:
+    def test_bit_flip_corrupts_file_payload(self, tmp_path):
+        inner = FilePageStore(str(tmp_path / "p.bin"), 64)
+        store = FaultInjectingPageStore(
+            inner, FaultPlan(seed=5, bit_flip_p=1.0))
+        page = store.allocate()
+        store.write(page, b"hello world")
+        assert store.stats.bit_flips == 1
+        damaged = store.read(page)
+        assert damaged != b"hello world"
+        assert len(damaged) == len(b"hello world")
+        # Exactly one bit differs.
+        diff = sum(bin(a ^ b).count("1")
+                   for a, b in zip(damaged, b"hello world"))
+        assert diff == 1
+
+    def test_torn_write_halves_the_payload(self, tmp_path):
+        inner = FilePageStore(str(tmp_path / "p.bin"), 64)
+        store = FaultInjectingPageStore(
+            inner, FaultPlan(seed=5, torn_write_p=1.0))
+        page = store.allocate()
+        store.write(page, b"0123456789")
+        assert store.stats.torn_writes == 1
+        assert store.read(page) == b"01234"
+
+    def test_object_payloads_are_never_mutated(self):
+        # MemoryPageStore holds Python objects; bit flips are a
+        # byte-level fault and must not touch them.
+        store = FaultInjectingPageStore(
+            _memory_store(),
+            FaultPlan(seed=5, bit_flip_p=1.0, torn_write_p=1.0))
+        store.write(0, {"a": 1})
+        assert store.read(0) == {"a": 1}
+        assert store.stats.total_injected == 0
+
+
+# ----------------------------------------------------------------------
+# Wrapper mechanics
+# ----------------------------------------------------------------------
+
+class TestWrapper:
+    def test_passthrough_interface(self):
+        inner = _memory_store(3)
+        store = FaultInjectingPageStore(inner, FaultPlan())
+        assert len(store) == 3
+        assert store.page_ids() == inner.page_ids()
+        page = store.allocate()
+        store.write(page, "x")
+        assert store.read(page) == "x"
+        store.free(page)
+        assert len(store) == 3
+
+    def test_attribute_delegation(self, tmp_path):
+        inner = FilePageStore(str(tmp_path / "p.bin"), 64)
+        store = FaultInjectingPageStore(inner, FaultPlan())
+        assert store.page_size == 64
+        assert store.path == inner.path
+        store.flush()
+        store.close()
+
+    def test_refuses_to_stack(self):
+        wrapped = FaultInjectingPageStore(_memory_store(), FaultPlan())
+        with pytest.raises(ValueError):
+            FaultInjectingPageStore(wrapped, FaultPlan())
+
+    def test_pristine_store_unwraps(self):
+        inner = _memory_store()
+        wrapped = FaultInjectingPageStore(inner, FaultPlan())
+        assert pristine_store(wrapped) is inner
+        assert pristine_store(inner) is inner
+
+    def test_pickles_with_its_plan(self):
+        store = FaultInjectingPageStore(
+            _memory_store(),
+            FaultPlan(seed=3, read_transient_p=1.0,
+                      max_transients_per_page=None))
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.plan == store.plan
+        with pytest.raises(TransientIOError):
+            clone.read_faulty(0)
+
+    def test_reseed_restarts_occurrence_counters(self):
+        store = FaultInjectingPageStore(
+            _memory_store(),
+            FaultPlan(seed=3, read_transient_p=0.5,
+                      max_transients_per_page=1))
+        for page in range(8):
+            try:
+                store.read_faulty(page)
+            except TransientIOError:
+                pass
+        store.reseed(1)
+        assert store._occurrences == {}
+        assert store._transients == {}
+
+
+# ----------------------------------------------------------------------
+# StorageStatistics
+# ----------------------------------------------------------------------
+
+class TestStorageStatistics:
+    def test_accumulate_and_reset(self):
+        stats = StorageStatistics()
+        stats.transient_read_faults = 2
+        stats.bit_flips = 1
+        other = StorageStatistics()
+        other.transient_read_faults = 3
+        stats += other
+        assert stats.transient_read_faults == 5
+        assert stats.total_injected == 6
+        snap = stats.snapshot()
+        assert snap == stats
+        stats.reset()
+        assert stats.total_injected == 0
+        assert snap.total_injected == 6

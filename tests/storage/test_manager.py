@@ -112,3 +112,99 @@ def test_eviction_counted():
     manager.read(side, 0, 0)
     manager.read(side, 1, 0)
     assert manager.stats.evictions == 1
+
+# ----------------------------------------------------------------------
+# Retry-with-backoff on the physical read path
+# ----------------------------------------------------------------------
+
+import pytest
+
+from repro.storage import (CorruptPageError, FaultInjectingPageStore,
+                           FaultPlan, TransientIOError)
+
+
+def faulty_store(pages, **plan_kwargs):
+    return FaultInjectingPageStore(make_store(pages),
+                                   FaultPlan(**plan_kwargs))
+
+
+def test_retry_recovers_from_capped_transients():
+    manager = BufferManager(frames=4, max_retries=2)
+    store = faulty_store(["a"], seed=1, read_transient_p=1.0,
+                         max_transients_per_page=2)
+    side = manager.register(store)
+    assert manager.read(side, 0, 0) == "a"
+    assert manager.stats.disk_reads == 1       # one counted access
+    assert manager.stats.read_retries == 2     # two transients absorbed
+    assert store.stats.transient_read_faults == 2
+
+
+def test_backoff_ticks_double_per_attempt():
+    manager = BufferManager(frames=4, max_retries=3, backoff_base=2)
+    store = faulty_store(["a"], seed=1, read_transient_p=1.0,
+                         max_transients_per_page=3)
+    side = manager.register(store)
+    manager.read(side, 0, 0)
+    # attempts 0, 1, 2 fault: 2 + 4 + 8 simulated ticks
+    assert manager.stats.read_retries == 3
+    assert manager.stats.backoff_ticks == 14
+
+
+def test_retry_exhaustion_raises():
+    manager = BufferManager(frames=4, max_retries=2)
+    store = faulty_store(["a"], seed=1, read_transient_p=1.0,
+                         max_transients_per_page=None)
+    side = manager.register(store)
+    with pytest.raises(TransientIOError):
+        manager.read(side, 0, 0)
+    assert manager.stats.read_retries == 2
+
+
+def test_zero_retries_raise_immediately():
+    manager = BufferManager(frames=4)    # max_retries defaults to 0
+    store = faulty_store(["a"], seed=1, read_transient_p=1.0,
+                         max_transients_per_page=None)
+    side = manager.register(store)
+    with pytest.raises(TransientIOError):
+        manager.read(side, 0, 0)
+    assert manager.stats.read_retries == 0
+    assert manager.stats.backoff_ticks == 0
+
+
+def test_corruption_escalates_without_retry():
+    class CorruptStore(MemoryPageStore):
+        def __init__(self):
+            super().__init__()
+            self.attempts = 0
+
+        def read_faulty(self, page_id):
+            self.attempts += 1
+            raise CorruptPageError(f"page {page_id} damaged")
+
+    manager = BufferManager(frames=4, max_retries=5)
+    store = CorruptStore()
+    store.write(store.allocate(), "a")
+    side = manager.register(store)
+    with pytest.raises(CorruptPageError):
+        manager.read(side, 0, 0)
+    assert store.attempts == 1
+    assert manager.stats.read_retries == 0
+
+
+def test_buffer_hits_never_touch_the_faulty_path():
+    manager = BufferManager(frames=4, max_retries=2)
+    store = faulty_store(["a"], seed=1, read_transient_p=1.0,
+                         max_transients_per_page=2)
+    side = manager.register(store)
+    manager.read(side, 0, 0)                   # physical, retried
+    before = store.stats.snapshot()
+    assert manager.read(side, 0, 0) == "a"     # path-buffer hit
+    assert store.stats == before               # no further faults drawn
+    assert manager.stats.disk_reads == 1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        BufferManager(frames=1, max_retries=-1)
+    with pytest.raises(ValueError):
+        BufferManager(frames=1, backoff_base=0)

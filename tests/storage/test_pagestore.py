@@ -119,3 +119,39 @@ class TestFilePageStore:
         with FilePageStore(path, 64) as store:
             ids = [store.allocate() for _ in range(3)]
             assert store.page_ids() == sorted(ids)
+
+    def test_recycled_page_is_zeroed(self, tmp_path):
+        # Regression: allocate used to hand back a freed page with the
+        # previous tenant's payload still on disk, so a read before the
+        # first write returned stale data.
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 64) as store:
+            page = store.allocate()
+            store.write(page, b"previous tenant")
+            store.free(page)
+            recycled = store.allocate()
+            assert recycled == page
+            assert store.read(recycled) == b""
+
+    def test_fresh_page_is_zeroed(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 64) as store:
+            assert store.read(store.allocate()) == b""
+
+    def test_torn_tail_rejected_on_reopen(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 64) as store:
+            page = store.allocate()
+            store.write(page, b"payload")
+        with open(path, "ab") as handle:
+            handle.write(b"\x00" * 10)    # partial trailing page
+        with pytest.raises(ValueError, match="torn tail"):
+            FilePageStore(path, 64, create=False)
+
+    def test_page_multiple_file_reopens(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with FilePageStore(path, 64) as store:
+            for _ in range(3):
+                store.allocate()
+        with FilePageStore(path, 64, create=False) as store:
+            assert len(store) == 3

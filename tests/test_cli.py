@@ -145,3 +145,73 @@ class TestBench:
         assert payload["exhibit"] == "Ablation: sweep crossover"
         assert payload["rows"]
         assert "512" in payload["data"]
+
+
+class TestJoinFaultFlags:
+    def test_fault_injection_preserves_pairs(self, tree_file, capsys):
+        assert main(["join", tree_file, tree_file, "--json"]) == 0
+        clean = json.loads(capsys.readouterr().out)
+        assert clean["faults_injected"] == 0
+        assert main(["join", tree_file, tree_file, "--json",
+                     "--fault-read-p", "0.2", "--fault-seed", "7",
+                     "--max-retries", "3"]) == 0
+        faulty = json.loads(capsys.readouterr().out)
+        assert faulty["pairs"] == clean["pairs"]
+        assert faulty["faults_injected"] > 0
+        assert faulty["read_retries"] > 0
+
+    def test_fault_summary_printed(self, tree_file, capsys):
+        assert main(["join", tree_file, tree_file,
+                     "--fault-read-p", "0.2", "--fault-seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        assert "page retries" in out
+
+    def test_clean_run_omits_fault_summary(self, tree_file, capsys):
+        assert main(["join", tree_file, tree_file]) == 0
+        assert "faults:" not in capsys.readouterr().out
+
+    def test_rejects_bad_probability(self, tree_file):
+        assert main(["join", tree_file, tree_file,
+                     "--fault-read-p", "1.5"]) == 1
+
+
+class TestScrub:
+    def _corrupt(self, path):
+        import struct
+        with open(path, "r+b") as handle:
+            handle.seek(4 + 12 + 4)  # store header, magic, version
+            (physical,) = struct.unpack("<I", handle.read(4))
+            # Flip a byte inside the first node page's body.
+            handle.seek(physical + 4 + 4 + 10)
+            byte = handle.read(1)
+            handle.seek(-1, 1)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+    def test_clean_tree_scrubs_ok(self, tree_file, capsys):
+        assert main(["scrub", tree_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 damaged" in out
+        assert "all checksums verify" in out
+
+    def test_damaged_tree_exits_nonzero(self, tree_file, capsys):
+        self._corrupt(tree_file)
+        assert main(["scrub", tree_file]) == 1
+        assert "checksum mismatch" in capsys.readouterr().out
+
+    def test_repair_produces_loadable_tree(self, tmp_path, tree_file,
+                                           capsys):
+        self._corrupt(tree_file)
+        repaired = str(tmp_path / "repaired.rtree")
+        assert main(["scrub", tree_file, "--repair",
+                     "-o", repaired]) == 0
+        assert "rebuilt" in capsys.readouterr().out
+        assert main(["info", repaired]) == 0
+
+    def test_repair_requires_output(self, tree_file):
+        assert main(["scrub", tree_file, "--repair"]) == 1
+
+    def test_non_tree_file_fails(self, tmp_path):
+        junk = tmp_path / "junk.rtree"
+        junk.write_bytes(b"junk" * 64)
+        assert main(["scrub", str(junk)]) == 1
