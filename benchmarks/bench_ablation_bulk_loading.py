@@ -4,6 +4,7 @@ Timed operation: STR-packing the timing dataset.
 """
 
 from conftest import TIMING_SCALE, show
+from emit import timed
 
 from repro.bench import build_tree
 from repro.bench.ablations import ablation_bulk_loading
@@ -23,6 +24,5 @@ def test_ablation_bulk_loading(benchmark):
     assert data["str"]["accesses"] <= data["rstar"]["accesses"] * 1.05
 
     pair = load_test("A", TIMING_SCALE)
-    benchmark.pedantic(
-        lambda: build_tree(pair.r.records, 4096, "str"),
-        rounds=1, iterations=1)
+    timed(benchmark, lambda: build_tree(pair.r.records, 4096, "str"),
+          "ablation_bulk_loading", variant="str", page_size=4096)

@@ -4,6 +4,7 @@ Timed operation: one distance join on the timing trees.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench.ablations import ablation_distance_join
 from repro.core import distance_join, spatial_join
@@ -28,6 +29,6 @@ def test_ablation_distance_join(benchmark, timing_trees):
                              buffer_kb=128)
     assert zero.pair_set() == intersect.pair_set()
 
-    benchmark.pedantic(
-        lambda: distance_join(tree_r, tree_s, 500.0, buffer_kb=128),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: distance_join(tree_r, tree_s, 500.0, buffer_kb=128),
+          "ablation_distance_join", radius=500.0, buffer_kb=128)

@@ -4,6 +4,7 @@ Timed operation: one full prediction on the timing trees.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench.ablations import ablation_estimator
 from repro.costmodel.estimate import JoinCardinalityEstimator
@@ -22,6 +23,6 @@ def test_ablation_estimator(benchmark, timing_trees):
         assert data[test]["ratio"] < 0.6
 
     tree_r, tree_s = timing_trees
-    benchmark.pedantic(
-        lambda: JoinCardinalityEstimator(tree_r, tree_s).predict(),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: JoinCardinalityEstimator(tree_r, tree_s).predict(),
+          "ablation_estimator")

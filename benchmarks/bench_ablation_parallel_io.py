@@ -5,6 +5,7 @@ Timed operation: recording and evaluating a trace on the timing trees.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench.ablations import ablation_parallel_io
 from repro.core import JoinContext, make_algorithm
@@ -38,4 +39,4 @@ def test_ablation_parallel_io(benchmark, timing_trees):
         return estimate_parallel_io(ctx.manager.trace, 8,
                                     tree_r.params.page_size)
 
-    benchmark.pedantic(run, rounds=1, iterations=1)
+    timed(benchmark, run, "ablation_parallel_io", disks=8, buffer_kb=8)

@@ -4,6 +4,7 @@ Timed operation: SJ1 without the path buffer (the pathological case).
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench.ablations import ablation_pathbuffer
 from repro.core import spatial_join
@@ -22,7 +23,8 @@ def test_ablation_pathbuffer(benchmark, timing_trees):
     assert data[512.0]["sj1_without"] <= data[512.0]["sj1_with"] * 1.25
 
     tree_r, tree_s = timing_trees
-    benchmark.pedantic(
-        lambda: spatial_join(tree_r, tree_s, algorithm="sj1",
-                             buffer_kb=0, use_path_buffer=False),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: spatial_join(tree_r, tree_s, algorithm="sj1",
+                               buffer_kb=0, use_path_buffer=False),
+          "ablation_pathbuffer", algorithm="sj1", buffer_kb=0,
+          use_path_buffer=False)

@@ -4,6 +4,7 @@ Timed operation: SJ4 with a tiny buffer, where pinning matters most.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench.ablations import ablation_pinning
 from repro.core import spatial_join
@@ -22,7 +23,7 @@ def test_ablation_pinning(benchmark, timing_trees):
         0.05 * data[512.0]["sj3"]
 
     tree_r, tree_s = timing_trees
-    benchmark.pedantic(
-        lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                             buffer_kb=8),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
+                               buffer_kb=8),
+          "ablation_pinning", algorithm="sj4", buffer_kb=8)

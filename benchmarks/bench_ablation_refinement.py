@@ -5,6 +5,7 @@ ID-spatial-join.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench.ablations import ablation_refinement
 from repro.core import id_spatial_join, spatial_join
@@ -25,7 +26,7 @@ def test_ablation_refinement(benchmark, timing_pair, timing_trees):
     tree_r, tree_s = timing_trees
     candidates = spatial_join(tree_r, tree_s, algorithm="sj4",
                               buffer_kb=128).pairs
-    benchmark.pedantic(
-        lambda: id_spatial_join(candidates, timing_pair.r.objects,
-                                timing_pair.s.objects),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: id_spatial_join(candidates, timing_pair.r.objects,
+                                  timing_pair.s.objects),
+          "ablation_refinement", candidates=len(candidates))

@@ -4,6 +4,7 @@ Timed operation: building a Guttman tree (the quadratic-split cost).
 """
 
 from conftest import TIMING_SCALE, show
+from emit import timed
 
 from repro.bench import build_tree
 from repro.bench.ablations import ablation_rtree_variant
@@ -27,6 +28,7 @@ def test_ablation_rtree_variant(benchmark):
 
     pair = load_test("A", TIMING_SCALE)
     records = pair.r.records[:1500]
-    benchmark.pedantic(
-        lambda: build_tree(records, 2048, "guttman-quadratic"),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: build_tree(records, 2048, "guttman-quadratic"),
+          "ablation_rtree_variant", variant="guttman-quadratic",
+          page_size=2048)

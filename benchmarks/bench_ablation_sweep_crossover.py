@@ -7,6 +7,7 @@ Timed operation: a single sweep over two 409-entry sequences (an
 import random
 
 from conftest import show
+from emit import timed
 
 from repro.bench.ablations import ablation_sweep_crossover
 from repro.core import sorted_intersection_test
@@ -41,7 +42,7 @@ def test_ablation_sweep_crossover(benchmark):
 
     left, right = entries(), entries()
 
-    benchmark.pedantic(
-        lambda: sorted_intersection_test(left, right,
-                                         ComparisonCounter()),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: sorted_intersection_test(left, right,
+                                           ComparisonCounter()),
+          "ablation_sweep_crossover", entries=409)

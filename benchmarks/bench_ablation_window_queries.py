@@ -7,6 +7,7 @@ Timed operation: a 50-query battery on the timing tree.
 import random
 
 from conftest import show
+from emit import timed
 
 from repro.bench.ablations import ablation_window_queries
 from repro.core import WindowQueryEngine
@@ -41,4 +42,5 @@ def test_ablation_window_queries(benchmark, timing_trees):
         engine = WindowQueryEngine(tree_r, buffer_kb=32)
         return sum(len(engine.query(w)) for w in windows)
 
-    benchmark.pedantic(battery, rounds=1, iterations=1)
+    timed(benchmark, battery, "ablation_window_queries", queries=50,
+          buffer_kb=32)

@@ -4,6 +4,7 @@ Timed operation: SJ4 on the region data (test E) at timing scale.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench import build_tree, figure10
 from repro.core import spatial_join
@@ -29,7 +30,8 @@ def test_figure10_datasets(benchmark):
     pair = load_test("E", 0.05)
     tree_r = build_tree(pair.r.records, 4096)
     tree_s = build_tree(pair.s.records, 4096)
-    benchmark.pedantic(
-        lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                             buffer_kb=128),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
+                               buffer_kb=128),
+          "figure10_datasets", test="E", algorithm="sj4",
+          page_size=4096, buffer_kb=128)

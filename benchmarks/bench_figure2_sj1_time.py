@@ -4,6 +4,7 @@ Timed operation: applying the cost model to a join's counters.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench import figure2
 from repro.bench.runner import run_join
@@ -29,7 +30,9 @@ def test_figure2_sj1_time(benchmark):
     assert min(totals, key=totals.get) in (1024, 2048)
 
     outcome = run_join("A", 4096, 128.0, "sj1")
-    benchmark.pedantic(
-        lambda: PAPER_COST_MODEL.io_seconds(outcome.disk_accesses, 4096)
-        + PAPER_COST_MODEL.cpu_seconds(outcome.comparisons),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: PAPER_COST_MODEL.io_seconds(outcome.disk_accesses,
+                                              4096)
+          + PAPER_COST_MODEL.cpu_seconds(outcome.comparisons),
+          "figure2_sj1_time", algorithm="sj1", page_size=4096,
+          buffer_kb=128)

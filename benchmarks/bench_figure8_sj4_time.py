@@ -5,6 +5,7 @@ the figure discussion calls out).
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench import figure8
 from repro.core import spatial_join
@@ -28,7 +29,7 @@ def test_figure8_sj4_time(benchmark, timing_trees):
         assert entry["io"] > entry["cpu"]
 
     tree_r, tree_s = timing_trees
-    benchmark.pedantic(
-        lambda: spatial_join(tree_r, tree_s, algorithm="sj5",
-                             buffer_kb=128),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: spatial_join(tree_r, tree_s, algorithm="sj5",
+                               buffer_kb=128),
+          "figure8_sj4_time", algorithm="sj5", buffer_kb=128)

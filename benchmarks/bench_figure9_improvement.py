@@ -5,6 +5,7 @@ comparison the figure summarizes).
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench import figure9
 from repro.core import spatial_join
@@ -34,4 +35,5 @@ def test_figure9_improvement(benchmark, timing_trees):
         spatial_join(tree_r, tree_s, algorithm="sj1", buffer_kb=128)
         spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=128)
 
-    benchmark.pedantic(both, rounds=1, iterations=1)
+    timed(benchmark, both, "figure9_improvement", algorithms="sj1+sj4",
+          buffer_kb=128)

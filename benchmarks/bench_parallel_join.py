@@ -150,8 +150,15 @@ def render(comparison: Comparison) -> str:
 # ----------------------------------------------------------------------
 
 def test_parallel_join_bench(benchmark):
+    from emit import emit
     comparison = benchmark.pedantic(compare, args=(2000, 4),
                                     rounds=1, iterations=1)
+    emit("parallel_join",
+         {"n": comparison.n, "workers": comparison.workers},
+         {"pairs": comparison.pairs,
+          "serial_disk_accesses": comparison.serial_reads,
+          "parallel_disk_accesses": comparison.parallel_reads},
+         comparison.parallel_seconds * 1e3)
     print()
     print("=" * 72)
     print(render(comparison))

@@ -4,6 +4,7 @@ Timed operation: the SJ4 join at the smallest sweep scale.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench.experiments import scaling
 from repro.bench.runner import test_trees as load_test_trees
@@ -21,7 +22,7 @@ def test_scaling(benchmark):
     assert factors[-1] >= factors[0] * 0.7
 
     tree_r, tree_s = load_test_trees("A", 4096, scale=min(data))
-    benchmark.pedantic(
-        lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                             buffer_kb=128),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
+                               buffer_kb=128),
+          "scaling", algorithm="sj4", page_size=4096, buffer_kb=128)

@@ -5,6 +5,7 @@ construction path).
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench import build_tree, table1
 
@@ -23,5 +24,5 @@ def test_table1_tree_properties(benchmark, timing_pair):
     assert totals == sorted(totals, reverse=True)
 
     records = timing_pair.r.records[:2000]
-    benchmark.pedantic(lambda: build_tree(records, 2048),
-                       rounds=1, iterations=1)
+    timed(benchmark, lambda: build_tree(records, 2048),
+          "table1_tree_properties", page_size=2048, records=2000)

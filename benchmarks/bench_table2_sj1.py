@@ -4,6 +4,7 @@ Timed operation: one SJ1 join on the timing trees.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench import table2
 from repro.core import spatial_join
@@ -29,7 +30,7 @@ def test_table2_sj1(benchmark, timing_trees):
     assert comparisons[-1] > 4 * comparisons[0]
 
     tree_r, tree_s = timing_trees
-    benchmark.pedantic(
-        lambda: spatial_join(tree_r, tree_s, algorithm="sj1",
-                             buffer_kb=128),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: spatial_join(tree_r, tree_s, algorithm="sj1",
+                               buffer_kb=128),
+          "table2_sj1", algorithm="sj1", page_size=4096, buffer_kb=128)

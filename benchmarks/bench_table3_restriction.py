@@ -4,6 +4,7 @@ Timed operation: one SJ2 join on the timing trees.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench import table3
 from repro.core import spatial_join
@@ -22,7 +23,7 @@ def test_table3_restriction(benchmark, timing_trees):
     assert gains[-1] > gains[0]
 
     tree_r, tree_s = timing_trees
-    benchmark.pedantic(
-        lambda: spatial_join(tree_r, tree_s, algorithm="sj2",
-                             buffer_kb=128),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: spatial_join(tree_r, tree_s, algorithm="sj2",
+                               buffer_kb=128),
+          "table3_restriction", algorithm="sj2", buffer_kb=128)

@@ -4,6 +4,7 @@ Timed operation: one SJ3 (restricted sweep) join on the timing trees.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench import table4
 from repro.core import spatial_join
@@ -32,7 +33,7 @@ def test_table4_sorting(benchmark, timing_trees):
     assert all(data[p]["repeat"] > 1.5 for p in (1024, 2048, 4096, 8192))
 
     tree_r, tree_s = timing_trees
-    benchmark.pedantic(
-        lambda: spatial_join(tree_r, tree_s, algorithm="sj3",
-                             buffer_kb=128),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: spatial_join(tree_r, tree_s, algorithm="sj3",
+                               buffer_kb=128),
+          "table4_sorting", algorithm="sj3", buffer_kb=128)

@@ -4,6 +4,7 @@ Timed operation: one SJ4 join on the timing trees.
 """
 
 from conftest import show
+from emit import timed
 
 from repro.bench import table5
 from repro.core import spatial_join
@@ -29,7 +30,7 @@ def test_table5_io_policies(benchmark, timing_trees):
     assert max(big.values()) <= min(big.values()) * 1.05
 
     tree_r, tree_s = timing_trees
-    benchmark.pedantic(
-        lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                             buffer_kb=128),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
+                               buffer_kb=128),
+          "table5_io_policies", algorithm="sj4", buffer_kb=128)

@@ -5,6 +5,7 @@ paper's best SJ4 configuration).
 """
 
 from conftest import TIMING_SCALE, show
+from emit import timed
 
 from repro.bench import build_tree, table6
 from repro.core import spatial_join
@@ -32,7 +33,8 @@ def test_table6_sj4_vs_sj1(benchmark):
     pair = load_test("A", TIMING_SCALE)
     tree_r = build_tree(pair.r.records, 8192)
     tree_s = build_tree(pair.s.records, 8192)
-    benchmark.pedantic(
-        lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                             buffer_kb=128),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
+                               buffer_kb=128),
+          "table6_sj4_vs_sj1", algorithm="sj4", page_size=8192,
+          buffer_kb=128)

@@ -5,6 +5,7 @@ height built from the timing data.
 """
 
 from conftest import TIMING_SCALE, show
+from emit import timed
 
 from repro.bench import build_tree, table7
 from repro.core import spatial_join
@@ -33,7 +34,8 @@ def test_table7_heights(benchmark):
     tree_r = build_tree(pair.r.records, 1024)
     tree_s = build_tree(pair.s.records[:1000], 1024)
     assert tree_r.height > tree_s.height
-    benchmark.pedantic(
-        lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                             buffer_kb=32, height_policy="b"),
-        rounds=1, iterations=1)
+    timed(benchmark,
+          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
+                               buffer_kb=32, height_policy="b"),
+          "table7_heights", algorithm="sj4", buffer_kb=32,
+          height_policy="b")

@@ -4,6 +4,7 @@ Timed operation: generating the test-A dataset pair.
 """
 
 from conftest import TIMING_SCALE, show
+from emit import timed
 
 from repro.bench import table8
 from repro.data import load_test, scaled_count
@@ -24,5 +25,5 @@ def test_table8_datasets(benchmark):
     # the paper (505,583 intersections at full scale).
     assert data["D"]["pairs"] > data["A"]["pairs"]
 
-    benchmark.pedantic(lambda: load_test("A", TIMING_SCALE),
-                       rounds=1, iterations=1)
+    timed(benchmark, lambda: load_test("A", TIMING_SCALE),
+          "table8_datasets", test="A", scale=TIMING_SCALE)

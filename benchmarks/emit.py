@@ -1,0 +1,103 @@
+"""Machine-readable benchmark results.
+
+Every ``bench_*`` script routes its timed operation through
+:func:`timed`, which runs it once under pytest-benchmark, measures the
+wall clock, extracts whatever counters the operation's return value
+carries, and upserts one row ::
+
+    {"bench": ..., "params": {...}, "counters": {...}, "wall_ms": ...}
+
+into ``BENCH_join.json`` at the repository root (override the path with
+the ``REPRO_BENCH_OUT`` environment variable).  The file is a sorted
+JSON array with one row per ``(bench, params)`` pair — re-running a
+bench replaces its row, so the committed file stays a stable snapshot
+of the whole suite while the counters/wall_ms columns track the perf
+trajectory across changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict
+
+#: Default output file, next to the repository's README.
+_DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_join.json")
+
+
+def bench_path() -> str:
+    """Where rows go: ``REPRO_BENCH_OUT`` or ``BENCH_join.json``."""
+    return os.environ.get("REPRO_BENCH_OUT", _DEFAULT_PATH)
+
+
+def emit(bench: str, params: Dict[str, Any], counters: Dict[str, Any],
+         wall_ms: float) -> Dict[str, Any]:
+    """Upsert one result row keyed on ``(bench, params)``."""
+    row = {"bench": bench, "params": params, "counters": counters,
+           "wall_ms": round(float(wall_ms), 3)}
+    path = bench_path()
+    rows = []
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                rows = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            rows = []
+    key = (bench, json.dumps(params, sort_keys=True))
+    rows = [r for r in rows
+            if (r.get("bench"),
+                json.dumps(r.get("params", {}), sort_keys=True)) != key]
+    rows.append(row)
+    rows.sort(key=lambda r: (r.get("bench", ""),
+                             json.dumps(r.get("params", {}),
+                                        sort_keys=True)))
+    with open(path, "w") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return row
+
+
+def counters_of(result: Any) -> Dict[str, Any]:
+    """Best-effort counter extraction from a timed op's return value.
+
+    Join results carry the paper's two counters plus the output size;
+    query results carry their I/O statistics; trees report their shape;
+    anything else contributes no counters (the wall clock still does).
+    """
+    stats = getattr(result, "stats", None)
+    if stats is not None and hasattr(stats, "disk_accesses"):
+        return {"disk_accesses": stats.disk_accesses,
+                "comparisons": stats.comparisons.total,
+                "pairs": stats.pairs_output}
+    io = getattr(result, "io", None)
+    if io is not None and hasattr(io, "disk_reads"):
+        counters = {"disk_accesses": io.disk_reads}
+        comparisons = getattr(result, "comparisons", None)
+        if comparisons is not None:
+            counters["comparisons"] = comparisons.total
+        return counters
+    if hasattr(result, "height") and hasattr(result, "params"):
+        return {"height": result.height}
+    if isinstance(result, (int, float)) and not isinstance(result, bool):
+        return {"value": result}
+    return {}
+
+
+def timed(benchmark, fn: Callable[[], Any], bench: str,
+          **params: Any) -> Any:
+    """Run *fn* once under pytest-benchmark and emit its row."""
+    cell: Dict[str, Any] = {}
+
+    def run():
+        start = time.perf_counter()
+        cell["result"] = fn()
+        cell["wall_ms"] = (time.perf_counter() - start) * 1e3
+        return cell["result"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = cell.get("result")
+    emit(bench, params, counters_of(result), cell.get("wall_ms", 0.0))
+    return result

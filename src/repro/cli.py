@@ -10,6 +10,8 @@ Usage examples::
     repro join streets.rtree rivers.rtree --algorithm sj4 --buffer-kb 128
     repro join streets.rtree rivers.rtree --workers 4 \\
         --fault-read-p 0.05 --fault-seed 7 --max-retries 3
+    repro join streets.rtree rivers.rtree --trace run.jsonl --profile
+    repro report run.jsonl
     repro scrub streets.rtree
     repro scrub damaged.rtree --repair -o repaired.rtree
     repro bench table2
@@ -36,6 +38,8 @@ from .data.synthetic import uniform_rects
 from .data.tiger import regions, rivers_railways, streets
 from .geometry.predicates import SpatialPredicate
 from .geometry.rect import Rect
+from .obs import (document_from, drift_report, phase_rows, read_trace,
+                  render_report, validate_trace, write_trace)
 from .rtree.guttman import GuttmanRTree
 from .rtree.params import RTreeParams
 from .rtree.persist import PersistenceError, load_tree, save_tree
@@ -51,12 +55,25 @@ _VARIANTS = ("rstar", "guttman-quadratic", "guttman-linear", "str",
              "hilbert")
 
 
+def _subparser(parent: argparse.ArgumentParser) -> type:
+    """A subcommand parser class that inherits *parent*'s options."""
+
+    class _Parser(argparse.ArgumentParser):
+        def __init__(self, **kwargs):
+            kwargs.setdefault("parents", []).append(parent)
+            super().__init__(**kwargs)
+
+    return _Parser
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (OSError, ValueError, KeyError, PersistenceError) as exc:
+    except (OSError, ValueError, PersistenceError) as exc:
+        if getattr(args, "debug", False):
+            raise
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -66,7 +83,17 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Spatial joins with R*-trees (SIGMOD 1993 "
                     "reproduction).")
-    commands = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--debug", action="store_true",
+                        help="re-raise errors with a full traceback "
+                             "instead of the one-line summary")
+    # Accept --debug after the subcommand too; SUPPRESS keeps a
+    # subcommand parse from clobbering a pre-command --debug.
+    debug_parent = argparse.ArgumentParser(add_help=False)
+    debug_parent.add_argument("--debug", action="store_true",
+                              default=argparse.SUPPRESS,
+                              help=argparse.SUPPRESS)
+    commands = parser.add_subparsers(dest="command", required=True,
+                                     parser_class=_subparser(debug_parent))
 
     generate = commands.add_parser(
         "generate", help="generate a synthetic dataset as a record file")
@@ -131,7 +158,24 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write result pairs to this file")
     join.add_argument("--json", action="store_true",
                       help="print machine-readable statistics")
+    join.add_argument("--trace", metavar="FILE",
+                      help="record spans and metrics and write a JSONL "
+                           "trace to FILE (render it with repro report)")
+    join.add_argument("--profile", action="store_true",
+                      help="print the phase-time table and cost-model "
+                           "drift report after the join")
     join.set_defaults(handler=_cmd_join)
+
+    report = commands.add_parser(
+        "report", help="render the phase-time and cost-model drift "
+                       "report of a JSONL trace file")
+    report.add_argument("trace",
+                        help="trace file written by repro join --trace")
+    report.add_argument("--json", action="store_true",
+                        help="emit the report data as JSON")
+    report.add_argument("--validate", action="store_true",
+                        help="only check the trace against the schema")
+    report.set_defaults(handler=_cmd_report)
 
     scrub = commands.add_parser(
         "scrub", help="verify every page checksum of a tree file; "
@@ -244,12 +288,14 @@ def _cmd_join(args: argparse.Namespace) -> int:
     tree_r = load_tree(args.left)
     tree_s = load_tree(args.right)
     predicate = SpatialPredicate(args.predicate)
+    trace_enabled = bool(args.trace or args.profile)
     spec = JoinSpec(algorithm=args.algorithm,
                     buffer_kb=args.buffer_kb,
                     height_policy=args.height_policy,
                     predicate=predicate,
                     workers=args.workers,
-                    max_retries=args.max_retries)
+                    max_retries=args.max_retries,
+                    trace=trace_enabled)
     injectors = []
     if args.fault_read_p > 0.0:
         plan = FaultPlan(seed=args.fault_seed,
@@ -302,6 +348,65 @@ def _cmd_join(args: argparse.Namespace) -> int:
                   f"{stats.degraded_batches} degraded batches")
         if args.output:
             print(f"pairs written to {args.output}")
+    if trace_enabled and result.obs is not None:
+        meta = {"algorithm": stats.algorithm, "workers": spec.workers,
+                "page_size": stats.page_size,
+                "buffer_kb": stats.buffer_kb,
+                "left": args.left, "right": args.right}
+        if args.trace:
+            lines = write_trace(args.trace, result.obs, stats=stats,
+                                meta=meta)
+            print(f"trace: {lines} records -> {args.trace}",
+                  file=sys.stderr)
+        if args.profile:
+            # With --json, stdout must stay machine-parseable.
+            out = sys.stderr if args.json else sys.stdout
+            document = document_from(result.obs, stats=stats, meta=meta)
+            print(file=out)
+            print(render_report(document), file=out)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.validate:
+        with open(args.trace) as handle:
+            errors = validate_trace(handle.read().splitlines())
+        for error in errors:
+            print(f"{args.trace}: {error}", file=sys.stderr)
+        if errors:
+            return 1
+        print(f"{args.trace}: valid trace")
+        return 0
+    document = read_trace(args.trace)
+    if args.json:
+        drift = drift_report(document)
+        print(json.dumps({
+            "meta": {key: value for key, value in document.meta.items()
+                     if key != "type"},
+            "phases": [{"phase": name, "count": count,
+                        "total_ms": total_ms}
+                       for name, count, total_ms in phase_rows(document)],
+            "aggregates": {name: {"total_ms": total_ms, "count": count}
+                           for name, (total_ms, count)
+                           in document.aggregates.items()},
+            "counters": document.counters,
+            "gauges": document.gauges,
+            "drift": None if drift is None else {
+                "predicted_cpu_s": drift.predicted_cpu_s,
+                "predicted_io_s": drift.predicted_io_s,
+                "measured_cpu_s": drift.measured_cpu_s,
+                "measured_io_s": drift.measured_io_s,
+                "predicted_io_fraction": drift.predicted_io_fraction,
+                "measured_io_fraction": drift.measured_io_fraction,
+                # None when measured time is zero (the model predicts
+                # infinitely more time than a 0 ms run).
+                "speedup_total": (None
+                                  if drift.speedup("total") == float("inf")
+                                  else drift.speedup("total")),
+            },
+        }, indent=2, sort_keys=True))
+    else:
+        print(render_report(document))
     return 0
 
 

@@ -8,9 +8,10 @@ rectangle tests charge the same comparison counter.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..geometry.counting import ComparisonCounter
+from ..obs.core import NULL_OBS, Observability
 from ..rtree.base import RTreeBase
 from ..rtree.entry import Entry
 from ..rtree.node import Node
@@ -30,7 +31,8 @@ class JoinContext:
                  use_path_buffer: bool = True,
                  sort_mode: str = "maintained",
                  record_trace: bool = False,
-                 max_retries: int = 0) -> None:
+                 max_retries: int = 0,
+                 obs: Optional[Observability] = None) -> None:
         if tree_r.params.page_size != tree_s.params.page_size:
             raise ValueError(
                 "joined trees must share one page size "
@@ -40,12 +42,19 @@ class JoinContext:
         self.trees: Tuple[RTreeBase, RTreeBase] = (tree_r, tree_s)
         self.buffer_kb = buffer_kb
         self.sort_mode = sort_mode
+        #: Observability handle (tracer + metrics); the shared disabled
+        #: :data:`~repro.obs.core.NULL_OBS` keeps untraced joins a
+        #: strict no-op.
+        self.obs = obs if obs is not None else NULL_OBS
         self.manager = BufferManager.for_buffer_size(
             buffer_kb, tree_r.params.page_size,
             use_path_buffer=use_path_buffer, record_trace=record_trace,
-            max_retries=max_retries)
+            max_retries=max_retries, obs=self.obs)
         for tree in self.trees:
             self.manager.register(tree.store)
+            if self.obs.enabled and hasattr(tree.store, "_note_fault"):
+                # Mirror injected faults as ``faults.*`` counters.
+                tree.store.metrics = self.obs.metrics
         self.counter = ComparisonCounter()
         self.stats = JoinStatistics(
             page_size=tree_r.params.page_size, buffer_kb=buffer_kb)
@@ -147,9 +156,10 @@ def counted_sort_cost(entries: List[Entry]) -> int:
 def presort_trees(ctx: JoinContext) -> None:
     """Physically sort every node of both trees, charging the one-time
     cost to ``stats.presort_comparisons`` (the Table 4 "sorting" rows)."""
-    for tree in ctx.trees:
-        for node in tree.iter_nodes():
-            if not node.sorted_by_xl:
-                ctx.stats.presort_comparisons += counted_sort_cost(
-                    node.entries)
-                node.sort_by_xl()
+    with ctx.obs.tracer.span("presort"):
+        for tree in ctx.trees:
+            for node in tree.iter_nodes():
+                if not node.sorted_by_xl:
+                    ctx.stats.presort_comparisons += counted_sort_cost(
+                        node.entries)
+                    node.sort_by_xl()

@@ -17,6 +17,7 @@ levels, the configured window-query policy (a)/(b)/(c) takes over.
 from __future__ import annotations
 
 from collections import defaultdict
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..geometry.predicates import SpatialPredicate
@@ -81,7 +82,8 @@ class JoinAlgorithm:
         """Execute the join and return pairs plus statistics."""
         out: List[OutputPair] = []
         self._execute(ctx, out)
-        return JoinResult(out, ctx.stats)
+        return JoinResult(out, ctx.stats,
+                          obs=ctx.obs if ctx.obs.enabled else None)
 
     def run_streaming(self, ctx: JoinContext,
                       callback: Callable[[int, int], None]):
@@ -105,16 +107,21 @@ class JoinAlgorithm:
 
     def _execute(self, ctx: JoinContext, out) -> None:
         ctx.stats.algorithm = self.name
-        self._prepare(ctx)
-        root_r = ctx.read_root(R_SIDE)
-        root_s = ctx.read_root(S_SIDE)
-        if root_r.entries and root_s.entries:
-            rect: Optional[Rect] = None
-            if self.restricts_search_space:
-                rect = root_r.mbr().intersection(root_s.mbr())
-            if not self.restricts_search_space or rect is not None:
-                self._join_nodes(ctx, root_r, 0, root_s, 0, rect, out)
-        ctx.stats.pairs_output = len(out)
+        tracer = ctx.obs.tracer
+        with tracer.span("join", algorithm=self.name):
+            self._prepare(ctx)
+            with tracer.span("tree_open"):
+                root_r = ctx.read_root(R_SIDE)
+                root_s = ctx.read_root(S_SIDE)
+            if root_r.entries and root_s.entries:
+                rect: Optional[Rect] = None
+                if self.restricts_search_space:
+                    rect = root_r.mbr().intersection(root_s.mbr())
+                if not self.restricts_search_space or rect is not None:
+                    with tracer.span("traversal"):
+                        self._join_nodes(ctx, root_r, 0, root_s, 0, rect,
+                                         out)
+            ctx.stats.pairs_output = len(out)
 
     # ------------------------------------------------------------------
     # Recursion
@@ -126,7 +133,8 @@ class JoinAlgorithm:
         """Join the subtrees rooted at node pair (nr, ns)."""
         ctx.stats.node_pairs += 1
         if nr.is_leaf and ns.is_leaf:
-            pairs = self._find_pairs(ctx, nr, ns, rect)
+            pairs = self._observed_find_pairs(ctx, nr, ns, rect, dr,
+                                              leaf=True)
             if self.predicate is SpatialPredicate.INTERSECTS:
                 out.extend((er.ref, es.ref) for er, es in pairs)
             else:
@@ -140,7 +148,8 @@ class JoinAlgorithm:
         if nr.is_leaf or ns.is_leaf:
             self._window_mode(ctx, nr, dr, ns, ds, rect, out)
             return
-        pairs = self._find_pairs(ctx, nr, ns, rect)
+        pairs = self._observed_find_pairs(ctx, nr, ns, rect, dr,
+                                          leaf=False)
         if not pairs:
             return
         pairs = self._order_pairs(ctx, pairs)
@@ -222,6 +231,29 @@ class JoinAlgorithm:
                     rect: Optional[Rect]) -> List[EntryPair]:
         """Intersecting entry pairs of a node pair (algorithm specific)."""
         raise NotImplementedError
+
+    def _observed_find_pairs(self, ctx: JoinContext, nr: Node, ns: Node,
+                             rect: Optional[Rect], depth: int,
+                             leaf: bool) -> List[EntryPair]:
+        """:meth:`_find_pairs` plus observability (the disabled path is
+        one attribute check).  Records the pair-finding time as the
+        ``find_pairs`` aggregate, the per-level node-pair count, and
+        the qualifying-pair distribution: ``join.fanout`` for directory
+        pairs (child pairs recursed into), ``sweep.run_length`` for
+        data-node pairs (output pairs one sweep emits)."""
+        obs = ctx.obs
+        if not obs.enabled:
+            return self._find_pairs(ctx, nr, ns, rect)
+        start = perf_counter()
+        pairs = self._find_pairs(ctx, nr, ns, rect)
+        obs.tracer.add_duration("find_pairs", perf_counter() - start)
+        metrics = obs.metrics
+        metrics.inc("join.node_pairs.level.%d" % depth)
+        if leaf:
+            metrics.observe("sweep.run_length", len(pairs))
+        else:
+            metrics.observe("join.fanout", len(pairs))
+        return pairs
 
     def _order_pairs(self, ctx: JoinContext,
                      pairs: List[EntryPair]) -> List[EntryPair]:

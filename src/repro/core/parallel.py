@@ -68,6 +68,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..curves.zorder import ZGrid
 from ..geometry.rect import Rect
+from ..obs.core import Observability
 from ..rtree.base import RTreeBase
 from ..storage.faults import FaultInjectingPageStore, pristine_store
 from .context import JoinContext, R_SIDE, S_SIDE, presort_trees
@@ -183,7 +184,8 @@ def partition_tasks(ctx: JoinContext, algo: JoinAlgorithm,
             ctx.stats.node_pairs += 1
             dr = len(pr) - 1
             ds = len(ps) - 1
-            for er, es in algo._find_pairs(ctx, nr, ns, rc):
+            for er, es in algo._observed_find_pairs(ctx, nr, ns, rc, dr,
+                                                    leaf=False):
                 child_rect: Optional[Rect] = None
                 if algo.restricts_search_space:
                     child_rect = er.rect.intersection(es.rect)
@@ -294,44 +296,50 @@ def _fault_injectors(tree_r: RTreeBase,
 def _execute_batch(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
                    batch: Sequence[PairTask]):
     """Run one batch against a private context; returns
-    ``(pairs, stats)``.  Also used in-process for ``workers=1`` and
-    single-batch joins, so the merge path is identical either way."""
+    ``(pairs, stats, obs_payload)`` — the payload is the serialized
+    spans/metrics of a traced batch (None untraced), shipped back
+    alongside the statistics.  Also used in-process for ``workers=1``
+    and single-batch joins, so the merge path is identical either way."""
     from .planner import make_algorithm
     injectors = _fault_injectors(tree_r, tree_s)
     faults_before = sum(s.stats.total_injected for s in injectors)
+    obs = Observability(enabled=spec.trace)
     ctx = JoinContext(tree_r, tree_s, buffer_kb=spec.buffer_kb,
                       use_path_buffer=spec.use_path_buffer,
                       sort_mode=spec.sort_mode,
-                      max_retries=spec.max_retries)
+                      max_retries=spec.max_retries,
+                      obs=obs)
     algo = make_algorithm(spec.algorithm,
                           height_policy=spec.height_policy,
                           predicate=spec.predicate)
     ctx.stats.algorithm = algo.name
     algo._prepare(ctx)
     out: List[Tuple[int, int]] = []
-    for task in batch:
-        # Descend the ancestor chains so the path buffer sees a real
-        # root-to-node traversal; shared prefixes between consecutive
-        # tasks of a z-ordered batch are path-buffer hits.
-        for depth, page_id in enumerate(task.r_path):
-            nr = ctx.read(R_SIDE, page_id, depth)
-        for depth, page_id in enumerate(task.s_path):
-            ns = ctx.read(S_SIDE, page_id, depth)
-        rect = Rect(*task.rect) if task.rect is not None else None
-        algo._join_nodes(ctx, nr, task.r_depth, ns, task.s_depth,
-                         rect, out)
+    with obs.tracer.span("batch", tasks=len(batch)):
+        for task in batch:
+            # Descend the ancestor chains so the path buffer sees a real
+            # root-to-node traversal; shared prefixes between consecutive
+            # tasks of a z-ordered batch are path-buffer hits.
+            for depth, page_id in enumerate(task.r_path):
+                nr = ctx.read(R_SIDE, page_id, depth)
+            for depth, page_id in enumerate(task.s_path):
+                ns = ctx.read(S_SIDE, page_id, depth)
+            rect = Rect(*task.rect) if task.rect is not None else None
+            algo._join_nodes(ctx, nr, task.r_depth, ns, task.s_depth,
+                             rect, out)
     ctx.stats.pairs_output = len(out)
     ctx.stats.faults_injected = (
         sum(s.stats.total_injected for s in injectors) - faults_before)
-    return out, ctx.stats
+    return out, ctx.stats, obs.to_payload() if obs.enabled else None
 
 
 def _degraded_batch(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
                     batch: Sequence[PairTask]):
     """Last rung of the ladder: run *batch* serially in the coordinator
-    against pristine stores.  Fault injectors are stripped for the
-    duration — the fallback must not fail the way the workers did — and
-    restored afterwards, so a later batch still sees its faults."""
+    against pristine stores (returns the same ``(pairs, stats,
+    obs_payload)`` shape as a worker).  Fault injectors are stripped for
+    the duration — the fallback must not fail the way the workers did —
+    and restored afterwards, so a later batch still sees its faults."""
     originals = [(tree, tree.store) for tree in (tree_r, tree_s)]
     try:
         for tree, store in originals:
@@ -350,6 +358,7 @@ def parallel_spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
                           spec: Optional[JoinSpec] = None,
                           *, fanout_level: Optional[int] = None,
                           oversubscribe: int = OVERSUBSCRIBE,
+                          obs: Optional[Observability] = None,
                           ) -> ParallelJoinResult:
     """MBR-spatial-join executed by ``spec.workers`` processes.
 
@@ -376,106 +385,142 @@ def parallel_spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
     spec = resolve_spec(spec)
     if oversubscribe < 1:
         raise ValueError(f"oversubscribe must be >= 1 ({oversubscribe})")
-    from .planner import make_algorithm
-    ctx = JoinContext(tree_r, tree_s, buffer_kb=spec.buffer_kb,
-                      use_path_buffer=spec.use_path_buffer,
-                      sort_mode=spec.sort_mode,
-                      max_retries=spec.max_retries)
-    algo = make_algorithm(spec.algorithm,
-                          height_policy=spec.height_policy,
-                          predicate=spec.predicate)
-    ctx.stats.algorithm = algo.name
-    # Presort before any tree state is shipped to workers, so the
-    # one-time sorting cost is charged once, in the coordinator, like
-    # the serial path does.
-    if spec.presort and spec.sort_mode == "maintained":
-        presort_trees(ctx)
-    algo._prepare(ctx)
+    from .planner import make_algorithm, resolve_obs
+    obs = resolve_obs(obs, spec)
+    # The root span wraps partitioning, dispatch, recovery, and merge.
+    # Entered explicitly (not ``with``) to keep the long body flat; a
+    # disabled tracer returns a no-op span.
+    root_span = obs.tracer.span("join", algorithm=spec.algorithm,
+                                workers=spec.workers)
+    root_span.__enter__()
+    try:
+        ctx = JoinContext(tree_r, tree_s, buffer_kb=spec.buffer_kb,
+                          use_path_buffer=spec.use_path_buffer,
+                          sort_mode=spec.sort_mode,
+                          max_retries=spec.max_retries,
+                          obs=obs)
+        algo = make_algorithm(spec.algorithm,
+                              height_policy=spec.height_policy,
+                              predicate=spec.predicate)
+        ctx.stats.algorithm = algo.name
+        # Presort before any tree state is shipped to workers, so the
+        # one-time sorting cost is charged once, in the coordinator,
+        # like the serial path does.
+        if spec.presort and spec.sort_mode == "maintained":
+            presort_trees(ctx)
+        algo._prepare(ctx)
 
-    coordinator_injectors = _fault_injectors(tree_r, tree_s)
-    faults_before = sum(s.stats.total_injected
-                        for s in coordinator_injectors)
-    tasks = partition_tasks(ctx, algo, target=spec.workers * oversubscribe,
-                            fanout_level=fanout_level)
-    ctx.stats.faults_injected = (
-        sum(s.stats.total_injected for s in coordinator_injectors)
-        - faults_before)
-    batches = cluster_tasks(tasks, spec.workers,
-                            _world_rect(tree_r, tree_s))
-    # Split the serial buffer budget so aggregate memory stays equal.
-    worker_spec = replace(spec, workers=1,
-                          buffer_kb=spec.buffer_kb / max(1, len(batches)))
+        coordinator_injectors = _fault_injectors(tree_r, tree_s)
+        faults_before = sum(s.stats.total_injected
+                            for s in coordinator_injectors)
+        with obs.tracer.span("partition"):
+            tasks = partition_tasks(ctx, algo,
+                                    target=spec.workers * oversubscribe,
+                                    fanout_level=fanout_level)
+        ctx.stats.faults_injected = (
+            sum(s.stats.total_injected for s in coordinator_injectors)
+            - faults_before)
+        with obs.tracer.span("cluster", tasks=len(tasks)):
+            batches = cluster_tasks(tasks, spec.workers,
+                                    _world_rect(tree_r, tree_s))
+        if obs.enabled:
+            obs.metrics.inc("parallel.tasks", len(tasks))
+            obs.metrics.inc("parallel.batches", len(batches))
+            for batch in batches:
+                obs.metrics.observe("parallel.batch_size", len(batch))
+        # Split the serial buffer budget so aggregate memory stays
+        # equal; workers trace whenever the coordinator does and ship
+        # their observations back in the batch result.
+        worker_spec = replace(
+            spec, workers=1, trace=obs.enabled,
+            buffer_kb=spec.buffer_kb / max(1, len(batches)))
 
-    results: List[Optional[tuple]] = [None] * len(batches)
-    failed: List[int] = []
-    if len(batches) <= 1:
-        for index, batch in enumerate(batches):
-            try:
-                results[index] = _execute_batch(tree_r, tree_s,
-                                                worker_spec, batch)
-            except Exception:
-                failed.append(index)
-    else:
-        mp = multiprocessing.get_context()
-        # Async dispatch: every batch gets its own worker up front; the
-        # per-batch timeout turns a hung or crashed worker (whose
-        # result would otherwise never arrive) into a recoverable
-        # failure.  Leaving the ``with`` block terminates the pool, so
-        # a worker stuck past its deadline is killed, not leaked.
-        with mp.Pool(processes=len(batches),
-                     initializer=_init_worker,
-                     initargs=(tree_r, tree_s, worker_spec)) as pool:
-            handles = [pool.apply_async(_run_batch, (batch,))
-                       for batch in batches]
-            for index, handle in enumerate(handles):
+        results: List[Optional[tuple]] = [None] * len(batches)
+        failed: List[int] = []
+        if len(batches) <= 1:
+            for index, batch in enumerate(batches):
                 try:
-                    results[index] = handle.get(timeout=spec.batch_timeout)
+                    results[index] = _execute_batch(tree_r, tree_s,
+                                                    worker_spec, batch)
                 except Exception:
                     failed.append(index)
-
-    # Recovery ladder for failed batches, outside the main pool so a
-    # retry always lands in a fresh worker process.
-    retried_ids: List[int] = []
-    degraded_ids: List[int] = []
-    for index in failed:
-        recovered = False
-        for attempt in range(1, spec.batch_retries + 1):
-            if len(batches) <= 1:
-                break  # in-process failure: a fresh pool replays it
-                # identically only when deterministic; skip straight to
-                # the serial pristine run below.
-            ctx.stats.batch_retries += 1
-            if index not in retried_ids:
-                retried_ids.append(index)
+        else:
             mp = multiprocessing.get_context()
-            salt = index * 8191 + attempt
-            try:
-                with mp.Pool(processes=1,
-                             initializer=_init_worker,
-                             initargs=(tree_r, tree_s, worker_spec,
-                                       salt)) as pool:
-                    results[index] = pool.apply_async(
-                        _run_batch, (batches[index],)).get(
+            # Async dispatch: every batch gets its own worker up front;
+            # the per-batch timeout turns a hung or crashed worker
+            # (whose result would otherwise never arrive) into a
+            # recoverable failure.  Leaving the ``with`` block
+            # terminates the pool, so a worker stuck past its deadline
+            # is killed, not leaked.
+            with obs.tracer.span("dispatch", batches=len(batches)), \
+                    mp.Pool(processes=len(batches),
+                            initializer=_init_worker,
+                            initargs=(tree_r, tree_s, worker_spec)) as pool:
+                handles = [pool.apply_async(_run_batch, (batch,))
+                           for batch in batches]
+                for index, handle in enumerate(handles):
+                    try:
+                        results[index] = handle.get(
                             timeout=spec.batch_timeout)
-                recovered = True
-                break
-            except Exception:
-                continue
-        if not recovered:
-            ctx.stats.degraded_batches += 1
-            degraded_ids.append(index)
-            results[index] = _degraded_batch(tree_r, tree_s, worker_spec,
-                                             batches[index])
+                    except Exception:
+                        failed.append(index)
 
-    pairs: List[Tuple[int, int]] = []
-    worker_stats: List[JoinStatistics] = []
-    for out, stats in results:
-        pairs.extend(out)
-        worker_stats.append(stats)
-    partition_stats = ctx.stats
-    merged = partition_stats.merge(*worker_stats)
+        # Recovery ladder for failed batches, outside the main pool so
+        # a retry always lands in a fresh worker process.
+        retried_ids: List[int] = []
+        degraded_ids: List[int] = []
+        for index in failed:
+            recovered = False
+            for attempt in range(1, spec.batch_retries + 1):
+                if len(batches) <= 1:
+                    break  # in-process failure: a fresh pool replays it
+                    # identically only when deterministic; skip straight
+                    # to the serial pristine run below.
+                ctx.stats.batch_retries += 1
+                if index not in retried_ids:
+                    retried_ids.append(index)
+                if obs.enabled:
+                    obs.metrics.inc("parallel.batch_retries")
+                mp = multiprocessing.get_context()
+                salt = index * 8191 + attempt
+                try:
+                    with obs.tracer.span("retry", batch=index,
+                                         attempt=attempt), \
+                            mp.Pool(processes=1,
+                                    initializer=_init_worker,
+                                    initargs=(tree_r, tree_s, worker_spec,
+                                              salt)) as pool:
+                        results[index] = pool.apply_async(
+                            _run_batch, (batches[index],)).get(
+                                timeout=spec.batch_timeout)
+                    recovered = True
+                    break
+                except Exception:
+                    continue
+            if not recovered:
+                ctx.stats.degraded_batches += 1
+                degraded_ids.append(index)
+                if obs.enabled:
+                    obs.metrics.inc("parallel.degraded_batches")
+                results[index] = _degraded_batch(tree_r, tree_s,
+                                                 worker_spec,
+                                                 batches[index])
+
+        pairs: List[Tuple[int, int]] = []
+        worker_stats: List[JoinStatistics] = []
+        for index, (out, stats, payload) in enumerate(results):
+            pairs.extend(out)
+            worker_stats.append(stats)
+            # Deterministic cross-process aggregation: payloads are
+            # absorbed in batch-index order, never arrival order.
+            obs.absorb(payload, worker=index)
+        partition_stats = ctx.stats
+        merged = partition_stats.merge(*worker_stats)
+    finally:
+        root_span.__exit__(None, None, None)
     return ParallelJoinResult(
         pairs=pairs, stats=merged, workers=spec.workers,
         batch_sizes=[len(batch) for batch in batches],
         partition_stats=partition_stats, worker_stats=worker_stats,
-        retried_batch_ids=retried_ids, degraded_batch_ids=degraded_ids)
+        retried_batch_ids=retried_ids, degraded_batch_ids=degraded_ids,
+        obs=obs if obs.enabled else None)

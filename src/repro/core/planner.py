@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Type, Union
 
 from ..geometry.predicates import SpatialPredicate
+from ..obs.core import NULL_OBS, Observability
 from ..rtree.base import RTreeBase
 from .context import JoinContext, presort_trees
 from .engine import JoinAlgorithm
@@ -71,7 +72,8 @@ def make_algorithm(name: str, height_policy: str = "b",
 
 
 def build_context(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
-                  record_trace: bool = False) -> JoinContext:
+                  record_trace: bool = False,
+                  obs: Optional[Observability] = None) -> JoinContext:
     """Materialize a :class:`~repro.core.context.JoinContext` (and run
     the eager presort, when configured) for *spec* — the one place the
     spec's buffering/sorting fields are interpreted."""
@@ -79,10 +81,23 @@ def build_context(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
                       use_path_buffer=spec.use_path_buffer,
                       sort_mode=spec.sort_mode,
                       record_trace=record_trace,
-                      max_retries=spec.max_retries)
+                      max_retries=spec.max_retries,
+                      obs=resolve_obs(obs, spec))
     if spec.presort and spec.sort_mode == "maintained":
         presort_trees(ctx)
     return ctx
+
+
+def resolve_obs(obs: Optional[Observability],
+                spec: JoinSpec) -> Observability:
+    """The observability handle a join runs under: the caller's when
+    given, a fresh enabled one when ``spec.trace`` asks for tracing,
+    the shared no-op otherwise."""
+    if obs is not None:
+        return obs
+    if spec.trace:
+        return Observability()
+    return NULL_OBS
 
 
 def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
@@ -94,7 +109,8 @@ def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
                  presort: Union[bool, object] = UNSET,
                  predicate: Union[SpatialPredicate, str, object] = UNSET,
                  workers: Union[int, object] = UNSET,
-                 spec: Optional[JoinSpec] = None) -> JoinResult:
+                 spec: Optional[JoinSpec] = None,
+                 obs: Optional[Observability] = None) -> JoinResult:
     """MBR-spatial-join of two R-trees.
 
     Configuration lives in a :class:`~repro.core.spec.JoinSpec`; the
@@ -143,11 +159,17 @@ def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
     spec:
         Explicit :class:`~repro.core.spec.JoinSpec`; replaces all of
         the above in one object.
+    obs:
+        Optional :class:`~repro.obs.Observability` handle recording
+        spans and metrics for this join (see ``docs/observability.md``);
+        equivalent to ``spec.trace=True`` except the caller owns the
+        handle.  Never changes results or counters.
 
     Returns
     -------
     JoinResult
-        Output id pairs plus :class:`~repro.core.stats.JoinStatistics`.
+        Output id pairs plus :class:`~repro.core.stats.JoinStatistics`
+        (and, for a traced run, the ``obs`` handle on ``result.obs``).
     """
     spec = resolve_spec(spec, algorithm=algorithm, buffer_kb=buffer_kb,
                         height_policy=height_policy, sort_mode=sort_mode,
@@ -155,8 +177,8 @@ def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
                         predicate=predicate, workers=workers)
     if spec.workers > 1:
         from .parallel import parallel_spatial_join
-        return parallel_spatial_join(tree_r, tree_s, spec)
-    ctx = build_context(tree_r, tree_s, spec)
+        return parallel_spatial_join(tree_r, tree_s, spec, obs=obs)
+    ctx = build_context(tree_r, tree_s, spec, obs=obs)
     algo = make_algorithm(spec.algorithm, height_policy=spec.height_policy,
                           predicate=spec.predicate)
     return algo.run(ctx)
@@ -172,7 +194,8 @@ def spatial_join_stream(tree_r: RTreeBase, tree_s: RTreeBase,
                         presort: Union[bool, object] = UNSET,
                         predicate: Union[SpatialPredicate, str,
                                          object] = UNSET,
-                        spec: Optional[JoinSpec] = None):
+                        spec: Optional[JoinSpec] = None,
+                        obs: Optional[Observability] = None):
     """Like :func:`spatial_join`, but delivers each pair to *callback*
     as it is produced (no result list is materialized).  Returns the
     :class:`~repro.core.stats.JoinStatistics`.
@@ -192,7 +215,7 @@ def spatial_join_stream(tree_r: RTreeBase, tree_s: RTreeBase,
             "spatial_join_stream delivers pairs in traversal order and "
             "cannot run parallel; use spatial_join(spec=...) with "
             "workers>1 or a workers=1 spec here")
-    ctx = build_context(tree_r, tree_s, spec)
+    ctx = build_context(tree_r, tree_s, spec, obs=obs)
     algo = make_algorithm(spec.algorithm, height_policy=spec.height_policy,
                           predicate=spec.predicate)
     return algo.run_streaming(ctx, callback)

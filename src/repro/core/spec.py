@@ -98,6 +98,14 @@ class JoinSpec:
         Crashed/timed-out/fault-exhausted batches are re-dispatched to
         a fresh worker this many times before the coordinator runs the
         batch serially itself (graceful degradation).
+    trace:
+        Record spans and metrics (:mod:`repro.obs`) during the join.
+        Entry points that accept an ``obs=`` handle treat an enabled
+        handle as ``trace=True``; the field itself is what ships the
+        decision into parallel worker processes, whose observations
+        are serialized back and merged by the coordinator.  Tracing
+        never changes results or counters — it only adds wall-clock
+        observations on the side.
     """
 
     algorithm: str = "sj4"
@@ -111,6 +119,7 @@ class JoinSpec:
     max_retries: int = 2
     batch_timeout: Optional[float] = 60.0
     batch_retries: int = 1
+    trace: bool = False
 
     def __post_init__(self) -> None:
         # Normalize before validating so "SJ4" or predicate strings from
@@ -148,6 +157,8 @@ class JoinSpec:
             raise ValueError(
                 f"batch_timeout must be positive or None "
                 f"({self.batch_timeout})")
+        if not isinstance(self.trace, bool):
+            raise TypeError(f"trace must be a bool, got {self.trace!r}")
 
 
 def resolve_spec(spec: Optional[JoinSpec] = None, **overrides) -> JoinSpec:

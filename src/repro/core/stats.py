@@ -9,7 +9,7 @@ output pairs together with exactly these counters, which the cost model
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..geometry.counting import ComparisonCounter
 from ..storage.stats import IOStatistics
@@ -86,6 +86,41 @@ class JoinStatistics:
             merged.degraded_batches += part.degraded_batches
         return merged
 
+    #: Plain integer counter fields serialized verbatim.
+    _SCALAR_FIELDS = ("presort_comparisons", "node_pairs", "pairs_output",
+                      "faults_injected", "batch_retries",
+                      "degraded_batches")
+
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-safe) form, used by the trace file and by
+        worker → coordinator statistics shipping.  Round-trips through
+        :meth:`from_dict`: merging deserialized parts equals merging
+        the originals."""
+        data = {
+            "algorithm": self.algorithm,
+            "page_size": self.page_size,
+            "buffer_kb": self.buffer_kb,
+            "comparisons": self.comparisons.to_dict(),
+            "io": self.io.to_dict(),
+        }
+        for name in self._SCALAR_FIELDS:
+            data[name] = getattr(self, name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JoinStatistics":
+        """Inverse of :meth:`to_dict`."""
+        stats = cls(
+            algorithm=str(data.get("algorithm", "")),
+            page_size=int(data.get("page_size", 0)),
+            buffer_kb=float(data.get("buffer_kb", 0.0)),
+            comparisons=ComparisonCounter.from_dict(data["comparisons"]),
+            io=IOStatistics.from_dict(data["io"]),
+        )
+        for name in cls._SCALAR_FIELDS:
+            setattr(stats, name, int(data.get(name, 0)))
+        return stats
+
 
 @dataclass
 class JoinResult:
@@ -93,6 +128,9 @@ class JoinResult:
 
     pairs: List[Tuple[int, int]]
     stats: JoinStatistics
+    #: The :class:`~repro.obs.Observability` handle of a traced run
+    #: (spans + metrics merged across workers); None when untraced.
+    obs: Optional[object] = None
 
     def __len__(self) -> int:
         return len(self.pairs)

@@ -53,6 +53,15 @@ class ComparisonCounter:
         """Return an independent copy of the current tallies."""
         return ComparisonCounter(self.join, self.sort)
 
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe, see ``docs/observability.md``)."""
+        return {"join": self.join, "sort": self.sort}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ComparisonCounter":
+        """Inverse of :meth:`to_dict`."""
+        return cls(join=int(data["join"]), sort=int(data["sort"]))
+
     def __iadd__(self, other: "ComparisonCounter") -> "ComparisonCounter":
         self.join += other.join
         self.sort += other.sort

@@ -1,0 +1,64 @@
+"""Observability: tracing, metrics, and profiling for join runs.
+
+The paper's evaluation is built on two *abstract* counters — disk
+accesses and comparisons — that the cost model
+(:mod:`repro.costmodel.model`) turns into time estimates.  This package
+adds the *observed* side: where a join actually spent its wall-clock
+time, how the buffer behaved over time, how evenly the plane sweep's
+work was distributed — without ever perturbing the counted behaviour.
+
+Components
+----------
+
+* :class:`~repro.obs.tracer.SpanTracer` — nestable, monotonic-clock
+  spans for the coarse join phases (tree open, presort, traversal,
+  partition, batch dispatch/retry/degradation) plus cheap *aggregate*
+  timers for hot phases (plane sweep, physical reads) that would drown
+  a per-event trace.
+* :class:`~repro.obs.metrics.MetricsRegistry` — named counters, gauges,
+  and fixed-boundary histograms fed by hooks in the buffer manager,
+  the fault-injecting store, and the join engines.
+* :class:`~repro.obs.core.Observability` — the handle threaded through
+  a join: one tracer plus one registry, with a strict no-op fast path
+  when disabled (:data:`~repro.obs.core.NULL_OBS`) and deterministic
+  cross-process aggregation (:meth:`~repro.obs.core.Observability.absorb`
+  of worker payloads in batch order).
+* :mod:`~repro.obs.trace_io` — the JSONL trace file format: writer,
+  reader, and schema validator.
+* :mod:`~repro.obs.report` — the phase-time table and the cost-model
+  *drift report* comparing observed wall-clock CPU/I-O split against
+  the paper's predictions.
+
+Everything is stdlib-only and adds nothing to the counted disk accesses
+or comparisons: with tracing disabled all join results and counters are
+bit-identical to an uninstrumented run, and with tracing enabled only
+wall-clock observations are added on the side.
+"""
+
+from .core import NULL_OBS, Observability
+from .metrics import (DEFAULT_BOUNDS, Histogram, MetricsRegistry,
+                      PERCENT_BOUNDS)
+from .report import DriftReport, drift_report, phase_rows, render_report
+from .trace_io import (TRACE_VERSION, TraceDocument, document_from,
+                       read_trace, validate_trace, write_trace)
+from .tracer import SpanTracer
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "DriftReport",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Observability",
+    "PERCENT_BOUNDS",
+    "SpanTracer",
+    "TRACE_VERSION",
+    "TraceDocument",
+    "document_from",
+    "drift_report",
+    "phase_rows",
+    "read_trace",
+    "render_report",
+    "validate_trace",
+    "write_trace",
+]

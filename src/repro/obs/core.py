@@ -1,0 +1,53 @@
+"""The :class:`Observability` handle threaded through a join.
+
+One tracer plus one metrics registry.  Instrumented code holds a single
+reference (``ctx.obs``) and guards hot paths with ``if obs.enabled:``;
+the shared disabled instance :data:`NULL_OBS` makes the uninstrumented
+case a strict no-op — it never accumulates state, so it is safe to
+share across every untraced join in a process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .metrics import MetricsRegistry
+from .tracer import SpanTracer
+
+
+class Observability:
+    """Tracer + metrics for one join (or one worker's slice of one)."""
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.tracer = SpanTracer(enabled)
+        self.metrics = MetricsRegistry(enabled)
+
+    # ------------------------------------------------------------------
+    # Cross-process aggregation
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-data snapshot a worker ships alongside its
+        :class:`~repro.core.stats.JoinStatistics`."""
+        payload = self.tracer.to_payload()
+        payload.update(self.metrics.to_payload())
+        return payload
+
+    def absorb(self, payload: Optional[Dict[str, Any]],
+               worker: Optional[int] = None) -> None:
+        """Merge a worker payload; the coordinator calls this in batch
+        index order, so the merged trace is deterministic for a given
+        set of per-worker observations."""
+        if payload is None or not self.enabled:
+            return
+        self.tracer.absorb(payload, worker=worker)
+        self.metrics.absorb(payload)
+
+
+#: The shared disabled instance: the default for every join entry
+#: point.  All recording methods return immediately; instrumented code
+#: pays one ``enabled`` check per site.
+NULL_OBS = Observability(enabled=False)

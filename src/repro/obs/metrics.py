@@ -1,0 +1,183 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Everything is plain data (ints, floats, tuples) so a registry pickles
+into worker processes and its payloads merge deterministically in the
+coordinator.  Histogram bucket boundaries are *fixed at registration*
+— two runs (or two workers) observing the same values always fill the
+same buckets, which is what makes merged histograms comparable across
+serial and parallel executions of one join.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+#: Default (geometric) bucket upper bounds for size-like values: 1, 2,
+#: 4, ... 65536, plus an implicit overflow bucket.
+DEFAULT_BOUNDS: Tuple[float, ...] = tuple(float(1 << i)
+                                          for i in range(17))
+
+#: Decile bounds for percentage-valued observations (hit rates).
+PERCENT_BOUNDS: Tuple[float, ...] = tuple(float(p)
+                                          for p in range(10, 101, 10))
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum/count/min/max sidecars.
+
+    ``bounds`` are inclusive upper bounds; one overflow bucket catches
+    everything beyond the last bound, so ``len(counts) ==
+    len(bounds) + 1``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count",
+                 "vmin", "vmax")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram bounds must be strictly increasing and "
+                f"non-empty ({bounds!r})")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* into this histogram (bounds must agree)."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({self.name}: {self.bounds} vs {other.bounds})")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.total += other.total
+        self.count += other.count
+        for value in (other.vmin, other.vmax):
+            if value is None:
+                continue
+            if self.vmin is None or value < self.vmin:
+                self.vmin = value
+            if self.vmax is None or value > self.vmax:
+                self.vmax = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+            "min": self.vmin,
+            "max": self.vmax,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, Any]) -> "Histogram":
+        hist = cls(name, data["bounds"])
+        hist.counts = [int(n) for n in data["counts"]]
+        hist.total = float(data["sum"])
+        hist.count = int(data["count"])
+        hist.vmin = data.get("min")
+        hist.vmax = data.get("max")
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (self.bounds == other.bounds
+                and self.counts == other.counts
+                and self.total == other.total
+                and self.count == other.count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"mean={self.mean:g})")
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one process."""
+
+    __slots__ = ("enabled", "counters", "gauges", "histograms")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (hot paths guard on ``enabled`` at the call site; the
+    # internal guard keeps a stray call on NULL_OBS harmless)
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        if not self.enabled:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(name, bounds)
+        hist.observe(value)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # Cross-process aggregation
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-data snapshot for shipping to the coordinator."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: hist.to_dict()
+                           for name, hist in self.histograms.items()},
+        }
+
+    def absorb(self, payload: Dict[str, Any]) -> None:
+        """Merge a payload: counters add, gauges last-write-wins (in
+        absorb order, which callers keep deterministic), histograms
+        fold bucket-wise."""
+        if not self.enabled:
+            return
+        for name, value in payload.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + int(value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauges[name] = value
+        for name, data in payload.get("histograms", {}).items():
+            incoming = Histogram.from_dict(name, data)
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = incoming
+            else:
+                mine.merge(incoming)

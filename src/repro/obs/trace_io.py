@@ -1,0 +1,252 @@
+"""The JSONL trace file: writer, reader, schema validator.
+
+One trace file describes one join run.  Every line is a standalone JSON
+object with a ``type`` discriminator:
+
+``meta``
+    Exactly one, first line: ``{"type": "meta", "version": 1,
+    "algorithm": ..., "workers": ..., "page_size": ..., "buffer_kb":
+    ...}`` (plus free-form extras such as the input file names).
+``stats``
+    Exactly one: the merged join counters,
+    ``{"type": "stats", "data": JoinStatistics.to_dict()}``.  The
+    aggregated disk-access and comparison totals of a traced run are
+    read from here and must equal the untraced counters — tracing only
+    *adds* wall-clock observations, it never changes counted work.
+``span``
+    ``{"type": "span", "name", "t0_ms", "dur_ms", "depth", "attrs"}``
+    plus ``"worker"`` for spans absorbed from a worker process
+    (``t0_ms`` is then relative to that worker's tracer start).
+``aggregate``
+    Hot-phase accumulator: ``{"type": "aggregate", "name",
+    "total_ms", "count"}``.
+``counter`` / ``gauge``
+    ``{"type": ..., "name", "value"}``.
+``histogram``
+    ``{"type": "histogram", "name", "bounds", "counts", "sum",
+    "count", "min", "max"}`` with ``len(counts) == len(bounds) + 1``
+    (the last bucket is the overflow bucket).
+
+The format is line-appendable and diff-friendly; see
+``docs/observability.md`` for the full schema and examples.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .core import Observability
+from .metrics import Histogram
+
+#: Current trace file schema version.
+TRACE_VERSION = 1
+
+
+@dataclass
+class TraceDocument:
+    """In-memory form of one trace: what the writer serializes and the
+    reader (and the report renderer) consume."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: ``JoinStatistics.to_dict()`` payload (plain dict, so the trace
+    #: layer stays decoupled from the stats classes).
+    stats: Optional[Dict[str, Any]] = None
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    #: name -> (total_ms, count)
+    aggregates: Dict[str, Tuple[float, int]] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def span_total_ms(self, *names: str) -> float:
+        """Summed duration of all spans whose name is in *names*."""
+        return sum(record["dur_ms"] for record in self.spans
+                   if record["name"] in names)
+
+    def aggregate_total_ms(self, name: str) -> float:
+        return self.aggregates.get(name, (0.0, 0))[0]
+
+
+def document_from(obs: Observability, stats: Any = None,
+                  meta: Optional[Dict[str, Any]] = None) -> TraceDocument:
+    """Build a :class:`TraceDocument` from a live join's observability
+    handle (used by ``--profile`` when no trace file is written)."""
+    document = TraceDocument()
+    document.meta = {"type": "meta", "version": TRACE_VERSION}
+    if meta:
+        document.meta.update(meta)
+    if stats is not None:
+        document.stats = stats.to_dict()
+    document.spans = [dict(record) for record in obs.tracer.spans]
+    document.aggregates = {
+        name: (seconds * 1e3, int(count))
+        for name, (seconds, count) in obs.tracer.aggregates.items()}
+    document.counters = dict(obs.metrics.counters)
+    document.gauges = dict(obs.metrics.gauges)
+    document.histograms = dict(obs.metrics.histograms)
+    return document
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+
+def trace_lines(obs: Observability, stats: Any = None,
+                meta: Optional[Dict[str, Any]] = None) -> List[str]:
+    """The JSONL lines of one trace (deterministic order: meta, stats,
+    spans in completion order, then aggregates/counters/gauges/
+    histograms each sorted by name)."""
+    document = document_from(obs, stats, meta)
+    lines = [json.dumps(document.meta, sort_keys=True)]
+    if document.stats is not None:
+        lines.append(json.dumps({"type": "stats",
+                                 "data": document.stats},
+                                sort_keys=True))
+    for record in document.spans:
+        lines.append(json.dumps({"type": "span", **record},
+                                sort_keys=True))
+    for name in sorted(document.aggregates):
+        total_ms, count = document.aggregates[name]
+        lines.append(json.dumps({"type": "aggregate", "name": name,
+                                 "total_ms": total_ms, "count": count},
+                                sort_keys=True))
+    for name in sorted(document.counters):
+        lines.append(json.dumps({"type": "counter", "name": name,
+                                 "value": document.counters[name]},
+                                sort_keys=True))
+    for name in sorted(document.gauges):
+        lines.append(json.dumps({"type": "gauge", "name": name,
+                                 "value": document.gauges[name]},
+                                sort_keys=True))
+    for name in sorted(document.histograms):
+        lines.append(json.dumps({"type": "histogram", "name": name,
+                                 **document.histograms[name].to_dict()},
+                                sort_keys=True))
+    return lines
+
+
+def write_trace(path: str, obs: Observability, stats: Any = None,
+                meta: Optional[Dict[str, Any]] = None) -> int:
+    """Write one JSONL trace file; returns the number of lines."""
+    lines = trace_lines(obs, stats, meta)
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+
+def read_trace(path: str) -> TraceDocument:
+    """Parse a JSONL trace file back into a :class:`TraceDocument`.
+
+    The file is validated first; a malformed trace raises
+    :class:`ValueError` naming the offending lines.
+    """
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    errors = validate_trace(lines)
+    if errors:
+        raise ValueError(f"invalid trace file {path}: "
+                         + "; ".join(errors[:5]))
+    document = TraceDocument()
+    for line in lines:
+        record = json.loads(line)
+        kind = record["type"]
+        if kind == "meta":
+            document.meta = record
+        elif kind == "stats":
+            document.stats = record["data"]
+        elif kind == "span":
+            record.pop("type")
+            document.spans.append(record)
+        elif kind == "aggregate":
+            document.aggregates[record["name"]] = (record["total_ms"],
+                                                   record["count"])
+        elif kind == "counter":
+            document.counters[record["name"]] = record["value"]
+        elif kind == "gauge":
+            document.gauges[record["name"]] = record["value"]
+        elif kind == "histogram":
+            document.histograms[record["name"]] = Histogram.from_dict(
+                record["name"], record)
+    return document
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+
+_NUMBER = (int, float)
+
+#: Required fields (name -> allowed types) per record type.
+_SCHEMAS: Dict[str, Dict[str, tuple]] = {
+    "meta": {"version": (int,)},
+    "stats": {"data": (dict,)},
+    "span": {"name": (str,), "t0_ms": _NUMBER, "dur_ms": _NUMBER,
+             "depth": (int,), "attrs": (dict,)},
+    "aggregate": {"name": (str,), "total_ms": _NUMBER, "count": (int,)},
+    "counter": {"name": (str,), "value": (int,)},
+    "gauge": {"name": (str,), "value": _NUMBER},
+    "histogram": {"name": (str,), "bounds": (list,), "counts": (list,),
+                  "sum": _NUMBER, "count": (int,)},
+}
+
+
+def validate_trace(lines: Iterable[str]) -> List[str]:
+    """Check JSONL trace lines against the schema; returns a list of
+    human-readable errors (empty means valid)."""
+    errors: List[str] = []
+    saw_meta = saw_stats = False
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            errors.append(f"line {number}: blank line")
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number}: not JSON ({exc.msg})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {number}: not a JSON object")
+            continue
+        kind = record.get("type")
+        schema = _SCHEMAS.get(kind)
+        if schema is None:
+            errors.append(f"line {number}: unknown type {kind!r}")
+            continue
+        for key, types in schema.items():
+            value = record.get(key)
+            if not isinstance(value, types) or isinstance(value, bool):
+                errors.append(
+                    f"line {number}: {kind} field {key!r} missing or "
+                    f"mistyped ({value!r})")
+        if kind == "meta":
+            if saw_meta:
+                errors.append(f"line {number}: duplicate meta record")
+            if number != 1:
+                errors.append(f"line {number}: meta must be line 1")
+            if record.get("version") != TRACE_VERSION:
+                errors.append(
+                    f"line {number}: unsupported trace version "
+                    f"{record.get('version')!r}")
+            saw_meta = True
+        elif kind == "stats":
+            if saw_stats:
+                errors.append(f"line {number}: duplicate stats record")
+            saw_stats = True
+        elif kind == "histogram":
+            bounds = record.get("bounds")
+            counts = record.get("counts")
+            if isinstance(bounds, list) and isinstance(counts, list) \
+                    and len(counts) != len(bounds) + 1:
+                errors.append(
+                    f"line {number}: histogram needs len(counts) == "
+                    f"len(bounds) + 1 ({len(counts)} vs {len(bounds)})")
+    if not saw_meta:
+        errors.append("no meta record")
+    return errors

@@ -229,8 +229,19 @@ class FaultInjectingPageStore(PageStore):
         self.inner = inner
         self.plan = plan
         self.stats = StorageStatistics()
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` bound
+        #: by a traced :class:`~repro.core.context.JoinContext`; every
+        #: injected fault is mirrored as a ``faults.*`` counter.  Plain
+        #: data, so a bound store still pickles into workers (which
+        #: rebind their own registry anyway).
+        self.metrics = None
         self._occurrences: Dict[Tuple[str, PageId], int] = {}
         self._transients: Dict[Tuple[str, PageId], int] = {}
+
+    def _note_fault(self, kind: str) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("faults." + kind)
 
     # ------------------------------------------------------------------
     # Plan bookkeeping
@@ -284,11 +295,13 @@ class FaultInjectingPageStore(PageStore):
         if plan.fires("crash", plan.crash_read_p, page_id, occurrence) \
                 and _in_worker_process():
             self.stats.crashes_scheduled += 1
+            self._note_fault("crash")
             os._exit(13)
         if plan.fires("read", plan.read_transient_p, page_id, occurrence) \
                 and self._transient_allowed("read", page_id):
             self._count_transient("read", page_id)
             self.stats.transient_read_faults += 1
+            self._note_fault("transient_read")
             raise TransientIOError(
                 f"injected transient read fault on page {page_id} "
                 f"(occurrence {occurrence})")
@@ -302,15 +315,18 @@ class FaultInjectingPageStore(PageStore):
                 and self._transient_allowed("write", page_id):
             self._count_transient("write", page_id)
             self.stats.transient_write_faults += 1
+            self._note_fault("transient_write")
             raise TransientIOError(
                 f"injected transient write fault on page {page_id} "
                 f"(occurrence {occurrence})")
         if isinstance(payload, (bytes, bytearray)) and len(payload) > 0:
             if plan.fires("torn", plan.torn_write_p, page_id, occurrence):
                 self.stats.torn_writes += 1
+                self._note_fault("torn_write")
                 payload = bytes(payload)[:len(payload) // 2]
             elif plan.fires("flip", plan.bit_flip_p, page_id, occurrence):
                 self.stats.bit_flips += 1
+                self._note_fault("bit_flip")
                 mutable = bytearray(payload)
                 position = plan.flip_position(page_id, occurrence,
                                               len(mutable) * 8)

@@ -26,8 +26,10 @@ retrying cannot repair a damaged page.
 
 from __future__ import annotations
 
-from typing import Any, List
+import time
+from typing import Any, List, Optional
 
+from ..obs.core import NULL_OBS, Observability
 from .buffer import LRUBuffer
 from .faults import CorruptPageError, TransientIOError
 from .page import PageId, frames_for_buffer
@@ -35,13 +37,18 @@ from .pagestore import PageStore
 from .pathbuffer import PathBuffer
 from .stats import IOStatistics
 
+#: Logical reads per buffer hit-rate sample (the ``buffer.hit_rate_pct``
+#: histogram tracks the hit rate *over time* in windows of this size).
+HIT_RATE_WINDOW = 256
+
 
 class BufferManager:
     """Counted page access for one or more trees sharing an LRU buffer."""
 
     def __init__(self, frames: int, use_path_buffer: bool = True,
                  record_trace: bool = False, max_retries: int = 0,
-                 backoff_base: int = 1) -> None:
+                 backoff_base: int = 1,
+                 obs: Optional[Observability] = None) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries cannot be negative "
                              f"({max_retries})")
@@ -61,18 +68,26 @@ class BufferManager:
         self.trace: List[tuple] = []
         self._stores: List[PageStore] = []
         self._paths: List[PathBuffer] = []
+        #: Observability hooks (disabled by default): buffer outcome
+        #: counters, the windowed hit-rate histogram, physical read
+        #: timing, and the retry backoff distribution.
+        self.obs = obs if obs is not None else NULL_OBS
+        self._window_lookups = 0
+        self._window_disk = 0
 
     @classmethod
     def for_buffer_size(cls, buffer_kb: float, page_size: int,
                         use_path_buffer: bool = True,
                         record_trace: bool = False,
-                        max_retries: int = 0) -> "BufferManager":
+                        max_retries: int = 0,
+                        obs: Optional[Observability] = None,
+                        ) -> "BufferManager":
         """Build a manager whose LRU buffer holds *buffer_kb* KByte of
         pages of *page_size* bytes, as the paper's tables are labelled."""
         return cls(frames_for_buffer(buffer_kb, page_size),
                    use_path_buffer=use_path_buffer,
                    record_trace=record_trace,
-                   max_retries=max_retries)
+                   max_retries=max_retries, obs=obs)
 
     # ------------------------------------------------------------------
     # Side registration
@@ -101,6 +116,8 @@ class BufferManager:
         path = self._paths[side]
         if self.use_path_buffer and path.hit(page_id, depth):
             self.stats.path_hits += 1
+            if self.obs.enabled:
+                self._observe_lookup("buffer.path_hits", False)
             return self._stores[side].read(page_id)
         key = (side, page_id)
         physical = False
@@ -115,9 +132,29 @@ class BufferManager:
                 self.stats.evictions += 1
         if self.use_path_buffer:
             path.record(page_id, depth)
+        if self.obs.enabled:
+            self._observe_lookup(
+                "buffer.disk_reads" if physical else "buffer.lru_hits",
+                physical)
         if physical:
             return self._disk_read(side, page_id)
         return self._stores[side].read(page_id)
+
+    def _observe_lookup(self, outcome: str, physical: bool) -> None:
+        """Metrics side of one ReadPage (only called when enabled):
+        count the outcome and sample the windowed hit rate."""
+        metrics = self.obs.metrics
+        metrics.inc(outcome)
+        self._window_lookups += 1
+        if physical:
+            self._window_disk += 1
+        if self._window_lookups >= HIT_RATE_WINDOW:
+            from ..obs.metrics import PERCENT_BOUNDS
+            rate = 100.0 * (1.0 - self._window_disk
+                            / self._window_lookups)
+            metrics.observe("buffer.hit_rate_pct", rate, PERCENT_BOUNDS)
+            self._window_lookups = 0
+            self._window_disk = 0
 
     def _disk_read(self, side: int, page_id: PageId) -> Any:
         """One physical page fetch with the bounded retry loop.
@@ -133,9 +170,16 @@ class BufferManager:
         # ``read_faulty`` (their plain ``read`` models already-resident
         # structural access and never faults).
         reader = getattr(store, "read_faulty", None) or store.read
+        obs = self.obs
         attempt = 0
         while True:
             try:
+                if obs.enabled:
+                    start = time.perf_counter()
+                    page = reader(page_id)
+                    obs.tracer.add_duration(
+                        "io.disk_read", time.perf_counter() - start)
+                    return page
                 return reader(page_id)
             except CorruptPageError:
                 raise
@@ -143,7 +187,10 @@ class BufferManager:
                 if attempt >= self.max_retries:
                     raise
                 self.stats.read_retries += 1
-                self.stats.backoff_ticks += self.backoff_base << attempt
+                delay = self.backoff_base << attempt
+                self.stats.backoff_ticks += delay
+                if obs.enabled:
+                    obs.metrics.observe("io.retry_backoff_ticks", delay)
                 attempt += 1
 
     # ------------------------------------------------------------------
@@ -171,3 +218,5 @@ class BufferManager:
             path.clear()
         self.trace.clear()
         self.stats.reset()
+        self._window_lookups = 0
+        self._window_disk = 0

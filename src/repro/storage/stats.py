@@ -47,6 +47,24 @@ class IOStatistics:
             setattr(copy, slot, getattr(self, slot))
         return copy
 
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe, see ``docs/observability.md``)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IOStatistics":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected so a
+        trace from a newer schema fails loudly instead of dropping
+        counters silently."""
+        unknown = set(data) - set(cls.__slots__)
+        if unknown:
+            raise ValueError(f"unknown IOStatistics field(s): "
+                             f"{', '.join(sorted(unknown))}")
+        stats = cls()
+        for slot in cls.__slots__:
+            setattr(stats, slot, int(data.get(slot, 0)))
+        return stats
+
     def __iadd__(self, other: "IOStatistics") -> "IOStatistics":
         for slot in self.__slots__:
             setattr(self, slot, getattr(self, slot) + getattr(other, slot))

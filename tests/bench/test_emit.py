@@ -1,0 +1,88 @@
+"""Tests for the machine-readable benchmark emitter."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_EMIT_PATH = os.path.join(os.path.dirname(__file__), "..", "..",
+                          "benchmarks", "emit.py")
+
+
+@pytest.fixture
+def emit_module(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location("bench_emit",
+                                                  _EMIT_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path / "out.json"))
+    return module
+
+
+def test_emit_writes_a_row(emit_module):
+    emit_module.emit("table2", {"algorithm": "sj1"},
+                     {"disk_accesses": 10}, 12.3456)
+    rows = json.load(open(emit_module.bench_path()))
+    assert rows == [{"bench": "table2",
+                     "params": {"algorithm": "sj1"},
+                     "counters": {"disk_accesses": 10},
+                     "wall_ms": 12.346}]
+
+
+def test_emit_upserts_on_bench_and_params(emit_module):
+    emit_module.emit("table2", {"algorithm": "sj1"}, {}, 1.0)
+    emit_module.emit("table2", {"algorithm": "sj1"}, {}, 2.0)
+    emit_module.emit("table2", {"algorithm": "sj4"}, {}, 3.0)
+    emit_module.emit("table6", {}, {}, 4.0)
+    rows = json.load(open(emit_module.bench_path()))
+    assert len(rows) == 3
+    sj1 = [row for row in rows if row["params"] == {"algorithm": "sj1"}]
+    assert sj1[0]["wall_ms"] == 2.0            # replaced, not appended
+    assert [row["bench"] for row in rows] == sorted(
+        row["bench"] for row in rows)
+
+
+def test_emit_survives_a_corrupt_file(emit_module):
+    with open(emit_module.bench_path(), "w") as handle:
+        handle.write("not json")
+    emit_module.emit("table2", {}, {}, 1.0)
+    assert len(json.load(open(emit_module.bench_path()))) == 1
+
+
+def test_counters_of_join_result(emit_module):
+    from repro.core import JoinResult, JoinStatistics
+    stats = JoinStatistics()
+    stats.comparisons.join = 5
+    stats.io.disk_reads = 3
+    stats.pairs_output = 2
+    counters = emit_module.counters_of(JoinResult([(1, 2)], stats))
+    assert counters == {"disk_accesses": 3, "comparisons": 5,
+                        "pairs": 2}
+
+
+def test_counters_of_tree_and_scalar(emit_module):
+    from tests.conftest import build_rstar, make_rects
+    tree = build_rstar(make_rects(50, seed=7))
+    assert emit_module.counters_of(tree) == {"height": tree.height}
+    assert emit_module.counters_of(2.5) == {"value": 2.5}
+    assert emit_module.counters_of(object()) == {}
+
+
+def test_timed_runs_once_and_emits(emit_module):
+    calls = []
+
+    class FakeBenchmark:
+        def pedantic(self, fn, rounds, iterations):
+            return fn()
+
+    result = emit_module.timed(FakeBenchmark(),
+                               lambda: calls.append(1) or 41 + 1,
+                               "sample", knob=7)
+    assert result == 42
+    assert calls == [1]
+    rows = json.load(open(emit_module.bench_path()))
+    assert rows[0]["bench"] == "sample"
+    assert rows[0]["params"] == {"knob": 7}
+    assert rows[0]["counters"] == {"value": 42}
+    assert rows[0]["wall_ms"] >= 0.0

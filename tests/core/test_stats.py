@@ -84,3 +84,43 @@ def test_merge_of_nothing_is_a_copy():
     assert merged.io.disk_reads == 2
     assert merged.pairs_output == 1
     assert merged is not a
+
+
+def test_to_dict_from_dict_round_trip():
+    stats = _stats(join=10, sort=2, reads=5, lru=1, path=3, presort=7,
+                   node_pairs=4, pairs=9)
+    stats.algorithm = "SJ3"
+    stats.page_size = 4096
+    stats.buffer_kb = 32.0
+    stats.faults_injected = 2
+    stats.batch_retries = 1
+    stats.degraded_batches = 1
+    clone = JoinStatistics.from_dict(stats.to_dict())
+    assert clone.to_dict() == stats.to_dict()
+    assert clone.algorithm == "SJ3"
+    assert clone.comparisons.join == 10
+    assert clone.io.disk_reads == 5
+    assert clone.degraded_batches == 1
+
+
+def test_to_dict_is_json_safe():
+    import json
+    payload = json.dumps(_stats(join=1, reads=2).to_dict())
+    clone = JoinStatistics.from_dict(json.loads(payload))
+    assert clone.comparisons.join == 1
+    assert clone.io.disk_reads == 2
+
+
+def test_merge_of_deserialized_parts_equals_merge_of_originals():
+    parts = [
+        _stats(join=10, sort=2, reads=5, lru=1, presort=7,
+               node_pairs=4, pairs=9),
+        _stats(join=3, sort=1, reads=2, path=8, pairs=4),
+        _stats(join=100, reads=50, node_pairs=17),
+    ]
+    parts[0].algorithm = "SJ4"
+    shipped = [JoinStatistics.from_dict(part.to_dict())
+               for part in parts]
+    merged = parts[0].merge(*parts[1:])
+    remerged = shipped[0].merge(*shipped[1:])
+    assert remerged.to_dict() == merged.to_dict()

@@ -1,0 +1,108 @@
+"""Unit tests for counters, gauges, and fixed-boundary histograms."""
+
+import pytest
+
+from repro.obs import DEFAULT_BOUNDS, Histogram, MetricsRegistry, PERCENT_BOUNDS
+
+
+def test_counters_and_gauges():
+    registry = MetricsRegistry()
+    registry.inc("a")
+    registry.inc("a", 4)
+    registry.set_gauge("g", 1.5)
+    registry.set_gauge("g", 2.5)
+    assert registry.counter("a") == 5
+    assert registry.counter("missing") == 0
+    assert registry.gauges["g"] == 2.5
+
+
+def test_histogram_buckets_and_sidecars():
+    hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.0, 3.0, 100.0):
+        hist.observe(value)
+    # bisect_left on inclusive upper bounds: 0.5 and 1.0 share the
+    # first bucket, 3.0 lands in (2, 4], 100 overflows.
+    assert hist.counts == [2, 0, 1, 1]
+    assert hist.count == 4
+    assert hist.total == 104.5
+    assert hist.vmin == 0.5 and hist.vmax == 100.0
+    assert hist.mean == pytest.approx(26.125)
+
+
+def test_histogram_bounds_must_increase():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(1.0, 1.0, 2.0))
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=())
+
+
+def test_histogram_merge_requires_equal_bounds():
+    a = Histogram("h", bounds=(1.0, 2.0))
+    b = Histogram("h", bounds=(1.0, 4.0))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_histogram_merge_folds_everything():
+    a = Histogram("h", bounds=(1.0, 2.0))
+    b = Histogram("h", bounds=(1.0, 2.0))
+    a.observe(0.5)
+    b.observe(1.5)
+    b.observe(9.0)
+    a.merge(b)
+    assert a.counts == [1, 1, 1]
+    assert a.count == 3
+    assert a.vmin == 0.5 and a.vmax == 9.0
+
+
+def test_histogram_dict_round_trip():
+    hist = Histogram("h")
+    for value in (1, 5, 300, 70000, 200000):
+        hist.observe(value)
+    clone = Histogram.from_dict("h", hist.to_dict())
+    assert clone == hist
+    assert clone.bounds == DEFAULT_BOUNDS
+
+
+def test_default_bounds_are_stable_constants():
+    # The merge discipline relies on every process using identical
+    # boundaries; pin them so a drive-by edit fails loudly.
+    assert DEFAULT_BOUNDS[0] == 1.0
+    assert DEFAULT_BOUNDS[-1] == 65536.0
+    assert len(DEFAULT_BOUNDS) == 17
+    assert PERCENT_BOUNDS == tuple(float(p) for p in range(10, 101, 10))
+
+
+def test_registry_observe_creates_then_reuses():
+    registry = MetricsRegistry()
+    registry.observe("h", 3.0)
+    registry.observe("h", 5.0)
+    assert registry.histograms["h"].count == 2
+
+
+def test_disabled_registry_records_nothing():
+    registry = MetricsRegistry(enabled=False)
+    registry.inc("a")
+    registry.set_gauge("g", 1.0)
+    registry.observe("h", 1.0)
+    assert registry.counters == {}
+    assert registry.gauges == {}
+    assert registry.histograms == {}
+
+
+def test_absorb_merges_each_kind():
+    a = MetricsRegistry()
+    a.inc("c", 2)
+    a.set_gauge("g", 1.0)
+    a.observe("h", 1.0)
+    b = MetricsRegistry()
+    b.inc("c", 3)
+    b.inc("other")
+    b.set_gauge("g", 9.0)
+    b.observe("h", 100.0)
+    a.absorb(b.to_payload())
+    assert a.counter("c") == 5
+    assert a.counter("other") == 1
+    assert a.gauges["g"] == 9.0          # last write wins
+    assert a.histograms["h"].count == 2
+    assert a.histograms["h"].vmax == 100.0

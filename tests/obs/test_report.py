@@ -1,0 +1,82 @@
+"""Tests for the phase table and the cost-model drift report."""
+
+import pytest
+
+from repro.core import JoinStatistics
+from repro.obs import (Observability, document_from, drift_report,
+                       phase_rows, render_report)
+from repro.obs.report import IO_AGGREGATE, render_phase_table
+
+
+def traced_document():
+    obs = Observability()
+    with obs.tracer.span("join", algorithm="SJ1"):
+        with obs.tracer.span("tree_open"):
+            pass
+        with obs.tracer.span("traversal"):
+            obs.tracer.add_duration(IO_AGGREGATE, 0.004, count=8)
+    obs.metrics.inc("buffer.disk_reads", 8)
+    obs.metrics.observe("sweep.run_length", 4.0)
+    stats = JoinStatistics(algorithm="SJ1", page_size=2048,
+                           buffer_kb=128.0)
+    stats.comparisons.join = 1000
+    stats.io.disk_reads = 8
+    return document_from(obs, stats=stats,
+                         meta={"algorithm": "SJ1", "workers": 1})
+
+
+def test_phase_rows_group_by_name_in_first_seen_order():
+    document = traced_document()
+    names = [name for name, _, _ in phase_rows(document)]
+    assert names == ["tree_open", "traversal", "join"]
+    for _, count, total_ms in phase_rows(document):
+        assert count == 1 and total_ms >= 0.0
+
+
+def test_drift_report_predicts_from_counters():
+    document = traced_document()
+    report = drift_report(document)
+    assert report is not None
+    # Predictions come straight from the paper's cost model.
+    from repro.costmodel.model import PAPER_COST_MODEL
+    stats = JoinStatistics.from_dict(document.stats)
+    estimate = PAPER_COST_MODEL.estimate(stats)
+    assert report.predicted_cpu_s == estimate.cpu_seconds
+    assert report.predicted_io_s == estimate.io_seconds
+    # Measured I/O is the disk-read aggregate; CPU is busy minus I/O,
+    # never negative.
+    assert report.measured_io_s == pytest.approx(0.004)
+    assert report.measured_cpu_s >= 0.0
+    assert 0.0 <= report.measured_io_fraction <= 1.0
+
+
+def test_drift_report_needs_stats():
+    obs = Observability()
+    with obs.tracer.span("join"):
+        pass
+    assert drift_report(document_from(obs)) is None
+
+
+def test_drift_speedup_handles_zero_measured_time():
+    obs = Observability()
+    stats = JoinStatistics()
+    stats.io.disk_reads = 100
+    report = drift_report(document_from(obs, stats=stats))
+    assert report.measured_total_s == 0.0
+    assert report.speedup("total") == float("inf")
+
+
+def test_render_report_contains_every_section():
+    text = render_report(traced_document())
+    assert "algorithm=SJ1" in text
+    assert "phase" in text and "traversal" in text
+    assert "counters:" in text and "buffer.disk_reads" in text
+    assert "histograms:" in text and "sweep.run_length" in text
+    assert "cost-model drift" in text
+    assert "predicted" in text and "measured" in text
+
+
+def test_phase_table_marks_aggregates():
+    table = render_phase_table(traced_document())
+    assert IO_AGGREGATE + " *" in table
+    assert "aggregate timer" in table

@@ -1,0 +1,112 @@
+"""Round-trip and schema tests for the JSONL trace file."""
+
+import json
+
+import pytest
+
+from repro.core import JoinStatistics
+from repro.obs import (Observability, TRACE_VERSION, read_trace,
+                       validate_trace, write_trace)
+
+
+def make_obs():
+    obs = Observability()
+    with obs.tracer.span("join", algorithm="SJ4"):
+        with obs.tracer.span("traversal"):
+            obs.tracer.add_duration("find_pairs", 0.002, count=3)
+    obs.metrics.inc("buffer.disk_reads", 7)
+    obs.metrics.set_gauge("g", 1.25)
+    obs.metrics.observe("sweep.run_length", 12.0)
+    return obs
+
+
+def make_stats():
+    stats = JoinStatistics(algorithm="SJ4", page_size=1024,
+                           buffer_kb=64.0)
+    stats.comparisons.join = 11
+    stats.comparisons.sort = 3
+    stats.io.disk_reads = 7
+    stats.pairs_output = 5
+    return stats
+
+
+def test_write_then_read_round_trip(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    obs = make_obs()
+    lines = write_trace(path, obs, stats=make_stats(),
+                        meta={"workers": 2})
+    assert lines >= 6
+    document = read_trace(path)
+    assert document.meta["version"] == TRACE_VERSION
+    assert document.meta["workers"] == 2
+    assert document.stats["io"]["disk_reads"] == 7
+    assert [s["name"] for s in document.spans] == ["traversal", "join"]
+    total_ms, count = document.aggregates["find_pairs"]
+    assert count == 3 and total_ms == pytest.approx(2.0)
+    assert document.counters["buffer.disk_reads"] == 7
+    assert document.gauges["g"] == 1.25
+    assert document.histograms["sweep.run_length"].count == 1
+
+
+def test_stats_record_restores_join_statistics(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    write_trace(path, make_obs(), stats=make_stats())
+    document = read_trace(path)
+    restored = JoinStatistics.from_dict(document.stats)
+    assert restored.disk_accesses == 7
+    assert restored.comparisons.join == 11
+    assert restored.pairs_output == 5
+
+
+def test_first_line_must_be_meta():
+    lines = [json.dumps({"type": "counter", "name": "a", "value": 1})]
+    errors = validate_trace(lines)
+    assert any("meta" in error for error in errors)
+
+
+def test_unsupported_version_rejected():
+    lines = [json.dumps({"type": "meta", "version": TRACE_VERSION + 1})]
+    assert any("version" in error for error in validate_trace(lines))
+
+
+def test_histogram_counts_length_checked():
+    lines = [
+        json.dumps({"type": "meta", "version": TRACE_VERSION}),
+        json.dumps({"type": "histogram", "name": "h",
+                    "bounds": [1.0, 2.0], "counts": [1, 2],
+                    "sum": 3.0, "count": 3}),
+    ]
+    assert any("len(counts)" in error for error in validate_trace(lines))
+
+
+def test_bool_is_not_an_int():
+    lines = [
+        json.dumps({"type": "meta", "version": TRACE_VERSION}),
+        json.dumps({"type": "counter", "name": "c", "value": True}),
+    ]
+    assert any("mistyped" in error for error in validate_trace(lines))
+
+
+def test_non_json_and_unknown_type_reported():
+    lines = [
+        json.dumps({"type": "meta", "version": TRACE_VERSION}),
+        "{not json",
+        json.dumps({"type": "mystery"}),
+    ]
+    errors = validate_trace(lines)
+    assert any("not JSON" in error for error in errors)
+    assert any("unknown type" in error for error in errors)
+
+
+def test_read_trace_raises_on_invalid_file(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json at all\n")
+    with pytest.raises(ValueError):
+        read_trace(str(path))
+
+
+def test_valid_trace_file_passes_validation(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    write_trace(path, make_obs(), stats=make_stats())
+    with open(path) as handle:
+        assert validate_trace(handle.read().splitlines()) == []

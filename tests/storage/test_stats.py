@@ -32,3 +32,26 @@ def test_snapshot_is_independent():
     stats.disk_reads = 99
     assert snap.disk_reads == 1
     assert snap.lru_hits == 0
+
+
+def test_to_dict_covers_every_slot():
+    stats = IOStatistics()
+    stats.disk_reads = 3
+    stats.lru_hits = 2
+    data = stats.to_dict()
+    assert set(data) == set(IOStatistics.__slots__)
+    assert data["disk_reads"] == 3
+
+
+def test_from_dict_round_trip():
+    stats = IOStatistics()
+    stats.disk_reads = 3
+    stats.evictions = 4
+    clone = IOStatistics.from_dict(stats.to_dict())
+    assert clone.to_dict() == stats.to_dict()
+
+
+def test_from_dict_rejects_unknown_fields():
+    import pytest
+    with pytest.raises(ValueError, match="unknown"):
+        IOStatistics.from_dict({"disk_reads": 1, "martian_reads": 2})

@@ -215,3 +215,139 @@ class TestScrub:
         junk = tmp_path / "junk.rtree"
         junk.write_bytes(b"junk" * 64)
         assert main(["scrub", str(junk)]) == 1
+
+
+class TestTraceAndReport:
+    def test_trace_writes_schema_valid_file(self, tmp_path, tree_file,
+                                            capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["join", tree_file, tree_file,
+                     "--algorithm", "sj4", "--trace", trace]) == 0
+        err = capsys.readouterr().err
+        assert "trace:" in err
+        from repro.obs import read_trace
+        document = read_trace(trace)          # validates the schema
+        assert document.meta["algorithm"] == "SJ4"
+        assert document.meta["left"] == tree_file
+        assert any(span["name"] == "join" for span in document.spans)
+
+    def test_traced_counters_match_untraced_run(self, tmp_path,
+                                                tree_file, capsys):
+        assert main(["join", tree_file, tree_file, "--algorithm",
+                     "sj4", "--json"]) == 0
+        untraced = json.loads(capsys.readouterr().out)
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["join", tree_file, tree_file, "--algorithm",
+                     "sj4", "--json", "--trace", trace]) == 0
+        traced = json.loads(capsys.readouterr().out)
+        assert traced == untraced
+        from repro.obs import read_trace
+        stats = read_trace(trace).stats
+        assert stats["io"]["disk_reads"] == untraced["disk_accesses"]
+        assert stats["comparisons"]["join"] == untraced["comparisons_join"]
+        assert stats["comparisons"]["sort"] == untraced["comparisons_sort"]
+
+    def test_parallel_trace_and_profile(self, tmp_path, tree_file,
+                                        capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["join", tree_file, tree_file, "--algorithm",
+                     "sj4", "--workers", "2", "--trace", trace,
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cost-model drift" in out
+        assert "phase" in out
+        from repro.obs import read_trace
+        document = read_trace(trace)
+        assert document.meta["workers"] == 2
+        assert any(span["name"] == "batch" for span in document.spans)
+
+    def test_profile_with_json_keeps_stdout_parseable(self, tmp_path,
+                                                      tree_file, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["join", tree_file, tree_file, "--algorithm",
+                     "sj4", "--json", "--trace", trace,
+                     "--profile"]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)              # pure JSON, nothing mixed in
+        assert "cost-model drift" in captured.err
+
+    def test_report_renders_phase_table_and_drift(self, tmp_path,
+                                                  tree_file, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["join", tree_file, tree_file,
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out
+        assert "cost-model drift" in out
+        assert "predicted" in out and "measured" in out
+
+    def test_report_json(self, tmp_path, tree_file, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["join", tree_file, tree_file,
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["report", trace, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["drift"] is not None
+        assert payload["counters"]["buffer.disk_reads"] > 0
+        assert any(row["phase"] == "join" for row in payload["phases"])
+
+    def test_report_validate_accepts_good_trace(self, tmp_path,
+                                                tree_file, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["join", tree_file, tree_file,
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["report", trace, "--validate"]) == 0
+        assert "valid trace" in capsys.readouterr().out
+
+    def test_report_validate_rejects_junk(self, tmp_path, capsys):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("definitely not a trace\n")
+        assert main(["report", str(junk), "--validate"]) == 1
+        assert "not JSON" in capsys.readouterr().err
+
+    def test_report_on_invalid_trace_fails_cleanly(self, tmp_path,
+                                                   capsys):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("{}\n")
+        assert main(["report", str(junk)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDebugFlag:
+    def test_errors_are_one_line_by_default(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "missing.rtree")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_debug_before_subcommand_reraises(self, tmp_path):
+        import pytest
+        with pytest.raises(OSError):
+            main(["--debug", "info", str(tmp_path / "missing.rtree")])
+
+    def test_debug_after_subcommand_reraises(self, tmp_path):
+        import pytest
+        with pytest.raises(OSError):
+            main(["info", str(tmp_path / "missing.rtree"), "--debug"])
+
+    def test_keyerror_is_a_programming_error(self, monkeypatch):
+        # A bare KeyError must surface as a traceback even without
+        # --debug, not be misclassified as a user error.
+        import argparse
+
+        import pytest
+
+        from repro import cli
+
+        def broken(args):
+            raise KeyError("bug")
+
+        class StubParser:
+            def parse_args(self, argv):
+                return argparse.Namespace(handler=broken, debug=False)
+
+        monkeypatch.setattr(cli, "_build_parser", StubParser)
+        with pytest.raises(KeyError):
+            cli.main([])
