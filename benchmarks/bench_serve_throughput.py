@@ -1,0 +1,233 @@
+"""Throughput of the query service under a concurrent client load.
+
+A fixed fleet of in-process clients hammers one
+:class:`~repro.serve.QueryService` with a mixed read workload (joins,
+window queries, kNN) over a shared :class:`~repro.db.SpatialDatabase`,
+twice:
+
+1. **cold** — the result cache is cleared and every query is unique
+   (per-round window/knn coordinates), so every request pays the full
+   execution cost;
+2. **warm** — the same fleet replays a small set of popular queries,
+   so most requests are served from the epoch-keyed result cache.
+
+The ratio is the headline number: how much the serving layer's cache
+is worth on a skewed read workload.  Both phases also report the
+scheduler's queue pressure (shed count stays 0 at the default queue
+depth — raise ``--clients`` and shrink ``--queue`` to watch admission
+control engage).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py --quick
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py \
+        --n 5000 --clients 8 --requests 200
+
+or through pytest (one timed round, emitting a BENCH_join.json row):
+``pytest benchmarks/bench_serve_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.db import SpatialDatabase
+from repro.geometry import Rect
+from repro.serve import QueryService, ServiceClient
+
+PAGE_SIZE = 2048
+WORLD = 1000.0
+
+
+@dataclass
+class Throughput:
+    """One load-generation measurement."""
+
+    n: int
+    clients: int
+    requests: int            # total requests across the fleet
+    cold_seconds: float
+    warm_seconds: float
+    cache_hits: int
+    shed: int
+    errors: int
+
+    @property
+    def cold_rps(self) -> float:
+        return self.requests / self.cold_seconds \
+            if self.cold_seconds else 0.0
+
+    @property
+    def warm_rps(self) -> float:
+        return self.requests / self.warm_seconds \
+            if self.warm_seconds else 0.0
+
+    @property
+    def cache_speedup(self) -> float:
+        if self.warm_seconds == 0.0:
+            return 1.0
+        return self.cold_seconds / self.warm_seconds
+
+
+def build_db(n: int) -> SpatialDatabase:
+    db = SpatialDatabase(page_size=PAGE_SIZE)
+    rng = random.Random(17)
+    for name in ("streets", "rivers"):
+        relation = db.create_relation(name)
+        for _ in range(n):
+            x, y = rng.uniform(0, WORLD), rng.uniform(0, WORLD)
+            relation.insert(Rect(x, y, x + rng.uniform(1, 20),
+                                 y + rng.uniform(1, 20)))
+    return db
+
+
+def _drive(service: QueryService, clients: int, per_client: int,
+           unique: bool) -> float:
+    """Run the fleet; returns wall-clock seconds for all requests."""
+    barrier = threading.Barrier(clients + 1)
+    failures = []
+
+    def workload(i: int) -> None:
+        client = ServiceClient(service)
+        rng = random.Random(1000 + (i if unique else 0))
+        barrier.wait()
+        for r in range(per_client):
+            seed = rng.uniform(0, WORLD - 50) if unique \
+                else (i * 37 + r * 11) % 4 * 50.0
+            kind = (i + r) % 4
+            if kind == 0:
+                response = client.request(
+                    "join", left="streets", right="rivers",
+                    buffer_kb=[32.0, 64.0, 128.0][r % 3 if unique
+                                                  else 0])
+            elif kind in (1, 2):
+                response = client.request(
+                    "window", relation="streets",
+                    window=[seed, seed, seed + 50.0, seed + 50.0])
+            else:
+                response = client.request(
+                    "knn", relation="rivers", x=seed, y=seed, k=5)
+            if not response.get("ok"):
+                failures.append(response)
+
+    threads = [threading.Thread(target=workload, args=(i,))
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if failures:
+        raise AssertionError(f"{len(failures)} failed requests; "
+                             f"first: {failures[0]}")
+    return elapsed
+
+
+def measure(n: int, clients: int, per_client: int,
+            workers: int = 4, queue_depth: int = 256) -> Throughput:
+    """Cold then warm phase over one freshly built database."""
+    service = QueryService(build_db(n), workers=workers,
+                           queue_depth=queue_depth,
+                           default_timeout=120.0)
+    try:
+        cold = _drive(service, clients, per_client, unique=True)
+        service.cache.clear()
+        # Prime with one pass of the popular queries, then measure.
+        _drive(service, clients, per_client, unique=False)
+        warm = _drive(service, clients, per_client, unique=False)
+        counters = service.obs.metrics.counters
+        return Throughput(
+            n=n, clients=clients, requests=clients * per_client,
+            cold_seconds=cold, warm_seconds=warm,
+            cache_hits=counters.get("serve.cache.hits", 0),
+            shed=counters.get("serve.shed", 0),
+            errors=counters.get("serve.errors", 0))
+    finally:
+        service.close()
+
+
+def render(throughput: Throughput) -> str:
+    t = throughput
+    lines = [
+        f"serve throughput — n={t.n} per relation, "
+        f"{t.clients} clients x {t.requests // t.clients} requests",
+        "-" * 64,
+        f"cold (unique queries)  : {t.cold_seconds * 1e3:9.1f} ms "
+        f"({t.cold_rps:8.0f} req/s)",
+        f"warm (cached queries)  : {t.warm_seconds * 1e3:9.1f} ms "
+        f"({t.warm_rps:8.0f} req/s)",
+        f"cache speedup          : {t.cache_speedup:9.2f} x",
+        f"cache hits             : {t.cache_hits}",
+        f"shed / errors          : {t.shed} / {t.errors}",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pytest entry point (one timed round)
+# ----------------------------------------------------------------------
+
+def test_serve_throughput_bench(benchmark):
+    from emit import emit
+    throughput = benchmark.pedantic(measure, args=(800, 8, 12),
+                                    rounds=1, iterations=1)
+    emit("serve_throughput",
+         {"n": throughput.n, "clients": throughput.clients,
+          "requests": throughput.requests},
+         {"cache_hits": throughput.cache_hits,
+          "shed": throughput.shed,
+          "cold_rps": round(throughput.cold_rps, 1),
+          "warm_rps": round(throughput.warm_rps, 1)},
+         throughput.warm_seconds * 1e3)
+    print()
+    print("=" * 72)
+    print(render(throughput))
+
+    assert throughput.errors == 0
+    assert throughput.shed == 0          # queue is deep enough here
+    assert throughput.cache_hits > 0
+    # The warm phase replays identical queries; with the cache on it
+    # must not be slower than the cold unique-query phase by much.
+    assert throughput.warm_seconds <= throughput.cold_seconds * 1.5
+
+
+# ----------------------------------------------------------------------
+# Standalone entry point (CI smoke test)
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark query-service throughput with and "
+                    "without result caching.")
+    parser.add_argument("--n", type=int, default=5_000,
+                        help="objects per relation (default 5000)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent clients (default 8)")
+    parser.add_argument("--requests", type=int, default=100,
+                        help="requests per client (default 100)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="service worker threads (default 4)")
+    parser.add_argument("--queue", type=int, default=256,
+                        help="admission queue depth (default 256)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke run (n=600, 4x10 requests)")
+    args = parser.parse_args(argv)
+
+    n, clients, per_client = args.n, args.clients, args.requests
+    if args.quick:
+        n, clients, per_client = 600, 4, 10
+
+    throughput = measure(n, clients, per_client,
+                         workers=args.workers, queue_depth=args.queue)
+    print(render(throughput))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

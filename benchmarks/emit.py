@@ -5,14 +5,19 @@ Every ``bench_*`` script routes its timed operation through
 wall clock, extracts whatever counters the operation's return value
 carries, and upserts one row ::
 
-    {"bench": ..., "params": {...}, "counters": {...}, "wall_ms": ...}
+    {"schema": 1, "created": "2026-08-06T00:00:00Z",
+     "bench": ..., "params": {...}, "counters": {...}, "wall_ms": ...}
 
 into ``BENCH_join.json`` at the repository root (override the path with
 the ``REPRO_BENCH_OUT`` environment variable).  The file is a sorted
-JSON array with one row per ``(bench, params)`` pair — re-running a
-bench replaces its row, so the committed file stays a stable snapshot
-of the whole suite while the counters/wall_ms columns track the perf
-trajectory across changes.
+JSON array upserted on the key ``(bench, canonical params)`` — where
+"canonical params" is ``json.dumps(params, sort_keys=True)``, so two
+parameter dicts that differ only in key order collide onto one row.
+Re-running a bench replaces its row (refreshing ``created``,
+``counters`` and ``wall_ms``), so the committed file stays a stable
+snapshot of the whole suite while those columns track the perf
+trajectory across changes.  ``schema`` versions the row shape itself;
+bump it when adding or renaming row fields.
 """
 
 from __future__ import annotations
@@ -20,7 +25,11 @@ from __future__ import annotations
 import json
 import os
 import time
+from datetime import datetime, timezone
 from typing import Any, Callable, Dict
+
+#: Row-shape version; bump when adding or renaming row fields.
+SCHEMA_VERSION = 1
 
 #: Default output file, next to the repository's README.
 _DEFAULT_PATH = os.path.join(
@@ -35,8 +44,10 @@ def bench_path() -> str:
 
 def emit(bench: str, params: Dict[str, Any], counters: Dict[str, Any],
          wall_ms: float) -> Dict[str, Any]:
-    """Upsert one result row keyed on ``(bench, params)``."""
-    row = {"bench": bench, "params": params, "counters": counters,
+    """Upsert one result row keyed on ``(bench, canonical params)``."""
+    created = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    row = {"schema": SCHEMA_VERSION, "created": created,
+           "bench": bench, "params": params, "counters": counters,
            "wall_ms": round(float(wall_ms), 3)}
     path = bench_path()
     rows = []

@@ -27,6 +27,7 @@ Package map:
 * :mod:`repro.data` — TIGER-like generators and the tests A–E.
 * :mod:`repro.costmodel` — the paper's time-estimate model.
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+* :mod:`repro.serve` — the concurrent query service (TCP + clients).
 """
 
 from .core import (JoinResult, JoinSpec, JoinStatistics,
@@ -39,6 +40,8 @@ from .core import (JoinResult, JoinSpec, JoinStatistics,
                    spatial_join_stream)
 from .costmodel import CostModel, JoinCardinalityEstimator, PAPER_COST_MODEL
 from .db import SpatialDatabase, SpatialRelation
+from .errors import (CatalogError, OverloadedError, QueryError,
+                     QueryTimeout, ReproError)
 from .geometry import (ComparisonCounter, Point, Polygon, Polyline, Rect,
                        Segment, SpatialPredicate)
 from .rtree import (GuttmanRTree, RStarTree, RTreeParams, load_tree,
@@ -47,6 +50,7 @@ from .rtree import (GuttmanRTree, RStarTree, RTreeParams, load_tree,
 __version__ = "1.0.0"
 
 __all__ = [
+    "CatalogError",
     "ComparisonCounter",
     "CostModel",
     "GuttmanRTree",
@@ -55,14 +59,18 @@ __all__ = [
     "JoinSpec",
     "JoinStatistics",
     "NearestNeighborEngine",
+    "OverloadedError",
     "PAPER_COST_MODEL",
     "ParallelJoinResult",
     "Point",
     "Polygon",
     "Polyline",
+    "QueryError",
+    "QueryTimeout",
     "RStarTree",
     "RTreeParams",
     "Rect",
+    "ReproError",
     "Segment",
     "SpatialDatabase",
     "SpatialJoin1",

@@ -7,6 +7,10 @@ Usage examples::
     repro info streets.rtree
     repro query streets.rtree --window 0 0 10000 10000
     repro query streets.rtree --knn 50000 50000 5
+    repro serve --db catalog/ --port 7421 --workers 4 --cache-mb 64
+    repro query --connect 127.0.0.1:7421 --join streets rivers
+    repro query --connect 127.0.0.1:7421 --relation streets \\
+        --window 0 0 10000 10000
     repro join streets.rtree rivers.rtree --algorithm sj4 --buffer-kb 128
     repro join streets.rtree rivers.rtree --workers 4 \\
         --fault-read-p 0.05 --fault-seed 7 --max-retries 3
@@ -35,6 +39,7 @@ from .core.window import WindowQueryEngine
 from .costmodel.model import PAPER_COST_MODEL
 from .data.io import load_records, save_records
 from .data.synthetic import uniform_rects
+from .errors import ReproError
 from .data.tiger import regions, rivers_railways, streets
 from .geometry.predicates import SpatialPredicate
 from .geometry.rect import Rect
@@ -71,7 +76,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (OSError, ValueError, PersistenceError) as exc:
+    except (OSError, ValueError, PersistenceError, ReproError) as exc:
         if getattr(args, "debug", False):
             raise
         print(f"error: {exc}", file=sys.stderr)
@@ -119,14 +124,40 @@ def _build_parser() -> argparse.ArgumentParser:
     info.set_defaults(handler=_cmd_info)
 
     query = commands.add_parser(
-        "query", help="window or kNN query on a tree file")
-    query.add_argument("tree", help=".rtree file")
+        "query", help="window or kNN query on a tree file, or any "
+                      "query against a running repro serve instance")
+    query.add_argument("tree", nargs="?",
+                       help=".rtree file (omit with --connect)")
     group = query.add_mutually_exclusive_group(required=True)
     group.add_argument("--window", nargs=4, type=float,
                        metavar=("XL", "YL", "XU", "YU"))
     group.add_argument("--knn", nargs=3, type=float,
                        metavar=("X", "Y", "K"))
+    group.add_argument("--join", nargs=2, metavar=("LEFT", "RIGHT"),
+                       help="join two server relations (--connect only)")
+    group.add_argument("--ping", action="store_true",
+                       help="liveness check (--connect only)")
     query.add_argument("--buffer-kb", type=float, default=0.0)
+    query.add_argument("--connect", metavar="HOST:PORT",
+                       help="send the query to a repro serve instance "
+                            "instead of reading a tree file")
+    query.add_argument("--relation",
+                       help="server relation for --window/--knn "
+                            "(--connect only)")
+    query.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                       default="sj4",
+                       help="join algorithm for --connect --join")
+    query.add_argument("--refine", action="store_true",
+                       help="exact-geometry refinement for "
+                            "--connect --join")
+    query.add_argument("--exact", action="store_true",
+                       help="exact-geometry refinement for "
+                            "--connect --window")
+    query.add_argument("--timeout-ms", type=float, default=None,
+                       help="per-request deadline (--connect only)")
+    query.add_argument("--json", action="store_true",
+                       help="print the raw response envelope "
+                            "(--connect only)")
     query.set_defaults(handler=_cmd_query)
 
     join = commands.add_parser(
@@ -176,6 +207,39 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--validate", action="store_true",
                         help="only check the trace against the schema")
     report.set_defaults(handler=_cmd_report)
+
+    serve = commands.add_parser(
+        "serve", help="serve a persisted SpatialDatabase catalog over "
+                      "TCP (line-oriented JSON protocol)")
+    serve.add_argument("--db", required=True,
+                       help="catalog directory written by "
+                            "SpatialDatabase.save")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="TCP port (0 picks a free one; default "
+                            "7421)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="request worker threads (default 4)")
+    serve.add_argument("--queue", type=int, default=64,
+                       help="admission-control queue depth; a full "
+                            "queue sheds requests with an "
+                            "'overloaded' error (default 64)")
+    serve.add_argument("--cache-mb", type=float, default=64.0,
+                       help="result cache budget in MByte (default 64)")
+    serve.add_argument("--cache-entries", type=int, default=4096,
+                       help="result cache budget in entries "
+                            "(default 4096)")
+    serve.add_argument("--timeout-ms", type=float, default=30_000.0,
+                       help="default per-request deadline "
+                            "(default 30000)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="transient worker-failure retries per "
+                            "request (default 2)")
+    serve.add_argument("--trace", metavar="FILE",
+                       help="write the server's spans and serve.* "
+                            "metrics as a JSONL trace on shutdown "
+                            "(render with repro report)")
+    serve.set_defaults(handler=_cmd_serve)
 
     scrub = commands.add_parser(
         "scrub", help="verify every page checksum of a tree file; "
@@ -263,6 +327,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _cmd_query_remote(args)
+    if args.tree is None:
+        raise ValueError("a .rtree file is required without --connect")
+    if args.join or args.ping:
+        raise ValueError("--join/--ping require --connect")
     tree = load_tree(args.tree)
     if args.window is not None:
         window = Rect(*args.window)
@@ -281,6 +351,123 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"{ref}\t{distance:g}")
         print(f"# {len(result)} neighbours, {result.io.disk_reads} "
               f"disk accesses", file=sys.stderr)
+    return 0
+
+
+def _parse_endpoint(value: str) -> tuple:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"--connect needs HOST:PORT ({value!r})")
+    return host, int(port)
+
+
+def _cmd_query_remote(args: argparse.Namespace) -> int:
+    from .serve import TCPServiceClient
+    host, port = _parse_endpoint(args.connect)
+    params = {}
+    if args.timeout_ms is not None:
+        params["timeout_ms"] = args.timeout_ms
+    if args.ping:
+        op = "ping"
+    elif args.join:
+        op = "join"
+        params.update(left=args.join[0], right=args.join[1],
+                      algorithm=args.algorithm, refine=args.refine)
+        if args.buffer_kb > 0:
+            params["buffer_kb"] = args.buffer_kb
+    else:
+        if not args.relation:
+            raise ValueError(
+                "--window/--knn with --connect require --relation")
+        if args.window is not None:
+            op = "window"
+            params.update(relation=args.relation,
+                          window=list(args.window), exact=args.exact)
+        else:
+            x, y, k = args.knn
+            op = "knn"
+            params.update(relation=args.relation, x=x, y=y, k=int(k))
+    with TCPServiceClient(host, port) as client:
+        response = client.request(op, **params)
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("ok") else 1
+    if not response.get("ok"):
+        error = response.get("error", {})
+        print(f"error [{error.get('code')}]: {error.get('message')}",
+              file=sys.stderr)
+        return 1
+    result = response["result"]
+    if op == "ping":
+        print(result)
+    elif op == "join":
+        for a, b in result["pairs"]:
+            print(f"{a}\t{b}")
+        stats = result["stats"]
+        print(f"# {result['count']} pairs, {stats['algorithm']}, "
+              f"{stats['disk_accesses']} disk accesses, "
+              f"{stats['comparisons']} comparisons, "
+              f"cached={str(response.get('cached', False)).lower()}",
+              file=sys.stderr)
+    elif op == "window":
+        for ref in result["refs"]:
+            print(ref)
+        print(f"# {result['count']} matches, "
+              f"cached={str(response.get('cached', False)).lower()}",
+              file=sys.stderr)
+    else:
+        for ref, distance in result["neighbors"]:
+            print(f"{ref}\t{distance:g}")
+        print(f"# {len(result['neighbors'])} neighbours, "
+              f"cached={str(response.get('cached', False)).lower()}",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .db import SpatialDatabase
+    from .serve import QueryService, SpatialQueryServer
+
+    db = SpatialDatabase.open(args.db)
+    service = QueryService(
+        db, workers=args.workers, queue_depth=args.queue,
+        cache_entries=args.cache_entries,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+        default_timeout=(args.timeout_ms / 1e3
+                         if args.timeout_ms else None),
+        max_retries=args.max_retries)
+    server = SpatialQueryServer(service, host=args.host, port=args.port)
+    host, port = server.start()
+    print(f"serving {len(db)} relation(s) from {args.db} on "
+          f"{host}:{port} ({args.workers} workers, queue {args.queue}, "
+          f"cache {args.cache_mb:g} MB/{args.cache_entries} entries)",
+          flush=True)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    try:
+        stop.wait()
+    finally:
+        server.shutdown()
+        counters = service.obs.metrics.counters
+        print(f"shutting down: {counters.get('serve.requests', 0)} "
+              f"requests served, "
+              f"{counters.get('serve.cache.hits', 0)} cache hits, "
+              f"{counters.get('serve.shed', 0)} shed", flush=True)
+        if args.trace:
+            lines = write_trace(args.trace, service.obs,
+                                meta={"mode": "serve", "db": args.db,
+                                      "workers": args.workers,
+                                      "queue": args.queue})
+            print(f"trace: {lines} records -> {args.trace}", flush=True)
     return 0
 
 

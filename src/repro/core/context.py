@@ -8,8 +8,10 @@ rectangle tests charge the same comparison counter.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import QueryTimeout
 from ..geometry.counting import ComparisonCounter
 from ..obs.core import NULL_OBS, Observability
 from ..rtree.base import RTreeBase
@@ -32,6 +34,7 @@ class JoinContext:
                  sort_mode: str = "maintained",
                  record_trace: bool = False,
                  max_retries: int = 0,
+                 timeout: Optional[float] = None,
                  obs: Optional[Observability] = None) -> None:
         if tree_r.params.page_size != tree_s.params.page_size:
             raise ValueError(
@@ -39,9 +42,17 @@ class JoinContext:
                 f"({tree_r.params.page_size} vs {tree_s.params.page_size})")
         if sort_mode not in ("maintained", "on_read"):
             raise ValueError(f"unknown sort mode: {sort_mode!r}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive or None "
+                             f"({timeout})")
         self.trees: Tuple[RTreeBase, RTreeBase] = (tree_r, tree_s)
         self.buffer_kb = buffer_kb
         self.sort_mode = sort_mode
+        #: Absolute monotonic deadline (or None): checked on every
+        #: counted page fetch, the one place all join algorithms funnel
+        #: through, so a runaway join is cancelled cooperatively.
+        self.deadline = (time.perf_counter() + timeout
+                         if timeout is not None else None)
         #: Observability handle (tracer + metrics); the shared disabled
         #: :data:`~repro.obs.core.NULL_OBS` keeps untraced joins a
         #: strict no-op.
@@ -72,6 +83,11 @@ class JoinContext:
 
     def read(self, side: int, page_id: int, depth: int) -> Node:
         """Counted page fetch (the paper's ReadPage)."""
+        if self.deadline is not None \
+                and time.perf_counter() > self.deadline:
+            raise QueryTimeout(
+                "join exceeded its wall-clock budget "
+                "(JoinSpec.timeout)")
         before = self.manager.stats.disk_reads
         node = self.manager.read(side, page_id, depth)
         if self.manager.stats.disk_reads != before:

@@ -82,6 +82,7 @@ def build_context(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
                       sort_mode=spec.sort_mode,
                       record_trace=record_trace,
                       max_retries=spec.max_retries,
+                      timeout=spec.timeout,
                       obs=resolve_obs(obs, spec))
     if spec.presort and spec.sort_mode == "maintained":
         presort_trees(ctx)

@@ -98,6 +98,15 @@ class JoinSpec:
         Crashed/timed-out/fault-exhausted batches are re-dispatched to
         a fresh worker this many times before the coordinator runs the
         batch serially itself (graceful degradation).
+    timeout:
+        Wall-clock budget in seconds for this join, or ``None`` (the
+        default) for no limit.  Enforced cooperatively: the join
+        context checks the deadline on every counted page fetch and
+        raises :class:`repro.errors.QueryTimeout` when it has passed.
+        In a parallel run every worker enforces the budget relative to
+        its own start.  The serving layer
+        (:mod:`repro.serve`) uses this to cancel joins whose request
+        deadline expired mid-flight.
     trace:
         Record spans and metrics (:mod:`repro.obs`) during the join.
         Entry points that accept an ``obs=`` handle treat an enabled
@@ -119,6 +128,7 @@ class JoinSpec:
     max_retries: int = 2
     batch_timeout: Optional[float] = 60.0
     batch_retries: int = 1
+    timeout: Optional[float] = None
     trace: bool = False
 
     def __post_init__(self) -> None:
@@ -157,6 +167,9 @@ class JoinSpec:
             raise ValueError(
                 f"batch_timeout must be positive or None "
                 f"({self.batch_timeout})")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(
+                f"timeout must be positive or None ({self.timeout})")
         if not isinstance(self.trace, bool):
             raise TypeError(f"trace must be a bool, got {self.trace!r}")
 

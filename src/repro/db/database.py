@@ -17,6 +17,7 @@ from ..core.planner import spatial_join
 from ..core.refinement import id_spatial_join
 from ..core.spec import JoinSpec, UNSET, resolve_spec
 from ..core.stats import JoinResult
+from ..errors import CatalogError, QueryError
 from ..geometry.polygon import Polygon
 from ..geometry.polyline import Polyline
 from ..geometry.predicates import SpatialPredicate
@@ -35,6 +36,11 @@ class SpatialDatabase:
     def __init__(self, page_size: int = 2048) -> None:
         self.page_size = page_size
         self.relations: Dict[str, SpatialRelation] = {}
+        #: Catalog epoch: bumped on create/drop.  Cached query results
+        #: include it in their keys, so recreating a relation under an
+        #: old name can never resurrect results computed against the
+        #: dropped one (per-relation epochs restart at zero).
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # Catalog
@@ -43,9 +49,10 @@ class SpatialDatabase:
     def create_relation(self, name: str) -> SpatialRelation:
         """Create an empty relation."""
         if name in self.relations:
-            raise KeyError(f"relation {name!r} already exists")
+            raise CatalogError(f"relation {name!r} already exists")
         relation = SpatialRelation(name, page_size=self.page_size)
         self.relations[name] = relation
+        self.epoch += 1
         return relation
 
     def drop_relation(self, name: str) -> None:
@@ -53,14 +60,15 @@ class SpatialDatabase:
         try:
             del self.relations[name]
         except KeyError:
-            raise KeyError(f"no relation {name!r}") from None
+            raise CatalogError(f"no relation {name!r}") from None
+        self.epoch += 1
 
     def relation(self, name: str) -> SpatialRelation:
         """Look up a relation by name."""
         try:
             return self.relations[name]
         except KeyError:
-            raise KeyError(f"no relation {name!r}") from None
+            raise CatalogError(f"no relation {name!r}") from None
 
     def __contains__(self, name: str) -> bool:
         return name in self.relations
@@ -100,7 +108,7 @@ class SpatialDatabase:
         if not refine:
             return result
         if spec.predicate is not SpatialPredicate.INTERSECTS:
-            raise ValueError(
+            raise QueryError(
                 "exact-geometry refinement supports only INTERSECTS")
         refinable = [(a, b) for a, b in result.pairs
                      if not isinstance(rel_l.objects[a], Rect)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..core.knn import NearestNeighborEngine
+from ..errors import CatalogError, QueryError
 from ..geometry.polygon import Polygon
 from ..geometry.polyline import Polyline
 from ..geometry.rect import Rect
@@ -27,7 +28,7 @@ class SpatialRelation:
 
     def __init__(self, name: str, page_size: int = 2048) -> None:
         if not name or "/" in name or name.startswith("."):
-            raise ValueError(f"invalid relation name {name!r}")
+            raise QueryError(f"invalid relation name {name!r}")
         self.name = name
         self.params = RTreeParams.from_page_size(page_size)
         self.tree = RStarTree(self.params)
@@ -35,6 +36,11 @@ class SpatialRelation:
         #: their MBR (the geometry *is* the rectangle then).
         self.objects: Dict[int, Geometry] = {}
         self._next_id = 0
+        #: Mutation counter: bumped by every :meth:`insert`/:meth:`delete`.
+        #: Cached query results are keyed by the epochs of the relations
+        #: they read (see :mod:`repro.serve.cache`), so a bump makes all
+        #: previously cached results for this relation unreachable.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -46,11 +52,12 @@ class SpatialRelation:
         if oid is None:
             oid = self._next_id
         if oid in self.objects:
-            raise KeyError(f"object id {oid} already exists in "
-                           f"{self.name!r}")
+            raise CatalogError(f"object id {oid} already exists in "
+                               f"{self.name!r}")
         self._next_id = max(self._next_id, oid + 1)
         self.objects[oid] = geometry
         self.tree.insert(_mbr_of(geometry), oid)
+        self.epoch += 1
         return oid
 
     def delete(self, oid: int) -> None:
@@ -58,9 +65,11 @@ class SpatialRelation:
         try:
             geometry = self.objects.pop(oid)
         except KeyError:
-            raise KeyError(f"no object {oid} in {self.name!r}") from None
+            raise CatalogError(
+                f"no object {oid} in {self.name!r}") from None
         removed = self.tree.delete(_mbr_of(geometry), oid)
         assert removed, "object table and index diverged"
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -96,7 +105,11 @@ class SpatialRelation:
 
     def get(self, oid: int) -> Geometry:
         """The exact geometry of one object."""
-        return self.objects[oid]
+        try:
+            return self.objects[oid]
+        except KeyError:
+            raise CatalogError(
+                f"no object {oid} in {self.name!r}") from None
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,65 @@
+"""The repro exception hierarchy.
+
+Historically the library raised bare :class:`KeyError`/:class:`ValueError`
+from catalog and query paths, which forced callers (most painfully the
+query server in :mod:`repro.serve`) to string-match messages to decide
+what went wrong.  Every repro-originated error now derives from
+:class:`ReproError` and carries a stable machine-readable ``code`` that
+the wire protocol maps 1:1 onto error responses.
+
+The subclasses *also* inherit the historical builtin types
+(:class:`CatalogError` is a :class:`KeyError`, :class:`QueryError` is a
+:class:`ValueError`), so every pre-existing ``except KeyError`` /
+``except ValueError`` call site keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all repro-originated errors.
+
+    ``code`` is the stable protocol error code (see
+    ``docs/serving.md``); subclasses override it.
+    """
+
+    code = "internal"
+
+
+class CatalogError(ReproError, KeyError):
+    """A catalog lookup failed: unknown relation, duplicate relation,
+    unknown or duplicate object id."""
+
+    code = "catalog"
+
+    def __str__(self) -> str:
+        # KeyError.__str__ renders repr(args[0]), wrapping the message
+        # in quotes; keep the plain message instead.
+        return str(self.args[0]) if self.args else ""
+
+
+class QueryError(ReproError, ValueError):
+    """A request was well-formed JSON but names an impossible query
+    (bad geometry, unsupported predicate/refinement combination, bad
+    parameter value)."""
+
+    code = "query"
+
+
+class QueryTimeout(QueryError):
+    """A query exceeded its wall-clock deadline.
+
+    Raised cooperatively: the join engine checks the deadline on every
+    counted page fetch (see :class:`repro.core.context.JoinContext`),
+    and the serving layer checks it before a queued request starts
+    executing.
+    """
+
+    code = "timeout"
+
+
+class OverloadedError(ReproError):
+    """Admission control shed the request: the server's bounded queue
+    was full.  Clients should back off and retry."""
+
+    code = "overloaded"

@@ -1,0 +1,419 @@
+"""The query service: operations over a shared :class:`SpatialDatabase`.
+
+:class:`QueryService` is the transport-independent core of the server:
+it validates decoded protocol requests, runs them through the
+admission-controlled scheduler, consults the epoch-keyed result cache,
+and maps every failure onto a stable protocol error code.  The TCP
+front end (:mod:`repro.serve.server`) and the in-process
+:class:`~repro.serve.server.ServiceClient` both speak to this class.
+
+Concurrency model
+-----------------
+
+Queries (``join``/``window``/``knn``/``get``) hold a shared *read*
+lock and run concurrently; mutations (``insert``/``delete``/
+``create``/``drop``) hold the exclusive *write* lock.  Joins are
+executed with ``sort_mode="on_read"``, whose sorted views live in the
+per-join context instead of being written back into the shared tree
+nodes — so concurrent readers never mutate shared state.  (The default
+``maintained`` regime physically sorts node entry lists in place,
+which would race across reader threads.)
+
+Every request carries a ``serve.request`` span on the server's
+:class:`~repro.obs.Observability` handle and feeds the ``serve.*``
+counters/histograms; the handle's registry is the same one `repro
+report` renders, so server traffic shows up next to the join metrics.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+from concurrent.futures import TimeoutError as FuturesTimeout
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.spec import JoinSpec
+from ..db.database import SpatialDatabase
+from ..errors import QueryError, QueryTimeout
+from ..geometry.predicates import SpatialPredicate
+from ..geometry.rect import Rect
+from ..obs.core import Observability
+from .cache import ResultCache, normalized_key
+from .protocol import (ProtocolError, error_code_for, error_response,
+                       geometry_from_json, geometry_to_json, ok_response)
+from .scheduler import RequestScheduler
+
+#: Fields every request may carry that do not affect the result (and
+#: therefore never enter the cache key).
+_ENVELOPE_FIELDS = ("id", "op", "timeout_ms")
+
+
+class _RWLock:
+    """Readers-writer lock with writer preference.
+
+    Many readers or one writer; arriving writers block new readers so
+    a steady query stream cannot starve mutations.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+class QueryService:
+    """Validated, scheduled, cached operations over one database."""
+
+    def __init__(self, db: SpatialDatabase, workers: int = 4,
+                 queue_depth: int = 64, cache_entries: int = 4096,
+                 cache_bytes: int = 64 << 20,
+                 default_timeout: Optional[float] = 30.0,
+                 max_retries: int = 2,
+                 obs: Optional[Observability] = None) -> None:
+        self.db = db
+        self.obs = obs if obs is not None else Observability()
+        self.cache = ResultCache(max_entries=cache_entries,
+                                 max_bytes=cache_bytes)
+        self.scheduler = RequestScheduler(workers=workers,
+                                          queue_depth=queue_depth,
+                                          max_retries=max_retries,
+                                          obs=self.obs)
+        self.default_timeout = default_timeout
+        self._lock = _RWLock()
+        #: op -> (handler(request, deadline) -> result payload,
+        #:        cacheable) — extension point for tests and embedders.
+        self._ops: Dict[str, Tuple[Callable[[Dict[str, Any],
+                                             Optional[float]], Any],
+                                   bool]] = {}
+        for name, cacheable in (("join", True), ("window", True),
+                                ("knn", True), ("get", True),
+                                ("insert", False), ("delete", False),
+                                ("create", False), ("drop", False)):
+            self._ops[name] = (getattr(self, f"_op_{name}"), cacheable)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one decoded request; always returns a response
+        envelope (errors are responses, never exceptions)."""
+        request_id = request.get("id")
+        op = request.get("op")
+        started = time.perf_counter()
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve.requests")
+            self.obs.metrics.inc(f"serve.op.{op}")
+        try:
+            with self.obs.tracer.span("serve.request", op=str(op)):
+                response = self._dispatch(request, request_id, op)
+        except BaseException as exc:  # noqa: BLE001 — protocol boundary
+            if self.obs.enabled:
+                self.obs.metrics.inc("serve.errors")
+            response = error_response(request_id, error_code_for(exc),
+                                      str(exc) or type(exc).__name__)
+        if self.obs.enabled:
+            self.obs.metrics.observe(
+                "serve.time_ms", (time.perf_counter() - started) * 1e3)
+            if not response.get("ok"):
+                code = response["error"]["code"]
+                self.obs.metrics.inc(f"serve.error.{code}")
+        return response
+
+    def _dispatch(self, request: Dict[str, Any], request_id: Any,
+                  op: Any) -> Dict[str, Any]:
+        if op == "ping":
+            return ok_response(request_id, "pong")
+        if op == "stats":
+            return ok_response(request_id, self.metrics_snapshot())
+        if op == "relations":
+            return ok_response(request_id, self._op_relations())
+        entry = self._ops.get(op)
+        if entry is None:
+            raise ProtocolError(f"unknown op {op!r}")
+        handler, cacheable = entry
+        deadline = self._deadline_of(request)
+        # Admission control happens here: a full queue raises
+        # OverloadedError straight back to the caller.
+        future = self.scheduler.submit(
+            lambda: self._execute(handler, cacheable, request, deadline),
+            deadline=deadline)
+        remaining = (None if deadline is None
+                     else max(0.0, deadline - time.perf_counter()))
+        try:
+            # Small grace on top of the deadline: the worker enforces
+            # the deadline itself (queue expiry + JoinSpec.timeout), so
+            # this wait normally ends with a QueryTimeout result; the
+            # grace only covers ops without cooperative checks.
+            payload, cached = future.result(timeout=(
+                None if remaining is None else remaining + 1.0))
+        except FuturesTimeout:
+            if self.obs.enabled:
+                self.obs.metrics.inc("serve.deadline_expired")
+            raise QueryTimeout(
+                "request did not finish before its deadline") from None
+        return ok_response(request_id, payload, cached=cached)
+
+    def _deadline_of(self, request: Dict[str, Any]) -> Optional[float]:
+        timeout_ms = request.get("timeout_ms")
+        if timeout_ms is None:
+            timeout = self.default_timeout
+        else:
+            if (not isinstance(timeout_ms, (int, float))
+                    or isinstance(timeout_ms, bool) or timeout_ms <= 0):
+                raise ProtocolError(
+                    f"timeout_ms must be a positive number "
+                    f"({timeout_ms!r})")
+            timeout = timeout_ms / 1e3
+        if timeout is None:
+            return None
+        return time.perf_counter() + timeout
+
+    # ------------------------------------------------------------------
+    # Worker-side execution: cache, locks, handlers
+    # ------------------------------------------------------------------
+
+    def _execute(self, handler: Callable, cacheable: bool,
+                 request: Dict[str, Any],
+                 deadline: Optional[float]) -> Tuple[Any, bool]:
+        key = self._cache_key(request) if cacheable else None
+        if key is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                if self.obs.enabled:
+                    self.obs.metrics.inc("serve.cache.hits")
+                return payload, True
+            if self.obs.enabled:
+                self.obs.metrics.inc("serve.cache.misses")
+        lock = self._lock.read() if cacheable else self._lock.write()
+        with lock:
+            payload = handler(request, deadline)
+        if key is not None:
+            encoded = len(json.dumps(payload))
+            if self.cache.put(key, payload, nbytes=encoded) \
+                    and self.obs.enabled:
+                self.obs.metrics.set_gauge("serve.cache.entries",
+                                           self.cache.entries)
+                self.obs.metrics.set_gauge("serve.cache.bytes",
+                                           self.cache.bytes)
+        return payload, False
+
+    def _cache_key(self, request: Dict[str, Any]) -> Optional[str]:
+        """The epoch-stamped cache key (None disables caching, e.g.
+        for a registered custom op without a relation signature)."""
+        op = request["op"]
+        params = {name: value for name, value in sorted(request.items())
+                  if name not in _ENVELOPE_FIELDS}
+        names: List[str] = []
+        for field in ("relation", "left", "right"):
+            value = request.get(field)
+            if isinstance(value, str):
+                names.append(value)
+        epochs = []
+        for name in names:
+            relation = self.db.relations.get(name)
+            # Unknown relation: let the handler raise CatalogError.
+            epochs.append((name, -1 if relation is None
+                           else relation.epoch))
+        return normalized_key(op, params, epochs, self.db.epoch)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def register_op(self, name: str,
+                    handler: Callable[[Dict[str, Any], Optional[float]],
+                                      Any],
+                    cacheable: bool = False) -> None:
+        """Register a custom operation (tests, embedders).
+
+        *handler* receives the raw request dict and the absolute
+        monotonic deadline (or None) and returns a JSON-ready payload.
+        """
+        if name in ("ping", "stats", "relations"):
+            raise ValueError(f"cannot override built-in op {name!r}")
+        self._ops[name] = (handler, cacheable)
+
+    def _op_relations(self) -> List[Dict[str, Any]]:
+        return [{"name": name, "objects": len(relation),
+                 "epoch": relation.epoch,
+                 "height": relation.tree.height}
+                for name, relation in sorted(self.db.relations.items())]
+
+    def _op_join(self, request: Dict[str, Any],
+                 deadline: Optional[float]) -> Dict[str, Any]:
+        left = _string_field(request, "left")
+        right = _string_field(request, "right")
+        algorithm = request.get("algorithm", "sj4")
+        buffer_kb = request.get("buffer_kb", 128.0)
+        predicate = request.get("predicate", "intersects")
+        refine = _bool_field(request, "refine", False)
+        if not isinstance(buffer_kb, (int, float)) \
+                or isinstance(buffer_kb, bool) or buffer_kb < 0:
+            raise ProtocolError(f"buffer_kb must be a non-negative "
+                                f"number ({buffer_kb!r})")
+        try:
+            predicate = SpatialPredicate(predicate)
+            spec = JoinSpec(algorithm=algorithm,
+                            buffer_kb=float(buffer_kb),
+                            predicate=predicate,
+                            sort_mode="on_read",
+                            timeout=_remaining(deadline))
+        except ValueError as exc:
+            raise QueryError(str(exc)) from None
+        result = self.db.join(left, right, spec=spec, refine=refine)
+        pairs = sorted(result.pairs)
+        return {"pairs": pairs, "count": len(pairs),
+                "stats": {
+                    "algorithm": result.stats.algorithm,
+                    "disk_accesses": result.stats.disk_accesses,
+                    "comparisons": result.stats.comparisons.total,
+                }}
+
+    def _op_window(self, request: Dict[str, Any],
+                   deadline: Optional[float]) -> Dict[str, Any]:
+        relation = self.db.relation(_string_field(request, "relation"))
+        window = request.get("window")
+        if (not isinstance(window, list) or len(window) != 4
+                or not all(isinstance(c, (int, float))
+                           and not isinstance(c, bool) for c in window)):
+            raise ProtocolError(
+                "window must be [xl, yl, xu, yu] numbers")
+        exact = _bool_field(request, "exact", False)
+        try:
+            rect = Rect(*(float(c) for c in window))
+        except ValueError as exc:
+            raise QueryError(str(exc)) from None
+        refs = sorted(relation.window(rect, exact=exact))
+        return {"refs": refs, "count": len(refs)}
+
+    def _op_knn(self, request: Dict[str, Any],
+                deadline: Optional[float]) -> Dict[str, Any]:
+        relation = self.db.relation(_string_field(request, "relation"))
+        x = _number_field(request, "x")
+        y = _number_field(request, "y")
+        k = request.get("k", 1)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ProtocolError(f"k must be a positive integer ({k!r})")
+        neighbors = relation.nearest(x, y, k=k)
+        return {"neighbors": [[ref, distance]
+                              for ref, distance in neighbors]}
+
+    def _op_get(self, request: Dict[str, Any],
+                deadline: Optional[float]) -> Dict[str, Any]:
+        relation = self.db.relation(_string_field(request, "relation"))
+        oid = request.get("oid")
+        if not isinstance(oid, int) or isinstance(oid, bool):
+            raise ProtocolError(f"oid must be an integer ({oid!r})")
+        return {"oid": oid,
+                "geometry": geometry_to_json(relation.get(oid))}
+
+    def _op_insert(self, request: Dict[str, Any],
+                   deadline: Optional[float]) -> Dict[str, Any]:
+        relation = self.db.relation(_string_field(request, "relation"))
+        geometry = geometry_from_json(request.get("geometry"))
+        oid = request.get("oid")
+        if oid is not None and (not isinstance(oid, int)
+                                or isinstance(oid, bool)):
+            raise ProtocolError(f"oid must be an integer ({oid!r})")
+        assigned = relation.insert(geometry, oid=oid)
+        return {"oid": assigned, "epoch": relation.epoch}
+
+    def _op_delete(self, request: Dict[str, Any],
+                   deadline: Optional[float]) -> Dict[str, Any]:
+        relation = self.db.relation(_string_field(request, "relation"))
+        oid = request.get("oid")
+        if not isinstance(oid, int) or isinstance(oid, bool):
+            raise ProtocolError(f"oid must be an integer ({oid!r})")
+        relation.delete(oid)
+        return {"oid": oid, "epoch": relation.epoch}
+
+    def _op_create(self, request: Dict[str, Any],
+                   deadline: Optional[float]) -> Dict[str, Any]:
+        name = _string_field(request, "relation")
+        self.db.create_relation(name)
+        return {"relation": name, "catalog_epoch": self.db.epoch}
+
+    def _op_drop(self, request: Dict[str, Any],
+                 deadline: Optional[float]) -> Dict[str, Any]:
+        name = _string_field(request, "relation")
+        self.db.drop_relation(name)
+        return {"relation": name, "catalog_epoch": self.db.epoch}
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Counters and gauges of the server registry (stats op)."""
+        return {"counters": dict(self.obs.metrics.counters),
+                "gauges": dict(self.obs.metrics.gauges),
+                "cache": {"entries": self.cache.entries,
+                          "bytes": self.cache.bytes,
+                          "hits": self.cache.hits,
+                          "misses": self.cache.misses,
+                          "evictions": self.cache.evictions}}
+
+    def close(self) -> None:
+        self.scheduler.shutdown()
+
+
+def _remaining(deadline: Optional[float]) -> Optional[float]:
+    if deadline is None:
+        return None
+    return max(1e-3, deadline - time.perf_counter())
+
+
+def _string_field(request: Dict[str, Any], name: str) -> str:
+    value = request.get(name)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"{name!r} must be a non-empty string "
+                            f"({value!r})")
+    return value
+
+
+def _number_field(request: Dict[str, Any], name: str) -> float:
+    value = request.get(name)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ProtocolError(f"{name!r} must be a number ({value!r})")
+    return float(value)
+
+
+def _bool_field(request: Dict[str, Any], name: str,
+                default: bool) -> bool:
+    value = request.get(name, default)
+    if not isinstance(value, bool):
+        raise ProtocolError(f"{name!r} must be a boolean ({value!r})")
+    return value

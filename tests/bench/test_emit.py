@@ -24,10 +24,14 @@ def test_emit_writes_a_row(emit_module):
     emit_module.emit("table2", {"algorithm": "sj1"},
                      {"disk_accesses": 10}, 12.3456)
     rows = json.load(open(emit_module.bench_path()))
-    assert rows == [{"bench": "table2",
-                     "params": {"algorithm": "sj1"},
-                     "counters": {"disk_accesses": 10},
-                     "wall_ms": 12.346}]
+    assert len(rows) == 1
+    created = rows[0].pop("created")
+    assert created.endswith("Z") and len(created) == 20  # ISO-8601 UTC
+    assert rows[0] == {"schema": emit_module.SCHEMA_VERSION,
+                       "bench": "table2",
+                       "params": {"algorithm": "sj1"},
+                       "counters": {"disk_accesses": 10},
+                       "wall_ms": 12.346}
 
 
 def test_emit_upserts_on_bench_and_params(emit_module):
@@ -41,6 +45,16 @@ def test_emit_upserts_on_bench_and_params(emit_module):
     assert sj1[0]["wall_ms"] == 2.0            # replaced, not appended
     assert [row["bench"] for row in rows] == sorted(
         row["bench"] for row in rows)
+
+
+def test_committed_rows_carry_schema_and_created():
+    path = os.path.join(os.path.dirname(_EMIT_PATH), "..",
+                        "BENCH_join.json")
+    rows = json.load(open(path))
+    assert rows, "committed benchmark snapshot must not be empty"
+    for row in rows:
+        assert row["schema"] == 1
+        assert row["created"].endswith("Z")
 
 
 def test_emit_survives_a_corrupt_file(emit_module):

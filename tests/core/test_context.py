@@ -76,6 +76,32 @@ class TestSortedEntries:
         ctx.sorted_entries(R_SIDE, node)
         assert ctx.stats.comparisons.sort > first_cost
 
+    def test_on_read_cache_invalidated_across_mutation(self, trees):
+        """A sorted copy must die with its page's buffer residency.
+
+        Regression: mutate a page (as a relation insert/delete does),
+        evict it, read it back from disk — the context must rebuild
+        the sorted view instead of serving the pre-mutation copy.
+        """
+        ctx = JoinContext(*trees, buffer_kb=0, sort_mode="on_read")
+        root = ctx.read_root(R_SIDE)
+        child_id = root.entries[0].ref
+        node = ctx.read(R_SIDE, child_id, 1)
+        stale = ctx.sorted_entries(R_SIDE, node)
+        # Mutate the stored page the way a tree insert does.
+        added = Entry(Rect(-5.0, -5.0, -4.0, -4.0), 999_999)
+        node.entries.append(added)
+        # Evict (zero buffer: reading a sibling displaces the path
+        # slot), then re-read from disk.
+        ctx.read(R_SIDE, root.entries[1].ref, 1)
+        reread = ctx.read(R_SIDE, child_id, 1)
+        fresh = ctx.sorted_entries(R_SIDE, reread)
+        assert added not in stale
+        assert added in fresh
+        assert fresh is not stale
+        xls = [e.rect.xl for e in fresh]
+        assert xls == sorted(xls)
+
     def test_on_read_does_not_mutate_node(self, trees):
         ctx = JoinContext(*trees, sort_mode="on_read")
         node = ctx.read_root(R_SIDE)

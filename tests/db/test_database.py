@@ -43,6 +43,30 @@ class TestCatalog:
         with pytest.raises(KeyError):
             db.drop_relation("zones")
 
+    def test_catalog_errors_are_lookup_errors(self, db):
+        from repro.errors import CatalogError
+        with pytest.raises(CatalogError):
+            db.relation("nope")
+        with pytest.raises(CatalogError):
+            db.create_relation("streets")
+
+    def test_epochs_visible_through_database(self, db):
+        # Relation mutations bump the relation's own epoch …
+        streets = db.relation("streets")
+        before = streets.epoch
+        oid = streets.insert(Rect(1, 1, 2, 2))
+        assert db.relation("streets").epoch == before + 1
+        streets.delete(oid)
+        assert db.relation("streets").epoch == before + 2
+        # … while catalog changes bump the database's epoch, so a
+        # dropped-and-recreated name is distinguishable even though
+        # the fresh relation's epoch restarts at zero.
+        catalog = db.epoch
+        db.drop_relation("zones")
+        recreated = db.create_relation("zones")
+        assert db.epoch == catalog + 2
+        assert recreated.epoch == 0
+
 
 class TestJoins:
     def test_filter_join(self, db):

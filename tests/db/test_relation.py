@@ -42,6 +42,33 @@ class TestMaintenance:
         with pytest.raises(KeyError):
             relation.delete(99)
 
+    def test_delete_missing_is_catalog_error_without_epoch_bump(
+            self, relation):
+        from repro.errors import CatalogError
+        epoch = relation.epoch
+        with pytest.raises(CatalogError):
+            relation.delete(99)
+        # A failed delete changes nothing, so caches keyed on the
+        # epoch must stay valid.
+        assert relation.epoch == epoch
+        assert len(relation) == 3
+
+    def test_delete_then_reinsert_same_oid(self, relation):
+        relation.delete(1)
+        oid = relation.insert(Rect(60, 60, 61, 61), oid=1)
+        assert oid == 1
+        assert relation.get(1) == Rect(60, 60, 61, 61)
+        assert sorted(relation) == [0, 1, 2]
+        assert sorted(relation.window(Rect(0, 0, 100, 100))) == [0, 1, 2]
+        validate_rtree(relation.tree)
+
+    def test_mutations_bump_epoch(self, relation):
+        epoch = relation.epoch
+        oid = relation.insert(Rect(70, 70, 71, 71))
+        assert relation.epoch == epoch + 1
+        relation.delete(oid)
+        assert relation.epoch == epoch + 2
+
     def test_invalid_names(self):
         for bad in ("", "a/b", ".hidden"):
             with pytest.raises(ValueError):

@@ -85,6 +85,81 @@ class TestQuery:
                      "-10", "-10", "-5", "-5"]) == 0
         assert capsys.readouterr().out == ""
 
+    def test_no_tree_and_no_connect_fails(self, capsys):
+        assert main(["query", "--window", "0", "0", "1", "1"]) == 1
+        assert "rtree file is required" in capsys.readouterr().err
+
+    def test_join_requires_connect(self, tree_file, capsys):
+        assert main(["query", tree_file, "--join", "a", "b"]) == 1
+        assert "--connect" in capsys.readouterr().err
+
+
+class TestRemoteQuery:
+    @pytest.fixture
+    def served(self):
+        import random
+        from repro.db import SpatialDatabase
+        from repro.geometry import Rect
+        from repro.serve import QueryService, SpatialQueryServer
+
+        db = SpatialDatabase(page_size=1024)
+        rng = random.Random(5)
+        for name in ("streets", "rivers"):
+            relation = db.create_relation(name)
+            for _ in range(120):
+                x, y = rng.uniform(0, 400), rng.uniform(0, 400)
+                relation.insert(Rect(x, y, x + 10, y + 10))
+        service = QueryService(db, workers=2)
+        server = SpatialQueryServer(service, host="127.0.0.1", port=0)
+        host, port = server.start()
+        yield f"{host}:{port}"
+        server.shutdown()
+
+    def test_ping(self, served, capsys):
+        assert main(["query", "--connect", served, "--ping"]) == 0
+        assert "pong" in capsys.readouterr().out
+
+    def test_join_reports_cache_status(self, served, capsys):
+        assert main(["query", "--connect", served,
+                     "--join", "streets", "rivers"]) == 0
+        first = capsys.readouterr()
+        assert "cached=false" in first.err
+        assert main(["query", "--connect", served,
+                     "--join", "streets", "rivers"]) == 0
+        second = capsys.readouterr()
+        assert "cached=true" in second.err
+        assert first.out == second.out
+
+    def test_window_requires_relation(self, served, capsys):
+        assert main(["query", "--connect", served,
+                     "--window", "0", "0", "1", "1"]) == 1
+        assert "--relation" in capsys.readouterr().err
+
+    def test_window_and_knn(self, served, capsys):
+        assert main(["query", "--connect", served, "--relation",
+                     "streets", "--window", "0", "0", "400", "400"]) \
+            == 0
+        assert "matches" in capsys.readouterr().err
+        assert main(["query", "--connect", served, "--relation",
+                     "rivers", "--knn", "200", "200", "3"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 3
+
+    def test_json_envelope(self, served, capsys):
+        assert main(["query", "--connect", served, "--json",
+                     "--ping"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] and envelope["result"] == "pong"
+
+    def test_server_error_is_reported(self, served, capsys):
+        assert main(["query", "--connect", served, "--relation",
+                     "ghost", "--window", "0", "0", "1", "1"]) == 1
+        assert "catalog" in capsys.readouterr().err
+
+    def test_bad_endpoint_fails(self, capsys):
+        assert main(["query", "--connect", "nonsense",
+                     "--ping"]) == 1
+        assert "HOST:PORT" in capsys.readouterr().err
+
 
 class TestJoin:
     def test_join_text_output(self, tmp_path, tree_file, capsys):

@@ -1,0 +1,58 @@
+"""Tests for the repro exception hierarchy."""
+
+import pytest
+
+from repro.errors import (CatalogError, OverloadedError, QueryError,
+                          QueryTimeout, ReproError)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for cls in (CatalogError, QueryError, QueryTimeout,
+                    OverloadedError):
+            assert issubclass(cls, ReproError)
+
+    def test_builtin_compatibility(self):
+        # Pre-hierarchy call sites caught KeyError/ValueError; the new
+        # classes must keep satisfying those handlers.
+        assert issubclass(CatalogError, KeyError)
+        assert issubclass(QueryError, ValueError)
+        assert issubclass(QueryTimeout, ValueError)
+        with pytest.raises(KeyError):
+            raise CatalogError("unknown relation")
+        with pytest.raises(ValueError):
+            raise QueryTimeout("too slow")
+
+    def test_overloaded_is_not_a_value_or_key_error(self):
+        # Shedding is a server-state condition, not a bad query: it
+        # must not be swallowed by legacy except clauses.
+        assert not issubclass(OverloadedError, (KeyError, ValueError))
+
+
+class TestCodes:
+    def test_codes_are_stable(self):
+        assert ReproError.code == "internal"
+        assert CatalogError.code == "catalog"
+        assert QueryError.code == "query"
+        assert QueryTimeout.code == "timeout"
+        assert OverloadedError.code == "overloaded"
+
+    def test_codes_are_distinct(self):
+        codes = [cls.code for cls in (ReproError, CatalogError,
+                                      QueryError, QueryTimeout,
+                                      OverloadedError)]
+        assert len(set(codes)) == len(codes)
+
+
+class TestMessages:
+    def test_catalog_error_message_is_not_requoted(self):
+        # KeyError.__str__ would render "'no such relation'".
+        assert str(CatalogError("no such relation")) == \
+            "no such relation"
+        assert str(CatalogError()) == ""
+
+    def test_catch_as_base_preserves_code(self):
+        try:
+            raise QueryTimeout("deadline passed")
+        except ReproError as exc:
+            assert exc.code == "timeout"
