@@ -1,0 +1,38 @@
+"""Ablation — planner regret: the auto choice vs every fixed algorithm.
+
+Timed operation: one cost-based planning pass on the timing trees.
+"""
+
+from conftest import show
+from emit import timed
+
+from repro.bench.ablations import ablation_planner
+from repro.core.spec import JoinSpec
+from repro.plan import plan_join
+
+
+def test_ablation_planner(benchmark, timing_trees):
+    report = ablation_planner()
+    show(report)
+    data = report.data
+
+    for test, row in data.items():
+        # The planner never sees the measured counters, only tree
+        # statistics — it must still land within 20% of the best
+        # fixed algorithm on every test of the paper's grid.
+        assert row["regret"] <= 1.2, (test, row)
+        assert row["chosen"] in row["times"]
+    # ... and it should find the exact winner at least somewhere.
+    assert any(row["chosen"] == row["best"] or row["regret"] <= 1.01
+               for row in data.values())
+
+    max_regret = max(row["regret"] for row in data.values())
+    tree_r, tree_s = timing_trees
+
+    # The timed op is one auto planning pass; the returned regret
+    # lands in the emitted row's counters ({"value": max regret}).
+    def plan_once() -> float:
+        plan_join(tree_r, tree_s, JoinSpec(algorithm="auto"))
+        return round(max_regret, 4)
+
+    timed(benchmark, plan_once, "ablation_planner")

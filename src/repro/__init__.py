@@ -23,6 +23,8 @@ Package map:
 * :mod:`repro.storage` — simulated paged disk, LRU + path buffers.
 * :mod:`repro.rtree` — R-tree family (R*, Guttman, bulk loading).
 * :mod:`repro.core` — the spatial-join algorithms SJ1–SJ5.
+* :mod:`repro.plan` — cost-based planner; every join runs through an
+  explainable :class:`ExecutionPlan` (``algorithm="auto"``).
 * :mod:`repro.curves` — z-order / Hilbert space-filling curves.
 * :mod:`repro.data` — TIGER-like generators and the tests A–E.
 * :mod:`repro.costmodel` — the paper's time-estimate model.
@@ -40,6 +42,7 @@ from .core import (JoinResult, JoinSpec, JoinStatistics,
                    spatial_join_stream)
 from .costmodel import CostModel, JoinCardinalityEstimator, PAPER_COST_MODEL
 from .db import SpatialDatabase, SpatialRelation
+from .plan import Calibration, ExecutionPlan, plan_join, render_plan
 from .errors import (CatalogError, OverloadedError, QueryError,
                      QueryTimeout, ReproError)
 from .geometry import (ComparisonCounter, Point, Polygon, Polyline, Rect,
@@ -50,9 +53,11 @@ from .rtree import (GuttmanRTree, RStarTree, RTreeParams, load_tree,
 __version__ = "1.0.0"
 
 __all__ = [
+    "Calibration",
     "CatalogError",
     "ComparisonCounter",
     "CostModel",
+    "ExecutionPlan",
     "GuttmanRTree",
     "JoinCardinalityEstimator",
     "JoinResult",
@@ -88,6 +93,8 @@ __all__ = [
     "nested_loop_join",
     "object_spatial_join",
     "parallel_spatial_join",
+    "plan_join",
+    "render_plan",
     "save_tree",
     "spatial_join",
     "spatial_join_stream",

@@ -18,7 +18,7 @@ from ..data.datasets import effective_scale, load_test
 from ..geometry.counting import ComparisonCounter
 from ..geometry.rect import Rect
 from ..rtree.entry import Entry
-from .experiments import BUFFER_SIZES_KB, _estimate_seconds, _kb
+from .experiments import BUFFER_SIZES_KB, TESTS, _estimate_seconds, _kb
 from .runner import optimum_accesses, run_join, test_trees
 from .tables import ExperimentReport, fmt_float, fmt_int
 
@@ -391,6 +391,52 @@ def ablation_distance_join(scale: Optional[float] = None,
                "the widened sweep windows, result size superlinearly."])
 
 
+def ablation_planner(scale: Optional[float] = None,
+                     page_size: int = 4096,
+                     buffer_kb: float = 128.0) -> ExperimentReport:
+    """Planner regret: the auto choice vs every fixed algorithm.
+
+    For each test the cost-based planner picks an algorithm from the
+    tree statistics alone; every candidate then actually runs and its
+    counters are priced with the paper's time model.  Regret is the
+    chosen algorithm's time over the best fixed time — 1.00x means the
+    planner found the winner without running anything.
+    """
+    from ..core.spec import JoinSpec
+    from ..plan import plan_join
+    headers = ["test", "chosen", "auto time", "best fixed", "best time",
+               "regret"]
+    candidates = ("sj1", "sj2", "sj3", "sj4", "sj5")
+    rows = []
+    data: Dict[str, dict] = {}
+    for test in TESTS:
+        tree_r, tree_s = test_trees(test, page_size, scale)
+        plan = plan_join(tree_r, tree_s,
+                         JoinSpec(algorithm="auto", buffer_kb=buffer_kb))
+        times = {}
+        for algorithm in candidates:
+            outcome = run_join(test, page_size, buffer_kb, algorithm,
+                               scale)
+            times[algorithm] = sum(_estimate_seconds(outcome))
+        best = min(candidates, key=times.get)
+        auto_time = times[plan.algorithm]
+        regret = auto_time / times[best] if times[best] else 1.0
+        data[test] = {"chosen": plan.algorithm, "best": best,
+                      "auto_s": auto_time, "best_s": times[best],
+                      "regret": regret, "times": times}
+        rows.append([f"({test})", plan.algorithm,
+                     f"{auto_time:.1f}s", best,
+                     f"{times[best]:.1f}s", f"{regret:.2f}x"])
+    return ExperimentReport(
+        exhibit="Ablation: planner",
+        title=f"Cost-based planner vs fixed algorithm choice "
+              f"({_kb(page_size)} pages, {buffer_kb:g} KByte buffer)",
+        headers=headers, rows=rows, data=data,
+        notes=["The planner sees only tree statistics (level profiles, "
+               "page counts), never the data; a regret of 1.00x means "
+               "it picked the empirically fastest algorithm anyway."])
+
+
 ABLATIONS = {
     "ablation-pinning": ablation_pinning,
     "ablation-pathbuffer": ablation_pathbuffer,
@@ -402,4 +448,5 @@ ABLATIONS = {
     "ablation-parallel-io": ablation_parallel_io,
     "ablation-window-queries": ablation_window_queries,
     "ablation-distance-join": ablation_distance_join,
+    "ablation-planner": ablation_planner,
 }

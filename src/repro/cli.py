@@ -12,6 +12,9 @@ Usage examples::
     repro query --connect 127.0.0.1:7421 --relation streets \\
         --window 0 0 10000 10000
     repro join streets.rtree rivers.rtree --algorithm sj4 --buffer-kb 128
+    repro join streets.rtree rivers.rtree --algorithm auto --explain
+    repro query --connect 127.0.0.1:7421 --join streets rivers \\
+        --algorithm auto --explain
     repro join streets.rtree rivers.rtree --workers 4 \\
         --fault-read-p 0.05 --fault-seed 7 --max-retries 3
     repro join streets.rtree rivers.rtree --trace run.jsonl --profile
@@ -33,8 +36,9 @@ from typing import List, Optional
 from .bench.ablations import ABLATIONS
 from .bench.experiments import EXHIBITS
 from .core.knn import NearestNeighborEngine
-from .core.planner import ALGORITHMS, spatial_join
+from .core.planner import execute_plan
 from .core.spec import JoinSpec
+from .plan import ExecutionPlan, algorithm_choices, plan_join, render_plan
 from .core.window import WindowQueryEngine
 from .costmodel.model import PAPER_COST_MODEL
 from .data.io import load_records, save_records
@@ -144,9 +148,15 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--relation",
                        help="server relation for --window/--knn "
                             "(--connect only)")
-    query.add_argument("--algorithm", choices=sorted(ALGORITHMS),
-                       default="sj4",
-                       help="join algorithm for --connect --join")
+    query.add_argument("--algorithm", choices=algorithm_choices(),
+                       default=None,
+                       help="join algorithm for --connect --join "
+                            "('auto' lets the server's planner "
+                            "choose; server defaults: sj4 for the "
+                            "join, auto for --explain)")
+    query.add_argument("--explain", action="store_true",
+                       help="with --join: ask the server for the "
+                            "execution plan instead of running the join")
     query.add_argument("--refine", action="store_true",
                        help="exact-geometry refinement for "
                             "--connect --join")
@@ -164,8 +174,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "join", help="spatial join of two tree files")
     join.add_argument("left", help="R-side .rtree file")
     join.add_argument("right", help="S-side .rtree file")
-    join.add_argument("--algorithm", choices=sorted(ALGORITHMS),
-                      default="sj4")
+    join.add_argument("--algorithm", choices=algorithm_choices(),
+                      default="sj4",
+                      help="'auto' lets the cost-based planner pick "
+                           "the cheapest candidate")
     join.add_argument("--buffer-kb", type=float, default=128.0)
     join.add_argument("--predicate",
                       choices=[p.value for p in SpatialPredicate],
@@ -189,6 +201,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write result pairs to this file")
     join.add_argument("--json", action="store_true",
                       help="print machine-readable statistics")
+    join.add_argument("--explain", action="store_true",
+                      help="print the execution plan (scored candidate "
+                           "table) before running the join")
     join.add_argument("--trace", metavar="FILE",
                       help="record spans and metrics and write a JSONL "
                            "trace to FILE (render it with repro report)")
@@ -333,6 +348,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise ValueError("a .rtree file is required without --connect")
     if args.join or args.ping:
         raise ValueError("--join/--ping require --connect")
+    if args.explain:
+        raise ValueError("--explain requires --connect --join")
     tree = load_tree(args.tree)
     if args.window is not None:
         window = Rect(*args.window)
@@ -370,11 +387,18 @@ def _cmd_query_remote(args: argparse.Namespace) -> int:
     if args.ping:
         op = "ping"
     elif args.join:
-        op = "join"
-        params.update(left=args.join[0], right=args.join[1],
-                      algorithm=args.algorithm, refine=args.refine)
+        op = "explain" if args.explain else "join"
+        params.update(left=args.join[0], right=args.join[1])
+        if args.algorithm is not None:
+            # Omitted: the server applies its own default (sj4 for
+            # join, auto for explain).
+            params["algorithm"] = args.algorithm
+        if not args.explain:
+            params["refine"] = args.refine
         if args.buffer_kb > 0:
             params["buffer_kb"] = args.buffer_kb
+    elif args.explain:
+        raise ValueError("--explain requires --join")
     else:
         if not args.relation:
             raise ValueError(
@@ -400,6 +424,10 @@ def _cmd_query_remote(args: argparse.Namespace) -> int:
     result = response["result"]
     if op == "ping":
         print(result)
+    elif op == "explain":
+        print(render_plan(ExecutionPlan.from_dict(result["plan"])))
+        print(f"# cached={str(response.get('cached', False)).lower()}",
+              file=sys.stderr)
     elif op == "join":
         for a, b in result["pairs"]:
             print(f"{a}\t{b}")
@@ -483,14 +511,24 @@ def _cmd_join(args: argparse.Namespace) -> int:
                     workers=args.workers,
                     max_retries=args.max_retries,
                     trace=trace_enabled)
+    # Plan before wiring fault injection: planning reads tree-level
+    # statistics, not pages, and must not consume injected faults.
+    plan = plan_join(tree_r, tree_s, spec,
+                     score=True if args.explain else None)
+    if args.explain:
+        # With --json, stdout must stay machine-parseable.
+        print(render_plan(plan), file=sys.stderr if args.json
+              else sys.stdout)
+        if not args.json:
+            print()
     injectors = []
     if args.fault_read_p > 0.0:
-        plan = FaultPlan(seed=args.fault_seed,
-                         read_transient_p=args.fault_read_p)
+        fault_plan = FaultPlan(seed=args.fault_seed,
+                               read_transient_p=args.fault_read_p)
         for tree in (tree_r, tree_s):
-            tree.store = FaultInjectingPageStore(tree.store, plan)
+            tree.store = FaultInjectingPageStore(tree.store, fault_plan)
             injectors.append(tree.store)
-    result = spatial_join(tree_r, tree_s, spec=spec)
+    result = execute_plan(tree_r, tree_s, plan)
     stats = result.stats
     # A serial run tracks faults only in the stores themselves; prefer
     # the live wrapper tally when it is larger (parallel runs fold the
@@ -505,6 +543,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps({
             "algorithm": stats.algorithm,
+            "requested_algorithm": plan.requested,
             "workers": spec.workers,
             "predicate": predicate.value,
             "pairs": stats.pairs_output,
@@ -539,7 +578,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
         meta = {"algorithm": stats.algorithm, "workers": spec.workers,
                 "page_size": stats.page_size,
                 "buffer_kb": stats.buffer_kb,
-                "left": args.left, "right": args.right}
+                "left": args.left, "right": args.right,
+                "plan": result.plan.to_dict()}
         if args.trace:
             lines = write_trace(args.trace, result.obs, stats=stats,
                                 meta=meta)

@@ -4,7 +4,10 @@ Public surface:
 
 * :func:`spatial_join` — high-level entry point with full accounting.
 * :class:`JoinSpec` — the unified join configuration object shared by
-  every entry point (including ``workers`` for parallel execution).
+  every entry point (including ``workers`` for parallel execution and
+  ``algorithm="auto"`` for the cost-based planner).
+* :func:`execute_plan` — run a resolved
+  :class:`repro.plan.ExecutionPlan` (every entry point converges here).
 * :func:`parallel_spatial_join` — the partitioned multi-process
   executor behind ``JoinSpec(workers=N)``.
 * :class:`SpatialJoin1` … :class:`SpatialJoin5` — the five algorithms.
@@ -28,8 +31,8 @@ from .distance import distance_join, rect_mindist
 from .joinindex import SpatialJoinIndex
 from .parallel import (PairTask, ParallelJoinResult, cluster_tasks,
                        parallel_spatial_join, partition_tasks)
-from .planner import (ALGORITHMS, build_context, make_algorithm,
-                      spatial_join, spatial_join_stream)
+from .planner import (ALGORITHMS, build_context, execute_plan,
+                      make_algorithm, spatial_join, spatial_join_stream)
 from .spec import JoinSpec, resolve_spec
 from .refinement import (ObjectIntersection, RefinementStats,
                          id_spatial_join, object_spatial_join)
@@ -70,6 +73,7 @@ __all__ = [
     "counted_sort_cost",
     "counted_sort_inplace",
     "distance_join",
+    "execute_plan",
     "id_spatial_join",
     "index_nested_loop_join",
     "make_algorithm",

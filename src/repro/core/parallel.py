@@ -356,8 +356,9 @@ def _degraded_batch(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
 
 def parallel_spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
                           spec: Optional[JoinSpec] = None,
-                          *, fanout_level: Optional[int] = None,
-                          oversubscribe: int = OVERSUBSCRIBE,
+                          *, plan=None,
+                          fanout_level: Optional[int] = None,
+                          oversubscribe: Optional[int] = None,
                           obs: Optional[Observability] = None,
                           ) -> ParallelJoinResult:
     """MBR-spatial-join executed by ``spec.workers`` processes.
@@ -375,14 +376,28 @@ def parallel_spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
     spec:
         The join configuration; ``spec.workers`` determines the degree
         of parallelism (a missing spec defaults to ``JoinSpec()``,
-        i.e. one worker).
+        i.e. one worker).  ``algorithm="auto"`` is resolved through
+        :func:`repro.plan.plan_join` first.
+    plan:
+        A resolved :class:`~repro.plan.ExecutionPlan` to execute
+        instead of planning *spec* here; this is how
+        :func:`repro.core.planner.execute_plan` hands over.  Mutually
+        exclusive with *spec*.
     fanout_level:
         Descend exactly this many levels below the roots when
         partitioning instead of auto-sizing the frontier.
     oversubscribe:
-        Tasks per worker the auto-sized partitioning aims for.
+        Tasks per worker the auto-sized partitioning aims for; default
+        is the plan's (4 unless the plan says otherwise).
     """
-    spec = resolve_spec(spec)
+    if plan is None:
+        from ..plan.optimizer import plan_join
+        plan = plan_join(tree_r, tree_s, resolve_spec(spec))
+    elif spec is not None:
+        raise TypeError("pass either spec or plan, not both")
+    spec = plan.to_spec()
+    if oversubscribe is None:
+        oversubscribe = plan.oversubscribe
     if oversubscribe < 1:
         raise ValueError(f"oversubscribe must be >= 1 ({oversubscribe})")
     from .planner import make_algorithm, resolve_obs
@@ -523,4 +538,4 @@ def parallel_spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
         batch_sizes=[len(batch) for batch in batches],
         partition_stats=partition_stats, worker_stats=worker_stats,
         retried_batch_ids=retried_ids, degraded_batch_ids=degraded_ids,
-        obs=obs if obs.enabled else None)
+        obs=obs if obs.enabled else None, plan=plan)

@@ -1,74 +1,39 @@
-"""High-level join entry point.
+"""High-level join entry point: plan, then execute.
 
 :func:`spatial_join` is the one call a library user needs: pick two
-trees, an algorithm name ("sj1" ... "sj5"), a buffer size, and get back
-the result pairs with full CPU/I-O accounting.  The defaults are the
-paper's overall recommendation (Section 5): SpatialJoin4 with height
-policy (b).
+trees, an algorithm name ("sj1" ... "sj5", or "auto" for the
+cost-based planner), a buffer size, and get back the result pairs with
+full CPU/I-O accounting.  The defaults are the paper's overall
+recommendation (Section 5): SpatialJoin4 with height policy (b).
 
 All configuration flows through one :class:`~repro.core.spec.JoinSpec`
 (either passed explicitly as ``spec=`` or assembled from the classic
-keyword arguments), so :func:`spatial_join`,
-:func:`spatial_join_stream`, and :meth:`repro.db.SpatialDatabase.join`
-share a single validation and normalization path.  A spec with
-``workers >= 2`` routes the join through the partitioned parallel
-executor (:mod:`repro.core.parallel`).
+keyword arguments), and every execution flows through one
+:class:`~repro.plan.ExecutionPlan`: the spec is handed to
+:func:`repro.plan.plan_join`, which resolves "auto" via the cost model
+and mirrors fixed algorithms verbatim, and the resulting plan is run
+by :func:`execute_plan` — serially, or through the partitioned
+parallel executor (:mod:`repro.core.parallel`) when ``workers >= 2``.
+The chosen plan rides on ``result.plan`` and, for traced runs, in the
+``plan.*`` metrics.
+
+The algorithm registry itself lives in :mod:`repro.plan.registry`;
+``ALGORITHMS`` and :func:`make_algorithm` (plus the ablation variant
+classes) are re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Type, Union
+from typing import Callable, Optional, Union
 
 from ..geometry.predicates import SpatialPredicate
 from ..obs.core import NULL_OBS, Observability
+from ..plan.registry import (ALGORITHMS, SpatialJoin4NoRestrict,  # noqa: F401
+                             SweepJoinNoRestrict, make_algorithm)
 from ..rtree.base import RTreeBase
 from .context import JoinContext, presort_trees
-from .engine import JoinAlgorithm
 from .spec import JoinSpec, UNSET, resolve_spec
-from .sj1 import SpatialJoin1
-from .sj2 import SpatialJoin2
-from .sj3 import SpatialJoin3
-from .sj4 import SpatialJoin4
-from .sj5 import SpatialJoin5
 from .stats import JoinResult
-
-class SweepJoinNoRestrict(SpatialJoin3):
-    """Table 4's "version I": plane sweep *without* restricting the
-    search space (entries of a node pair are swept in full)."""
-
-    name = "SJ3/norestrict"
-    restricts_search_space = False
-
-
-class SpatialJoin4NoRestrict(SpatialJoin4):
-    """SJ4 scheduling on unrestricted sweeps (ablation variant)."""
-
-    name = "SJ4/norestrict"
-    restricts_search_space = False
-
-
-ALGORITHMS: Dict[str, Type[JoinAlgorithm]] = {
-    "sj1": SpatialJoin1,
-    "sj2": SpatialJoin2,
-    "sj3": SpatialJoin3,
-    "sj4": SpatialJoin4,
-    "sj5": SpatialJoin5,
-    "sj3-norestrict": SweepJoinNoRestrict,
-    "sj4-norestrict": SpatialJoin4NoRestrict,
-}
-
-
-def make_algorithm(name: str, height_policy: str = "b",
-                   predicate: SpatialPredicate =
-                   SpatialPredicate.INTERSECTS) -> JoinAlgorithm:
-    """Instantiate a join algorithm by its paper name (case-insensitive)."""
-    try:
-        cls = ALGORITHMS[name.lower()]
-    except KeyError:
-        known = ", ".join(sorted(ALGORITHMS))
-        raise ValueError(
-            f"unknown join algorithm {name!r} (known: {known})") from None
-    return cls(height_policy=height_policy, predicate=predicate)
 
 
 def build_context(tree_r: RTreeBase, tree_s: RTreeBase, spec: JoinSpec,
@@ -101,6 +66,32 @@ def resolve_obs(obs: Optional[Observability],
     return NULL_OBS
 
 
+def execute_plan(tree_r: RTreeBase, tree_s: RTreeBase, plan,
+                 obs: Optional[Observability] = None) -> JoinResult:
+    """Run one :class:`~repro.plan.ExecutionPlan` — the single
+    execution path every entry point converges on.
+
+    Records the ``plan.*`` metrics on the (resolved) observability
+    handle, routes ``plan.workers >= 2`` through the partitioned
+    parallel executor, and attaches the plan to ``result.plan``.
+    """
+    from ..plan.optimizer import record_plan
+    spec = plan.to_spec()
+    obs = resolve_obs(obs, spec)
+    record_plan(obs, plan)
+    if plan.workers > 1:
+        from .parallel import parallel_spatial_join
+        result = parallel_spatial_join(tree_r, tree_s, plan=plan, obs=obs)
+    else:
+        ctx = build_context(tree_r, tree_s, spec, obs=obs)
+        algo = make_algorithm(plan.algorithm,
+                              height_policy=plan.height_policy,
+                              predicate=spec.predicate)
+        result = algo.run(ctx)
+    result.plan = plan
+    return result
+
+
 def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
                  algorithm: Union[str, object] = UNSET,
                  buffer_kb: Union[float, object] = UNSET,
@@ -128,7 +119,9 @@ def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
     algorithm:
         "sj1" (straightforward), "sj2" (+search-space restriction),
         "sj3" (+plane sweep schedule), "sj4" (+pinning — the paper's
-        winner, default), or "sj5" (z-order schedule).
+        winner, default), "sj5" (z-order schedule), or "auto" — let
+        the cost-based planner (:func:`repro.plan.plan_join`) score
+        the candidates against the trees and pick the cheapest.
     buffer_kb:
         LRU buffer size in KByte shared by both trees (split evenly
         over the workers of a parallel run).
@@ -145,7 +138,8 @@ def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
     presort:
         Eagerly sort all nodes of both trees before the join instead of
         lazily on first touch (only meaningful with
-        ``sort_mode="maintained"``).
+        ``sort_mode="maintained"``).  Under ``algorithm="auto"`` the
+        planner may enable this itself via the repeat-factor rule.
     predicate:
         Join condition on the data MBRs: INTERSECTS (default, the
         MBR-spatial-join), CONTAINS (R contains S) or WITHIN (R within
@@ -169,20 +163,18 @@ def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
     Returns
     -------
     JoinResult
-        Output id pairs plus :class:`~repro.core.stats.JoinStatistics`
-        (and, for a traced run, the ``obs`` handle on ``result.obs``).
+        Output id pairs plus :class:`~repro.core.stats.JoinStatistics`,
+        the resolved :class:`~repro.plan.ExecutionPlan` on
+        ``result.plan`` (and, for a traced run, the ``obs`` handle on
+        ``result.obs``).
     """
+    from ..plan.optimizer import plan_join
     spec = resolve_spec(spec, algorithm=algorithm, buffer_kb=buffer_kb,
                         height_policy=height_policy, sort_mode=sort_mode,
                         use_path_buffer=use_path_buffer, presort=presort,
                         predicate=predicate, workers=workers)
-    if spec.workers > 1:
-        from .parallel import parallel_spatial_join
-        return parallel_spatial_join(tree_r, tree_s, spec, obs=obs)
-    ctx = build_context(tree_r, tree_s, spec, obs=obs)
-    algo = make_algorithm(spec.algorithm, height_policy=spec.height_policy,
-                          predicate=spec.predicate)
-    return algo.run(ctx)
+    plan = plan_join(tree_r, tree_s, spec)
+    return execute_plan(tree_r, tree_s, plan, obs=obs)
 
 
 def spatial_join_stream(tree_r: RTreeBase, tree_s: RTreeBase,
@@ -201,12 +193,14 @@ def spatial_join_stream(tree_r: RTreeBase, tree_s: RTreeBase,
     as it is produced (no result list is materialized).  Returns the
     :class:`~repro.core.stats.JoinStatistics`.
 
-    Shares :func:`spatial_join`'s configuration path, so a streaming
-    run of a given :class:`~repro.core.spec.JoinSpec` reports the same
-    counters as the materialized run (``use_path_buffer`` and
-    ``presort`` used to be silently dropped here).  Streaming delivery
-    is inherently ordered, so ``workers`` must stay 1.
+    Shares :func:`spatial_join`'s configuration path (including
+    ``algorithm="auto"`` planning), so a streaming run of a given
+    :class:`~repro.core.spec.JoinSpec` reports the same counters as
+    the materialized run (``use_path_buffer`` and ``presort`` used to
+    be silently dropped here).  Streaming delivery is inherently
+    ordered, so ``workers`` must stay 1.
     """
+    from ..plan.optimizer import plan_join, record_plan
     spec = resolve_spec(spec, algorithm=algorithm, buffer_kb=buffer_kb,
                         height_policy=height_policy, sort_mode=sort_mode,
                         use_path_buffer=use_path_buffer, presort=presort,
@@ -216,7 +210,12 @@ def spatial_join_stream(tree_r: RTreeBase, tree_s: RTreeBase,
             "spatial_join_stream delivers pairs in traversal order and "
             "cannot run parallel; use spatial_join(spec=...) with "
             "workers>1 or a workers=1 spec here")
-    ctx = build_context(tree_r, tree_s, spec, obs=obs)
-    algo = make_algorithm(spec.algorithm, height_policy=spec.height_policy,
-                          predicate=spec.predicate)
+    plan = plan_join(tree_r, tree_s, spec)
+    run_spec = plan.to_spec()
+    obs = resolve_obs(obs, run_spec)
+    record_plan(obs, plan)
+    ctx = build_context(tree_r, tree_s, run_spec, obs=obs)
+    algo = make_algorithm(plan.algorithm,
+                          height_policy=plan.height_policy,
+                          predicate=run_spec.predicate)
     return algo.run_streaming(ctx, callback)

@@ -60,7 +60,9 @@ class JoinSpec:
     ----------
     algorithm:
         "sj1" ... "sj5" plus the ablation variants registered in
-        :data:`repro.core.planner.ALGORITHMS` (case-insensitive).
+        :data:`repro.plan.ALGORITHMS` (case-insensitive), or "auto" —
+        deferring the choice to the cost-based planner
+        (:func:`repro.plan.plan_join`).
     buffer_kb:
         LRU buffer size in KByte shared by both trees.  A parallel run
         splits this budget evenly over the workers so the aggregate
@@ -138,11 +140,10 @@ class JoinSpec:
         if not isinstance(self.predicate, SpatialPredicate):
             object.__setattr__(self, "predicate",
                                SpatialPredicate(self.predicate))
-        from .planner import ALGORITHMS  # deferred: planner imports us
-        if self.algorithm not in ALGORITHMS:
-            known = ", ".join(sorted(ALGORITHMS))
-            raise ValueError(f"unknown join algorithm "
-                             f"{self.algorithm!r} (known: {known})")
+        # Deferred: the plan package's optimizer imports us back.
+        from ..plan.registry import validate_algorithm
+        object.__setattr__(self, "algorithm",
+                           validate_algorithm(self.algorithm))
         if self.height_policy not in _HEIGHT_POLICIES:
             raise ValueError(
                 f"unknown height policy: {self.height_policy!r}")

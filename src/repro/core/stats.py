@@ -131,6 +131,10 @@ class JoinResult:
     #: The :class:`~repro.obs.Observability` handle of a traced run
     #: (spans + metrics merged across workers); None when untraced.
     obs: Optional[object] = None
+    #: The :class:`~repro.plan.ExecutionPlan` this join ran under;
+    #: None only for results built outside the plan-then-execute path
+    #: (e.g. hand-assembled in tests).
+    plan: Optional[object] = None
 
     def __len__(self) -> int:
         return len(self.pairs)

@@ -62,6 +62,14 @@ def level_profiles(tree: RTreeBase) -> List[LevelProfile]:
             avg_width=width_sum / count if count else 0.0,
             avg_height=height_sum / count if count else 0.0,
         ))
+    # Level convention guard: ``LevelProfile.level`` counts from the
+    # data entries (0) while ``RTreeBase.height`` counts nodes from the
+    # root (root.level + 1), so a non-empty tree's deepest profile is
+    # the root's entries at height - 1.  The estimator's and planner's
+    # depth alignment both bank on this.
+    assert not profiles or profiles[-1].level == tree.height - 1, (
+        f"level convention violated: deepest profile level "
+        f"{profiles[-1].level} != height {tree.height} - 1")
     return profiles
 
 

@@ -13,10 +13,12 @@ import json
 import os
 from typing import Dict, Optional, Tuple, Union
 
-from ..core.planner import spatial_join
+from ..core.planner import execute_plan
 from ..core.refinement import id_spatial_join
 from ..core.spec import JoinSpec, UNSET, resolve_spec
 from ..core.stats import JoinResult
+from ..plan.optimizer import plan_join
+from ..plan.plan import ExecutionPlan
 from ..errors import CatalogError, QueryError
 from ..geometry.polygon import Polygon
 from ..geometry.polyline import Polyline
@@ -104,7 +106,8 @@ class SpatialDatabase:
         spec = resolve_spec(spec, algorithm=algorithm,
                             buffer_kb=buffer_kb, predicate=predicate,
                             workers=workers)
-        result = spatial_join(rel_l.tree, rel_r.tree, spec=spec)
+        plan = plan_join(rel_l.tree, rel_r.tree, spec)
+        result = execute_plan(rel_l.tree, rel_r.tree, plan)
         if not refine:
             return result
         if spec.predicate is not SpatialPredicate.INTERSECTS:
@@ -121,6 +124,27 @@ class SpatialDatabase:
         result.pairs = rect_pairs + survivors
         result.stats.pairs_output = len(result.pairs)
         return result
+
+    def explain(self, left: str, right: str,
+                algorithm: Union[str, object] = UNSET,
+                buffer_kb: Union[float, object] = UNSET,
+                predicate: Union[SpatialPredicate, str, object] = UNSET,
+                workers: Union[int, object] = UNSET,
+                spec: Optional[JoinSpec] = None) -> ExecutionPlan:
+        """Plan a join between two relations without executing it.
+
+        Takes the same configuration as :meth:`join` and returns the
+        :class:`~repro.plan.ExecutionPlan` that :meth:`join` would run,
+        with the scored candidate table always populated (a fixed
+        algorithm is re-scored against the auto candidates for
+        comparison).
+        """
+        rel_l = self.relation(left)
+        rel_r = self.relation(right)
+        spec = resolve_spec(spec, algorithm=algorithm,
+                            buffer_kb=buffer_kb, predicate=predicate,
+                            workers=workers)
+        return plan_join(rel_l.tree, rel_r.tree, spec, score=True)
 
     def distance_join(self, left: str, right: str, distance: float,
                       buffer_kb: float = 128.0) -> JoinResult:

@@ -38,7 +38,8 @@ wall-clock observations are added on the side.
 from .core import NULL_OBS, Observability
 from .metrics import (DEFAULT_BOUNDS, Histogram, MetricsRegistry,
                       PERCENT_BOUNDS)
-from .report import DriftReport, drift_report, phase_rows, render_report
+from .report import (DriftReport, drift_report, phase_rows,
+                     render_plan_meta, render_report)
 from .trace_io import (TRACE_VERSION, TraceDocument, document_from,
                        read_trace, validate_trace, write_trace)
 from .tracer import SpanTracer
@@ -58,6 +59,7 @@ __all__ = [
     "drift_report",
     "phase_rows",
     "read_trace",
+    "render_plan_meta",
     "render_report",
     "validate_trace",
     "write_trace",

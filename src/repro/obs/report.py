@@ -171,8 +171,43 @@ def render_drift(report: DriftReport) -> str:
     return "\n".join(lines)
 
 
+def render_plan_meta(plan: dict) -> str:
+    """Condensed plan section from the plan dict a traced run embeds
+    in its metadata (plain data — no :mod:`repro.plan` import, so a
+    report renders even if the trace came from a newer plan schema)."""
+    algorithm = plan.get("algorithm", "?")
+    requested = plan.get("requested", algorithm)
+    lines = ["plan:"]
+    head = f"  {algorithm}"
+    if requested != algorithm:
+        head += f" (requested {requested})"
+    reason = plan.get("reason")
+    if reason:
+        head += f" — {reason}"
+    lines.append(head)
+    knobs = []
+    for key in ("height_policy", "sort_mode", "presort", "workers",
+                "buffer_kb", "calibration_source"):
+        if key in plan:
+            knobs.append(f"{key}={plan[key]}")
+    cache_key = plan.get("cache_key")
+    if isinstance(cache_key, str):
+        knobs.append(f"cache_key={cache_key[:16]}")
+    if knobs:
+        lines.append("  " + " ".join(knobs))
+    for candidate in plan.get("candidates") or []:
+        if not isinstance(candidate, dict):
+            continue
+        marker = "*" if candidate.get("chosen") else " "
+        lines.append(
+            f"  {marker}{candidate.get('algorithm', '?'):<15} "
+            f"est total {candidate.get('est_total_s', 0.0):.4f}s")
+    return "\n".join(lines)
+
+
 def render_report(document: TraceDocument) -> str:
-    """Full human-readable report: header, phase table, counters,
+    """Full human-readable report: header, phase table, the plan
+    section (when the trace metadata carries one), counters,
     histograms, and (when the trace carries stats) the drift section."""
     meta = document.meta
     header_bits = []
@@ -181,6 +216,8 @@ def render_report(document: TraceDocument) -> str:
         if key in meta:
             header_bits.append(f"{key}={meta[key]}")
     sections = ["trace: " + (", ".join(header_bits) or "(no metadata)")]
+    if isinstance(meta.get("plan"), dict):
+        sections.append(render_plan_meta(meta["plan"]))
     sections.append(render_phase_table(document))
     if document.counters or document.gauges:
         sections.append(_render_counters(document))

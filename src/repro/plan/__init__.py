@@ -1,0 +1,54 @@
+"""repro.plan — the cost-based adaptive query planner.
+
+Every join runs through an :class:`ExecutionPlan`: the fully-resolved
+algorithm, height policy, presort decision, buffer layout, worker
+count, partitioning choice, deadline, and cache key.  With
+``JoinSpec(algorithm="auto")`` the optimizer (:func:`plan_join`) scores
+the candidate algorithms against tree statistics using the Günther
+cardinality model plus the paper's CPU/I-O time constants, refreshable
+from committed ``BENCH_join.json`` rows or live :mod:`repro.obs`
+traces (:class:`Calibration`).
+
+This package is also the single authoritative algorithm registry —
+CLI ``--algorithm`` choices and serve-protocol validation are
+generated from :func:`algorithm_choices`.
+
+See ``docs/planner.md`` for the cost formulas, calibration sources,
+and the explain output format.
+"""
+
+# Import order matters: registry and plan are cycle-free leaves that
+# repro.core.planner pulls in mid-import; optimizer (which imports
+# repro.core.spec and can re-enter repro.core's __init__) must come
+# last so the submodules it needs are already in sys.modules.
+from .registry import (ALGORITHMS, AUTO, AUTO_CANDIDATES,
+                       DEFAULT_ALGORITHM, SpatialJoin4NoRestrict,
+                       SweepJoinNoRestrict, algorithm_choices,
+                       algorithm_names, make_algorithm,
+                       validate_algorithm)
+from .plan import ExecutionPlan, PlanCandidate
+from .calibration import Calibration, PAPER_CALIBRATION, SCHEDULE_LOCALITY
+from .explain import render_plan
+from .optimizer import plan_join, record_plan, score_candidates
+
+__all__ = [
+    "ALGORITHMS",
+    "AUTO",
+    "AUTO_CANDIDATES",
+    "Calibration",
+    "DEFAULT_ALGORITHM",
+    "ExecutionPlan",
+    "PAPER_CALIBRATION",
+    "PlanCandidate",
+    "SCHEDULE_LOCALITY",
+    "SpatialJoin4NoRestrict",
+    "SweepJoinNoRestrict",
+    "algorithm_choices",
+    "algorithm_names",
+    "make_algorithm",
+    "plan_join",
+    "record_plan",
+    "render_plan",
+    "score_candidates",
+    "validate_algorithm",
+]

@@ -40,6 +40,7 @@ from ..errors import QueryError, QueryTimeout
 from ..geometry.predicates import SpatialPredicate
 from ..geometry.rect import Rect
 from ..obs.core import Observability
+from ..plan.registry import algorithm_choices
 from .cache import ResultCache, normalized_key
 from .protocol import (ProtocolError, error_code_for, error_response,
                        geometry_from_json, geometry_to_json, ok_response)
@@ -117,7 +118,8 @@ class QueryService:
         self._ops: Dict[str, Tuple[Callable[[Dict[str, Any],
                                              Optional[float]], Any],
                                    bool]] = {}
-        for name, cacheable in (("join", True), ("window", True),
+        for name, cacheable in (("join", True), ("explain", True),
+                                ("window", True),
                                 ("knn", True), ("get", True),
                                 ("insert", False), ("delete", False),
                                 ("create", False), ("drop", False)):
@@ -272,35 +274,63 @@ class QueryService:
                  "height": relation.tree.height}
                 for name, relation in sorted(self.db.relations.items())]
 
-    def _op_join(self, request: Dict[str, Any],
-                 deadline: Optional[float]) -> Dict[str, Any]:
-        left = _string_field(request, "left")
-        right = _string_field(request, "right")
-        algorithm = request.get("algorithm", "sj4")
+    def _join_spec(self, request: Dict[str, Any],
+                   deadline: Optional[float],
+                   default_algorithm: str = "sj4") -> JoinSpec:
+        """Validated :class:`JoinSpec` for a join/explain request.
+
+        The algorithm name is checked against the
+        :mod:`repro.plan.registry` choices (which include "auto") so
+        the protocol accepts exactly what the CLI does.
+        """
+        algorithm = request.get("algorithm", default_algorithm)
+        if not isinstance(algorithm, str) \
+                or algorithm.lower() not in algorithm_choices():
+            raise QueryError(
+                f"algorithm must be one of "
+                f"{', '.join(algorithm_choices())} ({algorithm!r})")
         buffer_kb = request.get("buffer_kb", 128.0)
         predicate = request.get("predicate", "intersects")
-        refine = _bool_field(request, "refine", False)
         if not isinstance(buffer_kb, (int, float)) \
                 or isinstance(buffer_kb, bool) or buffer_kb < 0:
             raise ProtocolError(f"buffer_kb must be a non-negative "
                                 f"number ({buffer_kb!r})")
         try:
-            predicate = SpatialPredicate(predicate)
-            spec = JoinSpec(algorithm=algorithm,
+            return JoinSpec(algorithm=algorithm,
                             buffer_kb=float(buffer_kb),
-                            predicate=predicate,
+                            predicate=SpatialPredicate(predicate),
                             sort_mode="on_read",
                             timeout=_remaining(deadline))
         except ValueError as exc:
             raise QueryError(str(exc)) from None
+
+    def _op_join(self, request: Dict[str, Any],
+                 deadline: Optional[float]) -> Dict[str, Any]:
+        left = _string_field(request, "left")
+        right = _string_field(request, "right")
+        refine = _bool_field(request, "refine", False)
+        spec = self._join_spec(request, deadline)
         result = self.db.join(left, right, spec=spec, refine=refine)
         pairs = sorted(result.pairs)
         return {"pairs": pairs, "count": len(pairs),
+                "plan": result.plan.to_dict(),
                 "stats": {
                     "algorithm": result.stats.algorithm,
                     "disk_accesses": result.stats.disk_accesses,
                     "comparisons": result.stats.comparisons.total,
                 }}
+
+    def _op_explain(self, request: Dict[str, Any],
+                    deadline: Optional[float]) -> Dict[str, Any]:
+        """Plan a join without executing it: the resolved
+        :class:`~repro.plan.ExecutionPlan` as a JSON dict, candidates
+        always scored.  The spec is built with no timeout so the
+        cached payload does not depend on the request deadline."""
+        left = _string_field(request, "left")
+        right = _string_field(request, "right")
+        spec = self._join_spec(request, None, default_algorithm="auto")
+        plan = self.db.explain(left, right, spec=spec)
+        return {"plan": plan.to_dict()}
 
     def _op_window(self, request: Dict[str, Any],
                    deadline: Optional[float]) -> Dict[str, Any]:

@@ -33,6 +33,24 @@ class TestLevelProfiles:
         assert len(profiles) == 1
         assert profiles[0] == LevelProfile(0, 1, 2.0, 4.0)
 
+    @pytest.mark.parametrize("n,page_size,expected_height", [
+        (5, 1024, 1),      # root is the single leaf
+        (60, 1024, 2),     # root over leaf pages
+        (120, 256, 3),     # a directory level in between
+    ])
+    def test_level_convention_matches_height(self, n, page_size,
+                                             expected_height):
+        # ``LevelProfile.level`` counts from the data entries (level 0)
+        # while ``RTreeBase.height`` counts nodes from the root; the
+        # planner's depth alignment depends on the deepest profile
+        # sitting exactly at height - 1.
+        tree = build_rstar(make_rects(n, seed=603), page_size=page_size)
+        profiles = level_profiles(tree)
+        assert tree.height == expected_height
+        assert profiles[0].level == 0
+        assert profiles[-1].level == tree.height - 1
+        assert [p.level for p in profiles] == list(range(tree.height))
+
 
 class TestPredictions:
     @pytest.fixture(scope="class")

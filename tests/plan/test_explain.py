@@ -1,0 +1,188 @@
+"""Explainability end-to-end: render, database, serve op, CLI, report."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.spec import JoinSpec
+from repro.db import SpatialDatabase
+from repro.geometry import Rect
+from repro.obs import read_trace, render_report
+from repro.plan import ExecutionPlan, plan_join, render_plan
+from repro.serve import QueryService, ServiceClient
+
+from ..conftest import build_rstar, make_rects
+
+
+def build_db(n=150, seed=11):
+    db = SpatialDatabase(page_size=1024)
+    rng = random.Random(seed)
+    for name in ("streets", "rivers"):
+        relation = db.create_relation(name)
+        for _ in range(n):
+            x, y = rng.uniform(0, 500), rng.uniform(0, 500)
+            relation.insert(Rect(x, y, x + rng.uniform(1, 25),
+                                 y + rng.uniform(1, 25)))
+    return db
+
+
+@pytest.fixture(scope="module")
+def trees():
+    return (build_rstar(make_rects(800, seed=21)),
+            build_rstar(make_rects(800, seed=22)))
+
+
+class TestRenderPlan:
+    def test_auto_plan_renders_candidate_table(self, trees):
+        plan = plan_join(*trees, JoinSpec(algorithm="auto"))
+        text = render_plan(plan)
+        assert text.startswith(f"plan: {plan.algorithm} "
+                               "(requested auto)")
+        assert "candidate" in text
+        for name in ("sj1", "sj2", "sj3", "sj4", "sj5"):
+            assert name in text
+        assert "*" + plan.algorithm in text.replace(" ", "")
+        assert "cache_key=" in text
+
+    def test_fast_path_plan_renders_without_table(self, trees):
+        plan = plan_join(*trees, JoinSpec(algorithm="sj2"))
+        text = render_plan(plan)
+        assert text.startswith("plan: sj2")
+        assert "candidate" not in text
+
+    def test_survives_dict_round_trip(self, trees):
+        plan = plan_join(*trees, JoinSpec(algorithm="auto"))
+        clone = ExecutionPlan.from_dict(plan.to_dict())
+        assert render_plan(clone) == render_plan(plan)
+
+
+class TestDatabaseExplain:
+    def test_explain_scores_without_executing(self):
+        db = build_db()
+        plan = db.explain("streets", "rivers",
+                          spec=JoinSpec(algorithm="auto",
+                                        sort_mode="on_read"))
+        assert plan.requested == "auto"
+        assert plan.candidates
+
+    def test_explain_matches_join(self):
+        db = build_db()
+        spec = JoinSpec(algorithm="auto", sort_mode="on_read")
+        plan = db.explain("streets", "rivers", spec=spec)
+        result = db.join("streets", "rivers", spec=spec)
+        assert result.plan.algorithm == plan.algorithm
+        assert result.plan.cache_key == plan.cache_key
+
+    def test_fixed_algorithm_is_rescored_for_display(self):
+        db = build_db()
+        plan = db.explain("streets", "rivers", algorithm="sj1")
+        assert plan.algorithm == "sj1"
+        assert plan.candidates
+        assert plan.chosen_candidate.algorithm == "sj1"
+
+
+class TestServeExplain:
+    @pytest.fixture
+    def service(self):
+        svc = QueryService(build_db(), workers=2, default_timeout=30.0)
+        yield svc
+        svc.close()
+
+    @pytest.fixture
+    def client(self, service):
+        return ServiceClient(service)
+
+    def test_explain_op_returns_plan(self, client):
+        payload = client.call("explain", left="streets", right="rivers")
+        plan = ExecutionPlan.from_dict(payload["plan"])
+        assert plan.requested == "auto"
+        assert plan.candidates
+
+    def test_explain_predicts_the_join(self, client):
+        explained = client.call("explain", left="streets",
+                                right="rivers")
+        joined = client.call("join", left="streets", right="rivers",
+                             algorithm="auto")
+        assert (joined["plan"]["algorithm"]
+                == explained["plan"]["algorithm"])
+        assert joined["stats"]["algorithm"].lower().startswith(
+            explained["plan"]["algorithm"][:3])
+
+    def test_explain_is_cached(self, service):
+        client = ServiceClient(service)
+        first = client.request("explain", left="streets",
+                               right="rivers")
+        second = client.request("explain", left="streets",
+                                right="rivers")
+        assert first["ok"] and second["ok"]
+        assert not first.get("cached")
+        assert second.get("cached")
+        assert first["result"] == second["result"]
+
+    def test_join_accepts_auto(self, service, client):
+        payload = client.call("join", left="streets", right="rivers",
+                              algorithm="auto")
+        direct = service.db.join(
+            "streets", "rivers",
+            spec=JoinSpec(algorithm="auto", buffer_kb=128.0,
+                          sort_mode="on_read"))
+        assert [tuple(p) for p in payload["pairs"]] == \
+            sorted(direct.pairs)
+
+    def test_bad_algorithm_lists_registry_choices(self, client):
+        response = client.request("explain", left="streets",
+                                  right="rivers", algorithm="sj9")
+        assert response["error"]["code"] == "query"
+        assert "auto" in response["error"]["message"]
+
+
+class TestCLIExplain:
+    @pytest.fixture
+    def tree_files(self, tmp_path):
+        from repro.rtree import save_tree
+        left = build_rstar(make_rects(400, seed=31))
+        right = build_rstar(make_rects(400, seed=32))
+        paths = (str(tmp_path / "l.rtree"), str(tmp_path / "r.rtree"))
+        save_tree(left, paths[0])
+        save_tree(right, paths[1])
+        return paths
+
+    def test_join_auto_explain_prints_plan_and_runs(self, tree_files,
+                                                    capsys):
+        from repro.cli import main
+        assert main(["join", *tree_files, "--algorithm", "auto",
+                     "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "plan: sj" in out
+        assert "(requested auto)" in out
+        assert "candidate" in out
+        assert "pairs" in out  # the join actually ran
+
+    def test_json_mode_keeps_stdout_parseable(self, tree_files, capsys):
+        from repro.cli import main
+        assert main(["join", *tree_files, "--algorithm", "auto",
+                     "--explain", "--json"]) == 0
+        captured = capsys.readouterr()
+        data = json.loads(captured.out)
+        assert data["requested_algorithm"] == "auto"
+        assert data["algorithm"].lower().startswith("sj")
+        assert "plan:" in captured.err
+
+    def test_trace_embeds_plan_and_report_renders_it(self, tree_files,
+                                                     tmp_path, capsys):
+        from repro.cli import main
+        trace = str(tmp_path / "run.jsonl")
+        assert main(["join", *tree_files, "--algorithm", "auto",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        document = read_trace(trace)
+        plan = document.meta["plan"]
+        assert plan["requested"] == "auto"
+        assert document.counters["plan.joins"] == 1
+        assert document.counters["plan.auto"] == 1
+        assert document.counters[
+            f"plan.chosen.{plan['algorithm']}"] == 1
+        text = render_report(document)
+        assert "plan:" in text
+        assert plan["algorithm"] in text

@@ -1,0 +1,108 @@
+"""ExecutionPlan: immutability, serialization, spec round-trips."""
+
+import json
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.core.spec import JoinSpec
+from repro.geometry import SpatialPredicate
+from repro.plan import ExecutionPlan, PlanCandidate
+
+
+def scored_plan(**overrides):
+    candidates = (
+        PlanCandidate(algorithm="sj4", est_comparisons=100.0,
+                      est_disk_accesses=10.0, est_cpu_s=0.01,
+                      est_io_s=0.2, chosen=True),
+        PlanCandidate(algorithm="sj1", est_comparisons=900.0,
+                      est_disk_accesses=10.0, est_cpu_s=0.09,
+                      est_io_s=0.2),
+    )
+    kwargs = dict(algorithm="sj4", requested="auto",
+                  reason="cost-based: sj4",
+                  repeat_factor=1.4, est_output_pairs=42.0,
+                  candidates=candidates)
+    kwargs.update(overrides)
+    return ExecutionPlan(**kwargs)
+
+
+class TestExecutionPlan:
+    def test_rejects_auto(self):
+        with pytest.raises(ValueError, match="concrete"):
+            ExecutionPlan(algorithm="auto", requested="auto")
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(algorithm="sj9", requested="sj9")
+
+    def test_normalizes_case_and_predicate(self):
+        plan = ExecutionPlan(algorithm="SJ4", requested="AUTO",
+                             predicate=SpatialPredicate.CONTAINS)
+        assert plan.algorithm == "sj4"
+        assert plan.requested == "auto"
+        assert plan.predicate == "contains"
+
+    def test_chosen_candidate(self):
+        plan = scored_plan()
+        assert plan.chosen_candidate.algorithm == "sj4"
+        bare = ExecutionPlan(algorithm="sj4", requested="sj4")
+        assert bare.chosen_candidate is None
+
+    def test_picklable(self):
+        plan = scored_plan()
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestRoundTrip:
+    def test_to_dict_is_json_ready(self):
+        payload = json.dumps(scored_plan().to_dict())
+        assert "sj4" in payload
+
+    def test_dict_round_trip(self):
+        plan = scored_plan(workers=3, timeout=5.0, presort=True)
+        assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+
+    def test_dict_round_trip_without_candidates(self):
+        plan = ExecutionPlan(algorithm="sj2", requested="sj2",
+                             buffer_kb=64.0)
+        assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_ignores_cache_key_and_unknowns(self):
+        data = scored_plan().to_dict()
+        data["cache_key"] = "not-a-real-digest"
+        data["future_field"] = True
+        assert ExecutionPlan.from_dict(data) == scored_plan()
+
+    def test_spec_round_trip(self):
+        spec = JoinSpec(algorithm="sj3", buffer_kb=32.0, presort=True,
+                        sort_mode="maintained", workers=2,
+                        predicate=SpatialPredicate.WITHIN, timeout=9.0)
+        assert ExecutionPlan.from_spec(spec).to_spec() == spec
+
+    def test_to_spec_is_concrete(self):
+        spec = scored_plan().to_spec()
+        assert spec.algorithm == "sj4"
+        assert spec.predicate is SpatialPredicate.INTERSECTS
+
+
+class TestCacheKey:
+    def test_stable_across_equal_plans(self):
+        assert scored_plan().cache_key == scored_plan().cache_key
+
+    def test_ignores_advisory_fields(self):
+        # A deadline, tracing, or the scored table never change the
+        # result, so they must not fragment the cache.
+        base = scored_plan()
+        assert base.cache_key == replace(base, timeout=1.0).cache_key
+        assert base.cache_key == replace(base, trace=True).cache_key
+        assert base.cache_key == replace(base, candidates=(),
+                                         reason="").cache_key
+
+    def test_sensitive_to_execution_fields(self):
+        base = scored_plan()
+        assert base.cache_key != replace(base, algorithm="sj1").cache_key
+        assert base.cache_key != replace(base, buffer_kb=8.0).cache_key
+        assert base.cache_key != replace(base, presort=True).cache_key
+        assert base.cache_key != replace(base, workers=2).cache_key
