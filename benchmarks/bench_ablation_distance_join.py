@@ -7,7 +7,7 @@ from conftest import show
 from emit import timed
 
 from repro.bench.ablations import ablation_distance_join
-from repro.core import distance_join, spatial_join
+from repro.core import JoinSpec, distance_join, spatial_join
 
 
 def test_ablation_distance_join(benchmark, timing_trees):
@@ -25,8 +25,8 @@ def test_ablation_distance_join(benchmark, timing_trees):
     tree_r, tree_s = timing_trees
     # Radius 0 coincides with the intersection join.
     zero = distance_join(tree_r, tree_s, 0.0, buffer_kb=128)
-    intersect = spatial_join(tree_r, tree_s, algorithm="sj4",
-                             buffer_kb=128)
+    intersect = spatial_join(tree_r, tree_s,
+                             spec=JoinSpec(algorithm="sj4", buffer_kb=128))
     assert zero.pair_set() == intersect.pair_set()
 
     timed(benchmark,

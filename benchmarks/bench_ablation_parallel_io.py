@@ -35,8 +35,13 @@ def test_ablation_parallel_io(benchmark, timing_trees):
     def run():
         ctx = JoinContext(tree_r, tree_s, buffer_kb=8,
                           record_trace=True)
-        make_algorithm("sj4").run(ctx)
-        return estimate_parallel_io(ctx.manager.trace, 8,
-                                    tree_r.params.page_size)
+        result = make_algorithm("sj4").run(ctx)
+        estimate = estimate_parallel_io(ctx.manager.trace, 8,
+                                        tree_r.params.page_size)
+        return {"pairs": result.stats.pairs_output,
+                "comparisons": result.stats.comparisons.total,
+                "disk_accesses": result.stats.disk_accesses,
+                "speedup_scheduled": round(estimate.speedup_scheduled,
+                                           3)}
 
     timed(benchmark, run, "ablation_parallel_io", disks=8, buffer_kb=8)

@@ -7,7 +7,7 @@ from conftest import show
 from emit import timed
 
 from repro.bench.ablations import ablation_pathbuffer
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 
 
 def test_ablation_pathbuffer(benchmark, timing_trees):
@@ -24,7 +24,7 @@ def test_ablation_pathbuffer(benchmark, timing_trees):
 
     tree_r, tree_s = timing_trees
     timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s, algorithm="sj1",
-                               buffer_kb=0, use_path_buffer=False),
+          lambda: spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj1", buffer_kb=0, use_path_buffer=False)),
           "ablation_pathbuffer", algorithm="sj1", buffer_kb=0,
           use_path_buffer=False)

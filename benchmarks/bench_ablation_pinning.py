@@ -7,7 +7,7 @@ from conftest import show
 from emit import timed
 
 from repro.bench.ablations import ablation_pinning
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 
 
 def test_ablation_pinning(benchmark, timing_trees):
@@ -24,6 +24,6 @@ def test_ablation_pinning(benchmark, timing_trees):
 
     tree_r, tree_s = timing_trees
     timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                               buffer_kb=8),
+          lambda: spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj4", buffer_kb=8)),
           "ablation_pinning", algorithm="sj4", buffer_kb=8)

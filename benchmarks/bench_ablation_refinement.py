@@ -8,7 +8,7 @@ from conftest import show
 from emit import timed
 
 from repro.bench.ablations import ablation_refinement
-from repro.core import id_spatial_join, spatial_join
+from repro.core import JoinSpec, id_spatial_join, spatial_join
 
 
 def test_ablation_refinement(benchmark, timing_pair, timing_trees):
@@ -24,9 +24,16 @@ def test_ablation_refinement(benchmark, timing_pair, timing_trees):
         assert entry["false_hits"] > 0.0
 
     tree_r, tree_s = timing_trees
-    candidates = spatial_join(tree_r, tree_s, algorithm="sj4",
-                              buffer_kb=128).pairs
-    timed(benchmark,
-          lambda: id_spatial_join(candidates, timing_pair.r.objects,
-                                  timing_pair.s.objects),
-          "ablation_refinement", candidates=len(candidates))
+    candidates = spatial_join(tree_r, tree_s,
+                              spec=JoinSpec(algorithm="sj4", buffer_kb=128)).pairs
+
+    def run():
+        survivors, stats = id_spatial_join(candidates,
+                                           timing_pair.r.objects,
+                                           timing_pair.s.objects)
+        return {"pairs": len(survivors),
+                "candidates": stats.candidates,
+                "false_hits": stats.candidates - stats.survivors}
+
+    timed(benchmark, run, "ablation_refinement",
+          candidates=len(candidates))

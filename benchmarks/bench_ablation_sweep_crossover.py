@@ -42,7 +42,9 @@ def test_ablation_sweep_crossover(benchmark):
 
     left, right = entries(), entries()
 
-    timed(benchmark,
-          lambda: sorted_intersection_test(left, right,
-                                           ComparisonCounter()),
-          "ablation_sweep_crossover", entries=409)
+    def run():
+        counter = ComparisonCounter()
+        pairs = sorted_intersection_test(left, right, counter)
+        return {"pairs": len(pairs), "comparisons": counter.total}
+
+    timed(benchmark, run, "ablation_sweep_crossover", entries=409)

@@ -7,7 +7,7 @@ from conftest import show
 from emit import timed
 
 from repro.bench import build_tree, figure10
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 from repro.data import load_test
 
 
@@ -31,7 +31,7 @@ def test_figure10_datasets(benchmark):
     tree_r = build_tree(pair.r.records, 4096)
     tree_s = build_tree(pair.s.records, 4096)
     timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                               buffer_kb=128),
+          lambda: spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj4", buffer_kb=128)),
           "figure10_datasets", test="E", algorithm="sj4",
           page_size=4096, buffer_kb=128)

@@ -8,7 +8,7 @@ from conftest import show
 from emit import timed
 
 from repro.bench import figure8
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 
 
 def test_figure8_sj4_time(benchmark, timing_trees):
@@ -30,6 +30,6 @@ def test_figure8_sj4_time(benchmark, timing_trees):
 
     tree_r, tree_s = timing_trees
     timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s, algorithm="sj5",
-                               buffer_kb=128),
+          lambda: spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj5", buffer_kb=128)),
           "figure8_sj4_time", algorithm="sj5", buffer_kb=128)

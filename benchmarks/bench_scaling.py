@@ -8,7 +8,7 @@ from emit import timed
 
 from repro.bench.experiments import scaling
 from repro.bench.runner import test_trees as load_test_trees
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 
 
 def test_scaling(benchmark):
@@ -23,6 +23,6 @@ def test_scaling(benchmark):
 
     tree_r, tree_s = load_test_trees("A", 4096, scale=min(data))
     timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                               buffer_kb=128),
+          lambda: spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj4", buffer_kb=128)),
           "scaling", algorithm="sj4", page_size=4096, buffer_kb=128)

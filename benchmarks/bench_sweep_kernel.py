@@ -1,0 +1,80 @@
+"""Sweep kernel — object ``Entry`` loop vs columnar buffers.
+
+Timed operation: one SortedIntersectionTest over two sorted 20,000-
+rectangle sequences (far beyond node size, so the kernel — not Python
+call overhead — dominates), once through the per-``Entry`` object
+kernel and once through the ``NodeColumns`` kernel on the active
+backend (numpy, or stdlib ``array`` under ``REPRO_NO_NUMPY=1``).
+
+Emits one BENCH row per backend carrying both wall times and the
+speedup, and asserts the repo's floor: >= 5x on the numpy path,
+>= 2x on the stdlib path — with identical pairs and identical
+comparison charges, checked here too.
+"""
+
+import random
+import time
+
+from conftest import show  # noqa: F401  (harness import parity)
+from emit import timed
+
+from repro.core import sorted_intersection_test
+from repro.core.pairs import ref_pairs, sorted_intersection_test_columns
+from repro.geometry import ComparisonCounter, Rect
+from repro.rtree import Entry, NodeColumns, use_numpy
+
+N = 20_000
+SPAN = 900.0
+WMAX = 20.0
+
+
+def make_records(n, seed):
+    rng = random.Random(seed)
+    records = []
+    for i in range(n):
+        x, y = rng.random() * SPAN, rng.random() * SPAN
+        records.append((Rect(x, y, x + rng.random() * WMAX,
+                             y + rng.random() * WMAX), i))
+    records.sort(key=lambda record: record[0].xl)
+    return records
+
+
+def test_sweep_kernel(benchmark):
+    left = make_records(N, seed=1)
+    right = make_records(N, seed=2)
+    entries_l = [Entry(rect, ref) for rect, ref in left]
+    entries_r = [Entry(rect, ref) for rect, ref in right]
+    cols_l = NodeColumns.from_rect_refs(left)
+    cols_r = NodeColumns.from_rect_refs(right)
+    backend = "numpy" if use_numpy() else "stdlib"
+
+    def run():
+        counter_obj = ComparisonCounter()
+        start = time.perf_counter()
+        object_pairs = sorted_intersection_test(entries_l, entries_r,
+                                                counter_obj)
+        object_ms = (time.perf_counter() - start) * 1e3
+
+        counter_col = ComparisonCounter()
+        start = time.perf_counter()
+        idx_l, idx_r = sorted_intersection_test_columns(
+            cols_l, cols_r, counter_col)
+        columnar_ms = (time.perf_counter() - start) * 1e3
+
+        # Identical output and identical comparison charges.
+        assert [(a.ref, b.ref) for a, b in object_pairs] == \
+            ref_pairs(cols_l, cols_r, idx_l, idx_r)
+        assert counter_col.join == counter_obj.join
+
+        speedup = object_ms / columnar_ms
+        floor = 5.0 if backend == "numpy" else 2.0
+        assert speedup >= floor, (
+            f"columnar sweep only {speedup:.2f}x faster on the "
+            f"{backend} backend (floor {floor}x)")
+        return {"pairs": len(object_pairs),
+                "comparisons": counter_col.join,
+                "object_ms": round(object_ms, 3),
+                "columnar_ms": round(columnar_ms, 3),
+                "speedup": round(speedup, 2)}
+
+    timed(benchmark, run, "sweep_kernel", entries=N, backend=backend)

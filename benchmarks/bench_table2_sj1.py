@@ -7,7 +7,7 @@ from conftest import show
 from emit import timed
 
 from repro.bench import table2
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 
 
 def test_table2_sj1(benchmark, timing_trees):
@@ -31,6 +31,6 @@ def test_table2_sj1(benchmark, timing_trees):
 
     tree_r, tree_s = timing_trees
     timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s, algorithm="sj1",
-                               buffer_kb=128),
+          lambda: spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj1", buffer_kb=128)),
           "table2_sj1", algorithm="sj1", page_size=4096, buffer_kb=128)

@@ -7,7 +7,7 @@ from conftest import show
 from emit import timed
 
 from repro.bench import table3
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 
 
 def test_table3_restriction(benchmark, timing_trees):
@@ -24,6 +24,6 @@ def test_table3_restriction(benchmark, timing_trees):
 
     tree_r, tree_s = timing_trees
     timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s, algorithm="sj2",
-                               buffer_kb=128),
+          lambda: spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj2", buffer_kb=128)),
           "table3_restriction", algorithm="sj2", buffer_kb=128)

@@ -7,7 +7,7 @@ from conftest import show
 from emit import timed
 
 from repro.bench import table4
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 
 
 def test_table4_sorting(benchmark, timing_trees):
@@ -34,6 +34,6 @@ def test_table4_sorting(benchmark, timing_trees):
 
     tree_r, tree_s = timing_trees
     timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s, algorithm="sj3",
-                               buffer_kb=128),
+          lambda: spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj3", buffer_kb=128)),
           "table4_sorting", algorithm="sj3", buffer_kb=128)

@@ -7,7 +7,7 @@ from conftest import show
 from emit import timed
 
 from repro.bench import table5
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 
 
 def test_table5_io_policies(benchmark, timing_trees):
@@ -31,6 +31,6 @@ def test_table5_io_policies(benchmark, timing_trees):
 
     tree_r, tree_s = timing_trees
     timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                               buffer_kb=128),
+          lambda: spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj4", buffer_kb=128)),
           "table5_io_policies", algorithm="sj4", buffer_kb=128)

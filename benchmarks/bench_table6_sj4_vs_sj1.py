@@ -8,7 +8,7 @@ from conftest import TIMING_SCALE, show
 from emit import timed
 
 from repro.bench import build_tree, table6
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 from repro.data import load_test
 
 
@@ -34,7 +34,7 @@ def test_table6_sj4_vs_sj1(benchmark):
     tree_r = build_tree(pair.r.records, 8192)
     tree_s = build_tree(pair.s.records, 8192)
     timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                               buffer_kb=128),
+          lambda: spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj4", buffer_kb=128)),
           "table6_sj4_vs_sj1", algorithm="sj4", page_size=8192,
           buffer_kb=128)

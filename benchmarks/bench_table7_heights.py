@@ -8,7 +8,7 @@ from conftest import TIMING_SCALE, show
 from emit import timed
 
 from repro.bench import build_tree, table7
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 from repro.data import load_test
 
 
@@ -35,7 +35,7 @@ def test_table7_heights(benchmark):
     tree_s = build_tree(pair.s.records[:1000], 1024)
     assert tree_r.height > tree_s.height
     timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s, algorithm="sj4",
-                               buffer_kb=32, height_policy="b"),
+          lambda: spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj4", buffer_kb=32, height_policy="b")),
           "table7_heights", algorithm="sj4", buffer_kb=32,
           height_policy="b")

@@ -74,10 +74,18 @@ def emit(bench: str, params: Dict[str, Any], counters: Dict[str, Any],
 def counters_of(result: Any) -> Dict[str, Any]:
     """Best-effort counter extraction from a timed op's return value.
 
-    Join results carry the paper's two counters plus the output size;
-    query results carry their I/O statistics; trees report their shape;
-    anything else contributes no counters (the wall clock still does).
+    A plain dict of numbers passes through verbatim — the escape hatch
+    for benches whose natural return value (a prediction, a dataset, a
+    raw pair list) carries no ``stats``: they return the counters they
+    want on the row.  Join results carry the paper's two counters plus
+    the output size; query results carry their I/O statistics; trees
+    report their shape; anything else contributes no counters (the
+    wall clock still does).
     """
+    if isinstance(result, dict):
+        return {key: value for key, value in result.items()
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)}
     stats = getattr(result, "stats", None)
     if stats is not None and hasattr(stats, "disk_accesses"):
         return {"disk_accesses": stats.disk_accesses,

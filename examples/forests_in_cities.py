@@ -18,7 +18,7 @@ Run with::
 
 from repro import (RStarTree, RTreeParams, Rect, id_spatial_join,
                    object_spatial_join, spatial_join)
-from repro.core import WindowQueryEngine
+from repro.core import JoinSpec, WindowQueryEngine
 from repro.data import regions
 
 
@@ -39,7 +39,7 @@ def main() -> None:
 
     # --- Filter step: which forest MBRs intersect which city MBRs? ---
     candidates = spatial_join(forests_tree, cities_tree,
-                              algorithm="sj4", buffer_kb=64)
+                              spec=JoinSpec(algorithm="sj4", buffer_kb=64))
     print(f"filter step   : {len(candidates)} candidate "
           f"(forest, city) pairs, {candidates.stats.disk_accesses} "
           f"disk accesses")

@@ -13,7 +13,7 @@ Run with::
 import sys
 
 from repro.bench import build_tree, format_table
-from repro.core import spatial_join
+from repro.core import JoinSpec, spatial_join
 from repro.costmodel import PAPER_COST_MODEL
 from repro.data import load_test
 
@@ -35,8 +35,8 @@ def main(scale: float = 0.03) -> None:
     rows = []
     for algorithm in ("sj1", "sj2", "sj3", "sj4", "sj5"):
         for buffer_kb in (0, 32, 128):
-            result = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                                  buffer_kb=buffer_kb)
+            result = spatial_join(tree_r, tree_s,
+                                  spec=JoinSpec(algorithm=algorithm, buffer_kb=buffer_kb))
             estimate = PAPER_COST_MODEL.estimate(result.stats)
             rows.append([
                 result.stats.algorithm,
@@ -49,8 +49,10 @@ def main(scale: float = 0.03) -> None:
         rows.append([""] * len(headers))
     print(format_table(headers, rows[:-1]))
 
-    best = spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=128)
-    base = spatial_join(tree_r, tree_s, algorithm="sj1", buffer_kb=128)
+    best = spatial_join(tree_r, tree_s,
+                        spec=JoinSpec(algorithm="sj4", buffer_kb=128))
+    base = spatial_join(tree_r, tree_s,
+                        spec=JoinSpec(algorithm="sj1", buffer_kb=128))
     speedup = (PAPER_COST_MODEL.estimate(base.stats).total_seconds
                / PAPER_COST_MODEL.estimate(best.stats).total_seconds)
     print(f"\nSJ4 is estimated {speedup:.1f}x faster than SJ1 at this "

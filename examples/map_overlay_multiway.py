@@ -20,6 +20,7 @@ from repro import (RStarTree, RTreeParams, nearest_neighbors,
 from repro.core.multiway import multiway_spatial_join as multiway
 from repro.data import regions, rivers_railways, streets
 from repro.geometry import SpatialPredicate
+from repro.core import JoinSpec
 
 
 def build(records, params):
@@ -59,9 +60,8 @@ def main() -> None:
     # --- 2. Containment join: districts within coarse zones. ---
     zones = regions(25, seed=4, name="zones")
     zone_tree = build(zones.records, params)
-    contained = spatial_join(zone_tree, district_tree, algorithm="sj4",
-                             buffer_kb=64,
-                             predicate=SpatialPredicate.CONTAINS)
+    contained = spatial_join(zone_tree, district_tree,
+                             spec=JoinSpec(algorithm="sj4", buffer_kb=64, predicate=SpatialPredicate.CONTAINS))
     print(f"\ncontainment join: {len(contained):,} (zone, district) "
           f"pairs where the district MBR lies fully inside the zone MBR")
 

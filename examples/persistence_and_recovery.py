@@ -18,6 +18,7 @@ import tempfile
 from repro import (RStarTree, RTreeParams, load_tree, save_tree,
                    spatial_join, validate_rtree)
 from repro.data import clustered_rects, load_records, save_records
+from repro.core import JoinSpec
 
 
 def main() -> None:
@@ -52,10 +53,10 @@ def main() -> None:
     for rect, ref in clustered_rects(4000, seed=6, clusters=12):
         other.insert(rect, ref)
 
-    before = spatial_join(tree, other, algorithm="sj4",
-                          buffer_kb=64).pair_set()
-    after = spatial_join(reopened, other, algorithm="sj4",
-                         buffer_kb=64).pair_set()
+    before = spatial_join(tree, other,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=64)).pair_set()
+    after = spatial_join(reopened, other,
+                         spec=JoinSpec(algorithm="sj4", buffer_kb=64)).pair_set()
     assert before == after
     print(f"verification  : join of reloaded tree matches "
           f"({len(after):,} pairs)")

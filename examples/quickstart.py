@@ -5,7 +5,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import RStarTree, RTreeParams, Rect, spatial_join
+from repro import JoinSpec, RStarTree, RTreeParams, Rect, spatial_join
 from repro.costmodel import PAPER_COST_MODEL
 from repro.data import uniform_rects
 
@@ -31,7 +31,8 @@ def main() -> None:
 
     # 3. MBR-spatial-join.  SJ4 (plane-sweep read schedule + pinning) is
     #    the paper's overall winner and the default.
-    result = spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=128)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=128))
     print(f"join produced {len(result)} intersecting pairs")
 
     # 4. Every join carries the paper's performance counters ...

@@ -17,6 +17,7 @@ from repro.data import regions, rivers_railways, streets
 from repro.db import SpatialDatabase
 from repro.geometry import Rect, SpatialPredicate
 from repro.viz import render_tree
+from repro.core import JoinSpec
 
 
 def main() -> None:
@@ -34,15 +35,16 @@ def main() -> None:
               f"tree height {relation.tree.height}")
 
     # --- Filter join vs refined join. ---
-    coarse = db.join("streets", "waterways", buffer_kb=128)
-    fine = db.join("streets", "waterways", buffer_kb=128, refine=True)
+    coarse = db.join("streets", "waterways", spec=JoinSpec(buffer_kb=128))
+    fine = db.join("streets", "waterways", refine=True,
+                   spec=JoinSpec(buffer_kb=128))
     print(f"\nstreets x waterways: {len(coarse):,} MBR candidates, "
           f"{len(fine):,} exact crossings "
           f"({(1 - len(fine) / len(coarse)):.0%} false hits removed)")
 
     # --- Predicate join: which districts contain which streets. ---
-    contained = db.join("districts", "streets", buffer_kb=64,
-                        predicate=SpatialPredicate.CONTAINS)
+    contained = db.join("districts", "streets",
+                        spec=JoinSpec(buffer_kb=64, predicate=SpatialPredicate.CONTAINS))
     print(f"districts containing street MBRs: {len(contained):,} pairs")
 
     # --- Relation-level queries. ---
@@ -58,8 +60,8 @@ def main() -> None:
     directory = tempfile.mkdtemp(prefix="repro-db-")
     db.save(directory)
     reopened = SpatialDatabase.open(directory)
-    again = reopened.join("streets", "waterways", buffer_kb=128,
-                          refine=True)
+    again = reopened.join("streets", "waterways", refine=True,
+                          spec=JoinSpec(buffer_kb=128))
     assert again.pair_set() == fine.pair_set()
     files = sorted(os.listdir(directory))
     print(f"\nsaved catalog to {directory} ({len(files)} files) and "

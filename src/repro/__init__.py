@@ -13,9 +13,12 @@ Quickstart::
                           spec=JoinSpec(algorithm="sj4", buffer_kb=128))
     print(len(result), result.stats.disk_accesses)
 
-(``spatial_join(forests, cities, algorithm="sj4", buffer_kb=128)``
-still works — the classic keywords build the same ``JoinSpec``.  Add
-``workers=4`` to either style for the parallel executor.)
+(Configuration is spec-first: every knob lives on ``JoinSpec`` —
+``JoinSpec(algorithm="sj4", buffer_kb=128, workers=4)`` for the
+parallel executor — and an already-resolved ``ExecutionPlan`` can be
+passed as ``spec=`` to skip planning.  The pre-1.0 keyword style,
+``spatial_join(forests, cities, algorithm="sj4")``, still works for
+one release but emits a ``DeprecationWarning``.)
 
 Package map:
 
@@ -47,8 +50,9 @@ from .errors import (CatalogError, OverloadedError, QueryError,
                      QueryTimeout, ReproError)
 from .geometry import (ComparisonCounter, Point, Polygon, Polyline, Rect,
                        Segment, SpatialPredicate)
-from .rtree import (GuttmanRTree, RStarTree, RTreeParams, load_tree,
-                    save_tree, str_pack, tree_properties, validate_rtree)
+from .rtree import (GuttmanRTree, NodeColumns, RStarTree, RTreeParams,
+                    kernel_layout, load_tree, save_tree, set_kernel_layout,
+                    str_pack, tree_properties, validate_rtree)
 
 __version__ = "1.0.0"
 
@@ -64,6 +68,7 @@ __all__ = [
     "JoinSpec",
     "JoinStatistics",
     "NearestNeighborEngine",
+    "NodeColumns",
     "OverloadedError",
     "PAPER_COST_MODEL",
     "ParallelJoinResult",
@@ -87,6 +92,7 @@ __all__ = [
     "SpatialRelation",
     "WindowQueryEngine",
     "id_spatial_join",
+    "kernel_layout",
     "load_tree",
     "multiway_spatial_join",
     "nearest_neighbors",
@@ -96,6 +102,7 @@ __all__ = [
     "plan_join",
     "render_plan",
     "save_tree",
+    "set_kernel_layout",
     "spatial_join",
     "spatial_join_stream",
     "str_pack",

@@ -15,6 +15,7 @@ from ..errors import QueryTimeout
 from ..geometry.counting import ComparisonCounter
 from ..obs.core import NULL_OBS, Observability
 from ..rtree.base import RTreeBase
+from ..rtree.columns import NodeColumns, kernel_layout
 from ..rtree.entry import Entry
 from ..rtree.node import Node
 from ..storage.manager import BufferManager
@@ -35,7 +36,8 @@ class JoinContext:
                  record_trace: bool = False,
                  max_retries: int = 0,
                  timeout: Optional[float] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 layout: Optional[str] = None) -> None:
         if tree_r.params.page_size != tree_s.params.page_size:
             raise ValueError(
                 "joined trees must share one page size "
@@ -76,6 +78,17 @@ class JoinContext:
         #: from disk again.  Models "a page is sorted immediately after it
         #: is read from disk" (Section 4.2).
         self._sorted_cache: Dict[Tuple[int, int], List[Entry]] = {}
+        #: Whether the engine runs the columnar kernels (struct-of-arrays
+        #: NodeColumns) or the object kernels (Entry lists).  Resolved
+        #: once per context from the process-wide switch so parallel
+        #: workers agree with their coordinator.
+        if layout is None:
+            layout = kernel_layout()
+        elif layout not in ("columnar", "object"):
+            raise ValueError(f"unknown layout: {layout!r}")
+        self.columnar = layout == "columnar"
+        #: Columnar mirror of ``_sorted_cache``.
+        self._sorted_cols: Dict[Tuple[int, int], NodeColumns] = {}
 
     # ------------------------------------------------------------------
     # Page access
@@ -93,6 +106,7 @@ class JoinContext:
         if self.manager.stats.disk_reads != before:
             # Fresh from disk: an on-read sorted copy is now stale.
             self._sorted_cache.pop((side, page_id), None)
+            self._sorted_cols.pop((side, page_id), None)
         return node
 
     def read_root(self, side: int) -> Node:
@@ -132,6 +146,37 @@ class JoinContext:
         self.counter.sort += counted_sort_inplace(entries)
         self._sorted_cache[key] = entries
         return entries
+
+    def sorted_columns(self, side: int, node: Node) -> NodeColumns:
+        """Columns of *node* in plane-sweep order (ascending xlo).
+
+        The columnar twin of :meth:`sorted_entries` with identical
+        comparison charges: sorting is always performed (and counted)
+        on the entry objects — Timsort's data-dependent comparison
+        count is part of the cost model — and the columns are rebuilt
+        from the sorted order.  In ``on_read`` mode the columnar copy
+        shares the sorted entry list, so mixing object- and
+        columnar-path reads of one page charges the sort only once.
+        """
+        if node.sorted_by_xl:
+            return node.columns
+        if self.sort_mode == "maintained":
+            self.stats.presort_comparisons += counted_sort_cost(
+                node.entries)
+            node.sort_by_xl()
+            return node.columns
+        key = (side, node.page_id)
+        cols = self._sorted_cols.get(key)
+        if cols is not None:
+            return cols
+        entries = self._sorted_cache.get(key)
+        if entries is None:
+            entries = list(node.entries)
+            self.counter.sort += counted_sort_inplace(entries)
+            self._sorted_cache[key] = entries
+        cols = NodeColumns.from_entries(entries)
+        self._sorted_cols[key] = cols
+        return cols
 
     # ------------------------------------------------------------------
     # Pinning passthrough

@@ -18,12 +18,13 @@ from typing import Callable, List, Tuple
 
 from ..geometry.rect import Rect
 from ..rtree.base import RTreeBase
-from ..rtree.entry import Entry
+from ..rtree.columns import NodeColumns
 from ..rtree.node import Node
 from .context import JoinContext, R_SIDE, S_SIDE
 from .stats import JoinResult
 
 OutputPair = Tuple[int, int]
+IndexPair = Tuple[int, int]
 
 
 def rect_mindist(a: Rect, b: Rect) -> float:
@@ -61,7 +62,7 @@ def distance_join(tree_r: RTreeBase, tree_s: RTreeBase,
     out: List[OutputPair] = []
     root_r = ctx.read_root(R_SIDE)
     root_s = ctx.read_root(S_SIDE)
-    if root_r.entries and root_s.entries:
+    if len(root_r) and len(root_s):
         _join_nodes(ctx, distance, root_r, 0, root_s, 0, out)
     ctx.stats.pairs_output = len(out)
     return JoinResult(out, ctx.stats)
@@ -70,130 +71,141 @@ def distance_join(tree_r: RTreeBase, tree_s: RTreeBase,
 def _join_nodes(ctx: JoinContext, distance: float, nr: Node, dr: int,
                 ns: Node, ds: int, out: List[OutputPair]) -> None:
     ctx.stats.node_pairs += 1
-    pairs = _near_pairs(ctx, distance, nr, ns)
+    cols_r, cols_s, pairs = _near_pairs(ctx, distance, nr, ns)
     if not pairs:
         return
     if nr.is_leaf and ns.is_leaf:
-        out.extend((er.ref, es.ref) for er, es in pairs)
+        out.extend((cols_r.ref(i), cols_s.ref(j)) for i, j in pairs)
         return
     if nr.is_leaf or ns.is_leaf:
-        _window_mode(ctx, distance, nr, dr, ns, ds, pairs, out)
+        _window_mode(ctx, distance, nr, dr, ns, ds,
+                     cols_r, cols_s, pairs, out)
         return
-    _process_with_pinning(ctx, pairs, lambda pair: _descend(
+    refs = [(cols_r.ref(i), cols_s.ref(j)) for i, j in pairs]
+    _process_with_pinning(ctx, refs, lambda pair: _descend(
         ctx, distance, pair, dr, ds, out))
 
 
-def _descend(ctx: JoinContext, distance: float, pair, dr: int,
-             ds: int, out: List[OutputPair]) -> None:
-    er, es = pair
-    child_r = ctx.read(R_SIDE, er.ref, dr + 1)
-    child_s = ctx.read(S_SIDE, es.ref, ds + 1)
+def _descend(ctx: JoinContext, distance: float, pair: OutputPair,
+             dr: int, ds: int, out: List[OutputPair]) -> None:
+    ref_r, ref_s = pair
+    child_r = ctx.read(R_SIDE, ref_r, dr + 1)
+    child_s = ctx.read(S_SIDE, ref_s, ds + 1)
     _join_nodes(ctx, distance, child_r, dr + 1, child_s, ds + 1, out)
 
 
 def _near_pairs(ctx: JoinContext, distance: float, nr: Node,
-                ns: Node) -> List[Tuple[Entry, Entry]]:
-    """Entry pairs with MINDIST <= distance, by a widened plane sweep.
+                ns: Node) -> Tuple[NodeColumns, NodeColumns,
+                                   List[IndexPair]]:
+    """Row-index pairs with MINDIST <= distance, by a widened plane
+    sweep over the sorted columns.
 
     Comparisons: each x-window check costs 1; a surviving candidate
     pays 2 more for the exact MINDIST confirmation (the same flat
     accounting style as the intersection sweep).
     """
-    seq_r = ctx.sorted_entries(R_SIDE, nr)
-    seq_s = ctx.sorted_entries(S_SIDE, ns)
+    cols_r = ctx.sorted_columns(R_SIDE, nr)
+    cols_s = ctx.sorted_columns(S_SIDE, ns)
+    rxl = list(cols_r.xlo)
+    rxu = list(cols_r.xhi)
+    sxl = list(cols_s.xlo)
+    sxu = list(cols_s.xhi)
     counter = ctx.counter
-    pairs: List[Tuple[Entry, Entry]] = []
+    pairs: List[IndexPair] = []
     comparisons = 0
     i = 0
     j = 0
-    n = len(seq_r)
-    m = len(seq_s)
+    n = len(cols_r)
+    m = len(cols_s)
     while i < n and j < m:
         comparisons += 1
-        if seq_r[i].rect.xl <= seq_s[j].rect.xl:
-            t = seq_r[i]
-            limit = t.rect.xu + distance
+        if rxl[i] <= sxl[j]:
+            t = cols_r.rect(i)
+            limit = rxu[i] + distance
             k = j
             while k < m:
                 comparisons += 1
-                if seq_s[k].rect.xl > limit:
+                if sxl[k] > limit:
                     break
                 comparisons += 2
-                if rect_mindist(t.rect, seq_s[k].rect) <= distance:
-                    pairs.append((t, seq_s[k]))
+                if rect_mindist(t, cols_s.rect(k)) <= distance:
+                    pairs.append((i, k))
                 k += 1
             i += 1
         else:
-            t = seq_s[j]
-            limit = t.rect.xu + distance
+            t = cols_s.rect(j)
+            limit = sxu[j] + distance
             k = i
             while k < n:
                 comparisons += 1
-                if seq_r[k].rect.xl > limit:
+                if rxl[k] > limit:
                     break
                 comparisons += 2
-                if rect_mindist(seq_r[k].rect, t.rect) <= distance:
-                    pairs.append((seq_r[k], t))
+                if rect_mindist(cols_r.rect(k), t) <= distance:
+                    pairs.append((k, j))
                 k += 1
             j += 1
     counter.join += comparisons
-    return pairs
+    return cols_r, cols_s, pairs
 
 
-def _process_with_pinning(ctx: JoinContext, pairs,
+def _process_with_pinning(ctx: JoinContext, refs: List[OutputPair],
                           process: Callable) -> None:
     """Degree-based pinning, identical to SJ4's schedule."""
     from collections import defaultdict
-    n = len(pairs)
+    n = len(refs)
     done = [False] * n
     by_r = defaultdict(list)
     by_s = defaultdict(list)
-    for idx, (er, es) in enumerate(pairs):
-        by_r[er.ref].append(idx)
-        by_s[es.ref].append(idx)
+    for idx, (ref_r, ref_s) in enumerate(refs):
+        by_r[ref_r].append(idx)
+        by_s[ref_s].append(idx)
     for i in range(n):
         if done[i]:
             continue
-        er, es = pairs[i]
-        process(pairs[i])
+        ref_r, ref_s = refs[i]
+        process(refs[i])
         done[i] = True
-        deg_r = sum(1 for k in by_r[er.ref] if not done[k])
-        deg_s = sum(1 for k in by_s[es.ref] if not done[k])
+        deg_r = sum(1 for k in by_r[ref_r] if not done[k])
+        deg_s = sum(1 for k in by_s[ref_s] if not done[k])
         if deg_r == 0 and deg_s == 0:
             continue
         if deg_r >= deg_s:
-            side, ref, group = R_SIDE, er.ref, by_r[er.ref]
+            side, ref, group = R_SIDE, ref_r, by_r[ref_r]
         else:
-            side, ref, group = S_SIDE, es.ref, by_s[es.ref]
+            side, ref, group = S_SIDE, ref_s, by_s[ref_s]
         ctx.pin(side, ref)
         for k in group:
             if not done[k]:
-                process(pairs[k])
+                process(refs[k])
                 done[k] = True
         ctx.unpin(side, ref)
 
 
 def _window_mode(ctx: JoinContext, distance: float, nr: Node, dr: int,
-                 ns: Node, ds: int, pairs,
+                 ns: Node, ds: int, cols_r: NodeColumns,
+                 cols_s: NodeColumns, pairs: List[IndexPair],
                  out: List[OutputPair]) -> None:
     """Different heights: distance-window queries into the deep side,
     batched per subtree (policy (b))."""
     if nr.is_leaf:
         deep_side, deep_depth = S_SIDE, ds
-        oriented = [(es, er) for er, es in pairs]
+        oriented = [(cols_s.ref(j), cols_r.rect(i), cols_r.ref(i))
+                    for i, j in pairs]
         emit = lambda deep_ref, flat_ref: out.append((flat_ref, deep_ref))
     else:
         deep_side, deep_depth = R_SIDE, dr
-        oriented = list(pairs)
+        oriented = [(cols_r.ref(i), cols_s.rect(j), cols_s.ref(j))
+                    for i, j in pairs]
         emit = lambda deep_ref, flat_ref: out.append((deep_ref, flat_ref))
 
     order: List[int] = []
-    batches: dict[int, List[Entry]] = {}
-    for deep_entry, data_entry in oriented:
-        if deep_entry.ref not in batches:
-            batches[deep_entry.ref] = []
-            order.append(deep_entry.ref)
-        batches[deep_entry.ref].append(data_entry)
+    batches: dict[int, List[Tuple[Rect, int]]] = {}
+    for deep_ref, data_rect, data_ref in oriented:
+        if deep_ref not in batches:
+            batches[deep_ref] = []
+            order.append(deep_ref)
+        batches[deep_ref].append((data_rect, data_ref))
     for ref in order:
         _batched_distance_query(ctx, distance, deep_side, ref,
                                 deep_depth + 1, batches[ref], emit)
@@ -201,23 +213,23 @@ def _window_mode(ctx: JoinContext, distance: float, nr: Node, dr: int,
 
 def _batched_distance_query(ctx: JoinContext, distance: float,
                             side: int, page_id: int, depth: int,
-                            queries: List[Entry],
+                            queries: List[Tuple[Rect, int]],
                             emit: Callable[[int, int], None]) -> None:
     node = ctx.read(side, page_id, depth)
     counter = ctx.counter
     if node.is_leaf:
-        for entry in node.entries:
-            for query in queries:
+        for rect, ref in node.columns.iter_rect_refs():
+            for query_rect, query_ref in queries:
                 counter.join += 2
-                if rect_mindist(entry.rect, query.rect) <= distance:
-                    emit(entry.ref, query.ref)
+                if rect_mindist(rect, query_rect) <= distance:
+                    emit(ref, query_ref)
         return
-    for entry in node.entries:
+    for rect, ref in node.columns.iter_rect_refs():
         sub = []
         for query in queries:
             counter.join += 2
-            if rect_mindist(entry.rect, query.rect) <= distance:
+            if rect_mindist(rect, query[0]) <= distance:
                 sub.append(query)
         if sub:
-            _batched_distance_query(ctx, distance, side, entry.ref,
+            _batched_distance_query(ctx, distance, side, ref,
                                     depth + 1, sub, emit)

@@ -22,12 +22,17 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..geometry.predicates import SpatialPredicate
 from ..geometry.rect import Rect
+from ..rtree.columns import NodeColumns
 from ..rtree.node import Node
 from .context import JoinContext, R_SIDE, S_SIDE
-from .pairs import EntryPair
+from .pairs import EntryPair, iter_index_pairs, ref_pairs
 from .stats import JoinResult
 
 OutputPair = Tuple[int, int]
+
+#: A columnar find-pairs result: the (possibly restricted/sorted) column
+#: views of both nodes plus the qualifying row-index pairs.
+ColumnsPairs = Tuple[NodeColumns, NodeColumns, object, object]
 
 
 class _CallbackSink:
@@ -113,7 +118,7 @@ class JoinAlgorithm:
             with tracer.span("tree_open"):
                 root_r = ctx.read_root(R_SIDE)
                 root_s = ctx.read_root(S_SIDE)
-            if root_r.entries and root_s.entries:
+            if len(root_r) and len(root_s):
                 rect: Optional[Rect] = None
                 if self.restricts_search_space:
                     rect = root_r.mbr().intersection(root_s.mbr())
@@ -132,6 +137,9 @@ class JoinAlgorithm:
                     out: List[OutputPair]) -> None:
         """Join the subtrees rooted at node pair (nr, ns)."""
         ctx.stats.node_pairs += 1
+        if ctx.columnar:
+            self._join_nodes_columnar(ctx, nr, dr, ns, ds, rect, out)
+            return
         if nr.is_leaf and ns.is_leaf:
             pairs = self._observed_find_pairs(ctx, nr, ns, rect, dr,
                                               leaf=True)
@@ -182,6 +190,76 @@ class JoinAlgorithm:
         return process
 
     # ------------------------------------------------------------------
+    # Columnar traversal (same shape, NodeColumns kernels)
+    # ------------------------------------------------------------------
+
+    def _join_nodes_columnar(self, ctx: JoinContext, nr: Node, dr: int,
+                             ns: Node, ds: int, rect: Optional[Rect],
+                             out: List[OutputPair]) -> None:
+        """The columnar twin of the object branch of :meth:`_join_nodes`:
+        identical traversal, read schedule, and counter charges, with
+        the entry-pair kernels running over ``Node.columns`` buffers."""
+        if nr.is_leaf and ns.is_leaf:
+            cols_r, cols_s, idx_r, idx_s = self._observed_find_pairs_columns(
+                ctx, nr, ns, rect, dr, leaf=True)
+            if self.predicate is SpatialPredicate.INTERSECTS:
+                out.extend(ref_pairs(cols_r, cols_s, idx_r, idx_s))
+            else:
+                predicate = self.predicate
+                counter = ctx.counter
+                refs_r = cols_r.refs
+                refs_s = cols_s.refs
+                for a, b in iter_index_pairs(idx_r, idx_s):
+                    if predicate.evaluate_counted(cols_r.rect(a),
+                                                  cols_s.rect(b), counter):
+                        out.append((int(refs_r[a]), int(refs_s[b])))
+            return
+        if nr.is_leaf or ns.is_leaf:
+            self._window_mode(ctx, nr, dr, ns, ds, rect, out)
+            return
+        cols_r, cols_s, idx_r, idx_s = self._observed_find_pairs_columns(
+            ctx, nr, ns, rect, dr, leaf=False)
+        pairs = iter_index_pairs(idx_r, idx_s)
+        if not pairs:
+            return
+        pairs = self._order_pairs_columns(ctx, cols_r, cols_s, pairs)
+        process = self._make_pair_processor_columns(ctx, cols_r, cols_s,
+                                                    dr, ds, out)
+        if self.uses_pinning:
+            refs_r = cols_r.refs
+            refs_s = cols_s.refs
+            refs = [(int(refs_r[a]), int(refs_s[b])) for a, b in pairs]
+            self._pinned_schedule(ctx, pairs, refs, process)
+        else:
+            for pair in pairs:
+                process(pair)
+
+    def _make_pair_processor_columns(
+            self, ctx: JoinContext, cols_r: NodeColumns,
+            cols_s: NodeColumns, dr: int, ds: int,
+            out: List[OutputPair]) -> Callable[[Tuple[int, int]], None]:
+        """Columnar per-pair step: read both children, recurse."""
+        refs_r = cols_r.refs
+        refs_s = cols_s.refs
+
+        def process(pair: Tuple[int, int]) -> None:
+            a, b = pair
+            child_rect: Optional[Rect] = None
+            if self.restricts_search_space:
+                rect_a = cols_r.rect(a)
+                child_rect = rect_a.intersection(cols_s.rect(b))
+                if child_rect is None:
+                    # Degenerate touch lost to float arithmetic; the pair
+                    # qualifies, so keep the boundary rectangle.
+                    child_rect = rect_a
+            child_r = ctx.read(R_SIDE, int(refs_r[a]), dr + 1)
+            child_s = ctx.read(S_SIDE, int(refs_s[b]), ds + 1)
+            self._join_nodes(ctx, child_r, dr + 1, child_s, ds + 1,
+                             child_rect, out)
+
+        return process
+
+    # ------------------------------------------------------------------
     # Pinning (Section 4.3)
     # ------------------------------------------------------------------
 
@@ -191,31 +269,39 @@ class JoinAlgorithm:
         """Process *pairs* in order, but after each pair pin the child
         page with the maximal degree (number of still-unprocessed pairs
         it takes part in) and finish all its pairs first."""
+        refs = [(er.ref, es.ref) for er, es in pairs]
+        self._pinned_schedule(ctx, pairs, refs, process)
+
+    def _pinned_schedule(self, ctx: JoinContext, pairs: List,
+                         refs: List[Tuple[int, int]],
+                         process: Callable) -> None:
+        """Degree-based pinning over any pair representation: *refs* is
+        the parallel list of (child ref of R, child ref of S) pairs."""
         n = len(pairs)
         done = [False] * n
         by_r: Dict[int, List[int]] = defaultdict(list)
         by_s: Dict[int, List[int]] = defaultdict(list)
-        for idx, (er, es) in enumerate(pairs):
-            by_r[er.ref].append(idx)
-            by_s[es.ref].append(idx)
+        for idx, (ref_r, ref_s) in enumerate(refs):
+            by_r[ref_r].append(idx)
+            by_s[ref_s].append(idx)
 
         for i in range(n):
             if done[i]:
                 continue
-            er, es = pairs[i]
+            ref_r, ref_s = refs[i]
             process(pairs[i])
             done[i] = True
             # Degrees are derived from the already-computed pair list, so
             # no additional comparisons are charged (the intersections
             # are known from the plane sweep).
-            deg_r = sum(1 for k in by_r[er.ref] if not done[k])
-            deg_s = sum(1 for k in by_s[es.ref] if not done[k])
+            deg_r = sum(1 for k in by_r[ref_r] if not done[k])
+            deg_s = sum(1 for k in by_s[ref_s] if not done[k])
             if deg_r == 0 and deg_s == 0:
                 continue
             if deg_r >= deg_s:
-                side, ref, group = R_SIDE, er.ref, by_r[er.ref]
+                side, ref, group = R_SIDE, ref_r, by_r[ref_r]
             else:
-                side, ref, group = S_SIDE, es.ref, by_s[es.ref]
+                side, ref, group = S_SIDE, ref_s, by_s[ref_s]
             ctx.pin(side, ref)
             for k in group:
                 if not done[k]:
@@ -263,6 +349,39 @@ class JoinAlgorithm:
         for SJ1/SJ2, sweep order for SJ3/SJ4).  SJ5 overrides this with
         the local z-order.
         """
+        return pairs
+
+    def _find_pairs_columns(self, ctx: JoinContext, nr: Node, ns: Node,
+                            rect: Optional[Rect]) -> ColumnsPairs:
+        """Columnar :meth:`_find_pairs`: returns the (restricted,
+        sorted — algorithm specific) column views of both nodes and the
+        qualifying row-index pairs into them."""
+        raise NotImplementedError
+
+    def _observed_find_pairs_columns(
+            self, ctx: JoinContext, nr: Node, ns: Node,
+            rect: Optional[Rect], depth: int, leaf: bool) -> ColumnsPairs:
+        """:meth:`_find_pairs_columns` plus the same observability
+        signals as :meth:`_observed_find_pairs`."""
+        obs = ctx.obs
+        if not obs.enabled:
+            return self._find_pairs_columns(ctx, nr, ns, rect)
+        start = perf_counter()
+        result = self._find_pairs_columns(ctx, nr, ns, rect)
+        obs.tracer.add_duration("find_pairs", perf_counter() - start)
+        metrics = obs.metrics
+        metrics.inc("join.node_pairs.level.%d" % depth)
+        if leaf:
+            metrics.observe("sweep.run_length", len(result[2]))
+        else:
+            metrics.observe("join.fanout", len(result[2]))
+        return result
+
+    def _order_pairs_columns(
+            self, ctx: JoinContext, cols_r: NodeColumns,
+            cols_s: NodeColumns,
+            pairs: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        """Columnar :meth:`_order_pairs` (SJ5 overrides)."""
         return pairs
 
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ from typing import Dict, List, Set, Tuple
 from ..geometry.rect import Rect
 from ..rtree.base import RTreeBase
 from .planner import spatial_join
+from .spec import JoinSpec
 from .window import WindowQueryEngine
 
 IdPair = Tuple[int, int]
@@ -42,8 +43,9 @@ class SpatialJoinIndex:
         self.tree_r = tree_r
         self.tree_s = tree_s
         self.buffer_kb = buffer_kb
-        result = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                              buffer_kb=buffer_kb)
+        result = spatial_join(tree_r, tree_s,
+                              spec=JoinSpec(algorithm=algorithm,
+                                            buffer_kb=buffer_kb))
         self.build_stats = result.stats
         self._by_left: Dict[int, Set[int]] = defaultdict(set)
         self._by_right: Dict[int, Set[int]] = defaultdict(set)
@@ -135,5 +137,5 @@ class SpatialJoinIndex:
     def verify(self) -> bool:
         """Recompute the join and compare — a consistency audit."""
         fresh = spatial_join(self.tree_r, self.tree_s,
-                             buffer_kb=self.buffer_kb)
+                             spec=JoinSpec(buffer_kb=self.buffer_kb))
         return set(self.pairs()) == fresh.pair_set()

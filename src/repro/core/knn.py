@@ -73,7 +73,7 @@ class NearestNeighborEngine:
         io_before = self.manager.stats.snapshot()
 
         root = self.tree.root
-        if not root.entries:
+        if not len(root):
             return result
 
         counter = itertools.count()   # heap tiebreaker
@@ -87,11 +87,11 @@ class NearestNeighborEngine:
                 result.neighbors.append((payload, dist))
                 continue
             node = self.manager.read(self._side, payload, depth)
-            for entry in node.entries:
-                d = mindist(x, y, entry.rect)
+            for rect, ref in node.columns.iter_rect_refs():
+                d = mindist(x, y, rect)
                 heapq.heappush(
                     heap,
-                    (d, next(counter), node.is_leaf, entry.ref,
+                    (d, next(counter), node.is_leaf, ref,
                      depth + 1))
 
         result.io.disk_reads = \

@@ -18,8 +18,8 @@ from typing import List, Sequence, Tuple
 
 from ..geometry.rect import Rect
 from ..rtree.base import RTreeBase
-from ..rtree.entry import Entry
-from .pairs import sorted_intersection_test
+from ..rtree.columns import NodeColumns
+from .pairs import ref_pairs, sorted_intersection_test_columns
 from .stats import JoinResult, JoinStatistics
 from .window import WindowQueryEngine
 
@@ -60,15 +60,37 @@ def plane_sweep_join(left: Sequence[RectRecord],
     stats = JoinStatistics(algorithm="plane-sweep")
     counter = stats.comparisons
 
-    entries_l = [Entry(rect, ref) for rect, ref in left]
-    entries_r = [Entry(rect, ref) for rect, ref in right]
-    from .context import counted_sort_inplace
-    counter.sort += counted_sort_inplace(entries_l)
-    counter.sort += counted_sort_inplace(entries_r)
-    matches = sorted_intersection_test(entries_l, entries_r, counter)
-    pairs = [(er.ref, es.ref) for er, es in matches]
+    records_l = list(left)
+    records_r = list(right)
+    counter.sort += _counted_sort_records(records_l)
+    counter.sort += _counted_sort_records(records_r)
+    cols_l = NodeColumns.from_rect_refs(records_l)
+    cols_r = NodeColumns.from_rect_refs(records_r)
+    idx_l, idx_r = sorted_intersection_test_columns(cols_l, cols_r,
+                                                    counter)
+    pairs = ref_pairs(cols_l, cols_r, idx_l, idx_r)
     stats.pairs_output = len(pairs)
     return JoinResult(pairs, stats)
+
+
+def _counted_sort_records(records: List[RectRecord]) -> int:
+    """Sort ``(rect, ref)`` records by lower x in place; returns the
+    comparison count (same Timsort charges as the entry-list sort)."""
+    count = 0
+
+    class _Key:
+        __slots__ = ("value",)
+
+        def __init__(self, record: RectRecord) -> None:
+            self.value = record[0].xl
+
+        def __lt__(self, other: "_Key") -> bool:
+            nonlocal count
+            count += 1
+            return self.value < other.value
+
+    records.sort(key=_Key)
+    return count
 
 
 def index_nested_loop_join(outer: Sequence[RectRecord],

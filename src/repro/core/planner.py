@@ -7,8 +7,9 @@ full CPU/I-O accounting.  The defaults are the paper's overall
 recommendation (Section 5): SpatialJoin4 with height policy (b).
 
 All configuration flows through one :class:`~repro.core.spec.JoinSpec`
-(either passed explicitly as ``spec=`` or assembled from the classic
-keyword arguments), and every execution flows through one
+passed as ``spec=`` (the classic keyword arguments survive for one
+release behind a ``DeprecationWarning`` adapter), and every execution
+flows through one
 :class:`~repro.plan.ExecutionPlan`: the spec is handed to
 :func:`repro.plan.plan_join`, which resolves "auto" via the cost model
 and mirrors fixed algorithms verbatim, and the resulting plan is run
@@ -24,15 +25,16 @@ classes) are re-exported here for backward compatibility.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional, Union
 
-from ..geometry.predicates import SpatialPredicate
 from ..obs.core import NULL_OBS, Observability
+from ..plan.plan import ExecutionPlan
 from ..plan.registry import (ALGORITHMS, SpatialJoin4NoRestrict,  # noqa: F401
                              SweepJoinNoRestrict, make_algorithm)
 from ..rtree.base import RTreeBase
 from .context import JoinContext, presort_trees
-from .spec import JoinSpec, UNSET, resolve_spec
+from .spec import JoinSpec, resolve_spec
 from .stats import JoinResult
 
 
@@ -92,73 +94,65 @@ def execute_plan(tree_r: RTreeBase, tree_s: RTreeBase, plan,
     return result
 
 
-def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
-                 algorithm: Union[str, object] = UNSET,
-                 buffer_kb: Union[float, object] = UNSET,
-                 height_policy: Union[str, object] = UNSET,
-                 sort_mode: Union[str, object] = UNSET,
-                 use_path_buffer: Union[bool, object] = UNSET,
-                 presort: Union[bool, object] = UNSET,
-                 predicate: Union[SpatialPredicate, str, object] = UNSET,
-                 workers: Union[int, object] = UNSET,
-                 spec: Optional[JoinSpec] = None,
-                 obs: Optional[Observability] = None) -> JoinResult:
-    """MBR-spatial-join of two R-trees.
+def resolve_call_spec(name: str, spec: Optional[Union[JoinSpec, str]],
+                      legacy: dict) -> JoinSpec:
+    """Fold an entry point's ``spec=`` argument and any legacy keyword
+    arguments into one :class:`~repro.core.spec.JoinSpec`.
 
-    Configuration lives in a :class:`~repro.core.spec.JoinSpec`; the
-    individual keyword arguments remain as shims that fill (or, with a
-    deprecation warning, override) the spec.  Defaults are the spec's
-    defaults: SJ4, 128 KByte buffer, height policy (b), maintained
-    sorting, path buffer on, intersection predicate, one worker.
+    The keyword style (``algorithm=``, ``buffer_kb=``, ...) is
+    deprecated: it still works for one release via this adapter, but
+    every use emits a :class:`DeprecationWarning`.  A bare algorithm
+    name passed where the spec belongs is adapted the same way.
+    """
+    if isinstance(spec, str):
+        # Old positional style: spatial_join(r, s, "sj3").
+        legacy = dict(legacy, algorithm=spec)
+        spec = None
+    if legacy:
+        warnings.warn(
+            f"configuring {name}() through keyword arguments is "
+            f"deprecated; pass spec=JoinSpec(...) (or an ExecutionPlan) "
+            f"instead", DeprecationWarning, stacklevel=3)
+        return resolve_spec(spec, **legacy)
+    if spec is None:
+        return JoinSpec()
+    if not isinstance(spec, JoinSpec):
+        raise TypeError(f"spec must be a JoinSpec or ExecutionPlan, "
+                        f"got {spec!r}")
+    return spec
+
+
+def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
+                 spec: Optional[Union[JoinSpec, ExecutionPlan]] = None,
+                 *, obs: Optional[Observability] = None,
+                 **legacy) -> JoinResult:
+    """MBR-spatial-join of two R-trees.
 
     Parameters
     ----------
     tree_r, tree_s:
         The indexed relations (any :class:`~repro.rtree.RTreeBase`
         subclass; both must use the same page size).
-    algorithm:
-        "sj1" (straightforward), "sj2" (+search-space restriction),
-        "sj3" (+plane sweep schedule), "sj4" (+pinning — the paper's
-        winner, default), "sj5" (z-order schedule), or "auto" — let
-        the cost-based planner (:func:`repro.plan.plan_join`) score
-        the candidates against the trees and pick the cheapest.
-    buffer_kb:
-        LRU buffer size in KByte shared by both trees (split evenly
-        over the workers of a parallel run).
-    height_policy:
-        "a", "b" (default) or "c" — window-query policy used when the
-        trees differ in height (Section 4.4).
-    sort_mode:
-        "maintained" (nodes kept sorted; sorting charged once as
-        presort) or "on_read" (nodes re-sorted after every disk read,
-        charged to the join's sort counter) — Section 4.2's two regimes.
-    use_path_buffer:
-        Disable only for ablation studies; the paper always assumes the
-        R*-tree path buffer.
-    presort:
-        Eagerly sort all nodes of both trees before the join instead of
-        lazily on first touch (only meaningful with
-        ``sort_mode="maintained"``).  Under ``algorithm="auto"`` the
-        planner may enable this itself via the repeat-factor rule.
-    predicate:
-        Join condition on the data MBRs: INTERSECTS (default, the
-        MBR-spatial-join), CONTAINS (R contains S) or WITHIN (R within
-        S).  Directory pruning stays intersection-based, which is sound
-        for all three.
-    workers:
-        Number of processes executing the join; >= 2 uses the
-        partitioned parallel executor and returns its
-        :class:`~repro.core.parallel.ParallelJoinResult` (a
-        ``JoinResult`` with merged statistics plus the per-worker
-        breakdown).
     spec:
-        Explicit :class:`~repro.core.spec.JoinSpec`; replaces all of
-        the above in one object.
+        A :class:`~repro.core.spec.JoinSpec` describing how the join
+        runs — algorithm ("sj1" ... "sj5", or "auto" for the cost-based
+        planner), buffer size, height policy, sorting regime, predicate
+        and worker count.  ``None`` uses the spec defaults (SJ4, 128
+        KByte buffer, height policy (b), maintained sorting, one
+        worker — the paper's Section 5 recommendation).  Passing an
+        already-resolved :class:`~repro.plan.ExecutionPlan` skips
+        planning and executes it verbatim.
     obs:
         Optional :class:`~repro.obs.Observability` handle recording
         spans and metrics for this join (see ``docs/observability.md``);
         equivalent to ``spec.trace=True`` except the caller owns the
         handle.  Never changes results or counters.
+    legacy:
+        The pre-spec keyword arguments (``algorithm=``, ``buffer_kb=``,
+        ``height_policy=``, ``sort_mode=``, ``use_path_buffer=``,
+        ``presort=``, ``predicate=``, ``workers=``).  Deprecated —
+        still honored for one release with a
+        :class:`DeprecationWarning`.
 
     Returns
     -------
@@ -169,48 +163,52 @@ def spatial_join(tree_r: RTreeBase, tree_s: RTreeBase,
         ``result.obs``).
     """
     from ..plan.optimizer import plan_join
-    spec = resolve_spec(spec, algorithm=algorithm, buffer_kb=buffer_kb,
-                        height_policy=height_policy, sort_mode=sort_mode,
-                        use_path_buffer=use_path_buffer, presort=presort,
-                        predicate=predicate, workers=workers)
+    if isinstance(spec, ExecutionPlan):
+        if legacy:
+            raise TypeError("cannot combine an ExecutionPlan with "
+                            "keyword join options")
+        return execute_plan(tree_r, tree_s, spec, obs=obs)
+    spec = resolve_call_spec("spatial_join", spec, legacy)
     plan = plan_join(tree_r, tree_s, spec)
     return execute_plan(tree_r, tree_s, plan, obs=obs)
 
 
 def spatial_join_stream(tree_r: RTreeBase, tree_s: RTreeBase,
                         callback: Callable[[int, int], None],
-                        algorithm: Union[str, object] = UNSET,
-                        buffer_kb: Union[float, object] = UNSET,
-                        height_policy: Union[str, object] = UNSET,
-                        sort_mode: Union[str, object] = UNSET,
-                        use_path_buffer: Union[bool, object] = UNSET,
-                        presort: Union[bool, object] = UNSET,
-                        predicate: Union[SpatialPredicate, str,
-                                         object] = UNSET,
-                        spec: Optional[JoinSpec] = None,
-                        obs: Optional[Observability] = None):
+                        spec: Optional[Union[JoinSpec,
+                                             ExecutionPlan]] = None,
+                        *, obs: Optional[Observability] = None,
+                        **legacy):
     """Like :func:`spatial_join`, but delivers each pair to *callback*
     as it is produced (no result list is materialized).  Returns the
     :class:`~repro.core.stats.JoinStatistics`.
 
-    Shares :func:`spatial_join`'s configuration path (including
-    ``algorithm="auto"`` planning), so a streaming run of a given
+    Shares :func:`spatial_join`'s configuration path (spec-first, with
+    the same deprecated keyword adapter and ``algorithm="auto"``
+    planning), so a streaming run of a given
     :class:`~repro.core.spec.JoinSpec` reports the same counters as
-    the materialized run (``use_path_buffer`` and ``presort`` used to
-    be silently dropped here).  Streaming delivery is inherently
-    ordered, so ``workers`` must stay 1.
+    the materialized run.  Streaming delivery is inherently ordered,
+    so ``workers`` must stay 1.
     """
     from ..plan.optimizer import plan_join, record_plan
-    spec = resolve_spec(spec, algorithm=algorithm, buffer_kb=buffer_kb,
-                        height_policy=height_policy, sort_mode=sort_mode,
-                        use_path_buffer=use_path_buffer, presort=presort,
-                        predicate=predicate)
-    if spec.workers > 1:
+    if isinstance(spec, ExecutionPlan):
+        if legacy:
+            raise TypeError("cannot combine an ExecutionPlan with "
+                            "keyword join options")
+        plan = spec
+    else:
+        spec = resolve_call_spec("spatial_join_stream", spec, legacy)
+        if spec.workers > 1:
+            raise ValueError(
+                "spatial_join_stream delivers pairs in traversal order "
+                "and cannot run parallel; use spatial_join(spec=...) "
+                "with workers>1 or a workers=1 spec here")
+        plan = plan_join(tree_r, tree_s, spec)
+    if plan.workers > 1:
         raise ValueError(
             "spatial_join_stream delivers pairs in traversal order and "
-            "cannot run parallel; use spatial_join(spec=...) with "
-            "workers>1 or a workers=1 spec here")
-    plan = plan_join(tree_r, tree_s, spec)
+            "cannot run parallel; use spatial_join with a workers>1 "
+            "plan instead")
     run_spec = plan.to_spec()
     obs = resolve_obs(obs, run_spec)
     record_plan(obs, plan)

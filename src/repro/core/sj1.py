@@ -13,8 +13,8 @@ from typing import List, Optional
 from ..geometry.rect import Rect
 from ..rtree.node import Node
 from .context import JoinContext
-from .engine import JoinAlgorithm
-from .pairs import EntryPair, nested_loop_pairs
+from .engine import ColumnsPairs, JoinAlgorithm
+from .pairs import EntryPair, nested_loop_pairs, nested_loop_pairs_columns
 
 
 class SpatialJoin1(JoinAlgorithm):
@@ -27,3 +27,11 @@ class SpatialJoin1(JoinAlgorithm):
     def _find_pairs(self, ctx: JoinContext, nr: Node, ns: Node,
                     rect: Optional[Rect]) -> List[EntryPair]:
         return nested_loop_pairs(nr.entries, ns.entries, ctx.counter)
+
+    def _find_pairs_columns(self, ctx: JoinContext, nr: Node, ns: Node,
+                            rect: Optional[Rect]) -> ColumnsPairs:
+        cols_r = nr.columns
+        cols_s = ns.columns
+        idx_r, idx_s = nested_loop_pairs_columns(cols_r, cols_s,
+                                                 ctx.counter)
+        return cols_r, cols_s, idx_r, idx_s

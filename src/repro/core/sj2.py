@@ -13,8 +13,9 @@ from typing import List, Optional
 from ..geometry.rect import Rect
 from ..rtree.node import Node
 from .context import JoinContext
-from .engine import JoinAlgorithm
-from .pairs import EntryPair, nested_loop_pairs, restrict_entries
+from .engine import ColumnsPairs, JoinAlgorithm
+from .pairs import (EntryPair, nested_loop_pairs, nested_loop_pairs_columns,
+                    restrict_columns, restrict_entries)
 
 
 class SpatialJoin2(JoinAlgorithm):
@@ -31,3 +32,14 @@ class SpatialJoin2(JoinAlgorithm):
         marked_r = restrict_entries(nr.entries, rect, ctx.counter)
         marked_s = restrict_entries(ns.entries, rect, ctx.counter)
         return nested_loop_pairs(marked_r, marked_s, ctx.counter)
+
+    def _find_pairs_columns(self, ctx: JoinContext, nr: Node, ns: Node,
+                            rect: Optional[Rect]) -> ColumnsPairs:
+        cols_r = nr.columns
+        cols_s = ns.columns
+        if rect is not None:
+            cols_r = restrict_columns(cols_r, rect, ctx.counter)
+            cols_s = restrict_columns(cols_s, rect, ctx.counter)
+        idx_r, idx_s = nested_loop_pairs_columns(cols_r, cols_s,
+                                                 ctx.counter)
+        return cols_r, cols_s, idx_r, idx_s

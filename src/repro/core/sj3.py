@@ -14,8 +14,10 @@ from typing import List, Optional
 from ..geometry.rect import Rect
 from ..rtree.node import Node
 from .context import JoinContext, R_SIDE, S_SIDE
-from .engine import JoinAlgorithm
-from .pairs import EntryPair, restrict_entries, sorted_intersection_test
+from .engine import ColumnsPairs, JoinAlgorithm
+from .pairs import (EntryPair, restrict_columns, restrict_entries,
+                    sorted_intersection_test,
+                    sorted_intersection_test_columns)
 
 
 class SpatialJoin3(JoinAlgorithm):
@@ -33,3 +35,15 @@ class SpatialJoin3(JoinAlgorithm):
             seq_r = restrict_entries(seq_r, rect, ctx.counter)
             seq_s = restrict_entries(seq_s, rect, ctx.counter)
         return sorted_intersection_test(seq_r, seq_s, ctx.counter)
+
+    def _find_pairs_columns(self, ctx: JoinContext, nr: Node, ns: Node,
+                            rect: Optional[Rect]) -> ColumnsPairs:
+        cols_r = ctx.sorted_columns(R_SIDE, nr)
+        cols_s = ctx.sorted_columns(S_SIDE, ns)
+        if rect is not None:
+            # Restriction preserves order, so the views stay sorted.
+            cols_r = restrict_columns(cols_r, rect, ctx.counter)
+            cols_s = restrict_columns(cols_s, rect, ctx.counter)
+        idx_r, idx_s = sorted_intersection_test_columns(cols_r, cols_s,
+                                                        ctx.counter)
+        return cols_r, cols_s, idx_r, idx_s

@@ -77,3 +77,35 @@ class SpatialJoin5(SpatialJoin3):
         keyed.sort(key=_Key)
         ctx.counter.sort += count
         return [pair for _, pair in keyed]
+
+    def _order_pairs_columns(self, ctx: JoinContext, cols_r, cols_s,
+                             pairs):
+        if self._grid is None or len(pairs) < 2:
+            return pairs
+        grid = self._grid
+        keyed = []
+        for pair in pairs:
+            a, b = pair
+            rect_a = cols_r.rect(a)
+            common = rect_a.intersection(cols_s.rect(b))
+            if common is None:    # boundary touch lost to float arithmetic
+                common = rect_a
+            keyed.append((grid.zvalue_of_rect(common), pair))
+        # Same counted z-sort as the object path: identical keys in the
+        # identical input order make Timsort charge the same count.
+        count = 0
+
+        class _Key:
+            __slots__ = ("value",)
+
+            def __init__(self, item) -> None:
+                self.value = item[0]
+
+            def __lt__(self, other: "_Key") -> bool:
+                nonlocal count
+                count += 1
+                return self.value < other.value
+
+        keyed.sort(key=_Key)
+        ctx.counter.sort += count
+        return [pair for _, pair in keyed]

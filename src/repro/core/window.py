@@ -13,10 +13,11 @@ from dataclasses import dataclass, field
 from typing import List
 
 from ..geometry.counting import ComparisonCounter
-from ..geometry.rect import Rect, intersect_count
+from ..geometry.rect import Rect
 from ..rtree.base import RTreeBase
 from ..storage.manager import BufferManager
 from ..storage.stats import IOStatistics
+from .pairs import restrict_columns
 
 
 @dataclass
@@ -63,11 +64,12 @@ class WindowQueryEngine:
     def _descend(self, page_id: int, depth: int, window: Rect,
                  refs: List[int]) -> None:
         node = self.manager.read(self._side, page_id, depth)
+        # The restriction kernel charges the same short-circuit pattern
+        # as a per-entry ``intersect_count`` loop, so counters match the
+        # scalar implementation exactly.
+        kept = restrict_columns(node.columns, window, self.counter)
         if node.is_leaf:
-            for entry in node.entries:
-                if intersect_count(entry.rect, window, self.counter):
-                    refs.append(entry.ref)
+            refs.extend(kept.child_refs())
             return
-        for entry in node.entries:
-            if intersect_count(entry.rect, window, self.counter):
-                self._descend(entry.ref, depth + 1, window, refs)
+        for ref in kept.child_refs():
+            self._descend(ref, depth + 1, window, refs)

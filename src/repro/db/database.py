@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple
 
-from ..core.planner import execute_plan
+from ..core.planner import execute_plan, resolve_call_spec
 from ..core.refinement import id_spatial_join
-from ..core.spec import JoinSpec, UNSET, resolve_spec
+from ..core.spec import JoinSpec
 from ..core.stats import JoinResult
 from ..plan.optimizer import plan_join
 from ..plan.plan import ExecutionPlan
@@ -83,17 +83,16 @@ class SpatialDatabase:
     # ------------------------------------------------------------------
 
     def join(self, left: str, right: str,
-             algorithm: Union[str, object] = UNSET,
-             buffer_kb: Union[float, object] = UNSET,
-             predicate: Union[SpatialPredicate, str, object] = UNSET,
-             refine: bool = False,
-             workers: Union[int, object] = UNSET,
-             spec: Optional[JoinSpec] = None) -> JoinResult:
+             spec: Optional[JoinSpec] = None, *,
+             refine: bool = False, **legacy) -> JoinResult:
         """Join two relations.
 
         Configuration goes through the shared
         :class:`~repro.core.spec.JoinSpec` path — pass ``spec=`` (with
-        ``workers`` for parallel execution) or the classic keywords.
+        ``spec.workers >= 2`` for parallel execution).  The classic
+        keywords (``algorithm=``, ``buffer_kb=``, ``predicate=``,
+        ``workers=``) survive for one release behind a
+        :class:`DeprecationWarning`.
 
         ``refine=False`` returns the MBR-spatial-join (the filter step);
         ``refine=True`` additionally runs the ID-spatial-join on the
@@ -103,9 +102,7 @@ class SpatialDatabase:
         """
         rel_l = self.relation(left)
         rel_r = self.relation(right)
-        spec = resolve_spec(spec, algorithm=algorithm,
-                            buffer_kb=buffer_kb, predicate=predicate,
-                            workers=workers)
+        spec = resolve_call_spec("SpatialDatabase.join", spec, legacy)
         plan = plan_join(rel_l.tree, rel_r.tree, spec)
         result = execute_plan(rel_l.tree, rel_r.tree, plan)
         if not refine:
@@ -126,11 +123,8 @@ class SpatialDatabase:
         return result
 
     def explain(self, left: str, right: str,
-                algorithm: Union[str, object] = UNSET,
-                buffer_kb: Union[float, object] = UNSET,
-                predicate: Union[SpatialPredicate, str, object] = UNSET,
-                workers: Union[int, object] = UNSET,
-                spec: Optional[JoinSpec] = None) -> ExecutionPlan:
+                spec: Optional[JoinSpec] = None,
+                **legacy) -> ExecutionPlan:
         """Plan a join between two relations without executing it.
 
         Takes the same configuration as :meth:`join` and returns the
@@ -141,9 +135,7 @@ class SpatialDatabase:
         """
         rel_l = self.relation(left)
         rel_r = self.relation(right)
-        spec = resolve_spec(spec, algorithm=algorithm,
-                            buffer_kb=buffer_kb, predicate=predicate,
-                            workers=workers)
+        spec = resolve_call_spec("SpatialDatabase.explain", spec, legacy)
         return plan_join(rel_l.tree, rel_r.tree, spec, score=True)
 
     def distance_join(self, left: str, right: str, distance: float,

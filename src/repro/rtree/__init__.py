@@ -6,6 +6,8 @@ The R*-tree (:class:`RStarTree`) is the access method the paper joins;
 
 from .base import RTreeBase
 from .bulk import PackedRTree, chunk_balanced, hilbert_pack, str_pack
+from .columns import (HAVE_NUMPY, NodeColumns, force_stdlib, kernel_layout,
+                      set_kernel_layout, use_numpy)
 from .entry import Entry
 from .guttman import (GuttmanRTree, least_enlargement_index, linear_split,
                       quadratic_split)
@@ -22,7 +24,9 @@ __all__ = [
     "ENTRY_BYTES",
     "Entry",
     "GuttmanRTree",
+    "HAVE_NUMPY",
     "Node",
+    "NodeColumns",
     "PackedRTree",
     "PageDamage",
     "PersistenceError",
@@ -34,8 +38,10 @@ __all__ = [
     "ScrubReport",
     "TreeProperties",
     "chunk_balanced",
+    "force_stdlib",
     "hilbert_pack",
     "is_valid",
+    "kernel_layout",
     "least_enlargement_index",
     "linear_split",
     "load_tree",
@@ -44,7 +50,9 @@ __all__ = [
     "rstar_split",
     "save_tree",
     "scrub_tree",
+    "set_kernel_layout",
     "str_pack",
     "tree_properties",
+    "use_numpy",
     "validate_rtree",
 ]

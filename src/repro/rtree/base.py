@@ -59,6 +59,9 @@ class RTreeBase:
         return self.store.read(page_id)
 
     def _write(self, node: Node) -> None:
+        # Every structure modification funnels through here; the cached
+        # columnar view (if any) is stale the moment entries changed.
+        node.invalidate_columns()
         self.store.write(node.page_id, node)
 
     @property
@@ -262,7 +265,7 @@ class RTreeBase:
             node = stack.pop()
             yield node
             if not node.is_leaf:
-                stack.extend(self.node(e.ref) for e in node.entries)
+                stack.extend(self.node(ref) for ref in node.child_refs())
 
     def iter_data_entries(self) -> Iterator[Entry]:
         """Yield every data entry."""

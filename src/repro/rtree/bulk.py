@@ -61,7 +61,7 @@ class PackedRTree(RTreeBase):
             node.entries = run
             self._write(node)
             nodes.append(node)
-        self._size = sum(len(n.entries) for n in nodes)
+        self._size = sum(len(n) for n in nodes)
         while len(nodes) > 1:
             level += 1
             parents: List[Node] = []

@@ -14,19 +14,26 @@ precision, so a physical page is larger than the logical page.  Layout:
 Every node page carries a CRC32 over its body, verified on load, so a
 torn write or bit rot surfaces as :class:`PersistenceError` instead of
 a silently corrupt tree.
+
+(De)serialization runs over :class:`~repro.rtree.columns.NodeColumns`
+buffers: the entry struct format ``"<4dq"`` is bit-compatible with the
+columns' numpy record dtype, so a page body encodes/decodes as one
+vectorized copy on the numpy backend — no per-entry ``Entry``/``Rect``
+object construction — and loaded nodes stay columnar until a caller
+touches ``.entries``.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
-from typing import Dict, List, Type
+from array import array
+from typing import Dict, List, Tuple, Type
 
-from ..geometry.rect import Rect
 from ..storage.pagestore import FilePageStore, MemoryPageStore
 from .base import RTreeBase
 from .bulk import PackedRTree
-from .entry import Entry
+from .columns import NP_ENTRY_DTYPE, NodeColumns, np, use_numpy
 from .guttman import GuttmanRTree
 from .node import Node
 from .params import RTreeParams
@@ -58,6 +65,62 @@ def _physical_page_size(params: RTreeParams) -> int:
     return max(_HEADER.size, payload) + 8
 
 
+def encode_node_body(node: Node, refs: List[int]) -> bytes:
+    """Serialize one node body (header + entry records) from its columns.
+
+    *refs* carries the already-remapped reference column (file page
+    indices for directory nodes, object ids for leaves).
+    """
+    cols = node.columns
+    count = len(cols)
+    header = _NODE_HEADER.pack(node.level, count)
+    if cols.is_numpy:
+        records = np.empty(count, dtype=NP_ENTRY_DTYPE)
+        records["xl"] = cols.xlo
+        records["yl"] = cols.ylo
+        records["xu"] = cols.xhi
+        records["yu"] = cols.yhi
+        records["ref"] = refs
+        return header + records.tobytes()
+    pack = _ENTRY.pack
+    parts = [header]
+    parts.extend(pack(xl, yl, xu, yu, ref)
+                 for xl, yl, xu, yu, ref
+                 in zip(cols.xlo, cols.ylo, cols.xhi, cols.yhi, refs))
+    return b"".join(parts)
+
+
+def decode_node_body(body: bytes) -> Tuple[int, NodeColumns]:
+    """Parse one node body into (level, columns-with-raw-refs).
+
+    The refs column still holds the on-disk values (file page indices
+    for directory nodes); callers remap them to live page ids.
+    """
+    level, count = _NODE_HEADER.unpack_from(body, 0)
+    offset = _NODE_HEADER.size
+    expected = offset + count * _ENTRY.size
+    if len(body) < expected:
+        raise PersistenceError(
+            f"node body holds {len(body)} bytes, expected {expected}")
+    if use_numpy():
+        records = np.frombuffer(body, dtype=NP_ENTRY_DTYPE, count=count,
+                                offset=offset)
+        return level, NodeColumns.from_records(records)
+    xlo = array("d")
+    ylo = array("d")
+    xhi = array("d")
+    yhi = array("d")
+    refs = array("q")
+    for xl, yl, xu, yu, ref in _ENTRY.iter_unpack(
+            body[offset:expected]):
+        xlo.append(xl)
+        ylo.append(yl)
+        xhi.append(xu)
+        yhi.append(yu)
+        refs.append(ref)
+    return level, NodeColumns(xlo, ylo, xhi, yhi, refs)
+
+
 def save_tree(tree: RTreeBase, path: str) -> int:
     """Serialize *tree* to *path*; returns the number of pages written."""
     nodes: List[Node] = list(tree.iter_nodes())
@@ -69,12 +132,10 @@ def save_tree(tree: RTreeBase, path: str) -> int:
         header_page = store.allocate()
         for node in nodes:
             page = store.allocate()
-            parts = [_NODE_HEADER.pack(node.level, len(node.entries))]
-            for entry in node.entries:
-                ref = entry.ref if node.is_leaf else index_of[entry.ref]
-                r = entry.rect
-                parts.append(_ENTRY.pack(r.xl, r.yl, r.xu, r.yu, ref))
-            body = b"".join(parts)
+            refs = node.child_refs()
+            if not node.is_leaf:
+                refs = [index_of[ref] for ref in refs]
+            body = encode_node_body(node, refs)
             store.write(page, _CRC.pack(zlib.crc32(body)) + body)
         root_index = index_of[tree.root_id] if nodes else 0
         variant = tree.variant.encode("ascii")[:24].ljust(24, b"\x00")
@@ -89,7 +150,9 @@ def load_tree(path: str) -> RTreeBase:
     """Reconstruct a tree saved by :func:`save_tree`.
 
     The returned tree lives on a fresh :class:`MemoryPageStore` and is
-    fully operational (queries, joins, further updates).
+    fully operational (queries, joins, further updates).  Nodes come
+    back columnar-only; ``Entry`` objects materialize lazily if and
+    when tree-maintenance code needs them.
     """
     with open(path, "rb") as f:
         raw = f.read(4 + _HEADER.size)
@@ -121,6 +184,11 @@ def load_tree(path: str) -> RTreeBase:
     with FilePageStore(path, physical, create=False) as file_store:
         page_of: Dict[int, int] = {
             i: store.allocate() for i in range(1, node_count + 1)}
+        if use_numpy():
+            # Vectorized ref remap: file index -> allocated page id.
+            remap = np.zeros(node_count + 1, dtype=np.int64)
+            for i, pid in page_of.items():
+                remap[i] = pid
         for file_index in range(1, node_count + 1):
             blob = file_store.read(file_index)
             if len(blob) < _CRC.size + _NODE_HEADER.size:
@@ -132,16 +200,25 @@ def load_tree(path: str) -> RTreeBase:
                 raise PersistenceError(
                     f"page {file_index} of {path} fails its checksum — "
                     f"the file is corrupt")
-            level, count = _NODE_HEADER.unpack_from(body, 0)
-            node = Node(page_of[file_index], level)
-            blob = body
-            offset = _NODE_HEADER.size
-            for _ in range(count):
-                xl, yl, xu, yu, ref = _ENTRY.unpack_from(blob, offset)
-                offset += _ENTRY.size
-                if level > 0:
-                    ref = page_of[ref]
-                node.entries.append(Entry(Rect(xl, yl, xu, yu), ref))
+            level, cols = decode_node_body(body)
+            if level > 0:
+                if cols.is_numpy:
+                    if cols.refs.size and (
+                            cols.refs.min() < 1
+                            or cols.refs.max() > node_count):
+                        raise PersistenceError(
+                            f"page {file_index} of {path} references a "
+                            f"page outside the file")
+                    cols.refs = remap[cols.refs]
+                else:
+                    try:
+                        cols.refs = array(
+                            "q", (page_of[ref] for ref in cols.refs))
+                    except KeyError:
+                        raise PersistenceError(
+                            f"page {file_index} of {path} references a "
+                            f"page outside the file") from None
+            node = Node(page_of[file_index], level, columns=cols)
             store.write(node.page_id, node)
 
     if node_count == 0:

@@ -30,7 +30,8 @@ from .base import RTreeBase
 from .bulk import str_pack
 from .params import RTreeParams
 from .persist import (_CRC, _ENTRY, _HEADER, _MAGIC, _NODE_HEADER,
-                      _VARIANTS, _VERSION, PersistenceError, save_tree)
+                      _VARIANTS, _VERSION, PersistenceError,
+                      decode_node_body, save_tree)
 
 #: FilePageStore's per-page length prefix.
 _STORE_HEADER = 4
@@ -111,7 +112,7 @@ def _read_header(path: str) -> Tuple[int, int, int, str, int]:
 
 def _scan_pages(path: str, physical: int, node_count: int):
     """Yield ``(page_index, node_or_None, damage_or_None)`` where the
-    node is ``(level, entries)`` for every healthy page."""
+    node is ``(level, columns)`` for every healthy page."""
     with open(path, "rb") as handle:
         data = handle.read()
     for index in range(1, node_count + 1):
@@ -147,13 +148,8 @@ def _scan_pages(path: str, physical: int, node_count: int):
                 index, f"node header claims {count} entries at level "
                        f"{level}, which does not fit the payload")
             continue
-        entries = []
-        offset_in = _NODE_HEADER.size
-        for _ in range(count):
-            xl, yl, xu, yu, ref = _ENTRY.unpack_from(body, offset_in)
-            offset_in += _ENTRY.size
-            entries.append((Rect(xl, yl, xu, yu), ref))
-        yield index, (level, entries), None
+        _, columns = decode_node_body(body)
+        yield index, (level, columns), None
 
 
 def scrub_tree(path: str) -> ScrubReport:
@@ -191,9 +187,9 @@ def repair_tree(path: str, output: str) -> RepairReport:
         if damage is not None:
             scrub.damaged.append(damage)
             continue
-        level, entries = node
+        level, columns = node
         if level == 0:
-            records.extend(entries)
+            records.extend(columns.iter_rect_refs())
     if not records:
         raise PersistenceError(
             f"no leaf entries survive in {path}; nothing to rebuild")

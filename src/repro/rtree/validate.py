@@ -35,9 +35,9 @@ def validate_rtree(tree: RTreeBase, check_min_fill: bool = True) -> None:
     seen_pages: set[int] = set()
     data_entries = 0
 
-    if not root.is_leaf and len(root.entries) < 2:
+    if not root.is_leaf and len(root) < 2:
         raise RTreeInvariantError(
-            f"non-leaf root has {len(root.entries)} children (< 2)")
+            f"non-leaf root has {len(root)} children (< 2)")
     if root.level != tree.height - 1:
         raise RTreeInvariantError(
             f"root level {root.level} inconsistent with height {tree.height}")
@@ -55,34 +55,34 @@ def validate_rtree(tree: RTreeBase, check_min_fill: bool = True) -> None:
                 f"{node.page_id}")
         is_root = page_id == tree.root_id
 
-        if len(node.entries) > tree.params.max_entries:
+        if len(node) > tree.params.max_entries:
             raise RTreeInvariantError(
-                f"node {page_id} holds {len(node.entries)} entries "
+                f"node {page_id} holds {len(node)} entries "
                 f"(M = {tree.params.max_entries})")
         if not is_root and check_min_fill and \
-                len(node.entries) < tree.params.min_entries:
+                len(node) < tree.params.min_entries:
             raise RTreeInvariantError(
-                f"node {page_id} holds {len(node.entries)} entries "
+                f"node {page_id} holds {len(node)} entries "
                 f"(m = {tree.params.min_entries})")
 
         if node.is_leaf:
-            data_entries += len(node.entries)
+            data_entries += len(node)
             continue
 
-        for entry in node.entries:
-            child = tree.node(entry.ref)
+        for rect, ref in node.columns.iter_rect_refs():
+            child = tree.node(ref)
             if child.level != node.level - 1:
                 raise RTreeInvariantError(
-                    f"child {entry.ref} at level {child.level} under node "
+                    f"child {ref} at level {child.level} under node "
                     f"{page_id} at level {node.level} — tree unbalanced")
-            if not child.entries:
-                raise RTreeInvariantError(f"child {entry.ref} is empty")
+            if not len(child):
+                raise RTreeInvariantError(f"child {ref} is empty")
             exact = child.mbr()
-            if entry.rect != exact:
+            if rect != exact:
                 raise RTreeInvariantError(
-                    f"routing rectangle of child {entry.ref} is "
-                    f"{entry.rect}, exact MBR is {exact}")
-            stack.append(entry.ref)
+                    f"routing rectangle of child {ref} is "
+                    f"{rect}, exact MBR is {exact}")
+            stack.append(ref)
 
     if data_entries != len(tree):
         raise RTreeInvariantError(

@@ -5,6 +5,7 @@ import pytest
 from repro.core.distance import distance_join, rect_mindist
 from repro.geometry import Rect
 from tests.conftest import build_rstar, make_rects
+from repro.core import JoinSpec
 
 
 class TestRectMindist:
@@ -50,8 +51,8 @@ class TestDistanceJoin:
         from repro.core import spatial_join
         _, _, tree_r, tree_s = data
         near = distance_join(tree_r, tree_s, 0.0, buffer_kb=16)
-        intersect = spatial_join(tree_r, tree_s, algorithm="sj4",
-                                 buffer_kb=16)
+        intersect = spatial_join(tree_r, tree_s,
+                                 spec=JoinSpec(algorithm="sj4", buffer_kb=16))
         assert near.pair_set() == intersect.pair_set()
 
     def test_monotone_in_distance(self, data):

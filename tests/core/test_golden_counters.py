@@ -16,6 +16,7 @@ import pytest
 
 from repro.core import spatial_join
 from tests.conftest import build_rstar, make_rects
+from repro.core import JoinSpec
 
 # (algorithm, pairs, disk_accesses, cmp_join, cmp_sort, presort,
 #  node_pairs) for make_rects(400, seed=424242/434343, max_extent=30),
@@ -45,8 +46,8 @@ def test_golden_counters(workload, algorithm, pairs, accesses,
     # node order, so sharing trees would couple the runs.
     tree_r = build_rstar(left, 256)
     tree_s = build_rstar(right, 256)
-    result = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                          buffer_kb=8)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm=algorithm, buffer_kb=8))
     stats = result.stats
     assert len(result) == pairs
     assert stats.disk_accesses == accesses

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import nested_loop_join, spatial_join
+from repro.core import JoinSpec
 
 ALGORITHMS = ("sj1", "sj2", "sj3", "sj4", "sj5")
 POLICIES = ("a", "b", "c")
@@ -24,8 +25,8 @@ def test_heights_actually_differ(unbalanced_trees):
 def test_all_policy_algorithm_combos_match_oracle(
         unbalanced_trees, oracle, algorithm, policy):
     tree_r, tree_s, _, _ = unbalanced_trees
-    result = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                          buffer_kb=16, height_policy=policy)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm=algorithm, buffer_kb=16, height_policy=policy))
     assert result.pair_set() == oracle
 
 
@@ -33,8 +34,8 @@ def test_all_policy_algorithm_combos_match_oracle(
 def test_swapped_sides_match_oracle(unbalanced_trees, oracle, policy):
     """The deep tree may be on either side of the join."""
     tree_r, tree_s, _, _ = unbalanced_trees
-    result = spatial_join(tree_s, tree_r, algorithm="sj4",
-                          buffer_kb=16, height_policy=policy)
+    result = spatial_join(tree_s, tree_r,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=16, height_policy=policy))
     assert {(b, a) for a, b in result.pair_set()} == oracle
 
 
@@ -43,10 +44,10 @@ def test_policy_b_reads_at_most_policy_a(unbalanced_trees):
     it can never need more reads than one query per pair (a)."""
     tree_r, tree_s, _, _ = unbalanced_trees
     for buffer_kb in (0, 8, 64):
-        a = spatial_join(tree_r, tree_s, algorithm="sj4",
-                         buffer_kb=buffer_kb, height_policy="a")
-        b = spatial_join(tree_r, tree_s, algorithm="sj4",
-                         buffer_kb=buffer_kb, height_policy="b")
+        a = spatial_join(tree_r, tree_s,
+                         spec=JoinSpec(algorithm="sj4", buffer_kb=buffer_kb, height_policy="a"))
+        b = spatial_join(tree_r, tree_s,
+                         spec=JoinSpec(algorithm="sj4", buffer_kb=buffer_kb, height_policy="b"))
         assert b.stats.disk_accesses <= a.stats.disk_accesses
 
 
@@ -54,8 +55,8 @@ def test_policies_only_affect_io_not_result_size(unbalanced_trees):
     tree_r, tree_s, _, _ = unbalanced_trees
     sizes = set()
     for policy in POLICIES:
-        result = spatial_join(tree_r, tree_s, algorithm="sj4",
-                              buffer_kb=8, height_policy=policy)
+        result = spatial_join(tree_r, tree_s,
+                              spec=JoinSpec(algorithm="sj4", buffer_kb=8, height_policy=policy))
         sizes.add(len(result.pairs))
     assert len(sizes) == 1
 
@@ -63,4 +64,4 @@ def test_policies_only_affect_io_not_result_size(unbalanced_trees):
 def test_unknown_policy_rejected(unbalanced_trees):
     tree_r, tree_s, _, _ = unbalanced_trees
     with pytest.raises(ValueError):
-        spatial_join(tree_r, tree_s, height_policy="z")
+        spatial_join(tree_r, tree_s, spec=JoinSpec(height_policy="z"))

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.core import nested_loop_join, spatial_join
 from repro.geometry import Rect
 from repro.rtree import RStarTree, RTreeParams
+from repro.core import JoinSpec
 
 coords = st.floats(min_value=0.0, max_value=50.0,
                    allow_nan=False, allow_infinity=False)
@@ -41,8 +42,8 @@ def test_join_matches_oracle(left, right, algorithm, buffer_kb):
     oracle = nested_loop_join(
         [(r, i) for i, r in enumerate(left)],
         [(r, i) for i, r in enumerate(right)]).pair_set()
-    result = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                          buffer_kb=buffer_kb)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm=algorithm, buffer_kb=buffer_kb))
     assert result.pair_set() == oracle
 
 
@@ -52,8 +53,8 @@ def test_algorithms_agree_with_each_other(left, right):
     tree_r = build(left)
     tree_s = build(right)
     results = {
-        algorithm: spatial_join(tree_r, tree_s, algorithm=algorithm,
-                                buffer_kb=8).pair_set()
+        algorithm: spatial_join(tree_r, tree_s,
+                                spec=JoinSpec(algorithm=algorithm, buffer_kb=8)).pair_set()
         for algorithm in ("sj1", "sj3", "sj5")
     }
     assert results["sj1"] == results["sj3"] == results["sj5"]
@@ -64,7 +65,8 @@ def test_algorithms_agree_with_each_other(left, right):
 def test_self_join_contains_diagonal(rect_list):
     tree_r = build(rect_list)
     tree_s = build(rect_list)
-    result = spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=8)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=8))
     pair_set = result.pair_set()
     for i in range(len(rect_list)):
         assert (i, i) in pair_set

@@ -28,8 +28,8 @@ WORKER_COUNTS = (1, 2, 4)
 def test_parity_with_serial_equal_heights(medium_trees, algorithm,
                                           workers):
     tree_r, tree_s = medium_trees
-    serial = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                          buffer_kb=16)
+    serial = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm=algorithm, buffer_kb=16))
     parallel = spatial_join(
         tree_r, tree_s,
         spec=JoinSpec(algorithm=algorithm, buffer_kb=16,
@@ -43,8 +43,8 @@ def test_parity_with_serial_different_heights(unbalanced_trees,
                                               algorithm, workers):
     tree_r, tree_s, _, _ = unbalanced_trees
     assert tree_r.height != tree_s.height
-    serial = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                          buffer_kb=16)
+    serial = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm=algorithm, buffer_kb=16))
     parallel = spatial_join(
         tree_r, tree_s,
         spec=JoinSpec(algorithm=algorithm, buffer_kb=16,
@@ -58,8 +58,7 @@ def test_parity_with_non_default_predicate(medium_trees, workers):
     spec = JoinSpec(predicate=SpatialPredicate.CONTAINS, buffer_kb=16,
                     workers=workers)
     serial = spatial_join(tree_r, tree_s,
-                          predicate=SpatialPredicate.CONTAINS,
-                          buffer_kb=16)
+                          spec=JoinSpec(predicate=SpatialPredicate.CONTAINS, buffer_kb=16))
     parallel = spatial_join(tree_r, tree_s, spec=spec)
     assert sorted(parallel.pairs) == sorted(serial.pairs)
 
@@ -171,7 +170,7 @@ def test_cluster_tasks_handles_empty_and_tiny_inputs():
 def test_direct_call_defaults_to_one_worker(medium_trees):
     tree_r, tree_s = medium_trees
     result = parallel_spatial_join(tree_r, tree_s)
-    serial = spatial_join(tree_r, tree_s, buffer_kb=128)
+    serial = spatial_join(tree_r, tree_s, spec=JoinSpec(buffer_kb=128))
     assert sorted(result.pairs) == sorted(serial.pairs)
     assert result.workers == 1
 
@@ -202,7 +201,8 @@ def test_presort_charged_once_in_the_coordinator(medium_records_pair):
     assert all(part.presort_comparisons == 0
                for part in result.worker_stats)
     serial_trees = (build_rstar(left[:800]), build_rstar(right[:800]))
-    serial = spatial_join(*serial_trees, buffer_kb=16, presort=True)
+    serial = spatial_join(*serial_trees,
+                          spec=JoinSpec(buffer_kb=16, presort=True))
     assert sorted(result.pairs) == sorted(serial.pairs)
 
 

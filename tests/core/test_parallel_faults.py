@@ -39,8 +39,8 @@ def _inject(tree, plan):
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_parity_under_seeded_transients(algorithm):
     tree_r, tree_s = _fresh_trees()
-    baseline = sorted(spatial_join(tree_r, tree_s, algorithm=algorithm,
-                                   buffer_kb=16).pairs)
+    baseline = sorted(spatial_join(tree_r, tree_s,
+                                   spec=JoinSpec(algorithm=algorithm, buffer_kb=16)).pairs)
     plan = FaultPlan(seed=101, read_transient_p=0.3,
                      max_transients_per_page=2)
     _inject(tree_r, plan)
@@ -85,7 +85,7 @@ class FirstContactStore(MemoryPageStore):
 
 def test_batch_retry_recovers_in_a_fresh_worker(tmp_path):
     tree_r, tree_s = _fresh_trees(500, seeds=(73, 74))
-    baseline = sorted(spatial_join(tree_r, tree_s, buffer_kb=16).pairs)
+    baseline = sorted(spatial_join(tree_r, tree_s, spec=JoinSpec(buffer_kb=16)).pairs)
     failing = FirstContactStore(str(tmp_path / "fault-fired"))
     donor = tree_r.store
     failing._pages = donor._pages
@@ -110,7 +110,7 @@ def test_batch_retry_recovers_in_a_fresh_worker(tmp_path):
 
 def test_unrecoverable_workers_degrade_to_serial():
     tree_r, tree_s = _fresh_trees(500, seeds=(75, 76))
-    baseline = sorted(spatial_join(tree_r, tree_s, buffer_kb=16).pairs)
+    baseline = sorted(spatial_join(tree_r, tree_s, spec=JoinSpec(buffer_kb=16)).pairs)
     # Unbounded certain transients, workers only: the coordinator's
     # partitioning descent stays clean, every worker attempt is doomed.
     plan = FaultPlan(seed=9, read_transient_p=1.0,
@@ -132,7 +132,7 @@ def test_unrecoverable_workers_degrade_to_serial():
 
 def test_crashed_worker_degrades_instead_of_raising():
     tree_r, tree_s = _fresh_trees(400, seeds=(77, 78))
-    baseline = sorted(spatial_join(tree_r, tree_s, buffer_kb=16).pairs)
+    baseline = sorted(spatial_join(tree_r, tree_s, spec=JoinSpec(buffer_kb=16)).pairs)
     # Every physical read in a worker kills it outright (os._exit); the
     # pool never delivers a result, so the per-batch timeout is what
     # turns the death into a recoverable failure.

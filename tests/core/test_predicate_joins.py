@@ -6,6 +6,7 @@ import pytest
 from repro.core import spatial_join
 from repro.geometry import SpatialPredicate
 from tests.conftest import build_rstar, make_rects
+from repro.core import JoinSpec
 
 ALGORITHMS = ("sj1", "sj2", "sj3", "sj4", "sj5")
 
@@ -39,19 +40,17 @@ def test_predicate_join_matches_brute_force(containment_data,
                                             algorithm, predicate):
     left, right = containment_data
     tree_r, tree_s = containment_trees
-    result = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                          buffer_kb=16, predicate=predicate)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm=algorithm, buffer_kb=16, predicate=predicate))
     assert result.pair_set() == brute(left, right, predicate)
 
 
 def test_containment_is_subset_of_intersection(containment_trees):
     tree_r, tree_s = containment_trees
-    intersect = spatial_join(tree_r, tree_s, algorithm="sj4",
-                             buffer_kb=16).pair_set()
-    contains = spatial_join(tree_r, tree_s, algorithm="sj4",
-                            buffer_kb=16,
-                            predicate=SpatialPredicate.CONTAINS
-                            ).pair_set()
+    intersect = spatial_join(tree_r, tree_s,
+                             spec=JoinSpec(algorithm="sj4", buffer_kb=16)).pair_set()
+    contains = spatial_join(tree_r, tree_s,
+                            spec=JoinSpec(algorithm="sj4", buffer_kb=16, predicate=SpatialPredicate.CONTAINS)).pair_set()
     assert contains <= intersect
     assert contains    # the data was built so containment pairs exist
 
@@ -60,11 +59,10 @@ def test_contains_and_within_are_transposes(containment_data):
     left, right = containment_data
     tree_r = build_rstar(left, page_size=256)
     tree_s = build_rstar(right, page_size=256)
-    contains = spatial_join(tree_r, tree_s, algorithm="sj4",
-                            predicate=SpatialPredicate.CONTAINS
-                            ).pair_set()
-    within = spatial_join(tree_s, tree_r, algorithm="sj4",
-                          predicate=SpatialPredicate.WITHIN).pair_set()
+    contains = spatial_join(tree_r, tree_s,
+                            spec=JoinSpec(algorithm="sj4", predicate=SpatialPredicate.CONTAINS)).pair_set()
+    within = spatial_join(tree_s, tree_r,
+                          spec=JoinSpec(algorithm="sj4", predicate=SpatialPredicate.WITHIN)).pair_set()
     assert {(b, a) for a, b in within} == contains
 
 
@@ -77,19 +75,18 @@ def test_predicate_join_with_different_heights(policy):
     tree_s = build_rstar(right, page_size=256)
     assert tree_r.height > tree_s.height
     expected = brute(left, right, SpatialPredicate.CONTAINS)
-    result = spatial_join(tree_r, tree_s, algorithm="sj4",
-                          buffer_kb=16, height_policy=policy,
-                          predicate=SpatialPredicate.CONTAINS)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=16, height_policy=policy, predicate=SpatialPredicate.CONTAINS))
     assert result.pair_set() == expected
     assert expected  # non-trivial
 
 
 def test_predicate_comparisons_counted(containment_trees):
     tree_r, tree_s = containment_trees
-    plain = spatial_join(tree_r, tree_s, algorithm="sj2", buffer_kb=16)
-    contains = spatial_join(tree_r, tree_s, algorithm="sj2",
-                            buffer_kb=16,
-                            predicate=SpatialPredicate.CONTAINS)
+    plain = spatial_join(tree_r, tree_s,
+                         spec=JoinSpec(algorithm="sj2", buffer_kb=16))
+    contains = spatial_join(tree_r, tree_s,
+                            spec=JoinSpec(algorithm="sj2", buffer_kb=16, predicate=SpatialPredicate.CONTAINS))
     # The extra containment checks on candidate pairs cost comparisons.
     assert contains.stats.comparisons.join > plain.stats.comparisons.join
 

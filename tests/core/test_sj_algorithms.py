@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import nested_loop_join, spatial_join
 from repro.rtree import tree_properties
+from repro.core import JoinSpec
 
 ALGORITHMS = ("sj1", "sj2", "sj3", "sj4", "sj5")
 
@@ -18,8 +19,8 @@ def oracle(medium_records_pair):
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_algorithm_matches_oracle(medium_trees, oracle, algorithm):
     tree_r, tree_s = medium_trees
-    result = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                          buffer_kb=32)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm=algorithm, buffer_kb=32))
     assert result.pair_set() == oracle
 
 
@@ -28,30 +29,34 @@ def test_algorithm_matches_oracle(medium_trees, oracle, algorithm):
 def test_result_independent_of_buffer(medium_trees, oracle, algorithm,
                                       buffer_kb):
     tree_r, tree_s = medium_trees
-    result = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                          buffer_kb=buffer_kb)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm=algorithm, buffer_kb=buffer_kb))
     assert result.pair_set() == oracle
 
 
 def test_no_duplicate_output_pairs(medium_trees):
     tree_r, tree_s = medium_trees
     for algorithm in ALGORITHMS:
-        result = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                              buffer_kb=32)
+        result = spatial_join(tree_r, tree_s,
+                              spec=JoinSpec(algorithm=algorithm, buffer_kb=32))
         assert len(result.pairs) == len(result.pair_set())
 
 
 def test_sj2_reduces_comparisons(medium_trees):
     tree_r, tree_s = medium_trees
-    sj1 = spatial_join(tree_r, tree_s, algorithm="sj1", buffer_kb=0)
-    sj2 = spatial_join(tree_r, tree_s, algorithm="sj2", buffer_kb=0)
+    sj1 = spatial_join(tree_r, tree_s,
+                       spec=JoinSpec(algorithm="sj1", buffer_kb=0))
+    sj2 = spatial_join(tree_r, tree_s,
+                       spec=JoinSpec(algorithm="sj2", buffer_kb=0))
     assert sj2.stats.comparisons.total < sj1.stats.comparisons.total
 
 
 def test_sweep_reduces_comparisons_further(medium_trees):
     tree_r, tree_s = medium_trees
-    sj2 = spatial_join(tree_r, tree_s, algorithm="sj2", buffer_kb=0)
-    sj3 = spatial_join(tree_r, tree_s, algorithm="sj3", buffer_kb=0)
+    sj2 = spatial_join(tree_r, tree_s,
+                       spec=JoinSpec(algorithm="sj2", buffer_kb=0))
+    sj3 = spatial_join(tree_r, tree_s,
+                       spec=JoinSpec(algorithm="sj3", buffer_kb=0))
     assert sj3.stats.comparisons.join < sj2.stats.comparisons.join
 
 
@@ -63,16 +68,17 @@ def test_sj4_io_not_worse_than_sj3_in_aggregate(medium_trees):
     total_sj3 = 0
     total_sj4 = 0
     for buffer_kb in (0, 8, 32):
-        total_sj3 += spatial_join(tree_r, tree_s, algorithm="sj3",
-                                  buffer_kb=buffer_kb).stats.disk_accesses
-        total_sj4 += spatial_join(tree_r, tree_s, algorithm="sj4",
-                                  buffer_kb=buffer_kb).stats.disk_accesses
+        total_sj3 += spatial_join(tree_r, tree_s,
+                                  spec=JoinSpec(algorithm="sj3", buffer_kb=buffer_kb)).stats.disk_accesses
+        total_sj4 += spatial_join(tree_r, tree_s,
+                                  spec=JoinSpec(algorithm="sj4", buffer_kb=buffer_kb)).stats.disk_accesses
     assert total_sj4 <= total_sj3 * 1.02
 
 
 def test_sj5_charges_zorder_sort(medium_trees):
     tree_r, tree_s = medium_trees
-    sj5 = spatial_join(tree_r, tree_s, algorithm="sj5", buffer_kb=32)
+    sj5 = spatial_join(tree_r, tree_s,
+                       spec=JoinSpec(algorithm="sj5", buffer_kb=32))
     assert sj5.stats.comparisons.sort > 0
 
 
@@ -80,16 +86,16 @@ def test_large_buffer_reaches_near_optimum(medium_trees):
     tree_r, tree_s = medium_trees
     props = (tree_properties(tree_r), tree_properties(tree_s))
     optimum = props[0].total_pages + props[1].total_pages
-    result = spatial_join(tree_r, tree_s, algorithm="sj4",
-                          buffer_kb=4096)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=4096))
     assert result.stats.disk_accesses <= optimum
 
 
 def test_io_monotone_in_buffer_size(medium_trees):
     tree_r, tree_s = medium_trees
     accesses = [
-        spatial_join(tree_r, tree_s, algorithm="sj4",
-                     buffer_kb=b).stats.disk_accesses
+        spatial_join(tree_r, tree_s,
+                     spec=JoinSpec(algorithm="sj4", buffer_kb=b)).stats.disk_accesses
         for b in (0, 32, 512)
     ]
     assert accesses[0] >= accesses[1] >= accesses[2]
@@ -97,7 +103,8 @@ def test_io_monotone_in_buffer_size(medium_trees):
 
 def test_stats_fields_populated(medium_trees):
     tree_r, tree_s = medium_trees
-    result = spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=32)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=32))
     stats = result.stats
     assert stats.algorithm == "SJ4"
     assert stats.page_size == 1024
@@ -110,7 +117,7 @@ def test_stats_fields_populated(medium_trees):
 def test_unknown_algorithm_rejected(medium_trees):
     tree_r, tree_s = medium_trees
     with pytest.raises(ValueError):
-        spatial_join(tree_r, tree_s, algorithm="sj9")
+        spatial_join(tree_r, tree_s, spec=JoinSpec(algorithm="sj9"))
 
 
 def test_mismatched_page_sizes_rejected(medium_records_pair):
@@ -126,9 +133,11 @@ def test_empty_tree_join(medium_trees):
     from repro.rtree import RStarTree, RTreeParams
     tree_r, _ = medium_trees
     empty = RStarTree(RTreeParams.from_page_size(1024))
-    result = spatial_join(tree_r, empty, algorithm="sj4", buffer_kb=8)
+    result = spatial_join(tree_r, empty,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=8))
     assert result.pairs == []
-    result = spatial_join(empty, tree_r, algorithm="sj1", buffer_kb=8)
+    result = spatial_join(empty, tree_r,
+                          spec=JoinSpec(algorithm="sj1", buffer_kb=8))
     assert result.pairs == []
 
 
@@ -142,5 +151,6 @@ def test_disjoint_trees_join(medium_records_pair):
     tree_r = build_rstar(left)
     tree_s = build_rstar(shifted)
     for algorithm in ALGORITHMS:
-        result = spatial_join(tree_r, tree_s, algorithm=algorithm)
+        result = spatial_join(tree_r, tree_s,
+                              spec=JoinSpec(algorithm=algorithm))
         assert result.pairs == []

@@ -5,7 +5,8 @@ import pickle
 
 import pytest
 
-from repro.core import JoinSpec, resolve_spec, spatial_join
+from repro.core import (JoinSpec, resolve_spec, spatial_join,
+                        spatial_join_stream)
 from repro.core.spec import UNSET
 from repro.geometry import SpatialPredicate
 
@@ -95,23 +96,10 @@ class TestResolveSpec:
 
 
 class TestEntryPointsShareTheSpecPath:
-    def test_spec_equals_kwargs(self, medium_trees):
-        tree_r, tree_s = medium_trees
-        by_spec = spatial_join(
-            tree_r, tree_s,
-            spec=JoinSpec(algorithm="sj3", buffer_kb=16.0))
-        by_kwargs = spatial_join(tree_r, tree_s, algorithm="sj3",
-                                 buffer_kb=16.0)
-        assert by_spec.pair_set() == by_kwargs.pair_set()
-        assert (by_spec.stats.disk_accesses
-                == by_kwargs.stats.disk_accesses)
-        assert (by_spec.stats.comparisons.join
-                == by_kwargs.stats.comparisons.join)
-
     def test_invalid_algorithm_rejected_before_io(self, medium_trees):
         tree_r, tree_s = medium_trees
         with pytest.raises(ValueError):
-            spatial_join(tree_r, tree_s, algorithm="nope")
+            spatial_join(tree_r, tree_s, spec=JoinSpec(algorithm="nope"))
 
     def test_database_join_accepts_spec(self):
         from repro.db import SpatialDatabase
@@ -124,7 +112,92 @@ class TestEntryPointsShareTheSpecPath:
             right.insert(Rect(i + 0.5, 0, i + 2, 1))
         by_spec = db.join("left", "right",
                           spec=JoinSpec(algorithm="sj1", buffer_kb=8.0))
-        by_kwargs = db.join("left", "right", algorithm="sj1",
-                            buffer_kb=8.0)
-        assert by_spec.pair_set() == by_kwargs.pair_set()
         assert len(by_spec) > 0
+
+
+class TestLegacyKeywordAdapter:
+    """The pre-1.0 keyword style still works for one release, but every
+    use emits a DeprecationWarning and resolves to the same plan as the
+    equivalent JoinSpec."""
+
+    def test_legacy_kwargs_warn_and_match_spec(self, medium_trees):
+        tree_r, tree_s = medium_trees
+        with pytest.warns(DeprecationWarning,
+                          match="spatial_join.*deprecated"):
+            by_kwargs = spatial_join(tree_r, tree_s,
+                                     algorithm="sj3", buffer_kb=16.0)
+        by_spec = spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj3",
+                                             buffer_kb=16.0))
+        assert by_kwargs.pair_set() == by_spec.pair_set()
+        assert (by_kwargs.stats.disk_accesses
+                == by_spec.stats.disk_accesses)
+        assert (by_kwargs.stats.comparisons.join
+                == by_spec.stats.comparisons.join)
+
+    def test_legacy_positional_algorithm_warns(self, medium_trees):
+        tree_r, tree_s = medium_trees
+        with pytest.warns(DeprecationWarning):
+            result = spatial_join(tree_r, tree_s, "sj1")
+        reference = spatial_join(tree_r, tree_s,
+                                 spec=JoinSpec(algorithm="sj1"))
+        assert result.pair_set() == reference.pair_set()
+
+    def test_legacy_stream_kwargs_warn(self, medium_trees):
+        tree_r, tree_s = medium_trees
+        pairs = []
+        with pytest.warns(DeprecationWarning,
+                          match="spatial_join_stream"):
+            spatial_join_stream(tree_r, tree_s,
+                                lambda a, b: pairs.append((a, b)),
+                                buffer_kb=16.0)
+        reference = spatial_join(tree_r, tree_s,
+                                 spec=JoinSpec(buffer_kb=16.0))
+        assert set(pairs) == reference.pair_set()
+
+    def test_legacy_database_join_warns(self):
+        from repro.db import SpatialDatabase
+        from repro.geometry import Rect
+        db = SpatialDatabase(page_size=1024)
+        left = db.create_relation("left")
+        right = db.create_relation("right")
+        for i in range(40):
+            left.insert(Rect(i, 0, i + 1.5, 1))
+            right.insert(Rect(i + 0.5, 0, i + 2, 1))
+        with pytest.warns(DeprecationWarning,
+                          match="SpatialDatabase.join"):
+            by_kwargs = db.join("left", "right", buffer_kb=8.0)
+        by_spec = db.join("left", "right", spec=JoinSpec(buffer_kb=8.0))
+        assert by_kwargs.pair_set() == by_spec.pair_set()
+
+    def test_spec_plus_legacy_kwargs_warns(self, medium_trees):
+        tree_r, tree_s = medium_trees
+        with pytest.warns(DeprecationWarning):
+            result = spatial_join(tree_r, tree_s,
+                                  spec=JoinSpec(algorithm="sj1"),
+                                  buffer_kb=8.0)
+        assert result.plan.algorithm == "sj1"
+        assert result.plan.buffer_kb == 8.0
+
+    def test_plan_plus_legacy_kwargs_rejected(self, medium_trees):
+        from repro.plan import plan_join
+        tree_r, tree_s = medium_trees
+        plan = plan_join(tree_r, tree_s, spec=JoinSpec(algorithm="sj1"))
+        with pytest.raises(TypeError):
+            spatial_join(tree_r, tree_s, plan, buffer_kb=8.0)
+
+    def test_unknown_kwarg_rejected(self, medium_trees):
+        tree_r, tree_s = medium_trees
+        with pytest.warns(DeprecationWarning), pytest.raises(TypeError):
+            spatial_join(tree_r, tree_s, fanout=3)
+
+    def test_execution_plan_accepted_as_spec(self, medium_trees):
+        from repro.plan import plan_join
+        tree_r, tree_s = medium_trees
+        plan = plan_join(tree_r, tree_s,
+                         spec=JoinSpec(algorithm="sj3", buffer_kb=16.0))
+        by_plan = spatial_join(tree_r, tree_s, plan)
+        by_spec = spatial_join(tree_r, tree_s,
+                               spec=JoinSpec(algorithm="sj3",
+                                             buffer_kb=16.0))
+        assert by_plan.pair_set() == by_spec.pair_set()

@@ -4,15 +4,16 @@ import pytest
 
 from repro.core import spatial_join, spatial_join_stream
 from repro.geometry import SpatialPredicate
+from repro.core import JoinSpec
 
 
 def test_streaming_delivers_same_pairs(medium_trees):
     tree_r, tree_s = medium_trees
     collected = []
-    stats = spatial_join_stream(tree_r, tree_s,
-                                lambda a, b: collected.append((a, b)),
-                                buffer_kb=32)
-    reference = spatial_join(tree_r, tree_s, buffer_kb=32)
+    stats = spatial_join_stream(tree_r, tree_s, lambda a,
+                                b: collected.append((a, b)),
+                                spec=JoinSpec(buffer_kb=32))
+    reference = spatial_join(tree_r, tree_s, spec=JoinSpec(buffer_kb=32))
     assert set(collected) == reference.pair_set()
     assert stats.pairs_output == len(collected)
 
@@ -20,9 +21,9 @@ def test_streaming_delivers_same_pairs(medium_trees):
 def test_streaming_counters_match_materialized(medium_trees):
     tree_r, tree_s = medium_trees
     stats = spatial_join_stream(tree_r, tree_s, lambda a, b: None,
-                                algorithm="sj1", buffer_kb=8)
-    reference = spatial_join(tree_r, tree_s, algorithm="sj1",
-                             buffer_kb=8)
+                                spec=JoinSpec(algorithm="sj1", buffer_kb=8))
+    reference = spatial_join(tree_r, tree_s,
+                             spec=JoinSpec(algorithm="sj1", buffer_kb=8))
     assert stats.disk_accesses == reference.stats.disk_accesses
     assert stats.comparisons.join == reference.stats.comparisons.join
 
@@ -37,7 +38,7 @@ def test_streaming_all_algorithms(medium_trees, algorithm):
         count += 1
 
     stats = spatial_join_stream(tree_r, tree_s, on_pair,
-                                algorithm=algorithm, buffer_kb=32)
+                                spec=JoinSpec(algorithm=algorithm, buffer_kb=32))
     assert count == stats.pairs_output > 0
 
 
@@ -46,9 +47,9 @@ def test_streaming_sj5_applies_zorder(medium_trees):
     so SJ5's schedule (and its sort-comparison charge) appears."""
     tree_r, tree_s = medium_trees
     stats = spatial_join_stream(tree_r, tree_s, lambda a, b: None,
-                                algorithm="sj5", buffer_kb=32)
-    reference = spatial_join(tree_r, tree_s, algorithm="sj5",
-                             buffer_kb=32)
+                                spec=JoinSpec(algorithm="sj5", buffer_kb=32))
+    reference = spatial_join(tree_r, tree_s,
+                             spec=JoinSpec(algorithm="sj5", buffer_kb=32))
     assert stats.comparisons.sort == reference.stats.comparisons.sort
     assert stats.comparisons.sort > 0
     assert stats.disk_accesses == reference.stats.disk_accesses
@@ -57,12 +58,10 @@ def test_streaming_sj5_applies_zorder(medium_trees):
 def test_streaming_with_predicate(medium_trees):
     tree_r, tree_s = medium_trees
     collected = []
-    spatial_join_stream(tree_r, tree_s,
-                        lambda a, b: collected.append((a, b)),
-                        predicate=SpatialPredicate.CONTAINS,
-                        buffer_kb=32)
-    reference = spatial_join(tree_r, tree_s, buffer_kb=32,
-                             predicate=SpatialPredicate.CONTAINS)
+    spatial_join_stream(tree_r, tree_s, lambda a, b: collected.append((a, b)),
+                        spec=JoinSpec(predicate=SpatialPredicate.CONTAINS, buffer_kb=32))
+    reference = spatial_join(tree_r, tree_s,
+                             spec=JoinSpec(buffer_kb=32, predicate=SpatialPredicate.CONTAINS))
     assert set(collected) == reference.pair_set()
 
 
@@ -84,9 +83,10 @@ def test_streaming_honors_path_buffer_and_presort(medium_records_pair,
     def fresh():
         return build_rstar(left[:1000]), build_rstar(right[:1000])
 
+    spec = JoinSpec(buffer_kb=16, **options)
     stream_stats = spatial_join_stream(*fresh(), lambda a, b: None,
-                                       buffer_kb=16, **options)
-    reference = spatial_join(*fresh(), buffer_kb=16, **options)
+                                       spec=spec)
+    reference = spatial_join(*fresh(), spec=spec)
     assert stream_stats.disk_accesses == reference.stats.disk_accesses
     assert (stream_stats.io.path_hits
             == reference.stats.io.path_hits)
@@ -105,9 +105,8 @@ def test_streaming_pipeline_early_use(unbalanced_trees):
     keeping only a running aggregate instead of the full result."""
     tree_r, tree_s, _, _ = unbalanced_trees
     per_s_counts: dict[int, int] = {}
-    spatial_join_stream(tree_r, tree_s,
-                        lambda a, b: per_s_counts.__setitem__(
-                            b, per_s_counts.get(b, 0) + 1),
-                        buffer_kb=16)
-    reference = spatial_join(tree_r, tree_s, buffer_kb=16)
+    spatial_join_stream(tree_r, tree_s, lambda a,
+                        b: per_s_counts.__setitem__( b, per_s_counts.get(b, 0) + 1),
+                        spec=JoinSpec(buffer_kb=16))
+    reference = spatial_join(tree_r, tree_s, spec=JoinSpec(buffer_kb=16))
     assert sum(per_s_counts.values()) == len(reference)

@@ -7,6 +7,7 @@ from repro.costmodel.estimate import (JoinCardinalityEstimator,
 from repro.data import uniform_rects
 from repro.rtree import RStarTree, RTreeParams
 from tests.conftest import build_rstar, make_rects
+from repro.core import JoinSpec
 
 
 class TestLevelProfiles:
@@ -78,8 +79,8 @@ class TestPredictions:
         from repro.core import spatial_join
         _, _, tree_r, tree_s = uniform_setup
         prediction = JoinCardinalityEstimator(tree_r, tree_s).predict()
-        measured = spatial_join(tree_r, tree_s, algorithm="sj1",
-                                buffer_kb=0).stats.disk_accesses
+        measured = spatial_join(tree_r, tree_s,
+                                spec=JoinSpec(algorithm="sj1", buffer_kb=0)).stats.disk_accesses
         assert measured / 4 <= prediction.disk_accesses_no_buffer \
             <= measured * 4
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core import JoinSpec
 from repro.data.tigerline import (CFCC_FAMILIES, TigerFormatError,
                                   TigerRecord, format_type1_line,
                                   parse_type1_line, read_type1,
@@ -127,5 +128,6 @@ class TestConversions:
         reloaded = read_type1(path, cfcc_prefixes=("A",))
         assert len(reloaded) == 400
         tree = build_rstar(to_mbr_records(reloaded), page_size=256)
-        result = spatial_join(tree, tree, algorithm="sj4", buffer_kb=16)
+        result = spatial_join(tree, tree,
+                              spec=JoinSpec(algorithm="sj4", buffer_kb=16))
         assert len(result) >= 400   # at least the diagonal

@@ -6,6 +6,7 @@ import pytest
 
 from repro.db import SpatialDatabase
 from repro.geometry import Polygon, Polyline, Rect, SpatialPredicate
+from repro.core import JoinSpec
 
 
 @pytest.fixture
@@ -70,7 +71,7 @@ class TestCatalog:
 
 class TestJoins:
     def test_filter_join(self, db):
-        result = db.join("streets", "zones", buffer_kb=32)
+        result = db.join("streets", "zones", spec=JoinSpec(buffer_kb=32))
         streets = db.relation("streets")
         zones = db.relation("zones")
         expected = {(a, b)
@@ -80,8 +81,9 @@ class TestJoins:
         assert result.pair_set() == expected
 
     def test_refined_join_is_subset(self, db):
-        coarse = db.join("streets", "zones", buffer_kb=32)
-        fine = db.join("streets", "zones", buffer_kb=32, refine=True)
+        coarse = db.join("streets", "zones", spec=JoinSpec(buffer_kb=32))
+        fine = db.join("streets", "zones", refine=True,
+                       spec=JoinSpec(buffer_kb=32))
         assert fine.pair_set() <= coarse.pair_set()
         streets = db.relation("streets")
         zones = db.relation("zones")
@@ -91,8 +93,8 @@ class TestJoins:
             assert _exact_intersects(streets.get(a), zones.get(b))
 
     def test_predicate_join(self, db):
-        result = db.join("zones", "streets", buffer_kb=32,
-                         predicate=SpatialPredicate.CONTAINS)
+        result = db.join("zones", "streets",
+                         spec=JoinSpec(buffer_kb=32, predicate=SpatialPredicate.CONTAINS))
         zones = db.relation("zones")
         streets = db.relation("streets")
         expected = {(z, s)
@@ -103,7 +105,7 @@ class TestJoins:
 
     def test_distance_join(self, db):
         near = db.distance_join("streets", "zones", 5.0, buffer_kb=32)
-        touching = db.join("streets", "zones", buffer_kb=32)
+        touching = db.join("streets", "zones", spec=JoinSpec(buffer_kb=32))
         assert touching.pair_set() <= near.pair_set()
         from repro.core import rect_mindist
         streets = db.relation("streets")
@@ -116,8 +118,8 @@ class TestJoins:
 
     def test_refine_with_containment_rejected(self, db):
         with pytest.raises(ValueError):
-            db.join("zones", "streets",
-                    predicate=SpatialPredicate.CONTAINS, refine=True)
+            db.join("zones", "streets", refine=True,
+                    spec=JoinSpec(predicate=SpatialPredicate.CONTAINS))
 
     def test_refine_keeps_rect_objects(self):
         database = SpatialDatabase()
@@ -136,9 +138,10 @@ class TestPersistence:
         reopened = SpatialDatabase.open(directory)
         assert set(reopened.relations) == {"streets", "zones"}
         assert len(reopened.relation("streets")) == 300
-        before = db.join("streets", "zones", buffer_kb=32).pair_set()
+        before = db.join("streets", "zones",
+                         spec=JoinSpec(buffer_kb=32)).pair_set()
         after = reopened.join("streets", "zones",
-                              buffer_kb=32).pair_set()
+                              spec=JoinSpec(buffer_kb=32)).pair_set()
         assert after == before
 
     def test_reopened_database_is_updatable(self, db, tmp_path):

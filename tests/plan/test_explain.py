@@ -76,7 +76,7 @@ class TestDatabaseExplain:
 
     def test_fixed_algorithm_is_rescored_for_display(self):
         db = build_db()
-        plan = db.explain("streets", "rivers", algorithm="sj1")
+        plan = db.explain("streets", "rivers", spec=JoinSpec(algorithm="sj1"))
         assert plan.algorithm == "sj1"
         assert plan.candidates
         assert plan.chosen_candidate.algorithm == "sj1"

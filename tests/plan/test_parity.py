@@ -35,8 +35,8 @@ class TestSerialParity:
         tree_r, tree_s = medium_trees
         baseline = None
         for algorithm in ("sj1", "sj4"):
-            result = spatial_join(tree_r, tree_s, algorithm=algorithm,
-                                  buffer_kb=64.0)
+            result = spatial_join(tree_r, tree_s,
+                                  spec=JoinSpec(algorithm=algorithm, buffer_kb=64.0))
             assert result.plan.algorithm == algorithm
             assert result.plan.requested == algorithm
             if baseline is None:

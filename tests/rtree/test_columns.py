@@ -1,0 +1,220 @@
+"""Tests for the columnar node layout (``NodeColumns``).
+
+Three contracts: the accessor API agrees with the ``Entry`` view, the
+persistence layer round-trips column buffers bit-exactly (both the
+numpy and stdlib-``array`` backends), and the cached columns of every
+node stay in sync with its entries across arbitrary R*-tree
+insert/delete workloads — including forced reinsertion, splits, and
+root collapses.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.rtree import (NodeColumns, RStarTree, RTreeParams,
+                         force_stdlib, load_tree, save_tree, use_numpy)
+from repro.rtree.entry import Entry
+from repro.rtree.persist import decode_node_body, encode_node_body
+from tests.conftest import build_rstar, make_rects
+
+
+# ----------------------------------------------------------------------
+# Accessor API
+# ----------------------------------------------------------------------
+
+def sample_entries():
+    rng = random.Random(5)
+    out = []
+    for i in range(37):
+        x, y = rng.random() * 100, rng.random() * 100
+        out.append(Entry(Rect(x, y, x + rng.random() * 9,
+                              y + rng.random() * 9), i * 3 - 10))
+    return out
+
+
+def test_columns_mirror_entries():
+    entries = sample_entries()
+    cols = NodeColumns.from_entries(entries)
+    assert len(cols) == len(entries)
+    for i, entry in enumerate(entries):
+        assert cols.rect(i) == entry.rect
+        assert cols.ref(i) == entry.ref
+        assert isinstance(cols.ref(i), int)
+    assert cols.child_refs() == [e.ref for e in entries]
+    assert list(cols.iter_rect_refs()) == [(e.rect, e.ref)
+                                           for e in entries]
+    assert [e.rect for e in cols.to_entries()] == \
+        [e.rect for e in entries]
+
+
+def test_columns_mbr_matches_union():
+    entries = sample_entries()
+    cols = NodeColumns.from_entries(entries)
+    expected = entries[0].rect
+    for entry in entries[1:]:
+        expected = expected.union(entry.rect)
+    assert cols.mbr() == expected
+
+
+def test_take_preserves_order_and_backend():
+    cols = NodeColumns.from_entries(sample_entries())
+    taken = cols.take([5, 1, 30])
+    assert taken.is_numpy == cols.is_numpy
+    assert [taken.ref(i) for i in range(3)] == \
+        [cols.ref(5), cols.ref(1), cols.ref(30)]
+    assert taken.rect(2) == cols.rect(30)
+
+
+def test_backends_agree():
+    entries = sample_entries()
+    default = NodeColumns.from_entries(entries)
+    previous = force_stdlib(True)
+    try:
+        stdlib = NodeColumns.from_entries(entries)
+    finally:
+        force_stdlib(previous)
+    assert not stdlib.is_numpy
+    assert stdlib.same_rows(default)
+    assert default.same_rows(stdlib)
+
+
+# ----------------------------------------------------------------------
+# Persistence round-trip of column buffers
+# ----------------------------------------------------------------------
+
+def node_body_roundtrip(tree):
+    """encode → decode every node; coordinates must be bit-exact."""
+    stack = [tree.root_id]
+    while stack:
+        node = tree.node(stack.pop())
+        refs = node.columns.child_refs()
+        level, decoded = decode_node_body(
+            encode_node_body(node, refs))
+        assert level == node.level
+        assert len(decoded) == len(node)
+        for i in range(len(decoded)):
+            original = node.columns.rect(i)
+            restored = decoded.rect(i)
+            # Bit-exact, not approx: the wire format is IEEE doubles.
+            assert math.copysign(1.0, restored.xl) == \
+                math.copysign(1.0, original.xl)
+            assert (restored.xl, restored.yl, restored.xu,
+                    restored.yu) == (original.xl, original.yl,
+                                     original.xu, original.yu)
+            assert decoded.ref(i) == refs[i]
+        if not node.is_leaf:
+            stack.extend(refs)
+
+
+def test_node_body_roundtrip_bit_exact():
+    node_body_roundtrip(build_rstar(make_rects(500, seed=12)))
+
+
+def test_node_body_roundtrip_stdlib_backend():
+    previous = force_stdlib(True)
+    try:
+        node_body_roundtrip(build_rstar(make_rects(300, seed=13)))
+    finally:
+        force_stdlib(previous)
+
+
+def test_full_tree_roundtrip_preserves_columns(tmp_path):
+    tree = build_rstar(make_rects(400, seed=14))
+    path = str(tmp_path / "cols.rtree")
+    save_tree(tree, path)
+    loaded = load_tree(path)
+    # Same structure: compare every node's columns pairwise.
+    stack = [(tree.root_id, loaded.root_id)]
+    while stack:
+        ref_a, ref_b = stack.pop()
+        node_a, node_b = tree.node(ref_a), loaded.node(ref_b)
+        cols_a, cols_b = node_a.columns, node_b.columns
+        assert node_a.level == node_b.level
+        assert len(cols_a) == len(cols_b)
+        for i in range(len(cols_a)):
+            assert cols_a.rect(i) == cols_b.rect(i)
+        if node_a.is_leaf:
+            assert cols_a.child_refs() == cols_b.child_refs()
+        else:
+            stack.extend(zip(cols_a.child_refs(),
+                             cols_b.child_refs()))
+
+
+def test_mixed_backend_roundtrip(tmp_path):
+    """A tree saved under one backend loads under the other."""
+    if not use_numpy():
+        return  # single-backend environment: covered above
+    tree = build_rstar(make_rects(250, seed=15))
+    path = str(tmp_path / "mixed.rtree")
+    save_tree(tree, path)
+    previous = force_stdlib(True)
+    try:
+        loaded = load_tree(path)
+        root = loaded.node(loaded.root_id)
+        assert not root.columns.is_numpy
+        window = Rect(100, 100, 600, 600)
+        assert sorted(loaded.window_query(window)) == \
+            sorted(tree.window_query(window))
+    finally:
+        force_stdlib(previous)
+
+
+# ----------------------------------------------------------------------
+# Columns stay in sync under mutation (hypothesis)
+# ----------------------------------------------------------------------
+
+coords = st.floats(min_value=0.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rect_strategy(draw):
+    x = draw(coords)
+    y = draw(coords)
+    w = draw(st.floats(min_value=0.0, max_value=10.0))
+    h = draw(st.floats(min_value=0.0, max_value=10.0))
+    return Rect(x, y, x + w, y + h)
+
+
+def assert_columns_in_sync(tree):
+    """Every node's cached columns mirror its entry list exactly."""
+    stack = [tree.root_id]
+    while stack:
+        node = tree.node(stack.pop())
+        cols = node.columns
+        entries = node.entries
+        assert len(cols) == len(entries)
+        for i, entry in enumerate(entries):
+            assert cols.rect(i) == entry.rect
+            assert cols.ref(i) == entry.ref
+        if not node.is_leaf:
+            stack.extend(cols.child_refs())
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(rect_strategy(), min_size=1, max_size=120), st.data())
+def test_columns_sync_after_insert_delete(rect_list, data):
+    """Small pages (M=4) force splits and R* reinsertion early; the
+    cached columnar view must track every structural mutation."""
+    params = RTreeParams.from_page_size(80)
+    tree = RStarTree(params)
+    live = {}
+    for i, rect in enumerate(rect_list):
+        tree.insert(rect, i)
+        live[i] = rect
+    assert_columns_in_sync(tree)
+    # Delete a random subset, checking sync along the way.
+    doomed = data.draw(st.lists(
+        st.sampled_from(sorted(live)), unique=True,
+        max_size=len(live)))
+    for oid in doomed:
+        tree.delete(live.pop(oid), oid)
+    assert_columns_in_sync(tree)
+    window = Rect(20, 20, 80, 80)
+    expected = sorted(oid for oid, rect in live.items()
+                      if rect.intersects(window))
+    assert sorted(tree.window_query(window)) == expected

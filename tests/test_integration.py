@@ -8,6 +8,7 @@ from repro import (PAPER_COST_MODEL, RStarTree, RTreeParams, load_tree,
                    object_spatial_join, validate_rtree)
 from repro.core import nested_loop_join
 from repro.data import load_test
+from repro.core import JoinSpec
 
 
 @pytest.fixture(scope="module")
@@ -31,15 +32,16 @@ def test_trees_are_valid(pipeline):
 
 def test_filter_step_matches_oracle(pipeline):
     pair, tree_r, tree_s = pipeline
-    result = spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=128)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=128))
     oracle = nested_loop_join(pair.r.records, pair.s.records).pair_set()
     assert result.pair_set() == oracle
 
 
 def test_refinement_pipeline(pipeline):
     pair, tree_r, tree_s = pipeline
-    candidates = spatial_join(tree_r, tree_s, algorithm="sj4",
-                              buffer_kb=128).pairs
+    candidates = spatial_join(tree_r, tree_s,
+                              spec=JoinSpec(algorithm="sj4", buffer_kb=128)).pairs
     survivors, stats = id_spatial_join(candidates, pair.r.objects,
                                        pair.s.objects)
     assert stats.candidates == len(candidates)
@@ -54,8 +56,8 @@ def test_refinement_pipeline(pipeline):
 
 def test_object_join_emits_geometry(pipeline):
     pair, tree_r, tree_s = pipeline
-    candidates = spatial_join(tree_r, tree_s, algorithm="sj4",
-                              buffer_kb=128).pairs[:200]
+    candidates = spatial_join(tree_r, tree_s,
+                              spec=JoinSpec(algorithm="sj4", buffer_kb=128)).pairs[:200]
     results, stats = object_spatial_join(candidates, pair.r.objects,
                                          pair.s.objects)
     assert stats.survivors == len(results)
@@ -66,21 +68,22 @@ def test_object_join_emits_geometry(pipeline):
 
 def test_cost_model_integration(pipeline):
     _, tree_r, tree_s = pipeline
-    result = spatial_join(tree_r, tree_s, algorithm="sj4", buffer_kb=128)
+    result = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=128))
     estimate = PAPER_COST_MODEL.estimate(result.stats)
     assert estimate.total_seconds > 0.0
 
 
 def test_persist_roundtrip_preserves_join(pipeline, tmp_path):
     _, tree_r, tree_s = pipeline
-    before = spatial_join(tree_r, tree_s, algorithm="sj4",
-                          buffer_kb=64).pair_set()
+    before = spatial_join(tree_r, tree_s,
+                          spec=JoinSpec(algorithm="sj4", buffer_kb=64)).pair_set()
     path_r = str(tmp_path / "r.rt")
     path_s = str(tmp_path / "s.rt")
     save_tree(tree_r, path_r)
     save_tree(tree_s, path_s)
     loaded_r = load_tree(path_r)
     loaded_s = load_tree(path_s)
-    after = spatial_join(loaded_r, loaded_s, algorithm="sj4",
-                         buffer_kb=64).pair_set()
+    after = spatial_join(loaded_r, loaded_s,
+                         spec=JoinSpec(algorithm="sj4", buffer_kb=64)).pair_set()
     assert after == before
