@@ -226,9 +226,23 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="serve a persisted SpatialDatabase catalog over "
                       "TCP (line-oriented JSON protocol)")
-    serve.add_argument("--db", required=True,
+    serve.add_argument("--db",
                        help="catalog directory written by "
-                            "SpatialDatabase.save")
+                            "SpatialDatabase.save (read-only source; "
+                            "with --data-dir it seeds a fresh data "
+                            "directory)")
+    serve.add_argument("--data-dir",
+                       help="durable data directory (WAL + atomic "
+                            "checkpoints); mutations are crash-safe "
+                            "and the catalog is recovered on startup")
+    serve.add_argument("--wal-sync", choices=("always", "batch"),
+                       default="always",
+                       help="WAL fsync policy: 'always' fsyncs every "
+                            "acknowledged write, 'batch' group-commits "
+                            "(default always)")
+    serve.add_argument("--checkpoint-every", type=int, default=256,
+                       help="WAL records between automatic checkpoints "
+                            "(default 256)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7421,
                        help="TCP port (0 picks a free one; default "
@@ -457,22 +471,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from .db import SpatialDatabase
+    from .obs import Observability
     from .serve import QueryService, SpatialQueryServer
 
-    db = SpatialDatabase.open(args.db)
+    if not args.db and not args.data_dir:
+        print("repro serve: one of --db or --data-dir is required",
+              file=sys.stderr)
+        return 2
+    durability = None
+    obs = Observability()
+    if args.data_dir:
+        from .db.durability import DurabilityManager
+
+        db, durability = DurabilityManager.open(
+            args.data_dir, sync=args.wal_sync,
+            checkpoint_every=args.checkpoint_every, obs=obs)
+        info = durability.recovery
+        print(f"recovered {info.relations} relation(s) / "
+              f"{info.objects} object(s) from {args.data_dir}: "
+              f"checkpoint {info.checkpoint_id}, {info.replayed} "
+              f"record(s) replayed, {info.truncated_bytes} torn "
+              f"byte(s) truncated in {info.duration_ms:.1f} ms",
+              flush=True)
+        if args.db and not db.relations:
+            # Fresh data directory: seed it from the read-only catalog
+            # through the durable hooks, so every object is logged and
+            # the first checkpoint makes the copy permanent.
+            seeded = _seed_data_dir(db, args.db)
+            durability.checkpoint()
+            print(f"seeded {seeded} object(s) from {args.db} "
+                  f"(checkpoint {durability.manifest['checkpoint_id']})",
+                  flush=True)
+    else:
+        db = SpatialDatabase.open(args.db)
     service = QueryService(
         db, workers=args.workers, queue_depth=args.queue,
         cache_entries=args.cache_entries,
         cache_bytes=int(args.cache_mb * (1 << 20)),
         default_timeout=(args.timeout_ms / 1e3
                          if args.timeout_ms else None),
-        max_retries=args.max_retries)
+        max_retries=args.max_retries, obs=obs, durability=durability)
     server = SpatialQueryServer(service, host=args.host, port=args.port)
     host, port = server.start()
-    print(f"serving {len(db)} relation(s) from {args.db} on "
+    source = args.data_dir if args.data_dir else args.db
+    durable = (f", wal={args.wal_sync}" if args.data_dir else "")
+    print(f"serving {len(db)} relation(s) from {source} on "
           f"{host}:{port} ({args.workers} workers, queue {args.queue}, "
-          f"cache {args.cache_mb:g} MB/{args.cache_entries} entries)",
-          flush=True)
+          f"cache {args.cache_mb:g} MB/{args.cache_entries} entries"
+          f"{durable})", flush=True)
 
     stop = threading.Event()
 
@@ -484,19 +530,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         stop.wait()
     finally:
+        # shutdown drains the workers and closes the service; with a
+        # data directory that lands a final checkpoint, so the next
+        # startup replays nothing.
         server.shutdown()
         counters = service.obs.metrics.counters
         print(f"shutting down: {counters.get('serve.requests', 0)} "
               f"requests served, "
               f"{counters.get('serve.cache.hits', 0)} cache hits, "
               f"{counters.get('serve.shed', 0)} shed", flush=True)
+        if durability is not None:
+            print(f"final checkpoint "
+                  f"{durability.manifest['checkpoint_id']} at lsn "
+                  f"{durability.applied_lsn} "
+                  f"({durability.wal.appends} WAL append(s) this run)",
+                  flush=True)
         if args.trace:
             lines = write_trace(args.trace, service.obs,
-                                meta={"mode": "serve", "db": args.db,
+                                meta={"mode": "serve",
+                                      "db": args.db,
+                                      "data_dir": args.data_dir,
                                       "workers": args.workers,
                                       "queue": args.queue})
             print(f"trace: {lines} records -> {args.trace}", flush=True)
     return 0
+
+
+def _seed_data_dir(db, source_path: str) -> int:
+    """Copy a read-only catalog into a fresh durable database through
+    its WAL hooks; returns the number of objects copied."""
+    from .db import SpatialDatabase
+
+    source = SpatialDatabase.open(source_path)
+    copied = 0
+    for name, relation in sorted(source.relations.items()):
+        db.create_relation(name)
+        target = db.relations[name]
+        for oid, geometry in sorted(relation.objects.items()):
+            target.insert(geometry, oid=oid)
+            copied += 1
+    return copied
 
 
 def _cmd_join(args: argparse.Namespace) -> int:

@@ -12,6 +12,7 @@ import struct
 from typing import List, Tuple
 
 from ..geometry.rect import Rect
+from ..storage.atomic import atomic_write
 
 RectRecord = Tuple[Rect, int]
 
@@ -26,8 +27,9 @@ class RectFileError(RuntimeError):
 
 
 def save_records(records: List[RectRecord], path: str) -> None:
-    """Write MBR records to *path*."""
-    with open(path, "wb") as f:
+    """Write MBR records to *path* (atomically: a crash mid-write
+    leaves any previous file at *path* intact)."""
+    with atomic_write(path, "wb") as f:
         f.write(_HEADER.pack(_MAGIC, _VERSION, len(records)))
         for rect, ref in records:
             f.write(_RECORD.pack(rect.xl, rect.yl, rect.xu, rect.yu, ref))

@@ -1,6 +1,21 @@
-"""The spatial-database facade: named relations, joins, persistence."""
+"""The spatial-database facade: named relations, joins, persistence,
+and crash-safe durability (WAL + checkpoints + recovery)."""
 
-from .database import SpatialDatabase
+from .database import SpatialDatabase, format_geometry, parse_geometry
+from .durability import DurabilityManager
+from .recovery import (RecoveredState, RecoveryError, RecoveryInfo,
+                       apply_record, recover)
 from .relation import SpatialRelation
 
-__all__ = ["SpatialDatabase", "SpatialRelation"]
+__all__ = [
+    "DurabilityManager",
+    "RecoveredState",
+    "RecoveryError",
+    "RecoveryInfo",
+    "SpatialDatabase",
+    "SpatialRelation",
+    "apply_record",
+    "format_geometry",
+    "parse_geometry",
+    "recover",
+]

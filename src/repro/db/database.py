@@ -26,6 +26,7 @@ from ..geometry.predicates import SpatialPredicate
 from ..geometry.rect import Rect
 from ..rtree.persist import load_tree, save_tree
 from ..rtree.rstar import RStarTree
+from ..storage.atomic import atomic_write
 from .relation import Geometry, SpatialRelation
 
 _MANIFEST = "manifest.json"
@@ -34,6 +35,13 @@ _MANIFEST_VERSION = 1
 
 class SpatialDatabase:
     """A catalog of spatial relations with join support."""
+
+    #: Optional :class:`~repro.db.durability.DurabilityManager` hook:
+    #: when attached, every catalog mutation is appended to the
+    #: write-ahead log *before* it is applied (and therefore before the
+    #: caller sees it acknowledged).  ``None`` keeps the pre-durability
+    #: in-memory behaviour.
+    _durability = None
 
     def __init__(self, page_size: int = 2048) -> None:
         self.page_size = page_size
@@ -52,18 +60,32 @@ class SpatialDatabase:
         """Create an empty relation."""
         if name in self.relations:
             raise CatalogError(f"relation {name!r} already exists")
+        # Constructing first also validates the name — an invalid name
+        # must raise before anything reaches the write-ahead log.
         relation = SpatialRelation(name, page_size=self.page_size)
+        durability = self._durability
+        lsn = None
+        if durability is not None:
+            lsn = durability.log_create(name)
         self.relations[name] = relation
         self.epoch += 1
+        if durability is not None:
+            relation._durability = durability
+            durability.committed(lsn)
         return relation
 
     def drop_relation(self, name: str) -> None:
         """Remove a relation and its index."""
-        try:
-            del self.relations[name]
-        except KeyError:
-            raise CatalogError(f"no relation {name!r}") from None
+        if name not in self.relations:
+            raise CatalogError(f"no relation {name!r}")
+        durability = self._durability
+        lsn = None
+        if durability is not None:
+            lsn = durability.log_drop(name)
+        del self.relations[name]
         self.epoch += 1
+        if durability is not None:
+            durability.committed(lsn)
 
     def relation(self, name: str) -> SpatialRelation:
         """Look up a relation by name."""
@@ -151,7 +173,14 @@ class SpatialDatabase:
     # ------------------------------------------------------------------
 
     def save(self, directory: str) -> None:
-        """Write the whole catalog to *directory* (created if needed)."""
+        """Write the whole catalog to *directory* (created if needed).
+
+        Every file — trees, geometry, and the manifest — is written
+        via temp-file + fsync + atomic rename, and the manifest goes
+        last: a crash mid-save leaves either the complete previous
+        catalog or the complete new one readable by :meth:`open`,
+        never a torn mix referenced by a fresh manifest.
+        """
         os.makedirs(directory, exist_ok=True)
         manifest = {
             "version": _MANIFEST_VERSION,
@@ -163,7 +192,8 @@ class SpatialDatabase:
                                                   f"{name}.rtree"))
             _write_geometry(relation,
                             os.path.join(directory, f"{name}.geom"))
-        with open(os.path.join(directory, _MANIFEST), "w") as handle:
+        with atomic_write(os.path.join(directory, _MANIFEST),
+                          "w") as handle:
             json.dump(manifest, handle, indent=2)
 
     @classmethod
@@ -204,19 +234,33 @@ class SpatialDatabase:
 # ----------------------------------------------------------------------
 
 def _write_geometry(relation: SpatialRelation, path: str) -> None:
-    with open(path, "w") as handle:
+    with atomic_write(path, "w") as handle:
         for oid, geometry in sorted(relation.objects.items()):
-            handle.write(_format_geometry(oid, geometry))
+            handle.write(format_geometry(oid, geometry))
             handle.write("\n")
 
 
-def _format_geometry(oid: int, geometry: Geometry) -> str:
+def format_geometry(oid: int, geometry: Geometry) -> str:
+    """One geometry as its ``.geom`` text line (``repr`` floats, so the
+    round trip is exact).  The write-ahead log reuses this encoding for
+    insert records (:mod:`repro.db.durability`)."""
     if isinstance(geometry, Rect):
         return (f"{oid} rect {geometry.xl!r} {geometry.yl!r} "
                 f"{geometry.xu!r} {geometry.yu!r}")
     kind = "polygon" if isinstance(geometry, Polygon) else "polyline"
     coordinates = " ".join(f"{x!r} {y!r}" for x, y in geometry.vertices)
     return f"{oid} {kind} {coordinates}"
+
+
+def parse_geometry(line: str, context: str = "<line>",
+                   line_number: int = 0) -> Tuple[int, Geometry]:
+    """Inverse of :func:`format_geometry`; raises ``ValueError`` with
+    *context* in the message on a malformed line."""
+    return _parse_geometry(line, context, line_number)
+
+
+#: Backwards-compatible private alias (pre-durability name).
+_format_geometry = format_geometry
 
 
 def _read_geometry(path: str) -> Dict[int, Geometry]:

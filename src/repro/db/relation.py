@@ -26,6 +26,13 @@ Geometry = Union[SpatialObject, Rect]
 class SpatialRelation:
     """A named collection of spatial objects with an R*-tree index."""
 
+    #: Optional :class:`~repro.db.durability.DurabilityManager`: when
+    #: attached (by the manager, never directly), every insert/delete
+    #: is appended to the write-ahead log *before* the object table and
+    #: index mutate — so an acknowledged write is durable and a crashed
+    #: one is either fully replayed or fully absent after recovery.
+    _durability = None
+
     def __init__(self, name: str, page_size: int = 2048) -> None:
         if not name or "/" in name or name.startswith("."):
             raise QueryError(f"invalid relation name {name!r}")
@@ -54,22 +61,36 @@ class SpatialRelation:
         if oid in self.objects:
             raise CatalogError(f"object id {oid} already exists in "
                                f"{self.name!r}")
+        durability = self._durability
+        lsn = None
+        if durability is not None:
+            # Validation above ran first: only applicable operations
+            # may enter the log.  The append (and its fsync) happens
+            # before any in-memory mutation, so a crash leaves either
+            # a logged record recovery will replay or nothing at all.
+            lsn = durability.log_insert(self.name, oid, geometry)
         self._next_id = max(self._next_id, oid + 1)
         self.objects[oid] = geometry
         self.tree.insert(_mbr_of(geometry), oid)
         self.epoch += 1
+        if durability is not None:
+            durability.committed(lsn)
         return oid
 
     def delete(self, oid: int) -> None:
         """Remove an object by id."""
-        try:
-            geometry = self.objects.pop(oid)
-        except KeyError:
-            raise CatalogError(
-                f"no object {oid} in {self.name!r}") from None
+        if oid not in self.objects:
+            raise CatalogError(f"no object {oid} in {self.name!r}")
+        durability = self._durability
+        lsn = None
+        if durability is not None:
+            lsn = durability.log_delete(self.name, oid)
+        geometry = self.objects.pop(oid)
         removed = self.tree.delete(_mbr_of(geometry), oid)
         assert removed, "object table and index diverged"
         self.epoch += 1
+        if durability is not None:
+            durability.committed(lsn)
 
     # ------------------------------------------------------------------
     # Queries

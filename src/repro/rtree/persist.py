@@ -25,11 +25,14 @@ touches ``.entries``.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import struct
 import zlib
 from array import array
 from typing import Dict, List, Tuple, Type
 
+from ..storage.atomic import fsync_directory, tempname
 from ..storage.pagestore import FilePageStore, MemoryPageStore
 from .base import RTreeBase
 from .bulk import PackedRTree
@@ -122,27 +125,43 @@ def decode_node_body(body: bytes) -> Tuple[int, NodeColumns]:
 
 
 def save_tree(tree: RTreeBase, path: str) -> int:
-    """Serialize *tree* to *path*; returns the number of pages written."""
+    """Serialize *tree* to *path*; returns the number of pages written.
+
+    The write is atomic: pages are staged in a temporary sibling file,
+    fsynced, and renamed over *path* only once complete — a crash
+    mid-save leaves any previous tree file at *path* intact instead of
+    half-overwritten.
+    """
     nodes: List[Node] = list(tree.iter_nodes())
     index_of: Dict[int, int] = {
         node.page_id: i + 1 for i, node in enumerate(nodes)}
 
     physical = _physical_page_size(tree.params)
-    with FilePageStore(path, physical, create=True) as store:
-        header_page = store.allocate()
-        for node in nodes:
-            page = store.allocate()
-            refs = node.child_refs()
-            if not node.is_leaf:
-                refs = [index_of[ref] for ref in refs]
-            body = encode_node_body(node, refs)
-            store.write(page, _CRC.pack(zlib.crc32(body)) + body)
-        root_index = index_of[tree.root_id] if nodes else 0
-        variant = tree.variant.encode("ascii")[:24].ljust(24, b"\x00")
-        store.write(header_page, _HEADER.pack(
-            _MAGIC, _VERSION, physical, tree.params.page_size,
-            root_index, len(tree), tree.height, len(nodes), variant))
-        store.flush()
+    target = os.path.abspath(path)
+    temp = tempname(target)
+    try:
+        with FilePageStore(temp, physical, create=True) as store:
+            header_page = store.allocate()
+            for node in nodes:
+                page = store.allocate()
+                refs = node.child_refs()
+                if not node.is_leaf:
+                    refs = [index_of[ref] for ref in refs]
+                body = encode_node_body(node, refs)
+                store.write(page, _CRC.pack(zlib.crc32(body)) + body)
+            root_index = index_of[tree.root_id] if nodes else 0
+            variant = tree.variant.encode("ascii")[:24].ljust(24, b"\x00")
+            store.write(header_page, _HEADER.pack(
+                _MAGIC, _VERSION, physical, tree.params.page_size,
+                root_index, len(tree), tree.height, len(nodes), variant))
+            store.flush()
+            os.fsync(store._file.fileno())
+        os.replace(temp, target)
+        fsync_directory(os.path.dirname(target))
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(temp)
+        raise
     return len(nodes) + 1
 
 

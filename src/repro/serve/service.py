@@ -32,7 +32,11 @@ import json
 import threading
 import time
 from concurrent.futures import TimeoutError as FuturesTimeout
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.durability import DurabilityManager
 
 from ..core.spec import JoinSpec
 from ..db.database import SpatialDatabase
@@ -102,8 +106,16 @@ class QueryService:
                  cache_bytes: int = 64 << 20,
                  default_timeout: Optional[float] = 30.0,
                  max_retries: int = 2,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 durability: Optional["DurabilityManager"] = None) -> None:
         self.db = db
+        #: Optional :class:`~repro.db.durability.DurabilityManager`.
+        #: Mutations already write ahead through the database hooks;
+        #: the service only surfaces its status (``stats``) and drives
+        #: the final checkpoint on :meth:`close`.  Mutations run under
+        #: the exclusive write lock, so checkpoints always snapshot a
+        #: fully-applied catalog.
+        self.durability = durability
         self.obs = obs if obs is not None else Observability()
         self.cache = ResultCache(max_entries=cache_entries,
                                  max_bytes=cache_bytes)
@@ -408,16 +420,24 @@ class QueryService:
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """Counters and gauges of the server registry (stats op)."""
-        return {"counters": dict(self.obs.metrics.counters),
-                "gauges": dict(self.obs.metrics.gauges),
-                "cache": {"entries": self.cache.entries,
-                          "bytes": self.cache.bytes,
-                          "hits": self.cache.hits,
-                          "misses": self.cache.misses,
-                          "evictions": self.cache.evictions}}
+        snapshot = {"counters": dict(self.obs.metrics.counters),
+                    "gauges": dict(self.obs.metrics.gauges),
+                    "cache": {"entries": self.cache.entries,
+                              "bytes": self.cache.bytes,
+                              "hits": self.cache.hits,
+                              "misses": self.cache.misses,
+                              "evictions": self.cache.evictions}}
+        if self.durability is not None:
+            snapshot["durability"] = self.durability.status()
+        return snapshot
 
     def close(self) -> None:
+        """Drain workers, then (when durable) checkpoint and release
+        the WAL — the graceful-shutdown path of ``repro serve``."""
         self.scheduler.shutdown()
+        if self.durability is not None:
+            with self._lock.write():
+                self.durability.close(checkpoint=True)
 
 
 def _remaining(deadline: Optional[float]) -> Optional[float]:

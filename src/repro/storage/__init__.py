@@ -6,15 +6,19 @@ the paper's I/O metric.  :class:`FilePageStore` additionally provides real
 fixed-size pages in a file for tree persistence.
 """
 
+from .atomic import atomic_write, fsync_directory, fsync_path, tempname
 from .buffer import FrameKey, LRUBuffer
-from .faults import (CorruptPageError, FaultInjectingPageStore, FaultPlan,
-                     StorageStatistics, TransientIOError, pristine_store)
+from .faults import (KILL_POINTS, CorruptPageError,
+                     FaultInjectingPageStore, FaultPlan, KillPlan,
+                     KillSwitch, SimulatedCrash, StorageStatistics,
+                     TransientIOError, pristine_store)
 from .manager import BufferManager
 from .page import (INVALID_PAGE, KILOBYTE, PAPER_PAGE_SIZES, PageId,
                    frames_for_buffer, page_size_kb)
 from .pagestore import FilePageStore, MemoryPageStore, PageStore
 from .pathbuffer import PathBuffer
 from .stats import IOStatistics
+from .wal import WalError, WalRecord, WriteAheadLog
 
 __all__ = [
     "BufferManager",
@@ -25,16 +29,27 @@ __all__ = [
     "FrameKey",
     "INVALID_PAGE",
     "IOStatistics",
+    "KILL_POINTS",
     "KILOBYTE",
+    "KillPlan",
+    "KillSwitch",
     "LRUBuffer",
     "MemoryPageStore",
     "PAPER_PAGE_SIZES",
     "PageId",
     "PageStore",
     "PathBuffer",
+    "SimulatedCrash",
     "StorageStatistics",
     "TransientIOError",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "atomic_write",
     "frames_for_buffer",
+    "fsync_directory",
+    "fsync_path",
     "page_size_kb",
     "pristine_store",
+    "tempname",
 ]

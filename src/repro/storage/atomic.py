@@ -1,0 +1,93 @@
+"""Crash-safe whole-file writes: temp file + fsync + atomic rename.
+
+Every file the system persists — tree files, geometry files, record
+files, manifests — used to be rewritten in place, so a crash mid-write
+could destroy the previous good copy along with the new one.  This
+module is the single shared fix: :func:`atomic_write` stages the new
+content in a temporary file *in the same directory* (renames across
+filesystems are not atomic), forces it to stable storage with
+``fsync``, and only then publishes it over the destination with
+``os.replace`` — which POSIX guarantees is atomic.  A reader therefore
+always sees either the complete old file or the complete new file,
+never a torn hybrid, no matter where a crash lands.
+
+The directory entry itself is fsynced after the rename (best-effort on
+platforms whose directories cannot be opened), so the rename survives
+a power cut too — this is the same discipline the write-ahead log and
+checkpoint machinery (:mod:`repro.storage.wal`,
+:mod:`repro.db.durability`) build on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from typing import IO, Iterator
+
+__all__ = ["atomic_write", "fsync_directory", "fsync_path", "tempname"]
+
+
+def fsync_directory(directory: str) -> None:
+    """Force the directory entry table to stable storage.
+
+    After an ``os.replace`` the *file* is durable but the *name* may
+    not be until its directory is synced.  Best-effort: platforms that
+    cannot open a directory for reading (e.g. Windows) skip silently —
+    they do not expose the failure mode either.
+    """
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_path(path: str) -> None:
+    """fsync one existing file by path (used after bulk writers that
+    manage their own handles, e.g. the page store behind a tree file)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def tempname(path: str) -> str:
+    """A temporary sibling name for staging *path*'s replacement."""
+    directory, name = os.path.split(os.path.abspath(path))
+    fd, temp = tempfile.mkstemp(prefix=f".{name}.", suffix=".tmp",
+                                dir=directory)
+    os.close(fd)
+    return temp
+
+
+@contextlib.contextmanager
+def atomic_write(path: str, mode: str = "wb") -> Iterator[IO]:
+    """Write *path* atomically: yield a handle onto a temp sibling;
+    on clean exit fsync it and rename it over *path*.
+
+    On any exception the temp file is removed and the previous content
+    of *path* — if any — is untouched.  *mode* must be a write mode
+    (``"wb"`` or ``"w"``).
+    """
+    if "w" not in mode:
+        raise ValueError(f"atomic_write needs a write mode ({mode!r})")
+    target = os.path.abspath(path)
+    temp = tempname(target)
+    try:
+        with open(temp, mode) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, target)
+        fsync_directory(os.path.dirname(target))
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(temp)
+        raise

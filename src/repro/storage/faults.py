@@ -34,8 +34,8 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
-from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .page import PageId
 from .pagestore import PageStore
@@ -47,6 +47,21 @@ _RESEED_MIX = 0x9E3779B1
 class TransientIOError(IOError):
     """A retryable storage failure: the same operation may succeed when
     attempted again."""
+
+
+class SimulatedCrash(BaseException):
+    """A process death simulated in-process at a kill-point.
+
+    Derives from :class:`BaseException` so no ``except Exception``
+    recovery path can accidentally swallow it — a crash ends the
+    incarnation, exactly like ``os._exit`` would, except the chaos
+    harness can catch it, throw the in-memory state away, and drive
+    recovery in the same process.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at kill-point {point!r}")
+        self.point = point
 
 
 class CorruptPageError(IOError):
@@ -359,3 +374,118 @@ def pristine_store(store: PageStore) -> PageStore:
     if isinstance(store, FaultInjectingPageStore):
         return store.inner
     return store
+
+
+# ----------------------------------------------------------------------
+# Deterministic kill-points (crash-safety chaos testing)
+# ----------------------------------------------------------------------
+
+#: The kill-points the durability layer exposes, in execution order.
+#: A chaos schedule draws at each; see docs/durability.md.
+KILL_POINTS = (
+    "wal.before_append",        # nothing reached the log
+    "wal.mid_append",           # half a frame on disk (torn tail)
+    "wal.after_append",         # logged, not yet applied/acknowledged
+    "checkpoint.before_rename",  # snapshot staged, not published
+    "checkpoint.after_rename",  # snapshot published, manifest stale
+    "checkpoint.before_gc",     # manifest updated, old files linger
+)
+
+
+@dataclass(frozen=True)
+class KillPlan:
+    """A seeded, deterministic schedule of process deaths.
+
+    The same pure-hash discipline as :class:`FaultPlan`: whether
+    occurrence *n* of kill-point *p* crashes is a blake2b draw over
+    ``(seed, p, n)`` — no RNG state, so a schedule replays identically
+    across processes and runs, which is what makes the chaos harness's
+    kill → restart → verify loop reproducible per seed.
+
+    *points* maps kill-point names to per-occurrence crash
+    probabilities; unknown names raise so a typo cannot silently
+    neutralize a schedule.  *max_kills* caps crashes per plan
+    incarnation (the harness reseeds between incarnations via
+    :meth:`reseeded`).
+    """
+
+    seed: int = 0
+    points: Mapping[str, float] = field(default_factory=dict)
+    max_kills: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        for name, probability in self.points.items():
+            if name not in KILL_POINTS:
+                raise ValueError(f"unknown kill-point {name!r} "
+                                 f"(choose from {KILL_POINTS})")
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"probability of {name!r} must be in "
+                                 f"[0, 1] ({probability})")
+        if self.max_kills is not None and self.max_kills < 0:
+            raise ValueError(
+                f"max_kills cannot be negative ({self.max_kills})")
+
+    def reseeded(self, salt: int) -> "KillPlan":
+        """An otherwise-identical plan drawing an independent stream —
+        one per recovery incarnation, so a restarted process does not
+        die at the exact same operation forever."""
+        if salt == 0:
+            return self
+        return replace(self, seed=(self.seed * _RESEED_MIX + salt)
+                       & 0xFFFFFFFF)
+
+    def fires(self, point: str, occurrence: int) -> bool:
+        probability = self.points.get(point, 0.0)
+        if probability <= 0.0:
+            return False
+        token = f"{self.seed}|kill|{point}|{occurrence}".encode()
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2 ** 64 < probability
+
+
+class KillSwitch:
+    """Mutable companion of a :class:`KillPlan`: counts occurrences,
+    enforces ``max_kills``, and performs the crash.
+
+    ``mode="raise"`` (the in-process chaos harness) raises
+    :class:`SimulatedCrash`; ``mode="exit"`` calls ``os._exit`` — the
+    real thing, for subprocess-based tests.  Instrumented code calls
+    :meth:`check` at each kill-point; :meth:`fires`/:meth:`crash` split
+    the decision from the death for points that must corrupt state
+    first (a torn WAL append writes half a frame *before* dying).
+    """
+
+    def __init__(self, plan: KillPlan, mode: str = "raise") -> None:
+        if mode not in ("raise", "exit"):
+            raise ValueError(f"mode must be 'raise' or 'exit' ({mode!r})")
+        self.plan = plan
+        self.mode = mode
+        self.kills = 0
+        self._occurrences: Dict[str, int] = {}
+
+    @classmethod
+    def disabled(cls) -> "KillSwitch":
+        """A switch that never fires (the production default)."""
+        return cls(KillPlan())
+
+    def fires(self, point: str) -> bool:
+        """Whether this occurrence of *point* should crash (consumes
+        the occurrence either way)."""
+        occurrence = self._occurrences.get(point, 0) + 1
+        self._occurrences[point] = occurrence
+        cap = self.plan.max_kills
+        if cap is not None and self.kills >= cap:
+            return False
+        return self.plan.fires(point, occurrence)
+
+    def crash(self, point: str) -> None:
+        """Die, now."""
+        self.kills += 1
+        if self.mode == "exit":  # pragma: no cover - kills the process
+            os._exit(23)
+        raise SimulatedCrash(point)
+
+    def check(self, point: str) -> None:
+        """The common case: draw, and crash if the draw says so."""
+        if self.fires(point):
+            self.crash(point)

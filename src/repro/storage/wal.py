@@ -1,0 +1,245 @@
+"""Append-only, CRC-framed write-ahead log.
+
+The serve layer acknowledges mutations; the paper's join engine
+(§4.2) assumes the trees it filters over are durably on disk.  This
+module is the bridge: every mutating operation appends one framed,
+LSN-stamped record here *before* the in-memory catalog changes, so an
+acknowledged write survives any crash and an unacknowledged one is
+either fully replayed or fully absent.
+
+Frame layout (little-endian)::
+
+    length : uint32    bytes of payload
+    crc    : uint32    CRC32 over (lsn || payload)
+    lsn    : uint64    log sequence number, strictly increasing
+    payload: length bytes of UTF-8 JSON
+
+The CRC covers the LSN, so a frame cannot be mistaken for one at a
+different position; a torn tail — a partial frame left by a crash
+mid-append — fails its length or CRC check and :func:`scan` stops
+*cleanly* at the last intact record.  :meth:`WriteAheadLog.open` then
+truncates the file back to that point, which is the textbook recovery
+rule: everything before the first bad frame is law, everything after
+never happened.
+
+Sync modes
+----------
+
+``always``
+    ``fsync`` after every append — an acknowledged write is on stable
+    storage before the caller proceeds.  The durable default.
+``batch``
+    Group commit: appends are flushed to the OS but fsynced only every
+    ``batch_every`` records (and on :meth:`sync`/:meth:`close`).  An
+    OS crash can lose the unsynced tail, but each lost record is lost
+    *whole* — frames never tear across a flush boundary — so recovery
+    invariants hold; only the durability window widens.
+
+Deterministic kill-points (``wal.before_append``, ``wal.mid_append``,
+``wal.after_append``) from a :class:`~repro.storage.faults.KillSwitch`
+let the chaos harness crash the process at every interesting byte
+boundary; ``wal.mid_append`` physically writes half a frame first, so
+recovery's torn-tail handling is exercised by a *real* torn tail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .faults import KillSwitch
+
+_FRAME = struct.Struct("<IIQ")
+#: Upper bound on a sane payload; a length field beyond this is treated
+#: as tail corruption rather than an attempt to allocate gigabytes.
+_MAX_PAYLOAD = 1 << 24
+
+__all__ = ["WalError", "WalRecord", "WriteAheadLog", "scan", "replay"]
+
+
+class WalError(RuntimeError):
+    """A write-ahead log file that cannot be used at all (as opposed
+    to a torn tail, which is recovered from silently)."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One recovered log record."""
+
+    lsn: int
+    payload: Dict[str, Any]
+
+
+def _frame(lsn: int, payload: bytes) -> bytes:
+    crc = zlib.crc32(lsn.to_bytes(8, "little") + payload)
+    return _FRAME.pack(len(payload), crc, lsn) + payload
+
+
+def scan(path: str) -> Tuple[List[WalRecord], int, int]:
+    """All intact records of the log at *path*.
+
+    Returns ``(records, valid_bytes, truncated_bytes)`` where
+    ``valid_bytes`` is the offset of the first damaged frame (== file
+    size for a clean log) and ``truncated_bytes`` the garbage beyond
+    it.  Never raises on damage: a torn tail simply ends the scan.
+    A missing file scans as empty.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0, 0
+    records: List[WalRecord] = []
+    offset = 0
+    last_lsn = 0
+    while offset + _FRAME.size <= len(data):
+        length, crc, lsn = _FRAME.unpack_from(data, offset)
+        end = offset + _FRAME.size + length
+        if length > _MAX_PAYLOAD or end > len(data):
+            break                           # torn or corrupt tail
+        payload = data[offset + _FRAME.size:end]
+        if zlib.crc32(lsn.to_bytes(8, "little") + payload) != crc:
+            break                           # bit rot / torn write
+        if lsn <= last_lsn and records:
+            break                           # stale bytes after the tail
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(decoded, dict):
+            break
+        records.append(WalRecord(lsn=lsn, payload=decoded))
+        last_lsn = lsn
+        offset = end
+    return records, offset, len(data) - offset
+
+
+def replay(path: str, after_lsn: int = 0) -> Iterator[WalRecord]:
+    """Intact records with ``lsn > after_lsn``, in LSN order."""
+    records, _valid, _torn = scan(path)
+    for record in records:
+        if record.lsn > after_lsn:
+            yield record
+
+
+class WriteAheadLog:
+    """One append-only log file.
+
+    Use :meth:`open` to attach to a (possibly torn) existing file —
+    it truncates the tail to the last intact frame and resumes the
+    LSN sequence — or construct directly for a fresh file.
+    """
+
+    def __init__(self, path: str, sync: str = "always",
+                 batch_every: int = 32, start_lsn: int = 0,
+                 kill: Optional[KillSwitch] = None,
+                 metrics=None) -> None:
+        if sync not in ("always", "batch"):
+            raise ValueError(f"sync must be 'always' or 'batch' "
+                             f"({sync!r})")
+        if batch_every < 1:
+            raise ValueError(f"batch_every must be >= 1 ({batch_every})")
+        self.path = path
+        self.sync_mode = sync
+        self.batch_every = batch_every
+        self.kill = kill if kill is not None else KillSwitch.disabled()
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; every
+        #: append/sync is mirrored as a ``wal.*`` counter.
+        self.metrics = metrics
+        self.last_lsn = start_lsn
+        self.appends = 0
+        self.syncs = 0
+        self.bytes_written = 0
+        self._unsynced = 0
+        self._file = open(path, "ab")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str, sync: str = "always", batch_every: int = 32,
+             kill: Optional[KillSwitch] = None,
+             metrics=None) -> Tuple["WriteAheadLog", List[WalRecord], int]:
+        """Attach to *path*: scan it, truncate any torn tail, and
+        return ``(log, intact_records, truncated_bytes)``."""
+        records, valid, torn = scan(path)
+        if torn:
+            # The torn frame never happened; cut the file back so the
+            # next append starts on a clean frame boundary.
+            with open(path, "rb+") as handle:
+                handle.truncate(valid)
+                handle.flush()
+                os.fsync(handle.fileno())
+        start_lsn = records[-1].lsn if records else 0
+        log = cls(path, sync=sync, batch_every=batch_every,
+                  start_lsn=start_lsn, kill=kill, metrics=metrics)
+        return log, records, torn
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self._sync_now()
+        self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append(self, payload: Dict[str, Any]) -> int:
+        """Frame, write, and (per sync mode) fsync one record;
+        returns its LSN.  The record is only considered durable once
+        this method returns."""
+        self.kill.check("wal.before_append")
+        lsn = self.last_lsn + 1
+        encoded = json.dumps(payload, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        frame = _frame(lsn, encoded)
+        if self.kill.fires("wal.mid_append"):
+            # A real torn write: half the frame reaches the file (and
+            # the disk), then the process dies.  Recovery must truncate
+            # exactly this garbage.
+            self._file.write(frame[:max(1, len(frame) // 2)])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.kill.crash("wal.mid_append")
+        self._file.write(frame)
+        self._file.flush()
+        self._unsynced += 1
+        if self.sync_mode == "always" or \
+                self._unsynced >= self.batch_every:
+            self._sync_now()
+        self.last_lsn = lsn
+        self.appends += 1
+        self.bytes_written += len(frame)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("wal.appends")
+            metrics.inc("wal.bytes", len(frame))
+            metrics.set_gauge("wal.last_lsn", lsn)
+        self.kill.check("wal.after_append")
+        return lsn
+
+    def sync(self) -> None:
+        """Force everything appended so far to stable storage (a
+        no-op when nothing is pending)."""
+        if self._unsynced:
+            self._sync_now()
+
+    def _sync_now(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._unsynced = 0
+        self.syncs += 1
+        if self.metrics is not None:
+            self.metrics.inc("wal.syncs")

@@ -49,3 +49,24 @@ def test_truncated_records_rejected(tmp_path):
     path.write_bytes(data[:-10])
     with pytest.raises(RectFileError):
         load_records(str(path))
+
+
+def test_save_is_atomic_over_existing_file(tmp_path):
+    # A crash mid-save must leave the previous file intact: the write
+    # stages to a temp sibling and only renames on success.
+    from repro.geometry import Rect
+
+    old = make_rects(50, seed=2)
+    path = str(tmp_path / "rects.bin")
+    save_records(old, path)
+
+    # A record whose ref cannot be packed blows up mid-stream, after
+    # dozens of records already hit the staging file.
+    bad = make_rects(100, seed=3)
+    bad[60] = (Rect(0, 0, 1, 1), "not-an-id")
+    with pytest.raises(Exception):
+        save_records(bad, path)
+    assert load_records(path) == old
+    leftovers = [name for name in tmp_path.iterdir()
+                 if name.name != "rects.bin"]
+    assert leftovers == []

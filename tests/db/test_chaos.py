@@ -1,0 +1,65 @@
+"""The kill-point chaos harness, run at pytest scale.
+
+The CI ``durability`` job runs hundreds of schedules through
+``python -m repro.db.chaos``; here a smaller sweep keeps the harness
+itself honest on every test run.
+"""
+
+from repro.db.chaos import (generate_workload, main, run_schedule,
+                            run_schedules)
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        assert generate_workload(7, 50) == generate_workload(7, 50)
+
+    def test_valid_in_order(self):
+        # Applying the ops in sequence must never hit an invalid one.
+        model = {}
+        for op in generate_workload(11, 200):
+            if op[0] == "create":
+                assert op[1] not in model
+                model[op[1]] = set()
+            elif op[0] == "drop":
+                assert op[1] in model
+                del model[op[1]]
+            elif op[0] == "insert":
+                assert op[2] not in model[op[1]]
+                model[op[1]].add(op[2])
+            else:
+                assert op[2] in model[op[1]]
+                model[op[1]].discard(op[2])
+
+    def test_mixes_op_kinds(self):
+        kinds = {op[0] for op in generate_workload(3, 300)}
+        assert kinds == {"create", "drop", "insert", "delete"}
+
+
+class TestSchedules:
+    def test_single_schedule_passes(self):
+        outcome = run_schedule(2, num_ops=30)
+        assert outcome.ok, outcome.error
+        assert outcome.incarnations >= 1
+
+    def test_sweep_passes_both_sync_modes(self):
+        results = run_schedules(8, num_ops=25)
+        assert all(outcome.ok for outcome in results), \
+            [outcome.error for outcome in results if not outcome.ok]
+        assert {outcome.sync for outcome in results} \
+            == {"always", "batch"}
+        # The sweep is only meaningful if kills actually happened.
+        assert sum(outcome.kills for outcome in results) > 0
+
+    def test_schedules_are_reproducible(self):
+        first = run_schedule(5, num_ops=30)
+        second = run_schedule(5, num_ops=30)
+        assert (first.kills, first.incarnations, first.replayed,
+                first.final_objects) \
+            == (second.kills, second.incarnations, second.replayed,
+                second.final_objects)
+
+    def test_cli_exit_status(self, capsys):
+        assert main(["--schedules", "2", "--ops", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "2 schedules" in out
+        assert "0 failures" in out

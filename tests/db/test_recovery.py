@@ -1,0 +1,275 @@
+"""Checkpoint + WAL recovery of a data directory."""
+
+import json
+import os
+
+import pytest
+
+from repro.db.database import SpatialDatabase
+from repro.db.durability import DurabilityManager
+from repro.db.recovery import (MANIFEST, RecoveryError, apply_record,
+                               list_checkpoints, list_wal_segments,
+                               read_manifest, recover)
+from repro.geometry.rect import Rect
+from repro.rtree.validate import validate_rtree
+from repro.storage.faults import KillPlan, KillSwitch, SimulatedCrash
+
+
+def _open(data_dir, **kwargs):
+    return DurabilityManager.open(str(data_dir), **kwargs)
+
+
+def _abandon(manager):
+    """Simulate process death: drop the WAL handle without checkpoint."""
+    if not manager.wal._file.closed:
+        manager.wal._file.close()
+
+
+class TestFreshDirectory:
+    def test_starts_empty(self, tmp_path):
+        db, manager = _open(tmp_path / "data")
+        assert db.relations == {}
+        assert manager.recovery.replayed == 0
+        manager.close()
+
+    def test_creates_manifest_layout(self, tmp_path):
+        db, manager = _open(tmp_path / "data")
+        db.create_relation("roads")
+        manager.close()
+        names = sorted(os.listdir(tmp_path / "data"))
+        assert MANIFEST in names
+        assert any(name.startswith("ckpt-") for name in names)
+        assert any(name.startswith("wal-") for name in names)
+
+    def test_page_size_is_persisted(self, tmp_path):
+        db, manager = _open(tmp_path / "data", page_size=1024)
+        db.create_relation("roads")
+        manager.close()
+        db2, manager2 = _open(tmp_path / "data")
+        assert db2.page_size == 1024
+        manager2.close()
+
+
+class TestReplay:
+    def test_graceful_close_replays_nothing(self, tmp_path):
+        db, manager = _open(tmp_path / "data")
+        rel = db.create_relation("roads")
+        for i in range(10):
+            rel.insert(Rect(i, i, i + 1, i + 1))
+        manager.close()
+        db2, manager2 = _open(tmp_path / "data")
+        assert manager2.recovery.replayed == 0
+        assert len(db2.relations["roads"]) == 10
+        manager2.close()
+
+    def test_crash_replays_the_tail(self, tmp_path):
+        db, manager = _open(tmp_path / "data", checkpoint_every=1000)
+        rel = db.create_relation("roads")
+        oids = [rel.insert(Rect(i, i, i + 1, i + 1)) for i in range(8)]
+        rel.delete(oids[3])
+        _abandon(manager)
+        db2, manager2 = _open(tmp_path / "data")
+        info = manager2.recovery
+        assert info.replayed == 10          # create + 8 inserts + delete
+        recovered = db2.relations["roads"]
+        assert sorted(recovered.objects) == sorted(
+            oid for oid in oids if oid != oids[3])
+        validate_rtree(recovered.tree)
+        manager2.close()
+
+    def test_geometry_round_trips_exactly(self, tmp_path):
+        db, manager = _open(tmp_path / "data")
+        rel = db.create_relation("r")
+        rect = Rect(0.1 + 0.2, 1e-17, 3.14159265358979, 1e300)
+        oid = rel.insert(rect)
+        _abandon(manager)
+        db2, manager2 = _open(tmp_path / "data")
+        assert db2.relations["r"].objects[oid] == rect
+        manager2.close()
+
+    def test_replay_is_idempotent_across_checkpoint(self, tmp_path):
+        # Records already covered by the checkpoint must be skipped,
+        # not re-applied.
+        db, manager = _open(tmp_path / "data", checkpoint_every=5)
+        rel = db.create_relation("roads")
+        for i in range(12):
+            rel.insert(Rect(i, i, i + 1, i + 1))
+        _abandon(manager)
+        db2, manager2 = _open(tmp_path / "data")
+        assert len(db2.relations["roads"]) == 12
+        assert manager2.recovery.replayed \
+            + manager2.recovery.checkpoint_lsn >= 13
+        manager2.close()
+
+    def test_drop_and_recreate_replay(self, tmp_path):
+        db, manager = _open(tmp_path / "data", checkpoint_every=1000)
+        db.create_relation("a")
+        db.relations["a"].insert(Rect(0, 0, 1, 1))
+        db.drop_relation("a")
+        db.create_relation("a")
+        db.relations["a"].insert(Rect(5, 5, 6, 6), oid=77)
+        _abandon(manager)
+        db2, manager2 = _open(tmp_path / "data")
+        assert sorted(db2.relations["a"].objects) == [77]
+        manager2.close()
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        db, manager = _open(tmp_path / "data", checkpoint_every=1000)
+        db.create_relation("roads")
+        db.relations["roads"].insert(Rect(0, 0, 1, 1))
+        wal_path = manager.wal.path
+        _abandon(manager)
+        with open(wal_path, "ab") as handle:
+            handle.write(b"\x10\x00\x00\x00torn!")
+        db2, manager2 = _open(tmp_path / "data")
+        assert manager2.recovery.truncated_bytes > 0
+        assert len(db2.relations["roads"]) == 1
+        manager2.close()
+
+
+class TestApplyRecord:
+    def test_idempotent_skips(self):
+        db = SpatialDatabase()
+        assert apply_record(db, {"op": "create", "rel": "a"}) is True
+        assert apply_record(db, {"op": "create", "rel": "a"}) is False
+        line = "5 rect 0.0 0.0 1.0 1.0"
+        insert = {"op": "insert", "rel": "a", "oid": 5, "geom": line}
+        assert apply_record(db, insert) is True
+        assert apply_record(db, insert) is False
+        delete = {"op": "delete", "rel": "a", "oid": 5}
+        assert apply_record(db, delete) is True
+        assert apply_record(db, delete) is False
+        assert apply_record(db, {"op": "drop", "rel": "a"}) is True
+        assert apply_record(db, {"op": "drop", "rel": "a"}) is False
+
+    def test_ops_on_missing_relation_skip(self):
+        db = SpatialDatabase()
+        assert apply_record(db, {"op": "insert", "rel": "ghost",
+                                 "oid": 1,
+                                 "geom": "1 rect 0.0 0.0 1.0 1.0"}) \
+            is False
+        assert apply_record(db, {"op": "delete", "rel": "ghost",
+                                 "oid": 1}) is False
+
+    def test_unknown_op_is_fatal(self):
+        with pytest.raises(RecoveryError):
+            apply_record(SpatialDatabase(), {"op": "truncate"})
+
+
+class TestCheckpointCrashWindows:
+    def _run_until_crash(self, data_dir, point):
+        kill = KillSwitch(KillPlan(seed=3, points={point: 1.0}))
+        db, manager = _open(data_dir, checkpoint_every=4, kill=kill)
+        with pytest.raises(SimulatedCrash):
+            rel = db.create_relation("roads")
+            for i in range(30):
+                rel.insert(Rect(i, i, i + 1, i + 1))
+        _abandon(manager)
+
+    @pytest.mark.parametrize("point", ["checkpoint.before_rename",
+                                       "checkpoint.after_rename",
+                                       "checkpoint.before_gc"])
+    def test_recovers_consistently(self, tmp_path, point):
+        data_dir = tmp_path / "data"
+        self._run_until_crash(data_dir, point)
+        db, manager = _open(data_dir)
+        # Everything the crashed run logged before the kill is acked
+        # state and must be present; the checkpoint machinery crashed,
+        # the data must not care.
+        relation = db.relations["roads"]
+        assert len(relation) >= 3
+        validate_rtree(relation.tree)
+        # The directory converged: exactly one checkpoint referenced,
+        # debris gone.
+        manifest = read_manifest(str(data_dir))
+        checkpoints = list_checkpoints(str(data_dir))
+        if manifest is not None and manifest["checkpoint"] is not None:
+            assert checkpoints == [manifest["checkpoint_id"]]
+        else:
+            # The crash beat the very first checkpoint: recovery ran
+            # from the WAL alone and swept the staging debris.
+            assert checkpoints == []
+        assert not [name for name in os.listdir(data_dir)
+                    if name.endswith(".tmp")]
+        manager.close()
+
+    def test_gc_drops_covered_segments(self, tmp_path):
+        data_dir = tmp_path / "data"
+        db, manager = _open(data_dir, checkpoint_every=5)
+        rel = db.create_relation("roads")
+        for i in range(23):
+            rel.insert(Rect(i, i, i + 1, i + 1))
+        manager.close()
+        segments = list_wal_segments(str(data_dir))
+        assert len(segments) == 1           # only the active one
+
+    def test_recovery_is_deterministic(self, tmp_path):
+        data_dir = tmp_path / "data"
+        db, manager = _open(data_dir, checkpoint_every=4)
+        rel = db.create_relation("roads")
+        for i in range(13):
+            rel.insert(Rect(i, i, i + 1, i + 1))
+        _abandon(manager)
+        first = recover(str(data_dir))
+        snapshot1 = dict(first.db.relations["roads"].objects)
+        first.wal.close()
+        second = recover(str(data_dir))
+        snapshot2 = dict(second.db.relations["roads"].objects)
+        second.wal.close()
+        assert snapshot1 == snapshot2
+
+
+class TestManifest:
+    def test_corrupt_manifest_is_fatal(self, tmp_path):
+        data_dir = tmp_path / "data"
+        db, manager = _open(data_dir)
+        db.create_relation("roads")
+        manager.close()
+        with open(data_dir / MANIFEST, "w") as handle:
+            handle.write("{ not json")
+        with pytest.raises(RecoveryError):
+            recover(str(data_dir))
+
+    def test_unsupported_version_is_fatal(self, tmp_path):
+        data_dir = tmp_path / "data"
+        data_dir.mkdir()
+        with open(data_dir / MANIFEST, "w") as handle:
+            json.dump({"version": 99}, handle)
+        with pytest.raises(RecoveryError):
+            recover(str(data_dir))
+
+    def test_missing_checkpoint_is_fatal(self, tmp_path):
+        data_dir = tmp_path / "data"
+        db, manager = _open(data_dir)
+        db.create_relation("roads")
+        manager.close()
+        manifest = read_manifest(str(data_dir))
+        import shutil
+        shutil.rmtree(data_dir / manifest["checkpoint"])
+        with pytest.raises(RecoveryError):
+            recover(str(data_dir))
+
+
+class TestMetrics:
+    def test_recovery_counters_emitted(self, tmp_path):
+        from repro.obs.core import Observability
+        db, manager = _open(tmp_path / "data", checkpoint_every=1000)
+        db.create_relation("roads")
+        db.relations["roads"].insert(Rect(0, 0, 1, 1))
+        _abandon(manager)
+        obs = Observability()
+        db2, manager2 = DurabilityManager.open(str(tmp_path / "data"),
+                                               obs=obs)
+        assert obs.metrics.counters["serve.recovery.replayed"] == 2
+        assert "serve.recovery.ms" in obs.metrics.gauges
+        manager2.close()
+
+    def test_status_shape(self, tmp_path):
+        db, manager = _open(tmp_path / "data")
+        db.create_relation("roads")
+        status = manager.status()
+        for key in ("checkpoint_id", "last_lsn", "applied_lsn",
+                    "sync", "wal_appends", "dirty_records", "recovery"):
+            assert key in status
+        assert status["dirty_records"] == 1
+        manager.close()

@@ -140,3 +140,41 @@ def test_corrupted_crc_field_itself_rejected(tmp_path):
     path.write_bytes(bytes(data))
     with pytest.raises(PersistenceError, match="checksum"):
         load_tree(str(path))
+
+
+def test_save_tree_is_atomic_over_existing_file(tmp_path, monkeypatch):
+    # save_tree stages to a temp sibling; a crash mid-save must leave
+    # the previously saved tree loadable and no staging debris behind.
+    records = make_rects(400, seed=58)
+    tree = build_rstar(records)
+    path = str(tmp_path / "tree.rt")
+    save_tree(tree, path)
+
+    bigger = build_rstar(make_rects(900, seed=59))
+
+    import repro.rtree.persist as persist_module
+
+    class Boom(RuntimeError):
+        pass
+
+    calls = {"n": 0}
+    original = persist_module.FilePageStore.write
+
+    def exploding_write(self, page_id, data):
+        calls["n"] += 1
+        if calls["n"] > 5:
+            raise Boom("simulated crash mid-save")
+        return original(self, page_id, data)
+
+    monkeypatch.setattr(persist_module.FilePageStore, "write",
+                        exploding_write)
+    with pytest.raises(Boom):
+        save_tree(bigger, path)
+    monkeypatch.undo()
+
+    loaded = load_tree(path)
+    validate_rtree(loaded)
+    assert len(loaded) == len(tree)
+    leftovers = [entry for entry in tmp_path.iterdir()
+                 if entry.name != "tree.rt"]
+    assert leftovers == []

@@ -1,0 +1,96 @@
+"""Durability threaded through the query service."""
+
+from repro.db.durability import DurabilityManager
+from repro.serve.service import QueryService
+
+
+def _rect(coords):
+    return {"kind": "rect", "coords": list(coords)}
+
+
+def _service(data_dir, **kwargs):
+    db, manager = DurabilityManager.open(str(data_dir), **kwargs)
+    service = QueryService(db, workers=2, durability=manager)
+    return service, manager
+
+
+class TestServiceDurability:
+    def test_mutations_reach_the_wal(self, tmp_path):
+        service, manager = _service(tmp_path / "data")
+        assert service.handle({"id": 1, "op": "create",
+                               "relation": "roads"})["ok"]
+        response = service.handle({"id": 2, "op": "insert",
+                                   "relation": "roads",
+                                   "geometry": _rect([0, 0, 1, 1])})
+        assert response["ok"], response
+        assert manager.wal.appends == 2
+        assert manager.applied_lsn == 2
+        service.close()
+
+    def test_stats_surface_durability(self, tmp_path):
+        service, manager = _service(tmp_path / "data")
+        service.handle({"id": 1, "op": "create", "relation": "roads"})
+        stats = service.handle({"id": 2, "op": "stats"})
+        durability = stats["result"]["durability"]
+        assert durability["sync"] == "always"
+        assert durability["wal_appends"] == 1
+        assert "recovery" in durability
+        service.close()
+
+    def test_close_checkpoints(self, tmp_path):
+        service, manager = _service(tmp_path / "data",
+                                    checkpoint_every=1000)
+        service.handle({"id": 1, "op": "create", "relation": "roads"})
+        service.handle({"id": 2, "op": "insert", "relation": "roads",
+                        "geometry": _rect([0, 0, 1, 1])})
+        assert manager.dirty
+        service.close()
+        assert not manager.dirty
+        # A fresh recovery replays nothing: the close checkpointed.
+        db, manager2 = DurabilityManager.open(str(tmp_path / "data"))
+        assert manager2.recovery.replayed == 0
+        assert len(db.relations["roads"]) == 1
+        manager2.close()
+
+    def test_acked_writes_survive_abandonment(self, tmp_path):
+        service, manager = _service(tmp_path / "data",
+                                    checkpoint_every=1000)
+        service.handle({"id": 1, "op": "create", "relation": "roads"})
+        response = service.handle({"id": 2, "op": "insert",
+                                   "relation": "roads",
+                                   "geometry": _rect([5, 5, 6, 6])})
+        oid = response["result"]["oid"]
+        # Simulated hard kill: drop everything without close().
+        service.scheduler.shutdown()
+        manager.wal._file.close()
+        db, manager2 = DurabilityManager.open(str(tmp_path / "data"))
+        assert manager2.recovery.replayed == 2
+        assert oid in db.relations["roads"].objects
+        manager2.close()
+
+    def test_rejected_requests_log_nothing(self, tmp_path):
+        service, manager = _service(tmp_path / "data")
+        service.handle({"id": 1, "op": "create", "relation": "roads"})
+        appends = manager.wal.appends
+        # Validation failures must never reach the WAL.
+        duplicate = service.handle({"id": 2, "op": "create",
+                                    "relation": "roads"})
+        assert not duplicate["ok"]
+        missing = service.handle({"id": 3, "op": "delete",
+                                  "relation": "roads", "oid": 404})
+        assert not missing["ok"]
+        bad = service.handle({"id": 4, "op": "insert",
+                              "relation": "ghost",
+                              "geometry": _rect([0, 0, 1, 1])})
+        assert not bad["ok"]
+        assert manager.wal.appends == appends
+        service.close()
+
+    def test_service_without_durability_unchanged(self, tmp_path):
+        from repro.db import SpatialDatabase
+        service = QueryService(SpatialDatabase(), workers=1)
+        assert service.handle({"id": 1, "op": "create",
+                               "relation": "r"})["ok"]
+        stats = service.handle({"id": 2, "op": "stats"})
+        assert "durability" not in stats["result"]
+        service.close()

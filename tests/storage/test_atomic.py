@@ -1,0 +1,84 @@
+"""Crash-safe whole-file publication (temp + fsync + rename)."""
+
+import os
+
+import pytest
+
+from repro.storage.atomic import (atomic_write, fsync_directory,
+                                  fsync_path, tempname)
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with atomic_write(path) as handle:
+            handle.write(b"hello")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"hello"
+
+    def test_text_mode(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path, "w") as handle:
+            handle.write("line\n")
+        with open(path) as handle:
+            assert handle.read() == "line\n"
+
+    def test_requires_write_mode(self, tmp_path):
+        with pytest.raises(ValueError):
+            with atomic_write(str(tmp_path / "x"), "rb"):
+                pass
+
+    def test_overwrites_existing(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"old contents")
+        with atomic_write(path) as handle:
+            handle.write(b"new")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"new"
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"precious")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write(b"half-written garb")
+                raise RuntimeError("simulated crash mid-write")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"precious"
+
+    def test_failure_removes_staging_file(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write(b"x")
+                raise RuntimeError("boom")
+        assert os.listdir(tmp_path) == []
+
+    def test_no_partial_state_visible(self, tmp_path):
+        # The target name must never exist until the write completes.
+        path = str(tmp_path / "out.bin")
+        with atomic_write(path) as handle:
+            handle.write(b"data")
+            assert not os.path.exists(path)
+        assert os.path.exists(path)
+
+
+class TestHelpers:
+    def test_tempname_is_a_sibling(self, tmp_path):
+        path = str(tmp_path / "target.dat")
+        temp = tempname(path)
+        try:
+            assert os.path.dirname(temp) == str(tmp_path)
+            assert os.path.basename(temp).startswith(".target.dat.")
+            assert temp.endswith(".tmp")
+            assert os.path.exists(temp)
+        finally:
+            os.unlink(temp)
+
+    def test_fsync_path_and_directory(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"x")
+        fsync_path(str(path))
+        fsync_directory(str(tmp_path))    # must not raise

@@ -426,3 +426,9 @@ class TestDebugFlag:
         monkeypatch.setattr(cli, "_build_parser", StubParser)
         with pytest.raises(KeyError):
             cli.main([])
+
+
+class TestServeArgs:
+    def test_serve_requires_a_source(self, capsys):
+        assert main(["serve", "--port", "0"]) == 2
+        assert "--db or --data-dir" in capsys.readouterr().err
