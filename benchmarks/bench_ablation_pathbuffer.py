@@ -1,7 +1,11 @@
 """Ablation — contribution of the per-tree path buffer.
 
-Timed operation: SJ1 without the path buffer (the pathological case).
+Timed operation: SJ1 without the path buffer (the pathological case)
+plus the with-buffer contrast arm — the emitted row carries
+``with_ms`` / ``without_ms`` for ``repro bench rank``.
 """
+
+import time
 
 from conftest import show
 from emit import timed
@@ -23,8 +27,26 @@ def test_ablation_pathbuffer(benchmark, timing_trees):
     assert data[512.0]["sj1_without"] <= data[512.0]["sj1_with"] * 1.25
 
     tree_r, tree_s = timing_trees
-    timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s,
-                               spec=JoinSpec(algorithm="sj1", buffer_kb=0, use_path_buffer=False)),
+
+    def contrast():
+        start = time.perf_counter()
+        without = spatial_join(
+            tree_r, tree_s,
+            spec=JoinSpec(algorithm="sj1", buffer_kb=0,
+                          use_path_buffer=False))
+        without_ms = (time.perf_counter() - start) * 1e3
+        start = time.perf_counter()
+        spatial_join(tree_r, tree_s,
+                     spec=JoinSpec(algorithm="sj1", buffer_kb=0,
+                                   use_path_buffer=True))
+        with_ms = (time.perf_counter() - start) * 1e3
+        stats = without.stats
+        return {"pairs": stats.pairs_output,
+                "comparisons": stats.comparisons.total,
+                "disk_accesses": stats.disk_accesses,
+                "with_ms": round(with_ms, 3),
+                "without_ms": round(without_ms, 3)}
+
+    timed(benchmark, contrast,
           "ablation_pathbuffer", algorithm="sj1", buffer_kb=0,
           use_path_buffer=False)

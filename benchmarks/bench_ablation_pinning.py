@@ -1,7 +1,11 @@
 """Ablation — degree-based pinning of the read schedule (SJ3 vs SJ4/5).
 
-Timed operation: SJ4 with a tiny buffer, where pinning matters most.
+Timed operation: SJ4 with a tiny buffer, where pinning matters most,
+plus the unpinned SJ3 contrast arm — the emitted row carries
+``sj4_ms`` / ``sj3_ms`` for ``repro bench rank``.
 """
+
+import time
 
 from conftest import show
 from emit import timed
@@ -23,7 +27,23 @@ def test_ablation_pinning(benchmark, timing_trees):
         0.05 * data[512.0]["sj3"]
 
     tree_r, tree_s = timing_trees
-    timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s,
-                               spec=JoinSpec(algorithm="sj4", buffer_kb=8)),
+
+    def contrast():
+        start = time.perf_counter()
+        pinned = spatial_join(
+            tree_r, tree_s,
+            spec=JoinSpec(algorithm="sj4", buffer_kb=8))
+        sj4_ms = (time.perf_counter() - start) * 1e3
+        start = time.perf_counter()
+        spatial_join(tree_r, tree_s,
+                     spec=JoinSpec(algorithm="sj3", buffer_kb=8))
+        sj3_ms = (time.perf_counter() - start) * 1e3
+        stats = pinned.stats
+        return {"pairs": stats.pairs_output,
+                "comparisons": stats.comparisons.total,
+                "disk_accesses": stats.disk_accesses,
+                "sj4_ms": round(sj4_ms, 3),
+                "sj3_ms": round(sj3_ms, 3)}
+
+    timed(benchmark, contrast,
           "ablation_pinning", algorithm="sj4", buffer_kb=8)

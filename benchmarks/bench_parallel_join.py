@@ -157,7 +157,10 @@ def test_parallel_join_bench(benchmark):
          {"n": comparison.n, "workers": comparison.workers},
          {"pairs": comparison.pairs,
           "serial_disk_accesses": comparison.serial_reads,
-          "parallel_disk_accesses": comparison.parallel_reads},
+          "parallel_disk_accesses": comparison.parallel_reads,
+          "serial_ms": round(comparison.serial_seconds * 1e3, 3),
+          "parallel_ms": round(comparison.parallel_seconds * 1e3, 3),
+          "speedup": round(comparison.speedup, 3)},
          comparison.parallel_seconds * 1e3)
     print()
     print("=" * 72)

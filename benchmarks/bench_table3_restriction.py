@@ -1,7 +1,12 @@
 """Table 3 — comparisons with/without restricting the search space.
 
-Timed operation: one SJ2 join on the timing trees.
+Timed operation: one SJ2 join on the timing trees, plus the SJ1
+contrast arm — the emitted row carries ``restrict_ms`` /
+``norestrict_ms`` so ``repro bench rank`` can attribute the
+restriction's impact from the committed baseline.
 """
+
+import time
 
 from conftest import show
 from emit import timed
@@ -23,7 +28,23 @@ def test_table3_restriction(benchmark, timing_trees):
     assert gains[-1] > gains[0]
 
     tree_r, tree_s = timing_trees
-    timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s,
-                               spec=JoinSpec(algorithm="sj2", buffer_kb=128)),
+
+    def contrast():
+        start = time.perf_counter()
+        restricted = spatial_join(
+            tree_r, tree_s,
+            spec=JoinSpec(algorithm="sj2", buffer_kb=128))
+        restrict_ms = (time.perf_counter() - start) * 1e3
+        start = time.perf_counter()
+        spatial_join(tree_r, tree_s,
+                     spec=JoinSpec(algorithm="sj1", buffer_kb=128))
+        norestrict_ms = (time.perf_counter() - start) * 1e3
+        stats = restricted.stats
+        return {"pairs": stats.pairs_output,
+                "comparisons": stats.comparisons.total,
+                "disk_accesses": stats.disk_accesses,
+                "restrict_ms": round(restrict_ms, 3),
+                "norestrict_ms": round(norestrict_ms, 3)}
+
+    timed(benchmark, contrast,
           "table3_restriction", algorithm="sj2", buffer_kb=128)

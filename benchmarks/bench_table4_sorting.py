@@ -1,7 +1,11 @@
 """Table 4 — spatial sorting and plane sweep (versions I and II).
 
-Timed operation: one SJ3 (restricted sweep) join on the timing trees.
+Timed operation: one SJ3 (restricted sweep) join on the timing trees,
+run with and without the eager presort — the emitted row carries
+``presort_ms`` / ``nopresort_ms`` for ``repro bench rank``.
 """
+
+import time
 
 from conftest import show
 from emit import timed
@@ -33,7 +37,24 @@ def test_table4_sorting(benchmark, timing_trees):
     assert all(data[p]["repeat"] > 1.5 for p in (1024, 2048, 4096, 8192))
 
     tree_r, tree_s = timing_trees
-    timed(benchmark,
-          lambda: spatial_join(tree_r, tree_s,
-                               spec=JoinSpec(algorithm="sj3", buffer_kb=128)),
+
+    def contrast():
+        start = time.perf_counter()
+        swept = spatial_join(
+            tree_r, tree_s,
+            spec=JoinSpec(algorithm="sj3", buffer_kb=128))
+        nopresort_ms = (time.perf_counter() - start) * 1e3
+        start = time.perf_counter()
+        spatial_join(tree_r, tree_s,
+                     spec=JoinSpec(algorithm="sj3", buffer_kb=128,
+                                   presort=True))
+        presort_ms = (time.perf_counter() - start) * 1e3
+        stats = swept.stats
+        return {"pairs": stats.pairs_output,
+                "comparisons": stats.comparisons.total,
+                "disk_accesses": stats.disk_accesses,
+                "presort_ms": round(presort_ms, 3),
+                "nopresort_ms": round(nopresort_ms, 3)}
+
+    timed(benchmark, contrast,
           "table4_sorting", algorithm="sj3", buffer_kb=128)

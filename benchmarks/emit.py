@@ -5,19 +5,32 @@ Every ``bench_*`` script routes its timed operation through
 wall clock, extracts whatever counters the operation's return value
 carries, and upserts one row ::
 
-    {"schema": 1, "created": "2026-08-06T00:00:00Z",
-     "bench": ..., "params": {...}, "counters": {...}, "wall_ms": ...}
+    {"schema": 2, "created": "2026-08-06T00:00:00Z",
+     "bench": ..., "params": {...}, "counters": {...},
+     "wall_ms": ..., "env": {...}}
 
 into ``BENCH_join.json`` at the repository root (override the path with
 the ``REPRO_BENCH_OUT`` environment variable).  The file is a sorted
 JSON array upserted on the key ``(bench, canonical params)`` — where
-"canonical params" is ``json.dumps(params, sort_keys=True)``, so two
-parameter dicts that differ only in key order collide onto one row.
-Re-running a bench replaces its row (refreshing ``created``,
-``counters`` and ``wall_ms``), so the committed file stays a stable
-snapshot of the whole suite while those columns track the perf
-trajectory across changes.  ``schema`` versions the row shape itself;
-bump it when adding or renaming row fields.
+"canonical params" normalizes numbers first (``128`` and ``128.0``
+collide onto one key) and then serializes with sorted keys, so two
+parameter dicts that differ only in key order or int-vs-float spelling
+collide onto one row.  Re-running a bench replaces its row (refreshing
+``created``, ``counters``, ``wall_ms`` and ``env``), so the committed
+file stays a stable snapshot of the whole suite while those columns
+track the perf trajectory across changes.
+
+``schema`` versions the row shape itself; bump it when adding or
+renaming row fields.  Schema 2 added ``env`` — the environment
+fingerprint (python, platform, kernel backend, git sha) that lets the
+regression gate (``repro bench gate``) refuse to compare rows measured
+on incomparable machines.
+
+Rows loaded from an existing file are validated: a parseable file that
+contains rows missing ``schema``/``created``/``bench`` is rejected with
+a :class:`ValueError` instead of being silently rewritten (an
+unparseable file is still treated as absent — half-written scratch
+files must not wedge a bench run).
 """
 
 from __future__ import annotations
@@ -26,10 +39,14 @@ import json
 import os
 import time
 from datetime import datetime, timezone
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, List, Optional
 
 #: Row-shape version; bump when adding or renaming row fields.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Fields every row must carry (validated on load and emit).
+REQUIRED_FIELDS = ("schema", "created", "bench", "params", "counters",
+                   "wall_ms")
 
 #: Default output file, next to the repository's README.
 _DEFAULT_PATH = os.path.join(
@@ -42,29 +59,96 @@ def bench_path() -> str:
     return os.environ.get("REPRO_BENCH_OUT", _DEFAULT_PATH)
 
 
+def canonical_params(params: Any) -> Any:
+    """Normalized copy of a params structure for keying and storage.
+
+    Floats that carry an integral value collapse to ints (``128.0`` ==
+    ``128``), recursively through dicts and lists; bools and strings
+    pass through untouched.  Two bench runs that spell a knob as int in
+    one script and float in another therefore upsert the same row.
+    """
+    if isinstance(params, bool):
+        return params
+    if isinstance(params, float) and params.is_integer():
+        return int(params)
+    if isinstance(params, dict):
+        return {key: canonical_params(value)
+                for key, value in params.items()}
+    if isinstance(params, (list, tuple)):
+        return [canonical_params(value) for value in params]
+    return params
+
+
+def row_key(bench: str, params: Dict[str, Any]) -> tuple:
+    """The upsert identity of a row: ``(bench, canonical params)``."""
+    return (bench, json.dumps(canonical_params(params), sort_keys=True))
+
+
+def validate_row(row: Any) -> Optional[str]:
+    """One row's schema problem as a string, or None when it is fine."""
+    if not isinstance(row, dict):
+        return f"row is not an object: {row!r}"
+    missing = [field for field in REQUIRED_FIELDS if field not in row]
+    if missing:
+        return (f"row for bench {row.get('bench')!r} is missing "
+                f"{', '.join(missing)}")
+    if not isinstance(row.get("bench"), str) or not row["bench"]:
+        return f"row has a non-string bench name: {row.get('bench')!r}"
+    if not isinstance(row.get("params"), dict):
+        return (f"row {row['bench']!r} params must be an object "
+                f"({row.get('params')!r})")
+    return None
+
+
+def load_rows(path: str) -> List[Dict[str, Any]]:
+    """Load and validate a bench-row file.
+
+    Raises :class:`ValueError` when the file parses but holds malformed
+    rows — rows missing ``schema``/``created`` must be fixed (or the
+    file regenerated), not silently rewritten.
+    """
+    with open(path) as handle:
+        rows = json.load(handle)
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON array of rows")
+    for row in rows:
+        problem = validate_row(row)
+        if problem is not None:
+            raise ValueError(f"{path}: {problem}")
+    return rows
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """The env fingerprint stamped onto every emitted row (see
+    :func:`repro.bench.envinfo.environment_fingerprint`)."""
+    from repro.bench.envinfo import environment_fingerprint as _fp
+    return _fp()
+
+
 def emit(bench: str, params: Dict[str, Any], counters: Dict[str, Any],
          wall_ms: float) -> Dict[str, Any]:
     """Upsert one result row keyed on ``(bench, canonical params)``."""
     created = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
     row = {"schema": SCHEMA_VERSION, "created": created,
-           "bench": bench, "params": params, "counters": counters,
-           "wall_ms": round(float(wall_ms), 3)}
+           "bench": bench, "params": canonical_params(params),
+           "counters": counters,
+           "wall_ms": round(float(wall_ms), 3),
+           "env": environment_fingerprint()}
     path = bench_path()
-    rows = []
+    rows: List[Dict[str, Any]] = []
     if os.path.exists(path):
         try:
-            with open(path) as handle:
-                rows = json.load(handle)
+            rows = load_rows(path)
         except (json.JSONDecodeError, OSError):
+            # A half-written scratch file is treated as absent; rows
+            # that parse but are malformed raise out of load_rows.
             rows = []
-    key = (bench, json.dumps(params, sort_keys=True))
+    key = row_key(bench, params)
     rows = [r for r in rows
-            if (r.get("bench"),
-                json.dumps(r.get("params", {}), sort_keys=True)) != key]
+            if row_key(r.get("bench"), r.get("params", {})) != key]
     rows.append(row)
-    rows.sort(key=lambda r: (r.get("bench", ""),
-                             json.dumps(r.get("params", {}),
-                                        sort_keys=True)))
+    rows.sort(key=lambda r: row_key(r.get("bench", ""),
+                                    r.get("params", {})))
     with open(path, "w") as handle:
         json.dump(rows, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -107,16 +191,29 @@ def counters_of(result: Any) -> Dict[str, Any]:
 
 def timed(benchmark, fn: Callable[[], Any], bench: str,
           **params: Any) -> Any:
-    """Run *fn* once under pytest-benchmark and emit its row."""
+    """Run *fn* under pytest-benchmark and emit its row.
+
+    ``REPRO_BENCH_ROUNDS`` (default 1) repeats the op in-process and
+    the row keeps the *minimum* wall across rounds — on a shared
+    machine a measurement is only ever noisy high, so the minimum is
+    the stable statistic.  The regression gate and baseline refreshes
+    (``repro bench run/gate``) set it to 3 so both sides of a
+    comparison carry the same statistic.  Counters come from the last
+    round; every timed op reads fixed inputs, so rounds are
+    counter-identical.
+    """
+    rounds = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "1")))
     cell: Dict[str, Any] = {}
 
     def run():
         start = time.perf_counter()
         cell["result"] = fn()
-        cell["wall_ms"] = (time.perf_counter() - start) * 1e3
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        cell["wall_ms"] = min(cell.get("wall_ms", elapsed_ms),
+                              elapsed_ms)
         return cell["result"]
 
-    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.pedantic(run, rounds=rounds, iterations=1)
     result = cell.get("result")
     emit(bench, params, counters_of(result), cell.get("wall_ms", 0.0))
     return result

@@ -1,0 +1,96 @@
+"""Environment fingerprints for benchmark-row provenance.
+
+Every row ``benchmarks/emit.py`` writes carries the fingerprint of the
+machine that measured it, so the regression gate (``repro bench
+gate``) can refuse to compare wall clocks across incomparable setups
+and :meth:`repro.plan.Calibration.from_bench` can ignore rows measured
+with a different kernel backend.
+
+Two fingerprints are *comparable* when the fields in
+:data:`COMPARABLE_FIELDS` agree: the OS platform and the kernel
+backend (numpy vs stdlib ``array``) change what a wall-ms or counter
+number means; python patch versions, machine speed, and the git sha do
+not — machine speed is normalized away by the gate's median machine
+factor, and the sha is pure provenance.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+from functools import lru_cache
+from typing import Any, Dict, Optional
+
+#: Fingerprint fields that must agree for two rows to be comparable.
+COMPARABLE_FIELDS = ("platform", "backend")
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _backend() -> str:
+    from ..rtree.columns import use_numpy
+    return "numpy" if use_numpy() else "stdlib"
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy.__version__
+
+
+@lru_cache(maxsize=1)
+def _cached_fingerprint() -> Dict[str, Any]:
+    return {
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "backend": _backend(),
+        "numpy": _numpy_version(),
+        "git_sha": _git_sha(),
+    }
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """This process's fingerprint (fresh dict; safe to mutate)."""
+    return dict(_cached_fingerprint())
+
+
+def comparable(a: Optional[Dict[str, Any]],
+               b: Optional[Dict[str, Any]]) -> bool:
+    """Whether two fingerprints are measurement-comparable.
+
+    A missing fingerprint (schema-1 legacy row) is treated as
+    comparable — there is nothing to contradict; the gate surfaces the
+    absence separately.
+    """
+    if not a or not b:
+        return True
+    return all(a.get(field) == b.get(field)
+               for field in COMPARABLE_FIELDS)
+
+
+def describe(env: Optional[Dict[str, Any]]) -> str:
+    """One-line human rendering of a fingerprint."""
+    if not env:
+        return "(no env fingerprint)"
+    bits = [str(env.get(field)) for field in
+            ("platform", "machine", "backend")]
+    python = env.get("python")
+    if python:
+        bits.append(f"py{python}")
+    sha = env.get("git_sha")
+    if sha:
+        bits.append(f"@{sha}")
+    return " ".join(bits)

@@ -22,6 +22,11 @@ Usage examples::
     repro scrub streets.rtree
     repro scrub damaged.rtree --repair -o repaired.rtree
     repro bench table2
+    repro bench gate --tier smoke --tolerance 0.25
+    repro bench run --tier full --update-baseline
+    repro bench rank
+    repro report --bench
+    repro serve --db catalog/ --slow-ms 250
 
 (Also reachable as ``python -m repro ...``.)
 """
@@ -30,7 +35,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 from typing import List, Optional
 
 from .bench.ablations import ABLATIONS
@@ -214,13 +221,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = commands.add_parser(
         "report", help="render the phase-time and cost-model drift "
-                       "report of a JSONL trace file")
-    report.add_argument("trace",
+                       "report of a JSONL trace file, or the "
+                       "component-impact report of the committed "
+                       "benchmark baseline (--bench)")
+    report.add_argument("trace", nargs="?",
                         help="trace file written by repro join --trace")
     report.add_argument("--json", action="store_true",
                         help="emit the report data as JSON")
     report.add_argument("--validate", action="store_true",
                         help="only check the trace against the schema")
+    report.add_argument("--bench", nargs="?", const="", default=None,
+                        metavar="FILE",
+                        help="render the ranked component-impact "
+                             "report from a BENCH_join.json file "
+                             "(default: the committed baseline) "
+                             "instead of a trace")
     report.set_defaults(handler=_cmd_report)
 
     serve = commands.add_parser(
@@ -264,6 +279,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-retries", type=int, default=2,
                        help="transient worker-failure retries per "
                             "request (default 2)")
+    serve.add_argument("--slow-ms", type=float, default=None,
+                       help="log every request slower than this many "
+                            "milliseconds (and count it in "
+                            "serve.slow_requests)")
     serve.add_argument("--trace", metavar="FILE",
                        help="write the server's spans and serve.* "
                             "metrics as a JSONL trace on shutdown "
@@ -283,12 +302,62 @@ def _build_parser() -> argparse.ArgumentParser:
     scrub.set_defaults(handler=_cmd_scrub)
 
     bench = commands.add_parser(
-        "bench", help="regenerate one of the paper's exhibits")
-    bench.add_argument("exhibit",
-                       choices=sorted({**EXHIBITS, **ABLATIONS}))
-    bench.add_argument("--scale", type=float, default=None)
+        "bench", help="regenerate one of the paper's exhibits, or "
+                      "drive the experiment matrix: run / compare / "
+                      "gate / rank")
+    bench.add_argument("target",
+                       choices=sorted({**EXHIBITS, **ABLATIONS})
+                       + ["run", "compare", "gate", "rank"],
+                       help="an exhibit name, or a matrix verb: 'run' "
+                            "executes registered benchmarks, "
+                            "'compare' diffs fresh rows against the "
+                            "baseline, 'gate' runs + compares and "
+                            "exits nonzero on regressions, 'rank' "
+                            "prints the component-impact report")
+    bench.add_argument("--scale", type=float, default=None,
+                       help="REPRO_SCALE for exhibits and matrix runs "
+                            "(matrix default 0.02)")
     bench.add_argument("--json", action="store_true",
-                       help="emit the raw exhibit data as JSON")
+                       help="emit the raw data as JSON")
+    bench.add_argument("--tier", choices=("smoke", "full"),
+                       default=None,
+                       help="experiment tier for run/gate "
+                            "(default smoke)")
+    bench.add_argument("--only", action="append", default=[],
+                       metavar="BENCH",
+                       help="restrict run/gate/compare to named "
+                            "experiments (repeatable)")
+    bench.add_argument("--baseline", default=None, metavar="FILE",
+                       help="baseline row file (default the committed "
+                            "BENCH_join.json)")
+    bench.add_argument("--fresh", default=None, metavar="FILE",
+                       help="fresh row file for 'compare'")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="where run/gate write fresh rows (default "
+                            "a scratch file)")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="wall-ms tolerance overriding each "
+                            "experiment's registry value (e.g. 0.25)")
+    bench.add_argument("--ignore-env", action="store_true",
+                       help="compare rows even when environment "
+                            "fingerprints are incomparable")
+    bench.add_argument("--table", default=None, metavar="FILE",
+                       help="also write the delta table to FILE "
+                            "(CI artifact)")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="with 'run': upsert the fresh rows into "
+                            "the baseline file (refreshes the "
+                            "committed snapshot and the planner's "
+                            "bench calibration)")
+    bench.add_argument("--passes", type=int, default=None,
+                       help="measurement passes per experiment, "
+                            "keeping the minimum wall-ms per row "
+                            "(default 2 for gate, 1 for run)")
+    bench.add_argument("--timeout", type=float, default=600.0,
+                       help="per-experiment subprocess timeout in "
+                            "seconds (default 600)")
+    bench.add_argument("--benchmarks-dir", default=None,
+                       help="override the benchmarks/ directory")
     bench.set_defaults(handler=_cmd_bench)
 
     return parser
@@ -510,7 +579,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_bytes=int(args.cache_mb * (1 << 20)),
         default_timeout=(args.timeout_ms / 1e3
                          if args.timeout_ms else None),
-        max_retries=args.max_retries, obs=obs, durability=durability)
+        max_retries=args.max_retries, obs=obs, durability=durability,
+        slow_ms=args.slow_ms)
     server = SpatialQueryServer(service, host=args.host, port=args.port)
     host, port = server.start()
     source = args.data_dir if args.data_dir else args.db
@@ -668,6 +738,20 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.bench is not None:
+        from .bench.gate import (default_baseline_path, load_rows,
+                                 rank_components, rank_to_json,
+                                 render_rank_table)
+        path = args.bench or default_baseline_path()
+        impacts, missing = rank_components(load_rows(path))
+        if args.json:
+            print(json.dumps(rank_to_json(impacts, missing), indent=2,
+                             sort_keys=True))
+        else:
+            print(render_rank_table(impacts, missing))
+        return 0
+    if args.trace is None:
+        raise ValueError("a trace file is required without --bench")
     if args.validate:
         with open(args.trace) as handle:
             errors = validate_trace(handle.read().splitlines())
@@ -726,8 +810,10 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.target in ("run", "compare", "gate", "rank"):
+        return _cmd_bench_matrix(args)
     registry = {**EXHIBITS, **ABLATIONS}
-    function = registry[args.exhibit]
+    function = registry[args.target]
     if args.scale is not None:
         report = function(scale=args.scale)
     else:
@@ -743,6 +829,124 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         }, indent=2))
     else:
         print(report.render())
+    return 0
+
+
+def _cmd_bench_matrix(args: argparse.Namespace) -> int:
+    """The experiment-matrix verbs: run / compare / gate / rank."""
+    from .bench import gate as harness
+    from .bench.registry import experiments_for
+
+    baseline = args.baseline or harness.default_baseline_path()
+
+    if args.target == "rank":
+        impacts, missing = harness.rank_components(
+            harness.load_rows(baseline))
+        if args.json:
+            print(json.dumps(harness.rank_to_json(impacts, missing),
+                             indent=2, sort_keys=True))
+        else:
+            print(harness.render_rank_table(impacts, missing))
+        return 0
+
+    if args.target == "compare":
+        if not args.fresh:
+            raise ValueError("bench compare requires --fresh FILE")
+        comparison = harness.compare_rows(
+            harness.load_rows(baseline),
+            harness.load_rows(args.fresh),
+            tolerance=args.tolerance, ignore_env=args.ignore_env,
+            benches=args.only or None)
+        return _finish_comparison(args, comparison, baseline,
+                                  args.fresh)
+
+    # run / gate both execute experiments first.
+    experiments = experiments_for(args.tier or "smoke",
+                                  tuple(args.only) or None)
+    out = args.out or os.path.join(
+        tempfile.mkdtemp(prefix="repro-bench-"), "fresh.json")
+    if os.path.exists(out):
+        os.remove(out)
+    scale = args.scale if args.scale is not None \
+        else harness.DEFAULT_RUN_SCALE
+    # The gate measures twice and keeps the faster wall per row: the
+    # timed ops are single-round, so noise is only ever noisy high.
+    passes = args.passes if args.passes is not None \
+        else (2 if args.target == "gate" else 1)
+    print(harness.current_environment_line())
+    print(f"running {len(experiments)} experiment(s) "
+          f"[tier {args.tier or 'smoke'}, scale {scale:g}, "
+          f"{passes} pass(es)] -> {out}")
+    outcomes = harness.run_experiments(
+        experiments, out, scale=scale, timeout=args.timeout,
+        bench_dir=args.benchmarks_dir, log=print, passes=passes)
+    failed_runs = [o for o in outcomes if not o.ok]
+
+    if args.target == "run":
+        if args.update_baseline and not failed_runs:
+            merged = harness.merge_into_baseline(out, baseline)
+            print(f"upserted {merged} row(s) into {baseline}")
+            print(harness.calibration_note(baseline, None))
+        for outcome in failed_runs:
+            print(f"FAILED: {outcome.experiment.bench} "
+                  f"(exit {outcome.returncode}, "
+                  f"{outcome.rows} row(s) emitted)", file=sys.stderr)
+        return 1 if failed_runs else 0
+
+    # gate: compare the fresh rows against the baseline.
+    comparison = harness.compare_rows(
+        harness.load_rows(baseline), harness.load_rows(out),
+        tolerance=args.tolerance, ignore_env=args.ignore_env,
+        benches=[e.bench for e in experiments])
+    # One retry for wall-clock regressions only: the timed ops are
+    # single-round and a loaded machine can push a small row past
+    # tolerance once.  A real code regression survives the re-run;
+    # counter drift and env mismatches are deterministic and final.
+    retry = sorted({d.bench for d in comparison.failures
+                    if d.status == "regressed"})
+    if retry:
+        print(f"retrying {len(retry)} regressed bench(es) once: "
+              f"{', '.join(retry)}")
+        before_rows = harness.load_rows(out)
+        harness.run_experiments(
+            [e for e in experiments if e.bench in retry], out,
+            scale=scale, timeout=args.timeout,
+            bench_dir=args.benchmarks_dir, log=print)
+        lowered = harness.keep_min_wall(out, before_rows, retry)
+        if lowered:
+            print(f"kept the faster of the two measurements for "
+                  f"{lowered} row(s)")
+        comparison = harness.compare_rows(
+            harness.load_rows(baseline), harness.load_rows(out),
+            tolerance=args.tolerance, ignore_env=args.ignore_env,
+            benches=[e.bench for e in experiments])
+    code = _finish_comparison(args, comparison, baseline, out)
+    if failed_runs:
+        for outcome in failed_runs:
+            print(f"FAILED run: {outcome.experiment.bench} "
+                  f"(exit {outcome.returncode})", file=sys.stderr)
+        return 1
+    return code
+
+
+def _finish_comparison(args, comparison, baseline: str,
+                       fresh_path: str) -> int:
+    from .bench import gate as harness
+    table = harness.render_delta_table(comparison)
+    if args.json:
+        print(json.dumps(harness.comparison_to_json(comparison),
+                         indent=2, sort_keys=True))
+        print(table, file=sys.stderr)
+    else:
+        print(table)
+        print(harness.calibration_note(baseline, fresh_path))
+    if args.table:
+        with open(args.table, "w") as handle:
+            handle.write(table + "\n")
+    if not comparison.ok:
+        print(f"gate: {len(comparison.failures)} regression(s) — see "
+              f"the delta table above", file=sys.stderr)
+        return 1
     return 0
 
 

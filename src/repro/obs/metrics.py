@@ -61,6 +61,48 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated q-th percentile (``q`` in [0, 100]).
+
+        Linear interpolation inside the bucket that contains the
+        target rank, clamped to the observed min/max sidecars — so the
+        estimate never leaves the value range that was actually seen,
+        and the unbounded overflow bucket resolves to the recorded
+        maximum instead of infinity.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100] ({q!r})")
+        target = (q / 100.0) * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            below = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = (self.bounds[index]
+                         if index < len(self.bounds)
+                         else (self.vmax if self.vmax is not None
+                               else self.bounds[-1]))
+                fraction = ((target - below) / bucket_count
+                            if bucket_count else 0.0)
+                value = lower + (upper - lower) * max(0.0, fraction)
+                if self.vmin is not None:
+                    value = max(value, self.vmin)
+                if self.vmax is not None:
+                    value = min(value, self.vmax)
+                return value
+        return self.vmax if self.vmax is not None else 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard latency summary: p50/p95/p99."""
+        return {"p50": self.percentile(50.0),
+                "p95": self.percentile(95.0),
+                "p99": self.percentile(99.0)}
+
     def merge(self, other: "Histogram") -> None:
         """Fold *other* into this histogram (bounds must agree)."""
         if self.bounds != other.bounds:

@@ -140,8 +140,11 @@ def _render_histograms(document: TraceDocument) -> str:
     lines = ["histograms:"]
     for name in sorted(document.histograms):
         hist = document.histograms[name]
+        pct = hist.percentiles()
         lines.append(
             f"  {name:<28} n={hist.count:<9,} mean={hist.mean:<10.2f} "
+            f"p50={pct['p50']:<8.2f} p95={pct['p95']:<8.2f} "
+            f"p99={pct['p99']:<8.2f} "
             f"min={hist.vmin if hist.vmin is not None else '-'} "
             f"max={hist.vmax if hist.vmax is not None else '-'}")
     return "\n".join(lines)

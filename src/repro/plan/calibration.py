@@ -95,8 +95,12 @@ class Calibration:
         constants are scaled by the same machine-speed factor, so the
         model's CPU:I/O balance (and therefore the candidate ranking)
         is preserved while absolute estimates match the hardware.
-        Falls back to the paper constants when the file is missing or
-        holds no usable rows.
+        Rows stamped with an environment fingerprint (bench schema 2)
+        only participate when that environment is comparable with the
+        current one — a baseline measured with a different geometry
+        backend or platform must not masquerade as this machine's
+        speed.  Falls back to the paper constants when the file is
+        missing or holds no usable rows.
         """
         if path is None:
             path = os.path.join(os.getcwd(), "BENCH_join.json")
@@ -105,9 +109,13 @@ class Calibration:
                 rows = json.load(handle)
         except (OSError, json.JSONDecodeError):
             return cls()
+        from ..bench.envinfo import comparable, environment_fingerprint
+        here = environment_fingerprint()
         ratios = []
         for row in rows:
             if not isinstance(row, dict):
+                continue
+            if not comparable(row.get("env"), here):
                 continue
             comparisons = (row.get("counters") or {}).get("comparisons")
             wall_ms = row.get("wall_ms")

@@ -107,8 +107,17 @@ class QueryService:
                  default_timeout: Optional[float] = 30.0,
                  max_retries: int = 2,
                  obs: Optional[Observability] = None,
-                 durability: Optional["DurabilityManager"] = None) -> None:
+                 durability: Optional["DurabilityManager"] = None,
+                 slow_ms: Optional[float] = None,
+                 slow_log: Optional[Callable[[str], None]] = None
+                 ) -> None:
         self.db = db
+        #: Requests slower than this many milliseconds are counted in
+        #: ``serve.slow_requests`` and logged through *slow_log*
+        #: (default: a line on stderr).  None disables the check.
+        self.slow_ms = slow_ms
+        self.slow_log = slow_log if slow_log is not None \
+            else _default_slow_log
         #: Optional :class:`~repro.db.durability.DurabilityManager`.
         #: Mutations already write ahead through the database hooks;
         #: the service only surfaces its status (``stats``) and drives
@@ -158,12 +167,19 @@ class QueryService:
                 self.obs.metrics.inc("serve.errors")
             response = error_response(request_id, error_code_for(exc),
                                       str(exc) or type(exc).__name__)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
         if self.obs.enabled:
-            self.obs.metrics.observe(
-                "serve.time_ms", (time.perf_counter() - started) * 1e3)
+            self.obs.metrics.observe("serve.time_ms", elapsed_ms)
             if not response.get("ok"):
                 code = response["error"]["code"]
                 self.obs.metrics.inc(f"serve.error.{code}")
+        if self.slow_ms is not None and elapsed_ms >= self.slow_ms:
+            if self.obs.enabled:
+                self.obs.metrics.inc("serve.slow_requests")
+            self.slow_log(
+                f"slow request: op={op} {elapsed_ms:.1f} ms >= "
+                f"{self.slow_ms:g} ms (id={request_id}, "
+                f"ok={str(bool(response.get('ok'))).lower()})")
         return response
 
     def _dispatch(self, request: Dict[str, Any], request_id: Any,
@@ -427,6 +443,18 @@ class QueryService:
                               "hits": self.cache.hits,
                               "misses": self.cache.misses,
                               "evictions": self.cache.evictions}}
+        histogram = self.obs.metrics.histograms.get("serve.time_ms")
+        if histogram is not None and histogram.count:
+            percentiles = histogram.percentiles()
+            snapshot["latency_ms"] = {
+                "count": histogram.count,
+                "mean": round(histogram.mean, 3),
+                "p50": round(percentiles["p50"], 3),
+                "p95": round(percentiles["p95"], 3),
+                "p99": round(percentiles["p99"], 3),
+                "max": round(histogram.vmax, 3)
+                if histogram.vmax is not None else None,
+            }
         if self.durability is not None:
             snapshot["durability"] = self.durability.status()
         return snapshot
@@ -438,6 +466,11 @@ class QueryService:
         if self.durability is not None:
             with self._lock.write():
                 self.durability.close(checkpoint=True)
+
+
+def _default_slow_log(line: str) -> None:
+    import sys
+    print(line, file=sys.stderr, flush=True)
 
 
 def _remaining(deadline: Optional[float]) -> Optional[float]:

@@ -27,6 +27,8 @@ def test_emit_writes_a_row(emit_module):
     assert len(rows) == 1
     created = rows[0].pop("created")
     assert created.endswith("Z") and len(created) == 20  # ISO-8601 UTC
+    env = rows[0].pop("env")
+    assert env["platform"] and env["backend"] in ("numpy", "stdlib")
     assert rows[0] == {"schema": emit_module.SCHEMA_VERSION,
                        "bench": "table2",
                        "params": {"algorithm": "sj1"},
@@ -47,14 +49,55 @@ def test_emit_upserts_on_bench_and_params(emit_module):
         row["bench"] for row in rows)
 
 
-def test_committed_rows_carry_schema_and_created():
+def test_upsert_key_is_stable_across_param_spelling(emit_module):
+    """128 vs 128.0 and key order must collide onto one row."""
+    emit_module.emit("t", {"buffer_kb": 128.0, "algorithm": "sj2"},
+                     {}, 1.0)
+    emit_module.emit("t", {"algorithm": "sj2", "buffer_kb": 128},
+                     {}, 2.0)
+    rows = json.load(open(emit_module.bench_path()))
+    assert len(rows) == 1
+    assert rows[0]["wall_ms"] == 2.0
+    assert rows[0]["params"] == {"algorithm": "sj2", "buffer_kb": 128}
+
+
+def test_canonical_params_normalizes_recursively(emit_module):
+    canonical = emit_module.canonical_params(
+        {"a": 2.0, "b": True, "c": [1.5, 3.0], "d": {"e": 0.0}})
+    assert canonical == {"a": 2, "b": True, "c": [1.5, 3], "d": {"e": 0}}
+    assert isinstance(canonical["a"], int)
+    assert canonical["b"] is True              # bools are not ints here
+
+
+def test_committed_rows_carry_schema_created_and_env():
     path = os.path.join(os.path.dirname(_EMIT_PATH), "..",
                         "BENCH_join.json")
     rows = json.load(open(path))
     assert rows, "committed benchmark snapshot must not be empty"
     for row in rows:
-        assert row["schema"] == 1
+        assert row["schema"] == 2
         assert row["created"].endswith("Z")
+        assert row["env"]["platform"]
+        assert row["env"]["backend"] in ("numpy", "stdlib")
+
+
+def test_load_rows_rejects_malformed_rows(emit_module, tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps([{"bench": "x", "params": {},
+                                 "counters": {}, "wall_ms": 1.0}]))
+    with pytest.raises(ValueError, match="missing"):
+        emit_module.load_rows(str(path))
+    path.write_text(json.dumps({"not": "a list"}))
+    with pytest.raises(ValueError, match="array"):
+        emit_module.load_rows(str(path))
+
+
+def test_emit_refuses_to_clobber_malformed_rows(emit_module):
+    """Parseable-but-invalid rows raise instead of being rewritten."""
+    with open(emit_module.bench_path(), "w") as handle:
+        json.dump([{"bench": "x", "wall_ms": 1.0}], handle)
+    with pytest.raises(ValueError):
+        emit_module.emit("table2", {}, {}, 1.0)
 
 
 def test_emit_survives_a_corrupt_file(emit_module):
@@ -73,6 +116,12 @@ def test_counters_of_join_result(emit_module):
     counters = emit_module.counters_of(JoinResult([(1, 2)], stats))
     assert counters == {"disk_accesses": 3, "comparisons": 5,
                         "pairs": 2}
+
+
+def test_counters_of_dict_passthrough(emit_module):
+    counters = emit_module.counters_of(
+        {"restrict_ms": 1.5, "pairs": 10, "label": "sj2", "flag": True})
+    assert counters == {"restrict_ms": 1.5, "pairs": 10}
 
 
 def test_counters_of_tree_and_scalar(emit_module):
@@ -100,3 +149,4 @@ def test_timed_runs_once_and_emits(emit_module):
     assert rows[0]["params"] == {"knob": 7}
     assert rows[0]["counters"] == {"value": 42}
     assert rows[0]["wall_ms"] >= 0.0
+    assert rows[0]["env"] == emit_module.environment_fingerprint()

@@ -1,0 +1,275 @@
+"""The regression gate: synthetic baselines vs fresh rows.
+
+No benchmarks run here — rows are fabricated so every verdict path
+(ok, improved, regressed, counter drift, env mismatch, missing, new)
+and the machine-factor normalization are exercised deterministically.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.gate import (WALL_SLACK_MS, Comparison, compare_rows,
+                              comparison_to_json, keep_min_wall,
+                              merge_into_baseline, rank_components,
+                              rank_to_json, render_delta_table,
+                              render_rank_table)
+
+ENV = {"python": "3.11.7", "platform": "linux", "machine": "x86_64",
+       "backend": "numpy", "git_sha": "abc1234"}
+
+
+def row(bench, wall_ms, params=None, counters=None, env=ENV):
+    made = {"schema": 2, "created": "2026-08-08T00:00:00Z",
+            "bench": bench, "params": params or {},
+            "counters": counters or {}, "wall_ms": wall_ms}
+    if env is not None:
+        made["env"] = env
+    return made
+
+
+def clone(rows, **wall_overrides):
+    fresh = [json.loads(json.dumps(r)) for r in rows]
+    for r in fresh:
+        if r["bench"] in wall_overrides:
+            r["wall_ms"] = wall_overrides[r["bench"]]
+    return fresh
+
+
+BASELINE = [row("a", 100.0), row("b", 100.0), row("c", 100.0),
+            row("d", 100.0), row("e", 100.0)]
+
+
+def test_identical_rows_pass():
+    comparison = compare_rows(BASELINE, clone(BASELINE))
+    assert comparison.ok
+    assert all(d.status == "ok" for d in comparison.deltas)
+    assert comparison.machine_factor == pytest.approx(1.0)
+
+
+def test_injected_regression_fails_the_gate():
+    """+50% wall on one row exits the gate nonzero territory."""
+    fresh = clone(BASELINE, c=150.0)
+    comparison = compare_rows(BASELINE, fresh, tolerance=0.25)
+    assert not comparison.ok
+    failed = comparison.failures
+    assert [d.bench for d in failed] == ["c"]
+    assert failed[0].status == "regressed"
+    assert failed[0].ratio == pytest.approx(1.5)
+
+
+def test_improvement_is_not_a_failure():
+    fresh = clone(BASELINE, c=50.0)
+    comparison = compare_rows(BASELINE, fresh, tolerance=0.25)
+    assert comparison.ok
+    improved = [d for d in comparison.deltas if d.status == "improved"]
+    assert [d.bench for d in improved] == ["c"]
+
+
+def test_machine_factor_normalizes_uniform_slowdown():
+    """Every row 2x slower = slower machine, not a regression."""
+    fresh = clone(BASELINE, **{b: 200.0 for b in "abcde"})
+    comparison = compare_rows(BASELINE, fresh, tolerance=0.25)
+    assert comparison.machine_factor == pytest.approx(2.0)
+    assert comparison.ok
+
+
+def test_single_regression_survives_normalization():
+    """One row +100% on an otherwise-even run still regresses."""
+    fresh = clone(BASELINE, c=200.0)
+    comparison = compare_rows(BASELINE, fresh, tolerance=0.25)
+    assert [d.bench for d in comparison.failures] == ["c"]
+
+
+def test_flat_row_on_a_faster_machine_is_not_a_regression():
+    """Everything else sped up 25%; c's own time is unchanged.
+
+    Normalization alone would read c at 1.33x; the raw-ratio
+    requirement keeps a row that did not get slower from being
+    flagged just because the rest of the suite did get faster.
+    """
+    fresh = clone(BASELINE, a=75.0, b=75.0, d=75.0, e=75.0)
+    comparison = compare_rows(BASELINE, fresh, tolerance=0.25)
+    assert comparison.machine_factor == pytest.approx(0.75)
+    assert comparison.ok, [d.detail for d in comparison.failures]
+
+
+def test_regression_on_a_faster_machine_still_fails():
+    """c got 60% slower raw while the machine got 25% faster."""
+    fresh = clone(BASELINE, a=75.0, b=75.0, d=75.0, e=75.0, c=160.0)
+    comparison = compare_rows(BASELINE, fresh, tolerance=0.25)
+    assert [d.bench for d in comparison.failures] == ["c"]
+
+
+def test_small_absolute_deltas_never_regress():
+    baseline = [row(b, 1.0) for b in "abcde"]
+    fresh = clone(baseline, c=1.0 + WALL_SLACK_MS * 0.9)
+    comparison = compare_rows(baseline, fresh, tolerance=0.25)
+    assert comparison.ok
+
+
+def test_deterministic_counter_drift_fails():
+    """Registered deterministic counters are compared exactly."""
+    counters = {"pairs": 91, "comparisons": 1000, "disk_accesses": 57}
+    baseline = [row("table2_sj1", 100.0, counters=counters)]
+    fresh = clone(baseline)
+    fresh[0]["counters"]["pairs"] = 90
+    comparison = compare_rows(baseline, fresh)
+    assert [d.status for d in comparison.deltas] == ["counter-drift"]
+    assert "pairs 91 -> 90" in comparison.deltas[0].detail
+
+
+def test_incomparable_env_is_refused():
+    other = dict(ENV, backend="stdlib")
+    fresh = clone(BASELINE)
+    fresh[2]["env"] = other
+    comparison = compare_rows(BASELINE, fresh)
+    mismatched = [d for d in comparison.deltas
+                  if d.status == "env-mismatch"]
+    assert [d.bench for d in mismatched] == ["c"]
+    assert not comparison.ok
+    assert compare_rows(BASELINE, fresh, ignore_env=True).ok
+
+
+def test_missing_env_is_treated_comparable():
+    fresh = clone(BASELINE)
+    for r in fresh:
+        del r["env"]
+    assert compare_rows(BASELINE, fresh).ok
+
+
+def test_missing_and_new_rows():
+    fresh = clone(BASELINE)[:-1]
+    fresh.append(row("f", 100.0))
+    comparison = compare_rows(BASELINE, fresh,
+                              benches=list("abcdef"))
+    by_status = {d.bench: d.status for d in comparison.deltas}
+    assert by_status["e"] == "missing"
+    assert by_status["f"] == "new"
+    assert [d.bench for d in comparison.failures] == ["e"]
+
+
+def test_scope_limits_comparison_to_fresh_benches():
+    """A smoke run refreshing a subset must not flag the rest of the
+    baseline matrix as missing."""
+    fresh = clone(BASELINE)[:2]
+    comparison = compare_rows(BASELINE, fresh)
+    assert sorted(d.bench for d in comparison.deltas) == ["a", "b"]
+    assert comparison.ok
+
+
+def test_params_key_matching_is_canonical():
+    baseline = [row("a", 100.0, params={"buffer_kb": 128})]
+    fresh = [row("a", 110.0, params={"buffer_kb": 128.0})]
+    comparison = compare_rows(baseline, fresh)
+    assert len(comparison.deltas) == 1
+    assert comparison.deltas[0].status == "ok"
+
+
+def test_delta_table_renders_failures_first():
+    fresh = clone(BASELINE, c=200.0)
+    comparison = compare_rows(BASELINE, fresh, tolerance=0.25)
+    table = render_delta_table(comparison)
+    lines = table.splitlines()
+    assert lines[2].startswith("c")
+    assert "regressed" in lines[2]
+    assert "machine factor" in lines[-1]
+
+
+def test_comparison_to_json_round_trips():
+    fresh = clone(BASELINE, c=200.0)
+    comparison = compare_rows(BASELINE, fresh, tolerance=0.25)
+    payload = comparison_to_json(comparison)
+    assert payload["failures"] == 1
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_merge_into_baseline_upserts(tmp_path):
+    base_path = tmp_path / "base.json"
+    fresh_path = tmp_path / "fresh.json"
+    base_path.write_text(json.dumps(BASELINE))
+    fresh_path.write_text(json.dumps(
+        clone(BASELINE, a=55.0)[:1] + [row("z", 9.0)]))
+    merged_count = merge_into_baseline(str(fresh_path), str(base_path))
+    assert merged_count == 2
+    merged = json.loads(base_path.read_text())
+    assert len(merged) == 6
+    by_bench = {r["bench"]: r for r in merged}
+    assert by_bench["a"]["wall_ms"] == 55.0
+    assert by_bench["z"]["wall_ms"] == 9.0
+
+
+def test_keep_min_wall_prefers_the_faster_measurement(tmp_path):
+    fresh_path = tmp_path / "fresh.json"
+    before = clone(BASELINE, a=80.0, b=120.0)
+    # The retry re-measured a slower (noise) and b faster (real).
+    fresh_path.write_text(json.dumps(clone(BASELINE, a=95.0, b=90.0)))
+    lowered = keep_min_wall(str(fresh_path), before, ["a", "b"])
+    assert lowered == 1
+    by_bench = {r["bench"]: r for r in json.loads(fresh_path.read_text())}
+    assert by_bench["a"]["wall_ms"] == 80.0   # earlier run was faster
+    assert by_bench["b"]["wall_ms"] == 90.0   # retry was faster
+
+
+def test_keep_min_wall_touches_only_retried_benches(tmp_path):
+    fresh_path = tmp_path / "fresh.json"
+    before = clone(BASELINE, a=1.0, c=1.0)
+    fresh_path.write_text(json.dumps(clone(BASELINE)))
+    assert keep_min_wall(str(fresh_path), before, ["a"]) == 1
+    by_bench = {r["bench"]: r for r in json.loads(fresh_path.read_text())}
+    assert by_bench["a"]["wall_ms"] == 1.0
+    assert by_bench["c"]["wall_ms"] == 100.0  # c was not retried
+
+
+# ----------------------------------------------------------------------
+# rank
+# ----------------------------------------------------------------------
+
+def _contrast_rows():
+    return [
+        row("table3_restriction", 10.0,
+            params={"algorithm": "sj2", "buffer_kb": 128},
+            counters={"restrict_ms": 5.0, "norestrict_ms": 20.0}),
+        row("wal_overhead", 10.0, params={"n": 2000},
+            counters={"batch_rps": 4000.0, "always_rps": 2000.0}),
+    ]
+
+
+def test_rank_components_computes_impacts():
+    impacts, missing = rank_components(_contrast_rows())
+    by_key = {i.component.key: i for i in impacts}
+    # time kind: off / on — restriction made the join 4x faster.
+    assert by_key["restriction"].impact == pytest.approx(4.0)
+    # rate kind: on / off — group commit doubled throughput.
+    assert by_key["wal_sync"].impact == pytest.approx(2.0)
+    assert impacts[0].component.key == "restriction"   # sorted desc
+    missing_keys = {c.key for c in missing}
+    assert "pinning" in missing_keys       # no row for it here
+
+
+def test_rank_over_committed_baseline_covers_required_components():
+    """The acceptance bar: the committed BENCH_join.json must attribute
+    impact to at least these components."""
+    import os
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "BENCH_join.json")
+    impacts, _ = rank_components(json.load(open(path)))
+    covered = {i.component.key for i in impacts}
+    assert {"restriction", "sweep_layout", "presort", "pinning",
+            "planner", "wal_sync"} <= covered
+
+
+def test_rank_rendering_and_json():
+    impacts, missing = rank_components(_contrast_rows())
+    table = render_rank_table(impacts, missing)
+    assert "restriction" in table and "req/s" in table
+    assert "refresh the baseline" in table      # missing components
+    payload = rank_to_json(impacts, missing)
+    assert payload["components"][0]["component"] == "restriction"
+    assert "pinning" in payload["missing"]
+
+
+def test_comparison_failures_property():
+    comparison = Comparison(deltas=[], machine_factor=1.0,
+                            tolerance=0.25)
+    assert comparison.ok and comparison.failures == []

@@ -106,3 +106,66 @@ def test_absorb_merges_each_kind():
     assert a.gauges["g"] == 9.0          # last write wins
     assert a.histograms["h"].count == 2
     assert a.histograms["h"].vmax == 100.0
+
+
+# ----------------------------------------------------------------------
+# Percentile estimation
+# ----------------------------------------------------------------------
+
+def test_percentile_empty_histogram():
+    hist = Histogram("h", bounds=(1.0, 2.0))
+    assert hist.percentile(50.0) == 0.0
+    assert hist.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_percentile_rejects_out_of_range():
+    hist = Histogram("h", bounds=(1.0,))
+    hist.observe(0.5)
+    with pytest.raises(ValueError):
+        hist.percentile(101.0)
+    with pytest.raises(ValueError):
+        hist.percentile(-1.0)
+
+
+def test_percentile_interpolates_within_buckets():
+    hist = Histogram("h", bounds=(10.0, 20.0, 40.0))
+    for _ in range(100):
+        hist.observe(15.0)          # all mass in the (10, 20] bucket
+    # Rank interpolation inside the bucket, clamped to observed range.
+    assert hist.percentile(50.0) == pytest.approx(15.0)
+    assert 10.0 < hist.percentile(95.0) <= 20.0
+    # Clamped to vmax — never past what was actually seen.
+    assert hist.percentile(100.0) <= 15.0
+
+
+def test_percentile_orders_across_buckets():
+    hist = Histogram("h", bounds=tuple(float(b) for b in
+                                       (1, 2, 4, 8, 16, 32)))
+    for value in (0.5,) * 50 + (3.0,) * 40 + (30.0,) * 10:
+        hist.observe(value)
+    p50, p95, p99 = (hist.percentile(q) for q in (50.0, 95.0, 99.0))
+    assert p50 <= p95 <= p99
+    assert p50 <= 1.0               # half the mass is in bucket one
+    assert p99 > 16.0               # the tail lives in (16, 32]
+
+
+def test_percentile_overflow_bucket_resolves_to_vmax():
+    hist = Histogram("h", bounds=(1.0,))
+    for value in (5.0, 500.0):
+        hist.observe(value)          # both overflow the last bound
+    # The unbounded bucket interpolates toward the recorded max, never
+    # toward infinity; the top rank is exactly the max.
+    assert hist.percentile(100.0) == 500.0
+    assert 5.0 <= hist.percentile(99.0) <= 500.0
+    assert hist.percentile(1.0) >= hist.vmin
+
+
+def test_percentiles_after_merge():
+    a = Histogram("h", bounds=(1.0, 10.0, 100.0))
+    b = Histogram("h", bounds=(1.0, 10.0, 100.0))
+    for _ in range(99):
+        a.observe(5.0)
+    b.observe(90.0)
+    a.merge(b)
+    assert a.percentile(50.0) <= 10.0
+    assert a.percentile(99.5) > 10.0

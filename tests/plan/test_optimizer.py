@@ -146,6 +146,29 @@ class TestCalibration:
                                     {"counters": {}}]))
         assert Calibration.from_bench(str(path)) == Calibration()
 
+    def test_from_bench_skips_incomparable_env_rows(self, tmp_path):
+        """Rows measured under another backend/platform must not feed
+        this machine's calibration (schema-2 env filter)."""
+        from repro.bench.envinfo import environment_fingerprint
+        here = environment_fingerprint()
+        other = dict(here, backend=("stdlib"
+                                    if here["backend"] == "numpy"
+                                    else "numpy"))
+        path = tmp_path / "BENCH_join.json"
+        path.write_text(json.dumps([
+            {"wall_ms": 78.0, "counters": {"comparisons": 10_000},
+             "env": here},
+            {"wall_ms": 99999.0, "counters": {"comparisons": 10},
+             "env": other},
+        ]))
+        cal = Calibration.from_bench(str(path))
+        assert cal.t_compare == pytest.approx(7.8e-6)
+        # A file holding only foreign rows falls back to the paper.
+        path.write_text(json.dumps([
+            {"wall_ms": 99999.0, "counters": {"comparisons": 10},
+             "env": other}]))
+        assert Calibration.from_bench(str(path)) == Calibration()
+
     def test_ranking_stable_under_bench_calibration(self, tmp_path):
         trees = (build_rstar(make_rects(600, seed=7)),
                  build_rstar(make_rects(600, seed=8)))

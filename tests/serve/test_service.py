@@ -301,3 +301,51 @@ class TestJoinTimeout:
             assert response["error"]["code"] == "timeout"
         finally:
             service.close()
+
+
+class TestLatencyAndSlowLog:
+    def test_stats_carries_latency_percentiles(self, client):
+        for _ in range(5):
+            client.call("ping")
+        stats = client.call("stats")
+        latency = stats["latency_ms"]
+        assert set(latency) == {"count", "mean", "p50", "p95", "p99",
+                                "max"}
+        assert latency["count"] >= 5
+        assert 0.0 <= latency["p50"] <= latency["p95"] <= latency["p99"]
+        assert latency["p99"] <= latency["max"]
+
+    def test_slow_log_fires_above_threshold(self):
+        lines = []
+        service = QueryService(build_db(n=20), workers=1,
+                               slow_ms=0.0, slow_log=lines.append)
+        try:
+            service.handle({"op": "ping", "id": 7})
+        finally:
+            service.close()
+        assert len(lines) == 1
+        assert "slow request" in lines[0]
+        assert "op=ping" in lines[0] and "id=7" in lines[0]
+        assert service.obs.metrics.counter("serve.slow_requests") == 1
+
+    def test_slow_log_quiet_below_threshold(self):
+        lines = []
+        service = QueryService(build_db(n=20), workers=1,
+                               slow_ms=1e9, slow_log=lines.append)
+        try:
+            service.handle({"op": "ping", "id": 1})
+        finally:
+            service.close()
+        assert lines == []
+        assert service.obs.metrics.counter("serve.slow_requests") == 0
+
+    def test_slow_log_disabled_by_default(self):
+        lines = []
+        service = QueryService(build_db(n=20), workers=1,
+                               slow_log=lines.append)
+        try:
+            service.handle({"op": "ping", "id": 1})
+        finally:
+            service.close()
+        assert service.slow_ms is None
+        assert lines == []
