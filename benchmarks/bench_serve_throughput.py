@@ -17,27 +17,40 @@ scheduler's queue pressure (shed count stays 0 at the default queue
 depth — raise ``--clients`` and shrink ``--queue`` to watch admission
 control engage).
 
+The second axis is **sharding**: the same join workload against a
+partition-parallel fleet (``repro.shard``) at 1/2/4/8 process shards,
+emitting one scaling row (``shards1_rps`` ... ``shards8_rps``) that
+``repro bench rank`` contrasts as the ``sharding`` component.  Every
+scaling round first proves router-vs-library pair-set equality on
+SJ1–SJ5 before any timing counts.
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_serve_throughput.py --quick
     PYTHONPATH=src python benchmarks/bench_serve_throughput.py \
         --n 5000 --clients 8 --requests 200
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py \
+        --shards 1,2,4,8 --n 2000 --requests 8
 
-or through pytest (one timed round, emitting a BENCH_join.json row):
+or through pytest (timed rounds, emitting BENCH_join.json rows):
 ``pytest benchmarks/bench_serve_throughput.py``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
+from repro.core.spec import JoinSpec
 from repro.db import SpatialDatabase
 from repro.geometry import Rect
 from repro.serve import QueryService, ServiceClient
+from repro.shard import ShardRouter, ShardTopology
 
 PAGE_SIZE = 2048
 WORLD = 1000.0
@@ -170,7 +183,110 @@ def render(throughput: Throughput) -> str:
 
 
 # ----------------------------------------------------------------------
-# Pytest entry point (one timed round)
+# Shard scaling: the same joins against 1/2/4/8 partition workers
+# ----------------------------------------------------------------------
+
+@dataclass
+class ShardScaling:
+    """Join throughput across shard counts, equality pre-verified."""
+
+    n: int
+    joins: int
+    rps: Dict[int, float] = field(default_factory=dict)
+    pairs: int = 0
+    algorithms_checked: Tuple[str, ...] = ()
+
+    def speedup(self, shards: int) -> float:
+        base = self.rps.get(1, 0.0)
+        return self.rps.get(shards, 0.0) / base if base else 0.0
+
+
+def _time_joins(client: ServiceClient, cache, joins: int) -> float:
+    """Wall-clock seconds for *joins* uncached auto-planned joins."""
+    start = time.perf_counter()
+    for _ in range(joins):
+        cache.clear()          # every round pays full execution cost
+        result = client.join("streets", "rivers", algorithm="auto")
+        assert result["count"] > 0
+    return time.perf_counter() - start
+
+
+def measure_shards(n: int, joins: int,
+                   shard_counts: Tuple[int, ...] = (1, 2, 4, 8),
+                   shard_workers: int = 2) -> ShardScaling:
+    """Join throughput of one service vs process-shard fleets.
+
+    ``shards=1`` is the plain single-process :class:`QueryService`
+    (the fair baseline: no fan-out, no router); every other count is a
+    process-mode :class:`ShardTopology` behind a :class:`ShardRouter`.
+    Before timing, the 4-shard fleet (or the largest requested) must
+    reproduce the library's exact pair set under SJ1–SJ5.
+    """
+    db = build_db(n)
+    expected = set(map(tuple, db.join(
+        "streets", "rivers", spec=JoinSpec(algorithm="sj2")).pairs))
+    scaling = ShardScaling(n=n, joins=joins, pairs=len(expected))
+
+    check_at = 4 if 4 in shard_counts else max(shard_counts)
+    algorithms = ("sj1", "sj2", "sj3", "sj4", "sj5")
+    for shards in sorted(shard_counts):
+        if shards == 1:
+            service = QueryService(db, workers=shard_workers,
+                                   default_timeout=300.0)
+            try:
+                client = ServiceClient(service)
+                assert set(map(tuple, client.join(
+                    "streets", "rivers",
+                    algorithm="sj2")["pairs"])) == expected
+                elapsed = _time_joins(client, service.cache, joins)
+            finally:
+                service.close()
+        else:
+            with ShardTopology.build(db, shards=shards, mode="process",
+                                     shard_workers=shard_workers) \
+                    as topology:
+                router = ShardRouter(topology, default_timeout=300.0)
+                try:
+                    client = ServiceClient(router)
+                    if shards == check_at:
+                        for algorithm in algorithms:
+                            got = set(map(tuple, client.join(
+                                "streets", "rivers",
+                                algorithm=algorithm)["pairs"]))
+                            assert got == expected, (
+                                f"{algorithm} at {shards} shards: "
+                                f"{len(got)} != {len(expected)} pairs")
+                        scaling.algorithms_checked = algorithms
+                    else:
+                        assert set(map(tuple, client.join(
+                            "streets", "rivers",
+                            algorithm="auto")["pairs"])) == expected
+                    elapsed = _time_joins(client, router.cache, joins)
+                finally:
+                    router.close()
+        scaling.rps[shards] = joins / elapsed if elapsed else 0.0
+    return scaling
+
+
+def render_scaling(scaling: ShardScaling) -> str:
+    lines = [
+        f"shard scaling — n={scaling.n} per relation, "
+        f"{scaling.joins} auto-planned joins per round, "
+        f"{scaling.pairs} pairs "
+        f"(equality checked: "
+        f"{', '.join(scaling.algorithms_checked) or 'auto only'})",
+        "-" * 64,
+    ]
+    for shards in sorted(scaling.rps):
+        label = "1 process (no router)" if shards == 1 \
+            else f"{shards} process shards"
+        lines.append(f"{label:<22} : {scaling.rps[shards]:8.2f} "
+                     f"joins/s ({scaling.speedup(shards):5.2f} x)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points (timed rounds)
 # ----------------------------------------------------------------------
 
 def test_serve_throughput_bench(benchmark):
@@ -197,6 +313,35 @@ def test_serve_throughput_bench(benchmark):
     assert throughput.warm_seconds <= throughput.cold_seconds * 1.5
 
 
+def test_serve_shard_scaling_bench(benchmark):
+    from emit import emit
+    scaling = benchmark.pedantic(measure_shards, args=(1_200, 5),
+                                 kwargs={"shard_counts": (1, 2, 4, 8)},
+                                 rounds=1, iterations=1)
+    counters = {f"shards{shards}_rps": round(rps, 2)
+                for shards, rps in sorted(scaling.rps.items())}
+    counters["pairs"] = scaling.pairs
+    emit("serve_throughput",
+         {"scaling": "shards", "n": scaling.n, "joins": scaling.joins},
+         counters,
+         scaling.joins / scaling.rps[max(scaling.rps)] * 1e3)
+    print()
+    print("=" * 72)
+    print(render_scaling(scaling))
+
+    # Correctness is unconditional: SJ1–SJ5 pair sets matched the
+    # library before any timing ran.
+    assert scaling.algorithms_checked == ("sj1", "sj2", "sj3", "sj4",
+                                          "sj5")
+    assert scaling.pairs > 0
+    # The speedup target needs real cores: four process shards cannot
+    # beat one process by 2.5x when the host multiplexes one CPU.
+    if (os.cpu_count() or 1) >= 4:
+        assert scaling.speedup(4) >= 2.5, (
+            f"4-shard speedup {scaling.speedup(4):.2f}x < 2.5x "
+            f"({scaling.rps})")
+
+
 # ----------------------------------------------------------------------
 # Standalone entry point (CI smoke test)
 # ----------------------------------------------------------------------
@@ -217,11 +362,24 @@ def main(argv=None) -> int:
                         help="admission queue depth (default 256)")
     parser.add_argument("--quick", action="store_true",
                         help="small smoke run (n=600, 4x10 requests)")
+    parser.add_argument("--shards", default=None, metavar="N,N,...",
+                        help="run the shard-scaling axis instead: "
+                             "comma-separated shard counts (1 = the "
+                             "plain single-process service); "
+                             "--requests is joins per round")
     args = parser.parse_args(argv)
 
     n, clients, per_client = args.n, args.clients, args.requests
     if args.quick:
         n, clients, per_client = 600, 4, 10
+
+    if args.shards:
+        counts = tuple(sorted({int(part)
+                               for part in args.shards.split(",")}))
+        joins = 4 if args.quick else per_client
+        scaling = measure_shards(n, joins, shard_counts=counts)
+        print(render_scaling(scaling))
+        return 0
 
     throughput = measure(n, clients, per_client,
                          workers=args.workers, queue_depth=args.queue)

@@ -167,7 +167,8 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
        variants=({}, {"REPRO_NO_NUMPY": "1"}),
        note="columnar sweep kernel vs per-Entry object loop"),
     _E("serve_throughput", "bench_serve_throughput.py", tolerance=0.5,
-       note="query service cold vs cached throughput"),
+       note="query service cold vs cached throughput, plus the "
+            "1/2/4/8-shard scaling row"),
     _E("wal_overhead", "bench_wal_overhead.py", tolerance=0.5,
        deterministic=("always_syncs", "batch_syncs"),
        note="WAL sync-mode insert throughput"),
@@ -205,6 +206,10 @@ COMPONENTS: Tuple[Component, ...] = (
     Component("wal_sync", "wal_overhead",
               on="batch_rps", off="always_rps", kind="rate",
               note="WAL group commit vs fsync-per-ack"),
+    Component("sharding", "serve_throughput",
+              on="shards4_rps", off="shards1_rps", kind="rate",
+              note="4 partition-parallel process shards behind the "
+                   "fan-out/merge router vs one service process"),
 )
 
 

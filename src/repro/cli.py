@@ -27,6 +27,9 @@ Usage examples::
     repro bench rank
     repro report --bench
     repro serve --db catalog/ --slow-ms 250
+    repro shard plan --db catalog/ --shards 4
+    repro shard serve --db catalog/ --shards 4 --port 7500
+    repro query --connect 127.0.0.1:7500 --join streets rivers
 
 (Also reachable as ``python -m repro ...``.)
 """
@@ -289,6 +292,79 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(render with repro report)")
     serve.set_defaults(handler=_cmd_serve)
 
+    shard = commands.add_parser(
+        "shard", help="partition-parallel serving: split a catalog "
+                      "onto a grid of repro serve workers behind a "
+                      "fan-out/merge router")
+    shard_commands = shard.add_subparsers(
+        dest="shard_command", required=True,
+        parser_class=_subparser(debug_parent))
+
+    shard_serve = shard_commands.add_parser(
+        "serve", help="launch N partition-local serve workers plus "
+                      "the router; clients connect to the router "
+                      "exactly as to repro serve")
+    shard_serve.add_argument("--db", required=True,
+                             help="catalog directory written by "
+                                  "SpatialDatabase.save")
+    shard_serve.add_argument("--shards", type=int, default=4,
+                             help="number of shard workers (default 4; "
+                                  "the grid is the most-square "
+                                  "factorization unless --grid)")
+    shard_serve.add_argument("--grid", metavar="XxY", default=None,
+                             help="explicit grid, e.g. 4x2 (cells = "
+                                  "shards)")
+    shard_serve.add_argument("--mode", choices=("process", "thread"),
+                             default="process",
+                             help="shard workers as subprocesses (one "
+                                  "GIL each; default) or in-process "
+                                  "threads")
+    shard_serve.add_argument("--host", default="127.0.0.1")
+    shard_serve.add_argument("--port", type=int, default=7500,
+                             help="router TCP port (0 picks a free "
+                                  "one; default 7500)")
+    shard_serve.add_argument("--workers", type=int, default=4,
+                             help="router worker threads (default 4)")
+    shard_serve.add_argument("--queue", type=int, default=64,
+                             help="router admission-control queue "
+                                  "depth (default 64)")
+    shard_serve.add_argument("--shard-workers", type=int, default=2,
+                             help="worker threads per shard "
+                                  "(default 2)")
+    shard_serve.add_argument("--shard-queue", type=int, default=64,
+                             help="queue depth per shard (default 64)")
+    shard_serve.add_argument("--cache-mb", type=float, default=64.0,
+                             help="router result-cache budget in "
+                                  "MByte (default 64)")
+    shard_serve.add_argument("--cache-entries", type=int, default=4096,
+                             help="router result-cache budget in "
+                                  "entries (default 4096)")
+    shard_serve.add_argument("--timeout-ms", type=float,
+                             default=30_000.0,
+                             help="default per-request deadline "
+                                  "(default 30000)")
+    shard_serve.add_argument("--scratch-dir", default=None,
+                             help="where process-mode shard catalogs "
+                                  "are written (default a temp dir, "
+                                  "removed on shutdown)")
+    shard_serve.add_argument("--trace", metavar="FILE",
+                             help="write the router's spans and "
+                                  "shard.* metrics as a JSONL trace "
+                                  "on shutdown")
+    shard_serve.set_defaults(handler=_cmd_shard_serve)
+
+    shard_plan = shard_commands.add_parser(
+        "plan", help="print the partition census of a catalog for a "
+                     "grid without launching anything")
+    shard_plan.add_argument("--db", required=True,
+                            help="catalog directory written by "
+                                 "SpatialDatabase.save")
+    shard_plan.add_argument("--shards", type=int, default=4)
+    shard_plan.add_argument("--grid", metavar="XxY", default=None)
+    shard_plan.add_argument("--json", action="store_true",
+                            help="emit the census as JSON")
+    shard_plan.set_defaults(handler=_cmd_shard_plan)
+
     scrub = commands.add_parser(
         "scrub", help="verify every page checksum of a tree file; "
                       "optionally rebuild from surviving pages")
@@ -505,12 +581,17 @@ def _cmd_query_remote(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     result = response["result"]
+    # A shard router embeds its fan-out width in the result payload;
+    # a single-process server has no such field.
+    fanout = (f" shards={result['shards']}"
+              if isinstance(result, dict) and "shards" in result
+              else "")
+    cached = f"cached={str(response.get('cached', False)).lower()}"
     if op == "ping":
         print(result)
     elif op == "explain":
         print(render_plan(ExecutionPlan.from_dict(result["plan"])))
-        print(f"# cached={str(response.get('cached', False)).lower()}",
-              file=sys.stderr)
+        print(f"# {cached}{fanout}", file=sys.stderr)
     elif op == "join":
         for a, b in result["pairs"]:
             print(f"{a}\t{b}")
@@ -518,20 +599,17 @@ def _cmd_query_remote(args: argparse.Namespace) -> int:
         print(f"# {result['count']} pairs, {stats['algorithm']}, "
               f"{stats['disk_accesses']} disk accesses, "
               f"{stats['comparisons']} comparisons, "
-              f"cached={str(response.get('cached', False)).lower()}",
-              file=sys.stderr)
+              f"{cached}{fanout}", file=sys.stderr)
     elif op == "window":
         for ref in result["refs"]:
             print(ref)
-        print(f"# {result['count']} matches, "
-              f"cached={str(response.get('cached', False)).lower()}",
+        print(f"# {result['count']} matches, {cached}{fanout}",
               file=sys.stderr)
     else:
         for ref, distance in result["neighbors"]:
             print(f"{ref}\t{distance:g}")
         print(f"# {len(result['neighbors'])} neighbours, "
-              f"cached={str(response.get('cached', False)).lower()}",
-              file=sys.stderr)
+              f"{cached}{fanout}", file=sys.stderr)
     return 0
 
 
@@ -640,6 +718,141 @@ def _seed_data_dir(db, source_path: str) -> int:
             target.insert(geometry, oid=oid)
             copied += 1
     return copied
+
+
+def _parse_grid(value: Optional[str]) -> Optional[tuple]:
+    if value is None:
+        return None
+    parts = value.lower().split("x")
+    if len(parts) != 2 or not all(p.isdigit() and int(p) > 0
+                                  for p in parts):
+        raise ValueError(f"--grid needs XxY positive integers "
+                         f"({value!r})")
+    return int(parts[0]), int(parts[1])
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .db import SpatialDatabase
+    from .obs import Observability
+    from .serve import SpatialQueryServer
+    from .shard import ShardRouter, ShardTopology
+
+    grid = _parse_grid(args.grid)
+    if grid is not None and grid[0] * grid[1] != args.shards:
+        raise ValueError(f"--grid {args.grid} has {grid[0] * grid[1]} "
+                         f"cells but --shards is {args.shards}")
+    db = SpatialDatabase.open(args.db)
+    obs = Observability()
+    topology = ShardTopology.build(
+        db, shards=args.shards, grid=grid, mode=args.mode,
+        shard_workers=args.shard_workers, queue_depth=args.shard_queue,
+        directory=args.scratch_dir)
+    topology.start()
+    try:
+        router = ShardRouter(
+            topology, workers=args.workers, queue_depth=args.queue,
+            cache_entries=args.cache_entries,
+            cache_bytes=int(args.cache_mb * (1 << 20)),
+            default_timeout=(args.timeout_ms / 1e3
+                             if args.timeout_ms else None),
+            obs=obs)
+        server = SpatialQueryServer(router, host=args.host,
+                                    port=args.port)
+        host, port = server.start()
+    except BaseException:
+        topology.drain()
+        raise
+    grid_txt = (f"{topology.partitioner.cells_x}x"
+                f"{topology.partitioner.cells_y}")
+    print(f"serving {len(db)} relation(s) from {args.db} on "
+          f"{host}:{port} ({topology.n_shards} {args.mode} shards, "
+          f"grid {grid_txt}, router workers {args.workers}, "
+          f"queue {args.queue}, cache {args.cache_mb:g} MB/"
+          f"{args.cache_entries} entries)", flush=True)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    try:
+        stop.wait()
+    finally:
+        server.shutdown()          # drains router workers via close()
+        drained = topology.drain()
+        counters = obs.metrics.counters
+        print(f"shutting down: {counters.get('shard.requests', 0)} "
+              f"requests routed, "
+              f"{counters.get('shard.subrequests', 0)} shard "
+              f"sub-requests, "
+              f"{counters.get('shard.cache.hits', 0)} cache hits, "
+              f"{drained} shard(s) drained", flush=True)
+        if args.trace:
+            lines = write_trace(args.trace, obs,
+                                meta={"mode": "shard-serve",
+                                      "db": args.db,
+                                      "shards": topology.n_shards,
+                                      "grid": grid_txt,
+                                      "workers": args.workers})
+            print(f"trace: {lines} records -> {args.trace}", flush=True)
+    return 0
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    from .db import SpatialDatabase
+    from .shard import GridPartitioner, PartitionMap
+
+    grid = _parse_grid(args.grid)
+    if grid is not None and grid[0] * grid[1] != args.shards:
+        raise ValueError(f"--grid {args.grid} has {grid[0] * grid[1]} "
+                         f"cells but --shards is {args.shards}")
+    db = SpatialDatabase.open(args.db)
+    partitioner = GridPartitioner.for_database(db, args.shards,
+                                               grid=grid)
+    pmap = PartitionMap(partitioner)
+    for name, relation in sorted(db.relations.items()):
+        pmap.create_relation(name)
+        for oid, geometry in sorted(relation.objects.items()):
+            mbr = geometry if isinstance(geometry, Rect) \
+                else geometry.mbr()
+            pmap.add(name, oid, mbr)
+    census = {
+        "grid": [partitioner.cells_x, partitioner.cells_y],
+        "universe": list(partitioner.universe.as_tuple()),
+        "relations": {
+            name: {
+                "objects": pmap.objects(name),
+                "copies": pmap.copies(name),
+                "replication": round(pmap.replication_factor(name), 4),
+                "classes": dict(pmap.class_counts[name]),
+                "cells": list(pmap.cell_counts[name]),
+            } for name in sorted(pmap.mbrs)},
+    }
+    if args.json:
+        print(json.dumps(census, indent=2, sort_keys=True))
+        return 0
+    print(f"grid {partitioner.cells_x}x{partitioner.cells_y} over "
+          f"({partitioner.universe.xl:g}, {partitioner.universe.yl:g})"
+          f" - ({partitioner.universe.xu:g}, "
+          f"{partitioner.universe.yu:g})")
+    for name, info in census["relations"].items():
+        classes = info["classes"]
+        print(f"{name}: {info['objects']:,} objects, "
+              f"{info['copies']:,} copies "
+              f"(replication {info['replication']:g}); classes "
+              f"A={classes['A']:,} B={classes['B']:,} "
+              f"C={classes['C']:,} D={classes['D']:,}")
+        cells = info["cells"]
+        for iy in range(partitioner.cells_y - 1, -1, -1):
+            row = cells[iy * partitioner.cells_x:
+                        (iy + 1) * partitioner.cells_x]
+            print("  " + " ".join(f"{count:>8,}" for count in row))
+    return 0
 
 
 def _cmd_join(args: argparse.Namespace) -> int:

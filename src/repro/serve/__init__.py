@@ -39,7 +39,8 @@ from .protocol import (E_BAD_REQUEST, E_CATALOG, E_INTERNAL,
 from .scheduler import RequestScheduler
 from .server import (ServiceClient, SpatialQueryServer, TCPServiceClient,
                      decode_response)
-from .service import QueryService
+from .service import (QueryService, ReadWriteLock, cache_section,
+                      latency_section)
 
 __all__ = [
     "E_BAD_REQUEST",
@@ -50,11 +51,13 @@ __all__ = [
     "E_TIMEOUT",
     "ProtocolError",
     "QueryService",
+    "ReadWriteLock",
     "RequestScheduler",
     "ResultCache",
     "ServiceClient",
     "SpatialQueryServer",
     "TCPServiceClient",
+    "cache_section",
     "decode_request",
     "decode_response",
     "encode_line",
@@ -62,6 +65,7 @@ __all__ = [
     "error_response",
     "geometry_from_json",
     "geometry_to_json",
+    "latency_section",
     "normalized_key",
     "ok_response",
 ]

@@ -55,11 +55,14 @@ from .scheduler import RequestScheduler
 _ENVELOPE_FIELDS = ("id", "op", "timeout_ms")
 
 
-class _RWLock:
+class ReadWriteLock:
     """Readers-writer lock with writer preference.
 
     Many readers or one writer; arriving writers block new readers so
-    a steady query stream cannot starve mutations.
+    a steady query stream cannot starve mutations.  Shared by the
+    single-process :class:`QueryService` and the
+    :class:`~repro.shard.router.ShardRouter` (whose fan-out mutations
+    must not interleave with fanned-out reads).
     """
 
     def __init__(self) -> None:
@@ -133,7 +136,7 @@ class QueryService:
                                           max_retries=max_retries,
                                           obs=self.obs)
         self.default_timeout = default_timeout
-        self._lock = _RWLock()
+        self._lock = ReadWriteLock()
         #: op -> (handler(request, deadline) -> result payload,
         #:        cacheable) — extension point for tests and embedders.
         self._ops: Dict[str, Tuple[Callable[[Dict[str, Any],
@@ -258,6 +261,8 @@ class QueryService:
                                            self.cache.entries)
                 self.obs.metrics.set_gauge("serve.cache.bytes",
                                            self.cache.bytes)
+                self.obs.metrics.set_gauge("serve.cache.evictions",
+                                           self.cache.evictions)
         return payload, False
 
     def _cache_key(self, request: Dict[str, Any]) -> Optional[str]:
@@ -438,23 +443,10 @@ class QueryService:
         """Counters and gauges of the server registry (stats op)."""
         snapshot = {"counters": dict(self.obs.metrics.counters),
                     "gauges": dict(self.obs.metrics.gauges),
-                    "cache": {"entries": self.cache.entries,
-                              "bytes": self.cache.bytes,
-                              "hits": self.cache.hits,
-                              "misses": self.cache.misses,
-                              "evictions": self.cache.evictions}}
-        histogram = self.obs.metrics.histograms.get("serve.time_ms")
-        if histogram is not None and histogram.count:
-            percentiles = histogram.percentiles()
-            snapshot["latency_ms"] = {
-                "count": histogram.count,
-                "mean": round(histogram.mean, 3),
-                "p50": round(percentiles["p50"], 3),
-                "p95": round(percentiles["p95"], 3),
-                "p99": round(percentiles["p99"], 3),
-                "max": round(histogram.vmax, 3)
-                if histogram.vmax is not None else None,
-            }
+                    "cache": cache_section(self.cache)}
+        latency = latency_section(self.obs, "serve.time_ms")
+        if latency is not None:
+            snapshot["latency_ms"] = latency
         if self.durability is not None:
             snapshot["durability"] = self.durability.status()
         return snapshot
@@ -466,6 +458,45 @@ class QueryService:
         if self.durability is not None:
             with self._lock.write():
                 self.durability.close(checkpoint=True)
+
+
+#: Backwards-compatible private alias (pre-shard name).
+_RWLock = ReadWriteLock
+
+
+def cache_section(cache: ResultCache) -> Dict[str, Any]:
+    """The ``cache`` block of a ``stats`` payload: capacity usage plus
+    the hit/miss/eviction counters (and the derived hit rate), so
+    cache effectiveness is observable wherever a :class:`ResultCache`
+    fronts results — the single-process service and the shard
+    router alike."""
+    lookups = cache.hits + cache.misses
+    return {"entries": cache.entries,
+            "bytes": cache.bytes,
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+            "hit_rate": round(cache.hits / lookups, 4)
+            if lookups else 0.0}
+
+
+def latency_section(obs: Observability,
+                    histogram_name: str) -> Optional[Dict[str, Any]]:
+    """The ``latency_ms`` block of a ``stats`` payload, from one
+    request-time histogram (None when nothing was observed yet)."""
+    histogram = obs.metrics.histograms.get(histogram_name)
+    if histogram is None or not histogram.count:
+        return None
+    percentiles = histogram.percentiles()
+    return {
+        "count": histogram.count,
+        "mean": round(histogram.mean, 3),
+        "p50": round(percentiles["p50"], 3),
+        "p95": round(percentiles["p95"], 3),
+        "p99": round(percentiles["p99"], 3),
+        "max": round(histogram.vmax, 3)
+        if histogram.vmax is not None else None,
+    }
 
 
 def _default_slow_log(line: str) -> None:

@@ -1,0 +1,657 @@
+"""The fan-out/merge router over a shard topology.
+
+:class:`ShardRouter` exposes the same ``handle(request) -> response``
+surface as :class:`~repro.serve.QueryService`, so the existing
+:class:`~repro.serve.SpatialQueryServer` TCP front end (and the
+in-process :class:`~repro.serve.ServiceClient`) front it unchanged —
+``repro shard serve`` is exactly ``repro serve`` with this class
+behind the socket.  Per request it:
+
+1. admits through the same bounded
+   :class:`~repro.serve.RequestScheduler` (load shedding, deadlines);
+2. consults an epoch-keyed :class:`~repro.serve.ResultCache` — the
+   router tracks its own relation/catalog epochs, bumped by every
+   mutation that passes through it, so shard mutations invalidate
+   router-cached results instantly;
+3. fans the request out to the relevant shards over persistent
+   per-thread TCP connections (all shards compute concurrently);
+4. merges: join pairs pass the reference-point deduplication rule
+   (:meth:`~repro.shard.partition.GridPartitioner.owns_pair` — each
+   cross-partition pair is owned by exactly one cell), per-shard
+   :class:`~repro.core.stats.JoinStatistics` fold together with the
+   mergeable-counter machinery, window refs dedup by the same
+   ownership rule, and kNN neighbor lists merge into the global top-k.
+
+Planning is *per shard*: unless the client pins an algorithm, the
+router forwards ``algorithm="auto"`` so every shard's cost-based
+planner (:mod:`repro.plan`) picks the best candidate for its own
+partition-local trees — a skewed cell may sweep (SJ2) while a dense
+one pins pages (SJ4).  The merged join payload reports the set of
+algorithms the shards chose.
+
+Every fanned-out response carries a ``shards`` field in its result
+payload (how many workers computed it — cached replays keep the
+original count), which ``repro query --connect`` prints next to
+``cached=``.  Router traffic is observable as ``shard.*`` metrics and
+``shard.request``/``shard.fanout`` spans in the same registry
+``repro report`` renders.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import TimeoutError as FuturesTimeout
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.stats import JoinStatistics
+from ..errors import (CatalogError, OverloadedError, QueryError,
+                      QueryTimeout, ReproError)
+from ..geometry.rect import Rect
+from ..obs.core import Observability
+from ..plan.registry import algorithm_choices
+from ..serve.cache import ResultCache, normalized_key
+from ..serve.protocol import (ProtocolError, error_code_for,
+                              error_response, geometry_from_json,
+                              ok_response)
+from ..serve.scheduler import RequestScheduler
+from ..serve.server import TCPServiceClient
+from ..serve.service import (ReadWriteLock, cache_section,
+                             latency_section)
+from .topology import ShardTopology
+
+#: Envelope fields that never enter the cache key.
+_ENVELOPE_FIELDS = ("id", "op", "timeout_ms")
+
+#: Wire code -> exception class, for re-raising shard-side errors at
+#: the router boundary with the code preserved.
+_CODE_ERRORS = {
+    CatalogError.code: CatalogError,
+    QueryError.code: QueryError,
+    QueryTimeout.code: QueryTimeout,
+    OverloadedError.code: OverloadedError,
+    ProtocolError.code: ProtocolError,
+}
+
+
+class ShardError(ReproError):
+    """A shard connection died or answered garbage mid-request."""
+
+    code = "shard"
+
+
+class ShardRouter:
+    """Fan-out/merge query service over a started shard topology."""
+
+    def __init__(self, topology: ShardTopology, workers: int = 4,
+                 queue_depth: int = 64, cache_entries: int = 4096,
+                 cache_bytes: int = 64 << 20,
+                 default_timeout: Optional[float] = 30.0,
+                 connect_timeout: float = 30.0,
+                 obs: Optional[Observability] = None) -> None:
+        self.topology = topology
+        self.partitioner = topology.partitioner
+        self.pmap = topology.pmap
+        self.obs = obs if obs is not None else Observability()
+        self.cache = ResultCache(max_entries=cache_entries,
+                                 max_bytes=cache_bytes)
+        self.scheduler = RequestScheduler(workers=workers,
+                                          queue_depth=queue_depth,
+                                          obs=self.obs)
+        self.default_timeout = default_timeout
+        self.connect_timeout = connect_timeout
+        self._lock = ReadWriteLock()
+        #: Router-side mutation epochs, mirroring SpatialRelation
+        #: epochs: bumped by every mutation routed through here, they
+        #: key the result cache exactly like the single-process
+        #: service's (shard-local state only changes through the
+        #: router, so these epochs are authoritative).
+        self.epochs: Dict[str, int] = {name: 0
+                                       for name in self.pmap.mbrs}
+        self.catalog_epoch = 0
+        # One persistent connection per (worker thread, shard): a
+        # request fans out by sending on every relevant connection
+        # first, then reading the responses back — the shards compute
+        # concurrently while the router thread blocks on the first.
+        self._local = threading.local()
+        self._conn_registry: List[TCPServiceClient] = []
+        self._conn_registry_lock = threading.Lock()
+        self._ops: Dict[str, Tuple[Callable, bool]] = {}
+        for name, cacheable in (("join", True), ("explain", True),
+                                ("window", True), ("knn", True),
+                                ("get", True),
+                                ("insert", False), ("delete", False),
+                                ("create", False), ("drop", False)):
+            self._ops[name] = (getattr(self, f"_op_{name}"), cacheable)
+
+    # ------------------------------------------------------------------
+    # Entry point (mirrors QueryService.handle)
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one decoded request; errors become responses."""
+        request_id = request.get("id")
+        op = request.get("op")
+        started = time.perf_counter()
+        if self.obs.enabled:
+            self.obs.metrics.inc("shard.requests")
+            self.obs.metrics.inc(f"shard.op.{op}")
+        try:
+            with self.obs.tracer.span("shard.request", op=str(op)):
+                response = self._dispatch(request, request_id, op)
+        except BaseException as exc:  # noqa: BLE001 — protocol boundary
+            if self.obs.enabled:
+                self.obs.metrics.inc("shard.errors")
+            response = error_response(request_id, error_code_for(exc),
+                                      str(exc) or type(exc).__name__)
+        if self.obs.enabled:
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            self.obs.metrics.observe("shard.time_ms", elapsed_ms)
+            if not response.get("ok"):
+                code = response["error"]["code"]
+                self.obs.metrics.inc(f"shard.error.{code}")
+        return response
+
+    def _dispatch(self, request: Dict[str, Any], request_id: Any,
+                  op: Any) -> Dict[str, Any]:
+        if op == "ping":
+            return ok_response(request_id, "pong")
+        if op == "stats":
+            return ok_response(request_id, self.metrics_snapshot())
+        if op == "relations":
+            return ok_response(request_id, self._op_relations())
+        entry = self._ops.get(op)
+        if entry is None:
+            raise ProtocolError(f"unknown op {op!r}")
+        handler, cacheable = entry
+        deadline = self._deadline_of(request)
+        future = self.scheduler.submit(
+            lambda: self._execute(handler, cacheable, request, deadline),
+            deadline=deadline)
+        remaining = (None if deadline is None
+                     else max(0.0, deadline - time.perf_counter()))
+        try:
+            payload, cached = future.result(timeout=(
+                None if remaining is None else remaining + 1.0))
+        except FuturesTimeout:
+            if self.obs.enabled:
+                self.obs.metrics.inc("shard.deadline_expired")
+            raise QueryTimeout(
+                "request did not finish before its deadline") from None
+        return ok_response(request_id, payload, cached=cached)
+
+    def _deadline_of(self, request: Dict[str, Any]) -> Optional[float]:
+        timeout_ms = request.get("timeout_ms")
+        if timeout_ms is None:
+            timeout = self.default_timeout
+        else:
+            if (not isinstance(timeout_ms, (int, float))
+                    or isinstance(timeout_ms, bool) or timeout_ms <= 0):
+                raise ProtocolError(
+                    f"timeout_ms must be a positive number "
+                    f"({timeout_ms!r})")
+            timeout = timeout_ms / 1e3
+        if timeout is None:
+            return None
+        return time.perf_counter() + timeout
+
+    def _execute(self, handler: Callable, cacheable: bool,
+                 request: Dict[str, Any],
+                 deadline: Optional[float]) -> Tuple[Any, bool]:
+        key = self._cache_key(request) if cacheable else None
+        if key is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                if self.obs.enabled:
+                    self.obs.metrics.inc("shard.cache.hits")
+                return payload, True
+            if self.obs.enabled:
+                self.obs.metrics.inc("shard.cache.misses")
+        lock = self._lock.read() if cacheable else self._lock.write()
+        with lock:
+            payload = handler(request, deadline)
+        if key is not None:
+            encoded = len(json.dumps(payload))
+            if self.cache.put(key, payload, nbytes=encoded) \
+                    and self.obs.enabled:
+                self.obs.metrics.set_gauge("shard.cache.entries",
+                                           self.cache.entries)
+                self.obs.metrics.set_gauge("shard.cache.bytes",
+                                           self.cache.bytes)
+                self.obs.metrics.set_gauge("shard.cache.evictions",
+                                           self.cache.evictions)
+        return payload, False
+
+    def _cache_key(self, request: Dict[str, Any]) -> str:
+        op = request["op"]
+        params = {name: value for name, value in sorted(request.items())
+                  if name not in _ENVELOPE_FIELDS}
+        epochs = []
+        for field in ("relation", "left", "right"):
+            value = request.get(field)
+            if isinstance(value, str):
+                epochs.append((value, self.epochs.get(value, -1)))
+        return normalized_key(op, params, epochs, self.catalog_epoch)
+
+    # ------------------------------------------------------------------
+    # Fan-out plumbing
+    # ------------------------------------------------------------------
+
+    def _connection(self, cell: int) -> TCPServiceClient:
+        conns = getattr(self._local, "conns", None)
+        if conns is None:
+            conns = self._local.conns = {}
+        client = conns.get(cell)
+        if client is None:
+            host, port = self.topology.addresses[cell]
+            client = TCPServiceClient(host, port,
+                                      timeout=self.connect_timeout)
+            conns[cell] = client
+            with self._conn_registry_lock:
+                self._conn_registry.append(client)
+        return client
+
+    def _drop_connection(self, cell: int) -> None:
+        conns = getattr(self._local, "conns", None)
+        if conns is None:
+            return
+        client = conns.pop(cell, None)
+        if client is not None:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _fanout(self, cells: List[int], op: str,
+                params: Dict[str, Any],
+                deadline: Optional[float]
+                ) -> List[Tuple[int, Any]]:
+        """One sub-request to every cell, pipelined: all sends first,
+        then the replies.  A shard-side error re-raises here under its
+        original code; a dead connection becomes :class:`ShardError`.
+        Returns ``(cell, result payload)`` in cell order."""
+        if deadline is not None:
+            remaining_ms = (deadline - time.perf_counter()) * 1e3
+            if remaining_ms <= 0:
+                raise QueryTimeout("deadline expired before fan-out")
+            params = dict(params, timeout_ms=remaining_ms)
+        if self.obs.enabled:
+            self.obs.metrics.observe("shard.fanout", len(cells))
+            self.obs.metrics.inc("shard.subrequests", len(cells))
+        with self.obs.tracer.span("shard.fanout", op=op,
+                                  shards=len(cells)):
+            for cell in cells:
+                try:
+                    self._connection(cell).send(op, **params)
+                except OSError as exc:
+                    self._drop_connection(cell)
+                    raise ShardError(
+                        f"shard {cell} unreachable: {exc}") from exc
+            results: List[Tuple[int, Any]] = []
+            for cell in cells:
+                try:
+                    response = self._connection(cell).recv()
+                except (OSError, ConnectionError, ValueError) as exc:
+                    self._drop_connection(cell)
+                    raise ShardError(
+                        f"shard {cell} died mid-request: {exc}") \
+                        from exc
+                if not response.get("ok"):
+                    error = response.get("error") or {}
+                    code = error.get("code", "internal")
+                    message = (f"shard {cell}: "
+                               f"{error.get('message', code)}")
+                    raise _CODE_ERRORS.get(code, ShardError)(message)
+                results.append((cell, response["result"]))
+        return results
+
+    def _relation_cells(self, *names: str) -> List[int]:
+        """Fan-out set of a read over *names* (unknown relations raise
+        like the single-process catalog does)."""
+        for name in names:
+            if name not in self.pmap:
+                raise CatalogError(f"no relation {name!r}")
+        return self.pmap.nonempty_cells(*names)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def _op_relations(self) -> List[Dict[str, Any]]:
+        return [{"name": name, "objects": self.pmap.objects(name),
+                 "epoch": self.epochs.get(name, 0),
+                 "copies": self.pmap.copies(name),
+                 "shards": sum(1 for count in
+                               self.pmap.cell_counts[name] if count)}
+                for name in sorted(self.pmap.mbrs)]
+
+    def _forward_join_params(self, request: Dict[str, Any]
+                             ) -> Dict[str, Any]:
+        """Validated parameters a join/explain sub-request forwards.
+
+        ``algorithm`` defaults to ``auto`` — each shard's planner
+        scores SJ1–SJ5 against its own partition-local trees, so the
+        per-shard choice can differ across the grid.
+        """
+        algorithm = request.get("algorithm", "auto")
+        if not isinstance(algorithm, str) \
+                or algorithm.lower() not in algorithm_choices():
+            raise QueryError(
+                f"algorithm must be one of "
+                f"{', '.join(algorithm_choices())} ({algorithm!r})")
+        params: Dict[str, Any] = {"algorithm": algorithm}
+        buffer_kb = request.get("buffer_kb")
+        if buffer_kb is not None:
+            if not isinstance(buffer_kb, (int, float)) \
+                    or isinstance(buffer_kb, bool) or buffer_kb < 0:
+                raise ProtocolError(f"buffer_kb must be a non-negative "
+                                    f"number ({buffer_kb!r})")
+            params["buffer_kb"] = buffer_kb
+        predicate = request.get("predicate")
+        if predicate is not None:
+            params["predicate"] = predicate
+        return params
+
+    def _op_join(self, request: Dict[str, Any],
+                 deadline: Optional[float]) -> Dict[str, Any]:
+        left = _string_field(request, "left")
+        right = _string_field(request, "right")
+        params = self._forward_join_params(request)
+        params.update(left=left, right=right)
+        refine = request.get("refine")
+        if refine is not None:
+            params["refine"] = refine
+        cells = self._relation_cells(left, right)
+        results = self._fanout(cells, "join", params, deadline)
+        left_mbrs = self.pmap.mbrs[left]
+        right_mbrs = self.pmap.mbrs[right]
+        owns = self.partitioner.owns_pair
+        pairs: List[List[int]] = []
+        merged: Optional[JoinStatistics] = None
+        algorithms = set()
+        duplicates = 0
+        for cell, result in results:
+            for a, b in result["pairs"]:
+                if owns(cell, left_mbrs[a], right_mbrs[b]):
+                    pairs.append([a, b])
+                else:
+                    duplicates += 1
+            stats = _shard_statistics(result.get("stats") or {})
+            algorithms.add(stats.algorithm)
+            merged = stats if merged is None else merged.merge(stats)
+        if self.obs.enabled:
+            self.obs.metrics.inc("shard.dedup.checked",
+                                 len(pairs) + duplicates)
+            self.obs.metrics.inc("shard.dedup.dropped", duplicates)
+        pairs.sort()
+        if merged is None:
+            merged = JoinStatistics()
+        merged.pairs_output = len(pairs)
+        return {"pairs": pairs, "count": len(pairs),
+                "shards": len(cells),
+                "stats": {
+                    "algorithm": "+".join(sorted(a for a in algorithms
+                                                 if a)) or "none",
+                    "algorithms": sorted(a for a in algorithms if a),
+                    "disk_accesses": merged.disk_accesses,
+                    "comparisons": merged.comparisons.total,
+                    "duplicates_dropped": duplicates,
+                }}
+
+    def _op_explain(self, request: Dict[str, Any],
+                    deadline: Optional[float]) -> Dict[str, Any]:
+        """Per-shard plans: every non-empty shard explains against its
+        own trees; the payload leads with the busiest shard's plan
+        (what a single-process server would have answered) plus the
+        full per-cell table."""
+        left = _string_field(request, "left")
+        right = _string_field(request, "right")
+        params = self._forward_join_params(request)
+        params.update(left=left, right=right)
+        cells = self._relation_cells(left, right)
+        results = self._fanout(cells, "explain", params, deadline)
+        counts = self.pmap.cell_counts[left]
+        shard_plans = [{"cell": cell, "plan": result["plan"]}
+                       for cell, result in results]
+        lead = max(shard_plans, default=None,
+                   key=lambda entry: counts[entry["cell"]])
+        payload: Dict[str, Any] = {"shards": len(cells),
+                                   "shard_plans": shard_plans}
+        if lead is not None:
+            payload["plan"] = lead["plan"]
+        return payload
+
+    def _op_window(self, request: Dict[str, Any],
+                   deadline: Optional[float]) -> Dict[str, Any]:
+        relation = _string_field(request, "relation")
+        window = request.get("window")
+        if (not isinstance(window, list) or len(window) != 4
+                or not all(isinstance(c, (int, float))
+                           and not isinstance(c, bool) for c in window)):
+            raise ProtocolError(
+                "window must be [xl, yl, xu, yu] numbers")
+        try:
+            rect = Rect(*(float(c) for c in window))
+        except ValueError as exc:
+            raise QueryError(str(exc)) from None
+        params: Dict[str, Any] = {"relation": relation,
+                                  "window": list(window)}
+        exact = request.get("exact")
+        if exact is not None:
+            params["exact"] = exact
+        cells = [cell for cell in self._relation_cells(relation)
+                 if self.partitioner.tile(cell).intersects(rect)]
+        results = self._fanout(cells, "window", params, deadline)
+        mbrs = self.pmap.mbrs[relation]
+        owns = self.partitioner.owns_pair
+        refs: List[int] = []
+        duplicates = 0
+        for cell, result in results:
+            for ref in result["refs"]:
+                # The same ownership rule as for join pairs, with the
+                # window standing in for the other rectangle.
+                if owns(cell, mbrs[ref], rect):
+                    refs.append(ref)
+                else:
+                    duplicates += 1
+        if self.obs.enabled:
+            self.obs.metrics.inc("shard.dedup.checked",
+                                 len(refs) + duplicates)
+            self.obs.metrics.inc("shard.dedup.dropped", duplicates)
+        refs.sort()
+        return {"refs": refs, "count": len(refs),
+                "shards": len(cells)}
+
+    def _op_knn(self, request: Dict[str, Any],
+                deadline: Optional[float]) -> Dict[str, Any]:
+        relation = _string_field(request, "relation")
+        x = _number_field(request, "x")
+        y = _number_field(request, "y")
+        k = request.get("k", 1)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ProtocolError(f"k must be a positive integer ({k!r})")
+        cells = self._relation_cells(relation)
+        params = {"relation": relation, "x": x, "y": y, "k": k}
+        results = self._fanout(cells, "knn", params, deadline)
+        # Each shard returns its local top-k; every object lives in at
+        # least one shard, so the union contains the global top-k.
+        # Copies of a spanning object report the same distance — keep
+        # the first.
+        candidates: List[Tuple[float, int]] = []
+        for _, result in results:
+            candidates.extend((distance, ref)
+                              for ref, distance in result["neighbors"])
+        candidates.sort()
+        neighbors: List[List[Any]] = []
+        seen = set()
+        for distance, ref in candidates:
+            if ref in seen:
+                continue
+            seen.add(ref)
+            neighbors.append([ref, distance])
+            if len(neighbors) == k:
+                break
+        return {"neighbors": neighbors, "shards": len(cells)}
+
+    def _op_get(self, request: Dict[str, Any],
+                deadline: Optional[float]) -> Dict[str, Any]:
+        relation = _string_field(request, "relation")
+        if relation not in self.pmap:
+            raise CatalogError(f"no relation {relation!r}")
+        oid = request.get("oid")
+        if not isinstance(oid, int) or isinstance(oid, bool):
+            raise ProtocolError(f"oid must be an integer ({oid!r})")
+        mbr = self.pmap.mbr(relation, oid)
+        if mbr is None:
+            raise CatalogError(f"no object {oid} in {relation!r}")
+        cell = self.partitioner.owner_cell(mbr)
+        ((_, result),) = self._fanout(
+            [cell], "get", {"relation": relation, "oid": oid}, deadline)
+        result["shards"] = 1
+        return result
+
+    # -- mutations (fan out under the write lock) ----------------------
+
+    def _op_insert(self, request: Dict[str, Any],
+                   deadline: Optional[float]) -> Dict[str, Any]:
+        relation = _string_field(request, "relation")
+        if relation not in self.pmap:
+            raise CatalogError(f"no relation {relation!r}")
+        geometry = geometry_from_json(request.get("geometry"))
+        oid = request.get("oid")
+        if oid is not None and (not isinstance(oid, int)
+                                or isinstance(oid, bool)):
+            raise ProtocolError(f"oid must be an integer ({oid!r})")
+        if oid is None:
+            # Shards cannot auto-assign (each sees only its cell's
+            # ids); the router owns the id space.
+            oid = self.pmap.next_oid(relation)
+        elif self.pmap.mbr(relation, oid) is not None:
+            raise CatalogError(f"object id {oid} already exists in "
+                               f"{relation!r}")
+        mbr = geometry if isinstance(geometry, Rect) else geometry.mbr()
+        cells = self.partitioner.cells_of_rect(mbr)
+        self._fanout(cells, "insert",
+                     {"relation": relation, "oid": oid,
+                      "geometry": request["geometry"]}, deadline)
+        self.pmap.add(relation, oid, mbr)
+        self.epochs[relation] = self.epochs.get(relation, 0) + 1
+        return {"oid": oid, "epoch": self.epochs[relation],
+                "shards": len(cells)}
+
+    def _op_delete(self, request: Dict[str, Any],
+                   deadline: Optional[float]) -> Dict[str, Any]:
+        relation = _string_field(request, "relation")
+        if relation not in self.pmap:
+            raise CatalogError(f"no relation {relation!r}")
+        oid = request.get("oid")
+        if not isinstance(oid, int) or isinstance(oid, bool):
+            raise ProtocolError(f"oid must be an integer ({oid!r})")
+        mbr = self.pmap.mbr(relation, oid)
+        if mbr is None:
+            raise CatalogError(f"no object {oid} in {relation!r}")
+        cells = self.partitioner.cells_of_rect(mbr)
+        self._fanout(cells, "delete",
+                     {"relation": relation, "oid": oid}, deadline)
+        self.pmap.remove(relation, oid)
+        self.epochs[relation] = self.epochs.get(relation, 0) + 1
+        return {"oid": oid, "epoch": self.epochs[relation],
+                "shards": len(cells)}
+
+    def _op_create(self, request: Dict[str, Any],
+                   deadline: Optional[float]) -> Dict[str, Any]:
+        name = _string_field(request, "relation")
+        if name in self.pmap:
+            raise CatalogError(f"relation {name!r} already exists")
+        cells = list(range(self.partitioner.n_cells))
+        self._fanout(cells, "create", {"relation": name}, deadline)
+        self.pmap.create_relation(name)
+        self.epochs[name] = 0
+        self.catalog_epoch += 1
+        return {"relation": name, "catalog_epoch": self.catalog_epoch,
+                "shards": len(cells)}
+
+    def _op_drop(self, request: Dict[str, Any],
+                 deadline: Optional[float]) -> Dict[str, Any]:
+        name = _string_field(request, "relation")
+        if name not in self.pmap:
+            raise CatalogError(f"no relation {name!r}")
+        cells = list(range(self.partitioner.n_cells))
+        self._fanout(cells, "drop", {"relation": name}, deadline)
+        self.pmap.drop_relation(name)
+        self.epochs.pop(name, None)
+        self.catalog_epoch += 1
+        return {"relation": name, "catalog_epoch": self.catalog_epoch,
+                "shards": len(cells)}
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Router counters/gauges plus the topology census (stats op)."""
+        partitioner = self.partitioner
+        snapshot: Dict[str, Any] = {
+            "counters": dict(self.obs.metrics.counters),
+            "gauges": dict(self.obs.metrics.gauges),
+            "cache": cache_section(self.cache),
+            "topology": {
+                "shards": self.topology.n_shards,
+                "mode": self.topology.mode,
+                "grid": [partitioner.cells_x, partitioner.cells_y],
+                "alive": sum(self.topology.alive()),
+                "relations": {
+                    name: {
+                        "objects": self.pmap.objects(name),
+                        "copies": self.pmap.copies(name),
+                        "replication": round(
+                            self.pmap.replication_factor(name), 4),
+                        "classes": dict(self.pmap.class_counts[name]),
+                    }
+                    for name in sorted(self.pmap.mbrs)},
+            }}
+        latency = latency_section(self.obs, "shard.time_ms")
+        if latency is not None:
+            snapshot["latency_ms"] = latency
+        return snapshot
+
+    def close(self) -> None:
+        """Drain the router workers and close every shard connection
+        (the topology itself is drained by its owner)."""
+        self.scheduler.shutdown()
+        with self._conn_registry_lock:
+            clients, self._conn_registry = self._conn_registry, []
+        for client in clients:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+
+def _shard_statistics(stats: Dict[str, Any]) -> JoinStatistics:
+    """One shard's summarized join stats as a mergeable
+    :class:`JoinStatistics` (the wire summary carries the two
+    paper counters; the mergeable-counter machinery sums them)."""
+    data = {
+        "algorithm": str(stats.get("algorithm", "")),
+        "comparisons": {"join": int(stats.get("comparisons", 0)),
+                        "sort": 0},
+        "io": {"disk_reads": int(stats.get("disk_accesses", 0))},
+    }
+    return JoinStatistics.from_dict(data)
+
+
+def _string_field(request: Dict[str, Any], name: str) -> str:
+    value = request.get(name)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"{name!r} must be a non-empty string "
+                            f"({value!r})")
+    return value
+
+
+def _number_field(request: Dict[str, Any], name: str) -> float:
+    value = request.get(name)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ProtocolError(f"{name!r} must be a number ({value!r})")
+    return float(value)

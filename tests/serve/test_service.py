@@ -49,7 +49,35 @@ class TestBasicOps:
         snapshot = client.call("stats")
         assert snapshot["counters"]["serve.requests"] >= 1
         assert set(snapshot["cache"]) == {"entries", "bytes", "hits",
-                                          "misses", "evictions"}
+                                          "misses", "evictions",
+                                          "hit_rate"}
+
+    def test_stats_cache_hit_rate_and_evictions(self, client):
+        params = dict(left="streets", right="rivers", algorithm="sj2")
+        client.call("join", **params)      # miss
+        client.call("join", **params)      # hit
+        snapshot = client.call("stats")
+        cache = snapshot["cache"]
+        assert cache["hits"] >= 1 and cache["misses"] >= 1
+        assert 0.0 < cache["hit_rate"] <= 1.0
+        assert cache["hit_rate"] == pytest.approx(
+            round(cache["hits"] / (cache["hits"] + cache["misses"]), 4))
+
+    def test_evictions_reach_stats_and_metrics_gauge(self):
+        # A one-entry cache: the second distinct cached result evicts
+        # the first, and the eviction count must surface both in the
+        # stats payload and as the serve.cache.evictions gauge (what
+        # repro report renders from a trace).
+        svc = QueryService(build_db(), workers=2, cache_entries=1)
+        try:
+            client = ServiceClient(svc)
+            client.window("streets", [0, 0, 100, 100])
+            client.window("streets", [0, 0, 200, 200])
+            snapshot = client.call("stats")
+            assert snapshot["cache"]["evictions"] >= 1
+            assert snapshot["gauges"]["serve.cache.evictions"] >= 1
+        finally:
+            svc.close()
 
     def test_window_matches_library(self, service, client):
         result = client.window("streets", [0, 0, 250, 250])

@@ -1,0 +1,213 @@
+"""Partitioner unit tests plus the exactness property: partition-local
+joins + reference-point dedup reproduce the single-tree pair set on
+random grids, skews, and boundary-spanning rectangles (hypothesis)."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.shard import (GridPartitioner, PartitionMap, grid_for,
+                         pair_reference_point)
+from repro.shard.partition import dedup_pairs
+
+# ----------------------------------------------------------------------
+# grid_for
+# ----------------------------------------------------------------------
+
+def test_grid_for_most_square_factorizations():
+    assert grid_for(1) == (1, 1)
+    assert grid_for(2) == (2, 1)
+    assert grid_for(4) == (2, 2)
+    assert grid_for(8) == (4, 2)
+    assert grid_for(12) == (4, 3)
+    assert grid_for(7) == (7, 1)      # primes fall back to Nx1
+
+
+def test_grid_for_rejects_nonpositive():
+    try:
+        grid_for(0)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError")
+
+
+# ----------------------------------------------------------------------
+# Cell geometry
+# ----------------------------------------------------------------------
+
+def test_cells_partition_the_universe():
+    grid = GridPartitioner(4, 3, Rect(0, 0, 40, 30))
+    assert grid.n_cells == 12
+    # Tiles cover the universe and agree with point location away
+    # from shared edges.
+    for cell in range(12):
+        tile = grid.tile(cell)
+        cx = (tile.xl + tile.xu) / 2
+        cy = (tile.yl + tile.yu) / 2
+        assert grid.cell_of_point(cx, cy) == cell
+
+
+def test_point_location_clamps_outside_universe():
+    grid = GridPartitioner(2, 2, Rect(0, 0, 10, 10))
+    assert grid.cell_of_point(-5, -5) == 0
+    assert grid.cell_of_point(99, -1) == 1
+    assert grid.cell_of_point(-1, 99) == 2
+    assert grid.cell_of_point(99, 99) == 3
+
+
+def test_cells_of_rect_covers_every_overlapped_tile():
+    grid = GridPartitioner(3, 3, Rect(0, 0, 9, 9))
+    # Spans the middle column and middle row around the center cell.
+    cells = grid.cells_of_rect(Rect(2.5, 2.5, 6.5, 6.5))
+    assert cells == [0, 1, 2, 3, 4, 5, 6, 7, 8]
+    assert grid.cells_of_rect(Rect(1, 1, 2, 2)) == [0]
+    assert grid.cells_of_rect(Rect(4, 1, 5, 2)) == [1]
+
+
+def test_two_layer_classes():
+    grid = GridPartitioner(2, 2, Rect(0, 0, 10, 10))
+    spanning = Rect(4, 4, 6, 6)       # overlaps all four cells
+    assert grid.owner_cell(spanning) == 0
+    assert grid.classify(spanning, 0) == "A"
+    assert grid.classify(spanning, 1) == "B"   # begins to the west
+    assert grid.classify(spanning, 2) == "C"   # begins to the south
+    assert grid.classify(spanning, 3) == "D"   # south-west diagonal
+
+
+def test_reference_point_is_intersection_corner():
+    a = Rect(0, 0, 5, 5)
+    b = Rect(3, 2, 8, 8)
+    assert pair_reference_point(a, b) == (3.0, 2.0)
+    assert pair_reference_point(b, a) == (3.0, 2.0)
+
+
+def test_partition_map_census_and_mutation():
+    grid = GridPartitioner(2, 2, Rect(0, 0, 10, 10))
+    pmap = PartitionMap(grid)
+    pmap.create_relation("r")
+    assert "r" in pmap and pmap.objects("r") == 0
+    cells = pmap.add("r", 0, Rect(4, 4, 6, 6))
+    assert cells == [0, 1, 2, 3]
+    assert pmap.copies("r") == 4
+    assert pmap.replication_factor("r") == 4.0
+    assert pmap.class_counts["r"] == {"A": 1, "B": 1, "C": 1, "D": 1}
+    pmap.add("r", 1, Rect(1, 1, 2, 2))
+    assert pmap.next_oid("r") == 2
+    assert pmap.nonempty_cells("r") == [0, 1, 2, 3]
+    assert pmap.remove("r", 0) == [0, 1, 2, 3]
+    assert pmap.nonempty_cells("r") == [0]
+    assert pmap.mbr("r", 0) is None
+    pmap.drop_relation("r")
+    assert "r" not in pmap
+
+
+# ----------------------------------------------------------------------
+# The exactness property
+# ----------------------------------------------------------------------
+
+coords = st.floats(min_value=-20.0, max_value=120.0,
+                   allow_nan=False, allow_infinity=False)
+extents = st.floats(min_value=0.0, max_value=60.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rect_strategy(draw):
+    # Extents up to 60 over a ~100-wide universe guarantee plenty of
+    # boundary-spanning rectangles on any grid; coords beyond [0, 100]
+    # exercise the clamp path.
+    x, y = draw(coords), draw(coords)
+    return Rect(x, y, x + draw(extents), y + draw(extents))
+
+
+def brute_force_pairs(left, right):
+    return {(a, b) for (a, ra), (b, rb)
+            in itertools.product(enumerate(left), enumerate(right))
+            if ra.intersects(rb)}
+
+
+def sharded_pairs(grid, left, right):
+    """Simulate the fleet: per-cell local joins, then the router's
+    reference-point dedup — without any server in the loop."""
+    cells_left = [[] for _ in range(grid.n_cells)]
+    cells_right = [[] for _ in range(grid.n_cells)]
+    for oid, rect in enumerate(left):
+        for cell in grid.cells_of_rect(rect):
+            cells_left[cell].append((oid, rect))
+    for oid, rect in enumerate(right):
+        for cell in grid.cells_of_rect(rect):
+            cells_right[cell].append((oid, rect))
+    left_mbrs = dict(enumerate(left))
+    right_mbrs = dict(enumerate(right))
+    merged = set()
+    total_local = 0
+    for cell in range(grid.n_cells):
+        local = [(a, b)
+                 for (a, ra), (b, rb) in itertools.product(
+                     cells_left[cell], cells_right[cell])
+                 if ra.intersects(rb)]
+        total_local += len(local)
+        owned = dedup_pairs(grid, cell, local, left_mbrs, right_mbrs)
+        assert not merged & set(owned), "pair owned by two cells"
+        merged |= set(owned)
+    return merged, total_local
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(rect_strategy(), min_size=0, max_size=40),
+       st.lists(rect_strategy(), min_size=0, max_size=40),
+       st.integers(min_value=1, max_value=5),
+       st.integers(min_value=1, max_value=5),
+       st.data())
+def test_sharded_join_equals_single_tree(left, right, cells_x, cells_y,
+                                         data):
+    # A universe that usually does NOT cover all the data, so the
+    # clamped border cells carry out-of-universe rectangles.
+    xl = data.draw(st.floats(min_value=-10, max_value=10))
+    yl = data.draw(st.floats(min_value=-10, max_value=10))
+    side = data.draw(st.floats(min_value=1.0, max_value=100.0))
+    grid = GridPartitioner(cells_x, cells_y,
+                           Rect(xl, yl, xl + side, yl + side))
+    expected = brute_force_pairs(left, right)
+    merged, total_local = sharded_pairs(grid, left, right)
+    assert merged == expected
+    # Replication can only add duplicate findings, never lose pairs.
+    assert total_local >= len(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(rect_strategy(), min_size=1, max_size=50),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=4))
+def test_every_copy_class_consistent(rects, cells_x, cells_y):
+    grid = GridPartitioner(cells_x, cells_y, Rect(0, 0, 100, 100))
+    for rect in rects:
+        cells = grid.cells_of_rect(rect)
+        owner = grid.owner_cell(rect)
+        assert owner in cells
+        labels = [grid.classify(rect, cell) for cell in cells]
+        assert labels.count("A") == 1    # exactly one primary copy
+        assert labels[cells.index(owner)] == "A"
+
+
+def test_skewed_clusters_still_exact():
+    # Heavy skew: two dense clusters at opposite corners plus objects
+    # spanning the full universe.
+    rng = random.Random(99)
+    left, right = [], []
+    for target in (left, right):
+        for _ in range(120):
+            cx, cy = (rng.uniform(0, 15), rng.uniform(0, 15)) \
+                if rng.random() < 0.5 else (rng.uniform(85, 100),
+                                            rng.uniform(85, 100))
+            target.append(Rect(cx, cy, cx + rng.uniform(0, 4),
+                               cy + rng.uniform(0, 4)))
+        target.append(Rect(0, 0, 100, 100))   # spans every cell
+    for cells_x, cells_y in ((2, 2), (4, 2), (5, 3)):
+        grid = GridPartitioner(cells_x, cells_y, Rect(0, 0, 100, 100))
+        merged, _ = sharded_pairs(grid, left, right)
+        assert merged == brute_force_pairs(left, right)

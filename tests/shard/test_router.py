@@ -1,0 +1,256 @@
+"""Router tests over an in-process (thread-mode) topology: pair-set
+equality with the library join for every algorithm, window/kNN/get
+merging, mutations with epoch-keyed cache invalidation, and the
+shard-aware stats payload."""
+
+import random
+
+import pytest
+
+from repro.core.spec import JoinSpec
+from repro.db import SpatialDatabase
+from repro.geometry import Rect
+from repro.serve import ServiceClient
+from repro.shard import ShardRouter, ShardTopology
+
+
+def build_db(n=250, seed=31, world=1000.0):
+    rng = random.Random(seed)
+    db = SpatialDatabase(page_size=1024)
+    for name in ("streets", "rivers"):
+        relation = db.create_relation(name)
+        for _ in range(n):
+            x = rng.uniform(0, world)
+            y = rng.uniform(0, world)
+            relation.insert(Rect(x, y, x + rng.uniform(0.1, 30),
+                                 y + rng.uniform(0.1, 30)))
+    return db
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    db = build_db()
+    with ShardTopology.build(db, shards=4, mode="thread") as topology:
+        router = ShardRouter(topology)
+        yield db, router, ServiceClient(router)
+        router.close()
+
+
+def library_pairs(db, algorithm="sj2"):
+    result = db.join("streets", "rivers",
+                     spec=JoinSpec(algorithm=algorithm))
+    return set(map(tuple, result.pairs))
+
+
+# ----------------------------------------------------------------------
+# Reads
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("algorithm",
+                         ["auto", "sj1", "sj2", "sj3", "sj4", "sj5"])
+def test_join_equals_library_every_algorithm(fleet, algorithm):
+    db, _, client = fleet
+    expected = library_pairs(db)
+    result = client.join("streets", "rivers", algorithm=algorithm)
+    assert set(map(tuple, result["pairs"])) == expected
+    assert result["count"] == len(expected)
+    assert result["shards"] >= 1
+    assert result["stats"]["algorithms"]
+    # Merged counters are sums over shards, never below one shard's.
+    assert result["stats"]["comparisons"] > 0
+
+
+def test_join_pairs_sorted_and_deduplicated(fleet):
+    _, _, client = fleet
+    result = client.join("streets", "rivers", algorithm="sj2")
+    assert result["pairs"] == sorted(map(list, result["pairs"]))
+    assert len(set(map(tuple, result["pairs"]))) == result["count"]
+    assert result["stats"]["duplicates_dropped"] >= 0
+
+
+def test_window_equals_library(fleet):
+    db, _, client = fleet
+    window = [150.0, 150.0, 600.0, 500.0]
+    expected = sorted(db.relation("streets").window(Rect(*window)))
+    result = client.window("streets", window)
+    assert result["refs"] == expected
+    assert result["shards"] >= 1
+
+
+def test_window_outside_any_data_is_empty(fleet):
+    _, _, client = fleet
+    result = client.window("streets", [-500.0, -500.0, -400.0, -400.0])
+    assert result["refs"] == []
+
+
+def test_knn_equals_library(fleet):
+    db, _, client = fleet
+    expected = db.relation("rivers").nearest(321.0, 654.0, k=9)
+    result = client.knn("rivers", 321.0, 654.0, k=9)
+    assert [ref for ref, _ in result["neighbors"]] \
+        == [ref for ref, _ in expected]
+    assert result["shards"] == 4
+
+
+def test_get_routes_to_owner_shard(fleet):
+    db, _, client = fleet
+    geometry = db.relation("streets").get(7)
+    result = client.call("get", relation="streets", oid=7)
+    assert result["shards"] == 1
+    assert result["geometry"]["kind"] == "rect"
+    assert result["geometry"]["coords"] == [geometry.xl, geometry.yl,
+                                            geometry.xu, geometry.yu]
+
+
+def test_explain_reports_per_shard_plans(fleet):
+    _, _, client = fleet
+    result = client.call("explain", left="streets", right="rivers")
+    assert result["shards"] >= 1
+    assert len(result["shard_plans"]) == result["shards"]
+    assert result["plan"]["algorithm"]    # the lead (busiest) plan
+    cells = [entry["cell"] for entry in result["shard_plans"]]
+    assert cells == sorted(cells)
+
+
+def test_relations_lists_census(fleet):
+    _, router, client = fleet
+    listing = client.call("relations")
+    names = [entry["name"] for entry in listing]
+    assert "streets" in names and "rivers" in names
+    streets = next(e for e in listing if e["name"] == "streets")
+    assert streets["objects"] == 250
+    assert streets["copies"] >= streets["objects"]
+
+
+def test_unknown_relation_maps_to_catalog_error(fleet):
+    _, _, client = fleet
+    response = client.request("join", left="streets", right="nope")
+    assert response["ok"] is False
+    assert response["error"]["code"] == "catalog"
+
+
+def test_bad_algorithm_rejected_before_fanout(fleet):
+    _, router, client = fleet
+    before = router.obs.metrics.counter("shard.subrequests")
+    response = client.request("join", left="streets", right="rivers",
+                              algorithm="quantum")
+    assert response["ok"] is False
+    assert response["error"]["code"] == "query"
+    assert router.obs.metrics.counter("shard.subrequests") == before
+
+
+# ----------------------------------------------------------------------
+# Cache + mutations
+# ----------------------------------------------------------------------
+
+def test_cache_replay_preserves_shards_field(fleet):
+    _, _, client = fleet
+    params = dict(left="streets", right="rivers", algorithm="sj3")
+    first = client.request("join", **params)
+    replay = client.request("join", **params)
+    assert first["cached"] is False or first["cached"] is True
+    assert replay["cached"] is True
+    assert replay["result"]["shards"] == first["result"]["shards"]
+    assert replay["result"]["pairs"] == first["result"]["pairs"]
+
+
+def test_mutations_invalidate_and_update_every_copy(fleet):
+    db, router, client = fleet
+    params = dict(left="streets", right="rivers", algorithm="sj2")
+    baseline = client.request("join", **params)["result"]
+    # A rectangle spanning the whole universe: a copy in all 4 cells,
+    # intersecting everything.
+    inserted = client.insert(
+        "streets", {"kind": "rect", "coords": [0.0, 0.0,
+                                               1000.0, 1000.0]})
+    assert inserted["shards"] == 4
+    oid = inserted["oid"]
+    assert oid == 250                  # router owns the id space
+    after = client.request("join", **params)
+    assert after["cached"] is False    # epoch bump = new cache key
+    grown = set(map(tuple, after["result"]["pairs"]))
+    assert {(oid, b) for b in range(250)} <= grown
+    # Window and get see it too.
+    assert oid in client.window("streets",
+                                [500.0, 500.0, 501.0, 501.0])["refs"]
+    assert client.call("get", relation="streets",
+                       oid=oid)["geometry"]["coords"] \
+        == [0.0, 0.0, 1000.0, 1000.0]
+    # Delete restores the exact baseline pair set.
+    assert client.delete("streets", oid)["shards"] == 4
+    restored = client.request("join", **params)
+    assert restored["cached"] is False
+    assert restored["result"]["pairs"] == baseline["pairs"]
+
+
+def test_duplicate_oid_rejected(fleet):
+    _, _, client = fleet
+    response = client.request(
+        "insert", relation="streets", oid=3,
+        geometry={"kind": "rect", "coords": [1.0, 1.0, 2.0, 2.0]})
+    assert response["ok"] is False
+    assert response["error"]["code"] == "catalog"
+
+
+def test_create_drop_round_trip(fleet):
+    _, router, client = fleet
+    created = client.call("create", relation="lakes")
+    assert created["shards"] == 4
+    assert "lakes" in router.pmap
+    oid = client.insert("lakes", {"kind": "rect",
+                                  "coords": [5.0, 5.0, 6.0, 6.0]})["oid"]
+    assert oid == 0
+    assert client.window("lakes", [0.0, 0.0, 10.0, 10.0])["refs"] == [0]
+    dropped = client.call("drop", relation="lakes")
+    assert dropped["shards"] == 4
+    assert "lakes" not in router.pmap
+    response = client.request("window", relation="lakes",
+                              window=[0.0, 0.0, 1.0, 1.0])
+    assert response["ok"] is False
+    assert response["error"]["code"] == "catalog"
+
+
+def test_non_rect_geometry_partitioned_by_mbr(fleet):
+    _, _, client = fleet
+    client.call("create", relation="paths")
+    try:
+        oid = client.insert(
+            "paths", {"kind": "polyline",
+                      "coords": [[100.0, 100.0], [900.0, 900.0]]})["oid"]
+        got = client.call("get", relation="paths", oid=oid)
+        assert got["geometry"]["kind"] == "polyline"
+        # Its MBR spans all four cells; every shard finds it.
+        refs = client.window("paths",
+                             [400.0, 400.0, 600.0, 600.0])["refs"]
+        assert refs == [oid]
+    finally:
+        client.call("drop", relation="paths")
+
+
+# ----------------------------------------------------------------------
+# Stats / observability
+# ----------------------------------------------------------------------
+
+def test_stats_surfaces_cache_and_topology(fleet):
+    _, router, client = fleet
+    stats = client.call("stats")
+    for key in ("hits", "misses", "evictions", "hit_rate", "entries",
+                "bytes"):
+        assert key in stats["cache"]
+    topo = stats["topology"]
+    assert topo["shards"] == 4
+    assert topo["grid"] == [2, 2]
+    assert topo["mode"] == "thread"
+    assert topo["alive"] == 4
+    assert topo["relations"]["streets"]["replication"] >= 1.0
+    assert set(topo["relations"]["streets"]["classes"]) \
+        == {"A", "B", "C", "D"}
+    counters = stats["counters"]
+    assert counters["shard.requests"] > 0
+    assert counters["shard.subrequests"] > 0
+    assert "latency_ms" in stats
+
+
+def test_ping(fleet):
+    _, _, client = fleet
+    assert client.call("ping") == "pong"

@@ -1,0 +1,91 @@
+"""Topology lifecycle tests with real subprocess shards (process
+mode): launch, health-check, serve traffic through the router over
+TCP, drain cleanly, and fail loudly on a bad build."""
+
+import os
+import random
+
+import pytest
+
+from repro.core.spec import JoinSpec
+from repro.db import SpatialDatabase
+from repro.geometry import Rect
+from repro.serve import ServiceClient, TCPServiceClient
+from repro.shard import ShardRouter, ShardTopology
+
+
+def build_db(n=120, seed=5, world=400.0):
+    rng = random.Random(seed)
+    db = SpatialDatabase(page_size=1024)
+    for name in ("streets", "rivers"):
+        relation = db.create_relation(name)
+        for _ in range(n):
+            x = rng.uniform(0, world)
+            y = rng.uniform(0, world)
+            relation.insert(Rect(x, y, x + rng.uniform(0.1, 15),
+                                 y + rng.uniform(0.1, 15)))
+    return db
+
+
+def test_process_fleet_round_trip():
+    db = build_db()
+    expected = set(map(tuple,
+                       db.join("streets", "rivers",
+                               spec=JoinSpec(algorithm="sj2")).pairs))
+    topology = ShardTopology.build(db, shards=2, mode="process")
+    scratch = topology._scratch_dir
+    assert scratch is not None and os.path.isdir(scratch)
+    with topology:
+        assert topology.alive() == [True, True]
+        assert len(topology.addresses) == 2
+        # Shards are plain repro serve processes: talk to one raw.
+        host, port = topology.addresses[0]
+        with TCPServiceClient(host, port) as raw:
+            assert raw.call("ping") == "pong"
+            names = [entry["name"] for entry in raw.call("relations")]
+            assert names == ["rivers", "streets"]
+        router = ShardRouter(topology)
+        client = ServiceClient(router)
+        result = client.join("streets", "rivers", algorithm="auto")
+        assert set(map(tuple, result["pairs"])) == expected
+        assert result["shards"] == 2
+        router.close()
+    # Drained: processes gone, scratch catalogs removed.
+    assert topology.alive() == [False, False]
+    assert not os.path.exists(scratch)
+
+
+def test_drain_is_idempotent_and_counts():
+    db = build_db(n=40)
+    topology = ShardTopology.build(db, shards=2, mode="process")
+    topology.start()
+    assert topology.drain() == 2
+    assert topology.drain() == 0
+
+
+def test_build_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        ShardTopology.build(build_db(n=10), shards=2, mode="fork")
+
+
+def test_build_explicit_directory_is_kept(tmp_path):
+    db = build_db(n=30)
+    topology = ShardTopology.build(db, shards=2, mode="process",
+                                   directory=str(tmp_path))
+    # Explicit directory: catalogs are written there and NOT removed
+    # on drain (the caller owns them).
+    assert sorted(os.listdir(tmp_path)) == ["shard-000", "shard-001"]
+    with topology:
+        pass
+    assert sorted(os.listdir(tmp_path)) == ["shard-000", "shard-001"]
+    # The saved catalogs reopen as ordinary databases.
+    reopened = SpatialDatabase.open(str(tmp_path / "shard-000"))
+    assert set(reopened.relations) == {"streets", "rivers"}
+
+
+def test_thread_mode_context_manager():
+    db = build_db(n=30)
+    with ShardTopology.build(db, shards=4, mode="thread") as topology:
+        assert topology.n_shards == 4
+        assert all(topology.alive())
+    assert not any(topology.alive())
