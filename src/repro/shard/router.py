@@ -258,6 +258,11 @@ class ShardRouter:
             return
         client = conns.pop(cell, None)
         if client is not None:
+            with self._conn_registry_lock:
+                try:
+                    self._conn_registry.remove(client)
+                except ValueError:
+                    pass
             try:
                 client.close()
             except OSError:
@@ -270,7 +275,17 @@ class ShardRouter:
         """One sub-request to every cell, pipelined: all sends first,
         then the replies.  A shard-side error re-raises here under its
         original code; a dead connection becomes :class:`ShardError`.
-        Returns ``(cell, result payload)`` in cell order."""
+        Returns ``(cell, result payload)`` in cell order.
+
+        Whatever goes wrong mid-fan-out, no pipelined response may be
+        left buffered on a persistent connection — the same connections
+        serve this thread's next request, which would consume the stale
+        responses as its own answers.  So on any failure the still-
+        pending sub-requests are drained (:meth:`_drain_pending`), and
+        every response is matched against its request id
+        (:meth:`_recv_matched`) so an out-of-sync connection is dropped
+        instead of trusted.
+        """
         if deadline is not None:
             remaining_ms = (deadline - time.perf_counter()) * 1e3
             if remaining_ms <= 0:
@@ -281,30 +296,62 @@ class ShardRouter:
             self.obs.metrics.inc("shard.subrequests", len(cells))
         with self.obs.tracer.span("shard.fanout", op=op,
                                   shards=len(cells)):
-            for cell in cells:
-                try:
-                    self._connection(cell).send(op, **params)
-                except OSError as exc:
-                    self._drop_connection(cell)
-                    raise ShardError(
-                        f"shard {cell} unreachable: {exc}") from exc
-            results: List[Tuple[int, Any]] = []
-            for cell in cells:
-                try:
-                    response = self._connection(cell).recv()
-                except (OSError, ConnectionError, ValueError) as exc:
-                    self._drop_connection(cell)
-                    raise ShardError(
-                        f"shard {cell} died mid-request: {exc}") \
-                        from exc
-                if not response.get("ok"):
-                    error = response.get("error") or {}
-                    code = error.get("code", "internal")
-                    message = (f"shard {cell}: "
-                               f"{error.get('message', code)}")
-                    raise _CODE_ERRORS.get(code, ShardError)(message)
-                results.append((cell, response["result"]))
+            pending: List[Tuple[int, int]] = []
+            try:
+                for cell in cells:
+                    try:
+                        request_id = self._connection(cell).send(
+                            op, **params)
+                    except OSError as exc:
+                        self._drop_connection(cell)
+                        raise ShardError(
+                            f"shard {cell} unreachable: {exc}") from exc
+                    pending.append((cell, request_id))
+                results: List[Tuple[int, Any]] = []
+                while pending:
+                    cell, request_id = pending.pop(0)
+                    response = self._recv_matched(cell, request_id)
+                    if not response.get("ok"):
+                        error = response.get("error") or {}
+                        code = error.get("code", "internal")
+                        message = (f"shard {cell}: "
+                                   f"{error.get('message', code)}")
+                        raise _CODE_ERRORS.get(code, ShardError)(message)
+                    results.append((cell, response["result"]))
+            except BaseException:
+                self._drain_pending(pending)
+                raise
         return results
+
+    def _recv_matched(self, cell: int, request_id: int
+                      ) -> Dict[str, Any]:
+        """The next response on *cell*'s connection, verified to answer
+        *request_id*; a transport error or an out-of-sync response
+        drops the connection (either way its response stream can no
+        longer be trusted)."""
+        try:
+            response = self._connection(cell).recv()
+        except (OSError, ConnectionError, ValueError) as exc:
+            self._drop_connection(cell)
+            raise ShardError(
+                f"shard {cell} died mid-request: {exc}") from exc
+        if response.get("id") != request_id:
+            self._drop_connection(cell)
+            raise ShardError(
+                f"shard {cell} answered request "
+                f"{response.get('id')!r} instead of {request_id!r}")
+        return response
+
+    def _drain_pending(self, pending: List[Tuple[int, int]]) -> None:
+        """Consume (and discard) the responses of *pending* ``(cell,
+        request id)`` sub-requests after a mid-fan-out failure; a
+        connection that cannot be drained cleanly is dropped by
+        :meth:`_recv_matched`."""
+        for cell, request_id in pending:
+            try:
+                self._recv_matched(cell, request_id)
+            except ReproError:
+                pass
 
     def _relation_cells(self, *names: str) -> List[int]:
         """Fan-out set of a read over *names* (unknown relations raise
@@ -371,9 +418,18 @@ class ShardRouter:
         merged: Optional[JoinStatistics] = None
         algorithms = set()
         duplicates = 0
+        stale = 0
         for cell, result in results:
             for a, b in result["pairs"]:
-                if owns(cell, left_mbrs[a], right_mbrs[b]):
+                left_mbr = left_mbrs.get(a)
+                right_mbr = right_mbrs.get(b)
+                if left_mbr is None or right_mbr is None:
+                    # A shard copy that outlived a failed mutation's
+                    # best-effort compensation: the routing map is
+                    # authoritative, so refs it no longer knows are
+                    # dropped from merged results.
+                    stale += 1
+                elif owns(cell, left_mbr, right_mbr):
                     pairs.append([a, b])
                 else:
                     duplicates += 1
@@ -382,8 +438,10 @@ class ShardRouter:
             merged = stats if merged is None else merged.merge(stats)
         if self.obs.enabled:
             self.obs.metrics.inc("shard.dedup.checked",
-                                 len(pairs) + duplicates)
+                                 len(pairs) + duplicates + stale)
             self.obs.metrics.inc("shard.dedup.dropped", duplicates)
+            if stale:
+                self.obs.metrics.inc("shard.dedup.stale", stale)
         pairs.sort()
         if merged is None:
             merged = JoinStatistics()
@@ -440,25 +498,40 @@ class ShardRouter:
         exact = request.get("exact")
         if exact is not None:
             params["exact"] = exact
+        # The fan-out set comes from the same clamped floor that
+        # assigned the copies (cells_of_rect), not a geometric tile
+        # test: objects inserted outside the universe clamp onto the
+        # border cells, so a window wholly outside the universe must
+        # clamp the same way to reach them (a raw intersects() test
+        # would select no tile and silently answer the empty set).
+        window_cells = set(self.partitioner.cells_of_rect(rect))
         cells = [cell for cell in self._relation_cells(relation)
-                 if self.partitioner.tile(cell).intersects(rect)]
+                 if cell in window_cells]
         results = self._fanout(cells, "window", params, deadline)
         mbrs = self.pmap.mbrs[relation]
         owns = self.partitioner.owns_pair
         refs: List[int] = []
         duplicates = 0
+        stale = 0
         for cell, result in results:
             for ref in result["refs"]:
+                mbr = mbrs.get(ref)
                 # The same ownership rule as for join pairs, with the
-                # window standing in for the other rectangle.
-                if owns(cell, mbrs[ref], rect):
+                # window standing in for the other rectangle; refs the
+                # routing map no longer knows (a copy outliving a
+                # failed mutation's compensation) are dropped.
+                if mbr is None:
+                    stale += 1
+                elif owns(cell, mbr, rect):
                     refs.append(ref)
                 else:
                     duplicates += 1
         if self.obs.enabled:
             self.obs.metrics.inc("shard.dedup.checked",
-                                 len(refs) + duplicates)
+                                 len(refs) + duplicates + stale)
             self.obs.metrics.inc("shard.dedup.dropped", duplicates)
+            if stale:
+                self.obs.metrics.inc("shard.dedup.stale", stale)
         refs.sort()
         return {"refs": refs, "count": len(refs),
                 "shards": len(cells)}
@@ -512,6 +585,34 @@ class ShardRouter:
         return result
 
     # -- mutations (fan out under the write lock) ----------------------
+    #
+    # Shards apply a fanned-out mutation independently, so a mid-fan-
+    # out failure can leave it applied on some cells only.  Each
+    # handler drives the fleet back to a *definite* state: insert and
+    # create roll back (undo wherever the mutation may have landed),
+    # delete and drop roll forward (finish the mutation everywhere and
+    # commit it to the routing map) — re-inserting would need geometry
+    # the router does not keep.  Compensation is best-effort
+    # (:meth:`_compensate` swallows per-cell errors); a copy that
+    # survives it is harmless because merges treat the routing map as
+    # authoritative and drop refs it does not know.  Either way the
+    # relevant epoch is bumped, so no cached result can outlive a
+    # possibly-mutated shard.
+
+    def _compensate(self, cells: List[int], op: str,
+                    params: Dict[str, Any]) -> None:
+        """Send *op* to every cell, per-cell and best-effort: error
+        responses (e.g. ``no object`` on a cell the failed mutation
+        never reached) are discarded, dead or out-of-sync connections
+        dropped."""
+        if self.obs.enabled:
+            self.obs.metrics.inc("shard.compensations")
+        for cell in cells:
+            try:
+                request_id = self._connection(cell).send(op, **params)
+                self._recv_matched(cell, request_id)
+            except (ReproError, OSError):
+                pass
 
     def _op_insert(self, request: Dict[str, Any],
                    deadline: Optional[float]) -> Dict[str, Any]:
@@ -532,9 +633,18 @@ class ShardRouter:
                                f"{relation!r}")
         mbr = geometry if isinstance(geometry, Rect) else geometry.mbr()
         cells = self.partitioner.cells_of_rect(mbr)
-        self._fanout(cells, "insert",
-                     {"relation": relation, "oid": oid,
-                      "geometry": request["geometry"]}, deadline)
+        _check_deadline(deadline)
+        try:
+            self._fanout(cells, "insert",
+                         {"relation": relation, "oid": oid,
+                          "geometry": request["geometry"]}, deadline)
+        except BaseException:
+            # Roll back: delete from every cell the insert may have
+            # reached, and invalidate the cache regardless.
+            self._compensate(cells, "delete",
+                             {"relation": relation, "oid": oid})
+            self.epochs[relation] = self.epochs.get(relation, 0) + 1
+            raise
         self.pmap.add(relation, oid, mbr)
         self.epochs[relation] = self.epochs.get(relation, 0) + 1
         return {"oid": oid, "epoch": self.epochs[relation],
@@ -552,8 +662,19 @@ class ShardRouter:
         if mbr is None:
             raise CatalogError(f"no object {oid} in {relation!r}")
         cells = self.partitioner.cells_of_rect(mbr)
-        self._fanout(cells, "delete",
-                     {"relation": relation, "oid": oid}, deadline)
+        _check_deadline(deadline)
+        try:
+            self._fanout(cells, "delete",
+                         {"relation": relation, "oid": oid}, deadline)
+        except BaseException:
+            # Roll forward: finish the delete on every copy cell and
+            # commit it to the routing map, so shard state and routing
+            # state agree that the object is gone.
+            self._compensate(cells, "delete",
+                             {"relation": relation, "oid": oid})
+            self.pmap.remove(relation, oid)
+            self.epochs[relation] = self.epochs.get(relation, 0) + 1
+            raise
         self.pmap.remove(relation, oid)
         self.epochs[relation] = self.epochs.get(relation, 0) + 1
         return {"oid": oid, "epoch": self.epochs[relation],
@@ -565,7 +686,14 @@ class ShardRouter:
         if name in self.pmap:
             raise CatalogError(f"relation {name!r} already exists")
         cells = list(range(self.partitioner.n_cells))
-        self._fanout(cells, "create", {"relation": name}, deadline)
+        _check_deadline(deadline)
+        try:
+            self._fanout(cells, "create", {"relation": name}, deadline)
+        except BaseException:
+            # Roll back: drop wherever the create may have landed.
+            self._compensate(cells, "drop", {"relation": name})
+            self.catalog_epoch += 1
+            raise
         self.pmap.create_relation(name)
         self.epochs[name] = 0
         self.catalog_epoch += 1
@@ -578,7 +706,17 @@ class ShardRouter:
         if name not in self.pmap:
             raise CatalogError(f"no relation {name!r}")
         cells = list(range(self.partitioner.n_cells))
-        self._fanout(cells, "drop", {"relation": name}, deadline)
+        _check_deadline(deadline)
+        try:
+            self._fanout(cells, "drop", {"relation": name}, deadline)
+        except BaseException:
+            # Roll forward: finish the drop everywhere and forget the
+            # relation, so no cell is left serving a dropped name.
+            self._compensate(cells, "drop", {"relation": name})
+            self.pmap.drop_relation(name)
+            self.epochs.pop(name, None)
+            self.catalog_epoch += 1
+            raise
         self.pmap.drop_relation(name)
         self.epochs.pop(name, None)
         self.catalog_epoch += 1
@@ -640,6 +778,13 @@ def _shard_statistics(stats: Dict[str, Any]) -> JoinStatistics:
         "io": {"disk_reads": int(stats.get("disk_accesses", 0))},
     }
     return JoinStatistics.from_dict(data)
+
+
+def _check_deadline(deadline: Optional[float]) -> None:
+    """Raise before a mutation's fan-out touches the network, so an
+    already-expired deadline fails without triggering compensation."""
+    if deadline is not None and deadline - time.perf_counter() <= 0:
+        raise QueryTimeout("deadline expired before fan-out")
 
 
 def _string_field(request: Dict[str, Any], name: str) -> str:

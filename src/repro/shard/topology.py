@@ -27,13 +27,15 @@ Process shards persist their partition catalog to a directory first
 from __future__ import annotations
 
 import os
+import queue
 import shutil
 import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, IO, List, Optional, Tuple
 
 from ..errors import ReproError
 from .partition import (GridPartitioner, PartitionMap,
@@ -47,6 +49,18 @@ class TopologyError(ReproError):
     """A shard failed to launch, answer, or drain."""
 
     code = "topology"
+
+
+def _pump_lines(stream: IO[str],
+                sink: "queue.Queue[Optional[str]]") -> None:
+    """Reader-thread body: forward *stream* lines into *sink*, then a
+    ``None`` EOF marker."""
+    try:
+        for line in stream:
+            sink.put(line)
+    except ValueError:  # stream closed underneath us during stop()
+        pass
+    sink.put(None)
 
 
 class _ProcessShard:
@@ -75,12 +89,27 @@ class _ProcessShard:
              "--queue", str(self.queue_depth)],
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
             env=env, text=True)
-        deadline = time.monotonic() + timeout
-        lines = []
         assert self.process.stdout is not None
-        while time.monotonic() < deadline:
-            line = self.process.stdout.readline()
-            if not line:
+        # readline() on a silent pipe blocks with no way to attach a
+        # deadline, so a reader thread takes the block and the deadline
+        # applies to each queue get — a worker that hangs before
+        # printing its banner (or mid-line) raises on time instead of
+        # stalling the whole topology.
+        lines_q: "queue.Queue[Optional[str]]" = queue.Queue()
+        threading.Thread(target=_pump_lines,
+                         args=(self.process.stdout, lines_q),
+                         daemon=True).start()
+        deadline = time.monotonic() + timeout
+        lines: List[str] = []
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                line = lines_q.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if line is None:    # EOF — the worker exited
                 break
             lines.append(line)
             if " on " in line and line.startswith("serving"):
@@ -88,6 +117,21 @@ class _ProcessShard:
                 host, _, port = endpoint.rpartition(":")
                 self.address = (host, int(port))
                 return self.address
+        if self.process.poll() is None:
+            # Unresponsive before reporting an address: nothing to
+            # drain gracefully, kill it.
+            self.process.kill()
+            try:
+                self.process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+        while True:  # collect whatever the kill flushed, for the error
+            try:
+                line = lines_q.get_nowait()
+            except queue.Empty:
+                break
+            if line is not None:
+                lines.append(line)
         tail = "".join(lines[-5:]).strip()
         raise TopologyError(
             f"shard {self.cell} did not report its address within "

@@ -227,6 +227,133 @@ def test_non_rect_geometry_partitioned_by_mbr(fleet):
         client.call("drop", relation="paths")
 
 
+def test_window_outside_universe_finds_clamped_objects(fleet):
+    _, _, client = fleet
+    # Objects inserted outside the partition universe clamp onto the
+    # border cells; a window wholly outside the universe must clamp
+    # the same way (a geometric tile test would answer the empty set).
+    client.call("create", relation="outliers")
+    try:
+        oid = client.insert(
+            "outliers", {"kind": "rect",
+                         "coords": [-50.0, -50.0, -40.0, -40.0]})["oid"]
+        result = client.window("outliers",
+                               [-60.0, -60.0, -35.0, -35.0])
+        assert result["refs"] == [oid]
+        assert result["shards"] == 1
+        # Clamping toward the opposite border reaches a different cell
+        # with no copy there — still empty, no duplicates.
+        far = client.window("outliers",
+                            [1100.0, 1100.0, 1200.0, 1200.0])
+        assert far["refs"] == []
+    finally:
+        client.call("drop", relation="outliers")
+
+
+def test_drop_connection_prunes_registry(fleet):
+    _, router, _ = fleet
+    conn = router._connection(0)
+    assert conn in router._conn_registry
+    router._drop_connection(0)
+    assert conn not in router._conn_registry
+    # Dropping again (or a never-opened cell) is a no-op.
+    router._drop_connection(0)
+
+
+# ----------------------------------------------------------------------
+# Partial failures (sabotaged shards)
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def small_fleet():
+    db = build_db(n=60, seed=7)
+    with ShardTopology.build(db, shards=4, mode="thread") as topology:
+        # One worker thread: every request reuses the same per-thread
+        # shard connections, so a response leaked by one failed fan-out
+        # would poison every request that follows.
+        router = ShardRouter(topology, workers=1)
+        yield db, topology, router, ServiceClient(router)
+        router.close()
+
+
+def shard_client(topology, cell):
+    from repro.serve import TCPServiceClient
+    host, port = topology.addresses[cell]
+    return TCPServiceClient(host, port, timeout=5.0)
+
+
+def test_shard_error_mid_fanout_does_not_poison_connections(
+        small_fleet):
+    db, topology, router, client = small_fleet
+    window = [0.0, 0.0, 1000.0, 1000.0]
+    expected = sorted(db.relation("streets").window(Rect(*window)))
+    # Sabotage one shard behind the router's back so a join fan-out
+    # errors there while the other cells' responses are still in
+    # flight.
+    with shard_client(topology, 2) as raw:
+        raw.call("drop", relation="rivers")
+    response = client.request("join", left="streets", right="rivers",
+                              algorithm="sj2")
+    assert response["ok"] is False
+    assert response["error"]["code"] == "catalog"
+    # The pending responses were drained, not left buffered: the same
+    # worker thread's connections keep answering correctly.
+    for _ in range(3):
+        assert client.window("streets", window)["refs"] == expected
+    assert client.call("ping") == "pong"
+
+
+def test_failed_insert_rolls_back_and_bumps_epoch(small_fleet):
+    db, topology, router, client = small_fleet
+    params = dict(left="streets", right="rivers", algorithm="sj2")
+    baseline = client.request("join", **params)["result"]
+    oid = router.pmap.next_oid("streets")
+    # Plant a conflicting oid on one shard behind the router's back,
+    # so the fanned-out insert applies on the other cells but fails
+    # there.
+    with shard_client(topology, 3) as raw:
+        raw.call("insert", relation="streets", oid=oid,
+                 geometry={"kind": "rect",
+                           "coords": [910.0, 910.0, 920.0, 920.0]})
+    response = client.request(
+        "insert", relation="streets",
+        geometry={"kind": "rect",
+                  "coords": [0.0, 0.0, 1000.0, 1000.0]})
+    assert response["ok"] is False
+    assert response["error"]["code"] == "catalog"
+    # Rolled back: the routing map never learned the object, the epoch
+    # bump invalidated the cached join, and no shard still serves a
+    # copy (the merged pair set is exactly the baseline — a leftover
+    # copy would either add pairs or crash the dedup lookup).
+    assert router.pmap.mbr("streets", oid) is None
+    after = client.request("join", **params)
+    assert after["ok"] is True
+    assert after["cached"] is False
+    assert after["result"]["pairs"] == baseline["pairs"]
+
+
+def test_failed_delete_rolls_forward(small_fleet):
+    db, topology, router, client = small_fleet
+    window = [0.0, 0.0, 1000.0, 1000.0]
+    oid = client.insert(
+        "streets", {"kind": "rect",
+                    "coords": [0.0, 0.0, 1000.0, 1000.0]})["oid"]
+    # Remove one copy behind the router's back so the fanned-out
+    # delete fails on that shard after others already applied it.
+    with shard_client(topology, 1) as raw:
+        raw.call("delete", relation="streets", oid=oid)
+    response = client.request("delete", relation="streets", oid=oid)
+    assert response["ok"] is False
+    assert response["error"]["code"] == "catalog"
+    # Rolled forward: gone from the routing map and from every shard,
+    # so reads agree with the map and match the unmutated library db.
+    assert router.pmap.mbr("streets", oid) is None
+    expected = sorted(db.relation("streets").window(Rect(*window)))
+    assert client.window("streets", window)["refs"] == expected
+    result = client.join("streets", "rivers", algorithm="sj2")
+    assert all(a != oid for a, _ in result["pairs"])
+
+
 # ----------------------------------------------------------------------
 # Stats / observability
 # ----------------------------------------------------------------------

@@ -4,6 +4,9 @@ TCP, drain cleanly, and fail loudly on a bad build."""
 
 import os
 import random
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -12,6 +15,8 @@ from repro.db import SpatialDatabase
 from repro.geometry import Rect
 from repro.serve import ServiceClient, TCPServiceClient
 from repro.shard import ShardRouter, ShardTopology
+from repro.shard import topology as topology_module
+from repro.shard.topology import TopologyError, _ProcessShard
 
 
 def build_db(n=120, seed=5, world=400.0):
@@ -81,6 +86,33 @@ def test_build_explicit_directory_is_kept(tmp_path):
     # The saved catalogs reopen as ordinary databases.
     reopened = SpatialDatabase.open(str(tmp_path / "shard-000"))
     assert set(reopened.relations) == {"streets", "rivers"}
+
+
+@pytest.mark.parametrize("snippet", [
+    # Hangs without printing anything: readline() would block forever.
+    "import time; time.sleep(60)",
+    # Hangs mid-line: no newline ever arrives either.
+    ("import sys, time; sys.stdout.write('serving partial'); "
+     "sys.stdout.flush(); time.sleep(60)"),
+], ids=["silent", "partial-line"])
+def test_process_shard_start_times_out_on_hung_worker(
+        monkeypatch, tmp_path, snippet):
+    real_popen = subprocess.Popen
+
+    def hung_worker(cmd, **kwargs):
+        return real_popen([sys.executable, "-u", "-c", snippet],
+                          **kwargs)
+
+    monkeypatch.setattr(topology_module.subprocess, "Popen",
+                        hung_worker)
+    shard = _ProcessShard(0, str(tmp_path), 1, 8)
+    began = time.monotonic()
+    with pytest.raises(TopologyError, match="did not report"):
+        shard.start(timeout=1.0)
+    # The deadline applied (nowhere near the worker's 60s sleep) and
+    # the hung worker was killed, not leaked.
+    assert time.monotonic() - began < 10.0
+    assert not shard.alive
 
 
 def test_thread_mode_context_manager():
