@@ -151,6 +151,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="join two server relations (--connect only)")
     group.add_argument("--ping", action="store_true",
                        help="liveness check (--connect only)")
+    group.add_argument("--insert", metavar="GEOM",
+                       help="insert a geometry into --relation: "
+                            "'rect XL YL XU YU', "
+                            "'polyline X Y X Y ...', or "
+                            "'polygon X Y X Y ...' (--connect only)")
+    group.add_argument("--delete", type=int, metavar="OID",
+                       help="delete one object from --relation "
+                            "(--connect only)")
     query.add_argument("--buffer-kb", type=float, default=0.0)
     query.add_argument("--connect", metavar="HOST:PORT",
                        help="send the query to a repro serve instance "
@@ -286,6 +294,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="log every request slower than this many "
                             "milliseconds (and count it in "
                             "serve.slow_requests)")
+    serve.add_argument("--ingest", choices=("delta", "direct"),
+                       default="delta",
+                       help="mutation path: 'delta' absorbs writes "
+                            "into MVCC buffers so reads run lock-free "
+                            "on snapshots (default); 'direct' mutates "
+                            "the trees in place under the write lock")
+    serve.add_argument("--rebuild-threshold", type=int, default=512,
+                       help="pending delta operations per relation "
+                            "that trigger a background merge into a "
+                            "fresh bulk-loaded tree (0 disables the "
+                            "threshold; default 512)")
+    serve.add_argument("--rebuild-every", type=float, default=None,
+                       help="also merge pending deltas every this "
+                            "many seconds (default: threshold only)")
     serve.add_argument("--trace", metavar="FILE",
                        help="write the server's spans and serve.* "
                             "metrics as a JSONL trace on shutdown "
@@ -507,6 +529,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise ValueError("a .rtree file is required without --connect")
     if args.join or args.ping:
         raise ValueError("--join/--ping require --connect")
+    if args.insert is not None or args.delete is not None:
+        raise ValueError("--insert/--delete require --connect")
     if args.explain:
         raise ValueError("--explain requires --connect --join")
     tree = load_tree(args.tree)
@@ -528,6 +552,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"# {len(result)} neighbours, {result.io.disk_reads} "
               f"disk accesses", file=sys.stderr)
     return 0
+
+
+def _geometry_json_from_text(text: str) -> dict:
+    """Parse the ``.geom`` single-line geometry syntax (sans id) into
+    the protocol's JSON form — `repro query --insert 'rect 1 2 3 4'`."""
+    from .db.database import parse_geometry
+    from .serve.protocol import geometry_to_json
+    _, geometry = parse_geometry("0 " + text.strip(), "--insert")
+    return geometry_to_json(geometry)
 
 
 def _parse_endpoint(value: str) -> tuple:
@@ -558,6 +591,17 @@ def _cmd_query_remote(args: argparse.Namespace) -> int:
             params["buffer_kb"] = args.buffer_kb
     elif args.explain:
         raise ValueError("--explain requires --join")
+    elif args.insert is not None:
+        if not args.relation:
+            raise ValueError("--insert requires --relation")
+        op = "insert"
+        params.update(relation=args.relation,
+                      geometry=_geometry_json_from_text(args.insert))
+    elif args.delete is not None:
+        if not args.relation:
+            raise ValueError("--delete requires --relation")
+        op = "delete"
+        params.update(relation=args.relation, oid=args.delete)
     else:
         if not args.relation:
             raise ValueError(
@@ -600,6 +644,13 @@ def _cmd_query_remote(args: argparse.Namespace) -> int:
               f"{stats['disk_accesses']} disk accesses, "
               f"{stats['comparisons']} comparisons, "
               f"{cached}{fanout}", file=sys.stderr)
+    elif op == "insert":
+        print(result["oid"])
+        print(f"# inserted oid={result['oid']} "
+              f"epoch={result.get('epoch')}{fanout}", file=sys.stderr)
+    elif op == "delete":
+        print(f"# deleted oid={result['oid']} "
+              f"epoch={result.get('epoch')}{fanout}", file=sys.stderr)
     elif op == "window":
         for ref in result["refs"]:
             print(ref)
@@ -658,15 +709,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout=(args.timeout_ms / 1e3
                          if args.timeout_ms else None),
         max_retries=args.max_retries, obs=obs, durability=durability,
-        slow_ms=args.slow_ms)
+        slow_ms=args.slow_ms, ingest=args.ingest,
+        rebuild_threshold=(args.rebuild_threshold or None),
+        rebuild_every=args.rebuild_every)
     server = SpatialQueryServer(service, host=args.host, port=args.port)
     host, port = server.start()
     source = args.data_dir if args.data_dir else args.db
     durable = (f", wal={args.wal_sync}" if args.data_dir else "")
     print(f"serving {len(db)} relation(s) from {source} on "
           f"{host}:{port} ({args.workers} workers, queue {args.queue}, "
-          f"cache {args.cache_mb:g} MB/{args.cache_entries} entries"
-          f"{durable})", flush=True)
+          f"cache {args.cache_mb:g} MB/{args.cache_entries} entries, "
+          f"ingest {args.ingest}{durable})", flush=True)
 
     stop = threading.Event()
 
@@ -686,7 +739,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"shutting down: {counters.get('serve.requests', 0)} "
               f"requests served, "
               f"{counters.get('serve.cache.hits', 0)} cache hits, "
-              f"{counters.get('serve.shed', 0)} shed", flush=True)
+              f"{counters.get('serve.shed', 0)} shed, "
+              f"{service.rebuilds} delta rebuild(s)", flush=True)
         if durability is not None:
             print(f"final checkpoint "
                   f"{durability.manifest['checkpoint_id']} at lsn "

@@ -68,6 +68,67 @@ def distance_join(tree_r: RTreeBase, tree_s: RTreeBase,
     return JoinResult(out, ctx.stats)
 
 
+def distance_join_snapshots(snap_l, snap_r, distance: float,
+                            buffer_kb: float = 128.0) -> JoinResult:
+    """MVCC variant of :func:`distance_join` over two relation
+    snapshots (see :mod:`repro.db.snapshot`).
+
+    The base trees join as usual; pairs hidden by either delta are
+    dropped, and the cross terms (added × base, added × added) are
+    confirmed with the same 2-comparison ``rect_mindist`` charge the
+    batched distance queries use.  Added entries probe the other base
+    tree through a window widened by *distance* — sound because
+    ``MINDIST(a, b) <= d`` implies the MBRs intersect after widening
+    either one by ``d``.
+    """
+    from ..geometry.counting import ComparisonCounter
+    result = distance_join(snap_l.tree, snap_r.tree, distance,
+                           buffer_kb=buffer_kb)
+    delta_l, delta_r = snap_l.delta, snap_r.delta
+    if not delta_l and not delta_r:
+        return result
+    hidden_l, hidden_r = delta_l.hidden, delta_r.hidden
+    pairs = [pair for pair in result.pairs
+             if pair[0] not in hidden_l and pair[1] not in hidden_r]
+    dropped = len(result.pairs) - len(pairs)
+    counter = ComparisonCounter()
+    extra: List[OutputPair] = []
+
+    def _probe(delta, snap_other, hidden_other, flip: bool) -> None:
+        base_objects = snap_other.base_objects
+        tree = snap_other.tree
+        for oid, rect, _ in delta.iter_added():
+            widened = Rect(rect.xl - distance, rect.yl - distance,
+                           rect.xu + distance, rect.yu + distance)
+            for ref in tree.window_query(widened):
+                if ref in hidden_other:
+                    continue
+                other = base_objects[ref]
+                other_rect = other if isinstance(other, Rect) \
+                    else other.mbr()
+                counter.join += 2
+                if rect_mindist(rect, other_rect) <= distance:
+                    extra.append((oid, ref) if not flip else (ref, oid))
+
+    if delta_l.added:
+        _probe(delta_l, snap_r, hidden_r, flip=False)
+    if delta_r.added:
+        _probe(delta_r, snap_l, hidden_l, flip=True)
+    if delta_l.added and delta_r.added:
+        for oid_l, rect_l, _ in delta_l.iter_added():
+            for oid_r, rect_r, _ in delta_r.iter_added():
+                counter.join += 2
+                if rect_mindist(rect_l, rect_r) <= distance:
+                    extra.append((oid_l, oid_r))
+
+    result.pairs = pairs + extra
+    result.stats.comparisons += counter
+    result.stats.pairs_output = len(result.pairs)
+    result.stats.delta_pairs += len(extra)
+    result.stats.hidden_filtered += dropped
+    return result
+
+
 def _join_nodes(ctx: JoinContext, distance: float, nr: Node, dr: int,
                 ns: Node, ds: int, out: List[OutputPair]) -> None:
     ctx.stats.node_pairs += 1

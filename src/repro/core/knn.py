@@ -13,12 +13,15 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..geometry.rect import Rect
 from ..rtree.base import RTreeBase
 from ..storage.manager import BufferManager
 from ..storage.stats import IOStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.delta import FrozenDelta
 
 
 def mindist(x: float, y: float, rect: Rect) -> float:
@@ -65,33 +68,52 @@ class NearestNeighborEngine:
             buffer_kb, tree.params.page_size, use_path_buffer=False)
         self._side = self.manager.register(tree.store)
 
-    def query(self, x: float, y: float, k: int = 1) -> NearestNeighborResult:
-        """The *k* data entries whose MBRs are nearest to (x, y)."""
+    def query(self, x: float, y: float, k: int = 1,
+              delta: Optional["FrozenDelta"] = None
+              ) -> NearestNeighborResult:
+        """The *k* data entries whose MBRs are nearest to (x, y).
+
+        With *delta* (an MVCC write buffer over this tree, see
+        :mod:`repro.db.delta`) the search runs against the merged
+        view: delta-added entries are seeded into the priority queue
+        up front, and base leaf entries hidden by the delta (deleted
+        or re-inserted oids) are skipped — the result is exact, never
+        a post-filtered approximation.
+        """
         if k < 1:
             raise ValueError("k must be at least 1")
         result = NearestNeighborResult()
         io_before = self.manager.stats.snapshot()
+        hidden = delta.hidden if delta is not None else frozenset()
 
-        root = self.tree.root
-        if not len(root):
-            return result
-
-        counter = itertools.count()   # heap tiebreaker
-        # Heap items: (distance, tiebreak, is_object, payload, depth).
-        heap: List[Tuple[float, int, bool, object, int]] = [
-            (0.0, next(counter), False, self.tree.root_id, 0)]
+        counter = itertools.count()   # node tiebreaker
+        # Heap items: (distance, is_object, tiebreak, payload, depth).
+        # At equal distance, nodes (False) expand before objects emit
+        # and objects tie-break on their oid — so the answer set and
+        # its order are deterministic regardless of tree layout or
+        # which side (base tree / delta) a candidate came from.
+        heap: List[Tuple[float, bool, int, object, int]] = []
+        if len(self.tree.root):
+            heap.append((0.0, False, next(counter), self.tree.root_id, 0))
+        if delta is not None:
+            for oid, rect, _ in delta.iter_added():
+                heapq.heappush(
+                    heap, (mindist(x, y, rect), True, oid, oid, 0))
         while heap and len(result.neighbors) < k:
-            dist, _, is_object, payload, depth = heapq.heappop(heap)
+            dist, is_object, _, payload, depth = heapq.heappop(heap)
             result.expansions += 1
             if is_object:
                 result.neighbors.append((payload, dist))
                 continue
             node = self.manager.read(self._side, payload, depth)
             for rect, ref in node.columns.iter_rect_refs():
+                if node.is_leaf and ref in hidden:
+                    continue
                 d = mindist(x, y, rect)
                 heapq.heappush(
                     heap,
-                    (d, next(counter), node.is_leaf, ref,
+                    (d, node.is_leaf,
+                     ref if node.is_leaf else next(counter), ref,
                      depth + 1))
 
         result.io.disk_reads = \

@@ -40,6 +40,12 @@ class JoinStatistics:
     #: Parallel batches that exhausted their retries and were executed
     #: serially by the coordinator (graceful degradation).
     degraded_batches: int = 0
+    #: Result pairs contributed by MVCC delta overlays (probe + sweep
+    #: kernels over unmerged write buffers; see repro.core.deltajoin).
+    delta_pairs: int = 0
+    #: Base-tree pairs dropped because a delta hid one of their oids
+    #: (deleted or re-inserted since the last rebuild).
+    hidden_filtered: int = 0
 
     @property
     def disk_accesses(self) -> int:
@@ -84,12 +90,15 @@ class JoinStatistics:
             merged.faults_injected += part.faults_injected
             merged.batch_retries += part.batch_retries
             merged.degraded_batches += part.degraded_batches
+            merged.delta_pairs += part.delta_pairs
+            merged.hidden_filtered += part.hidden_filtered
         return merged
 
     #: Plain integer counter fields serialized verbatim.
     _SCALAR_FIELDS = ("presort_comparisons", "node_pairs", "pairs_output",
                       "faults_injected", "batch_retries",
-                      "degraded_batches")
+                      "degraded_batches", "delta_pairs",
+                      "hidden_filtered")
 
     def to_dict(self) -> dict:
         """Plain-data (JSON-safe) form, used by the trace file and by

@@ -13,6 +13,7 @@ import json
 import os
 from typing import Dict, Optional, Tuple
 
+from ..core.deltajoin import overlay_join
 from ..core.planner import execute_plan, resolve_call_spec
 from ..core.refinement import id_spatial_join
 from ..core.spec import JoinSpec
@@ -24,10 +25,10 @@ from ..geometry.polygon import Polygon
 from ..geometry.polyline import Polyline
 from ..geometry.predicates import SpatialPredicate
 from ..geometry.rect import Rect
+from ..rtree.base import RTreeBase
 from ..rtree.persist import load_tree, save_tree
-from ..rtree.rstar import RStarTree
 from ..storage.atomic import atomic_write
-from .relation import Geometry, SpatialRelation
+from .relation import INGEST_MODES, Geometry, SpatialRelation
 
 _MANIFEST = "manifest.json"
 _MANIFEST_VERSION = 1
@@ -51,6 +52,25 @@ class SpatialDatabase:
         #: old name can never resurrect results computed against the
         #: dropped one (per-relation epochs restart at zero).
         self.epoch = 0
+        #: Ingest mode applied to newly created relations ("direct" or
+        #: "delta"; see :mod:`repro.db.relation`).
+        self.ingest_mode = "direct"
+
+    def set_ingest_mode(self, mode: str) -> None:
+        """Switch every relation (and future creations) between direct
+        tree mutation and MVCC delta absorption."""
+        if mode not in INGEST_MODES:
+            raise ValueError(f"unknown ingest mode {mode!r}; "
+                             f"expected one of {INGEST_MODES}")
+        self.ingest_mode = mode
+        for relation in self.relations.values():
+            relation.set_ingest_mode(mode)
+
+    def flush_deltas(self) -> int:
+        """Synchronously merge every relation's pending delta into its
+        tree; returns the number of relations rebuilt."""
+        return sum(1 for relation in self.relations.values()
+                   if relation.flush())
 
     # ------------------------------------------------------------------
     # Catalog
@@ -63,6 +83,8 @@ class SpatialDatabase:
         # Constructing first also validates the name — an invalid name
         # must raise before anything reaches the write-ahead log.
         relation = SpatialRelation(name, page_size=self.page_size)
+        if self.ingest_mode != "direct":
+            relation.set_ingest_mode(self.ingest_mode)
         durability = self._durability
         lsn = None
         if durability is not None:
@@ -125,23 +147,63 @@ class SpatialDatabase:
         rel_l = self.relation(left)
         rel_r = self.relation(right)
         spec = resolve_call_spec("SpatialDatabase.join", spec, legacy)
-        plan = plan_join(rel_l.tree, rel_r.tree, spec)
-        result = execute_plan(rel_l.tree, rel_r.tree, plan)
-        if not refine:
-            return result
-        if spec.predicate is not SpatialPredicate.INTERSECTS:
+        # One consistent snapshot per side: the base trees are static
+        # for the whole join (direct mode: the live tree; delta mode:
+        # the published MVCC view) and unmerged writes are overlaid on
+        # the base result by repro.core.deltajoin.
+        snap_l = rel_l.snapshot()
+        snap_r = rel_r.snapshot()
+        base = self.join_base(snap_l, snap_r, spec, refine=refine)
+        return self.join_overlay(snap_l, snap_r, base, spec,
+                                 refine=refine)
+
+    def join_base(self, snap_l, snap_r, spec: JoinSpec, *,
+                  refine: bool = False) -> JoinResult:
+        """The base-tree half of a snapshot join: plan and execute over
+        the two base trees, optionally refining against the *base*
+        geometry.
+
+        Deterministic in ``(snap.base_epoch, spec, refine)`` — the
+        query service caches this result under a base-epoch key so
+        repeated reads pay only the (cheap) delta overlay.  Refining
+        here against base geometry is sound because the overlay later
+        drops every pair with a hidden oid, and unhidden base oids
+        resolve to the same geometry in base and merged views.
+        """
+        if refine and spec.predicate is not SpatialPredicate.INTERSECTS:
             raise QueryError(
                 "exact-geometry refinement supports only INTERSECTS")
-        refinable = [(a, b) for a, b in result.pairs
-                     if not isinstance(rel_l.objects[a], Rect)
-                     and not isinstance(rel_r.objects[b], Rect)]
-        rect_pairs = [(a, b) for a, b in result.pairs
-                      if isinstance(rel_l.objects[a], Rect)
-                      or isinstance(rel_r.objects[b], Rect)]
-        survivors, _ = id_spatial_join(refinable, rel_l.objects,
-                                       rel_r.objects)
-        result.pairs = rect_pairs + survivors
-        result.stats.pairs_output = len(result.pairs)
+        plan = plan_join(snap_l.tree, snap_r.tree, spec)
+        result = execute_plan(snap_l.tree, snap_r.tree, plan)
+        if refine:
+            result.pairs = _refine_pairs(result.pairs,
+                                         snap_l.base_objects,
+                                         snap_r.base_objects)
+            result.stats.pairs_output = len(result.pairs)
+        return result
+
+    def join_overlay(self, snap_l, snap_r, base: JoinResult,
+                     spec: JoinSpec, *,
+                     refine: bool = False) -> JoinResult:
+        """Complete a snapshot join from its base half: drop pairs the
+        deltas hide, add the delta probe/sweep pairs, and (when
+        refining) run the exact-geometry test on just those additions.
+        Returns *base* unchanged when both deltas are empty."""
+        if not (snap_l.delta or snap_r.delta):
+            return base
+        result = overlay_join(snap_l, snap_r, base,
+                              predicate=spec.predicate,
+                              buffer_kb=spec.buffer_kb)
+        if refine and result.stats.delta_pairs:
+            # overlay_join appends the delta contributions after the
+            # surviving (already refined) base pairs.
+            split = len(result.pairs) - result.stats.delta_pairs
+            head, extras = result.pairs[:split], result.pairs[split:]
+            extras = _refine_pairs(extras, snap_l.objects,
+                                   snap_r.objects)
+            result.pairs = head + extras
+            result.stats.delta_pairs = len(extras)
+            result.stats.pairs_output = len(result.pairs)
         return result
 
     def explain(self, left: str, right: str,
@@ -158,14 +220,16 @@ class SpatialDatabase:
         rel_l = self.relation(left)
         rel_r = self.relation(right)
         spec = resolve_call_spec("SpatialDatabase.explain", spec, legacy)
-        return plan_join(rel_l.tree, rel_r.tree, spec, score=True)
+        return plan_join(rel_l.snapshot().tree, rel_r.snapshot().tree,
+                         spec, score=True)
 
     def distance_join(self, left: str, right: str, distance: float,
                       buffer_kb: float = 128.0) -> JoinResult:
         """All id pairs whose MBRs lie within *distance* of each other
         (the within-distance join extension)."""
-        from ..core.distance import distance_join as run
-        return run(self.relation(left).tree, self.relation(right).tree,
+        from ..core.distance import distance_join_snapshots as run
+        return run(self.relation(left).snapshot(),
+                   self.relation(right).snapshot(),
                    distance, buffer_kb=buffer_kb)
 
     # ------------------------------------------------------------------
@@ -188,9 +252,13 @@ class SpatialDatabase:
             "relations": sorted(self.relations),
         }
         for name, relation in self.relations.items():
-            save_tree(relation.tree, os.path.join(directory,
-                                                  f"{name}.rtree"))
-            _write_geometry(relation,
+            # One coherent pair per relation: with a pending MVCC
+            # delta, checkpoint_view bulk-loads a merged tree for the
+            # file (without mutating the live relation) so the saved
+            # index and geometry always agree.
+            tree, objects = relation.checkpoint_view()
+            save_tree(tree, os.path.join(directory, f"{name}.rtree"))
+            _write_geometry(objects,
                             os.path.join(directory, f"{name}.geom"))
         with atomic_write(os.path.join(directory, _MANIFEST),
                           "w") as handle:
@@ -209,9 +277,12 @@ class SpatialDatabase:
         for name in manifest["relations"]:
             relation = SpatialRelation(name, page_size=db.page_size)
             tree = load_tree(os.path.join(directory, f"{name}.rtree"))
-            if not isinstance(tree, RStarTree):
+            if not isinstance(tree, RTreeBase):
+                # Checkpoints of relations with a pending delta hold
+                # STR bulk-loaded (PackedRTree) indexes; any R-tree
+                # variant the persistence layer knows is acceptable.
                 raise ValueError(
-                    f"relation {name!r} is not backed by an R*-tree")
+                    f"relation {name!r} is not backed by an R-tree")
             relation.tree = tree
             relation.objects = _read_geometry(
                 os.path.join(directory, f"{name}.geom"))
@@ -226,6 +297,20 @@ class SpatialDatabase:
         return db
 
 
+def _refine_pairs(pairs, objects_l, objects_r):
+    """ID-spatial-join refinement of *pairs*: rect-backed pairs pass
+    through (their MBR test is exact), the rest run the exact-geometry
+    intersection."""
+    refinable = [(a, b) for a, b in pairs
+                 if not isinstance(objects_l[a], Rect)
+                 and not isinstance(objects_r[b], Rect)]
+    rect_pairs = [(a, b) for a, b in pairs
+                  if isinstance(objects_l[a], Rect)
+                  or isinstance(objects_r[b], Rect)]
+    survivors, _ = id_spatial_join(refinable, objects_l, objects_r)
+    return rect_pairs + survivors
+
+
 # ----------------------------------------------------------------------
 # Geometry file format: one object per line,
 #   <id> rect <xl> <yl> <xu> <yu>
@@ -233,9 +318,9 @@ class SpatialDatabase:
 #   <id> polygon <x1> <y1> ...
 # ----------------------------------------------------------------------
 
-def _write_geometry(relation: SpatialRelation, path: str) -> None:
+def _write_geometry(objects: Dict[int, Geometry], path: str) -> None:
     with atomic_write(path, "w") as handle:
-        for oid, geometry in sorted(relation.objects.items()):
+        for oid, geometry in sorted(objects.items()):
             handle.write(format_geometry(oid, geometry))
             handle.write("\n")
 

@@ -5,10 +5,27 @@ whose objects carry identifiers, exact geometry, and an R*-tree over
 their MBRs.  :class:`SpatialRelation` packages exactly that: inserts
 and deletes maintain both the object table and the index, queries go
 through the index, and the exact geometry feeds the refinement step.
+
+Two ingest modes govern how mutations land (see docs/ingestion.md):
+
+* ``"direct"`` (the default) — the historical behaviour: ``insert``/
+  ``delete`` mutate the R*-tree and object table in place.
+* ``"delta"`` — MVCC write absorption: mutations go into an in-memory
+  :class:`~repro.db.delta.DeltaIndex`; reads resolve through an
+  immutable :class:`~repro.db.snapshot.Snapshot` (base tree + frozen
+  delta + epoch) published atomically, so readers never hold a lock and
+  never observe a half-applied write; :meth:`rebuild` merges the delta
+  into a fresh STR bulk-loaded tree and swaps it in.
+
+In both modes ``epoch`` counts data mutations (result caches key on
+it) while ``base_epoch`` counts *base-tree* changes only — a delta
+write bumps ``epoch`` but leaves ``base_epoch`` alone, which is what
+lets the serve layer keep base-tree computations cached across writes.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..core.knn import NearestNeighborEngine
@@ -18,9 +35,14 @@ from ..geometry.polyline import Polyline
 from ..geometry.rect import Rect
 from ..rtree.params import RTreeParams
 from ..rtree.rstar import RStarTree
+from .delta import DeltaIndex, FrozenDelta
+from .snapshot import Snapshot
 
 SpatialObject = Union[Polyline, Polygon]
 Geometry = Union[SpatialObject, Rect]
+
+#: Valid ingest modes (see module docstring).
+INGEST_MODES = ("direct", "delta")
 
 
 class SpatialRelation:
@@ -31,6 +53,9 @@ class SpatialRelation:
     #: is appended to the write-ahead log *before* the object table and
     #: index mutate — so an acknowledged write is durable and a crashed
     #: one is either fully replayed or fully absent after recovery.
+    #: Delta-mode mutations log the identical records: the WAL does not
+    #: know (or care) whether a record was applied to the tree or
+    #: absorbed into the delta.
     _durability = None
 
     def __init__(self, name: str, page_size: int = 2048) -> None:
@@ -40,14 +65,110 @@ class SpatialRelation:
         self.params = RTreeParams.from_page_size(page_size)
         self.tree = RStarTree(self.params)
         #: Object id -> exact geometry; Rect-only inserts are stored as
-        #: their MBR (the geometry *is* the rectangle then).
-        self.objects: Dict[int, Geometry] = {}
+        #: their MBR (the geometry *is* the rectangle then).  In delta
+        #: mode this is the *base* table; the merged view is
+        #: :attr:`objects`.
+        self._objects: Dict[int, Geometry] = {}
         self._next_id = 0
         #: Mutation counter: bumped by every :meth:`insert`/:meth:`delete`.
         #: Cached query results are keyed by the epochs of the relations
         #: they read (see :mod:`repro.serve.cache`), so a bump makes all
         #: previously cached results for this relation unreachable.
         self.epoch = 0
+        #: Base-tree version: bumped when the tree itself changes (any
+        #: direct-mode mutation, and every rebuild swap).  Base-keyed
+        #: cache entries (see ``repro.serve.service``) stamp this.
+        self.base_epoch = 0
+        self.ingest_mode = "direct"
+        #: Active write-absorption buffer (delta mode only).
+        self._delta: Optional[DeltaIndex] = None
+        #: Delta frozen by an in-flight rebuild, still part of reads.
+        self._merging: Optional[FrozenDelta] = None
+        #: Guards mutation + snapshot publication.  Readers never take
+        #: it: they grab :attr:`_snapshot` (one atomic reference read).
+        self._mutex = threading.Lock()
+        self._snapshot: Optional[Snapshot] = None
+
+    # ------------------------------------------------------------------
+    # Ingest mode / snapshots
+    # ------------------------------------------------------------------
+
+    def set_ingest_mode(self, mode: str) -> None:
+        """Switch write absorption on (``"delta"``) or off
+        (``"direct"``, flushing any pending delta synchronously)."""
+        if mode not in INGEST_MODES:
+            raise ValueError(f"unknown ingest mode {mode!r}; "
+                             f"expected one of {INGEST_MODES}")
+        if mode == self.ingest_mode:
+            return
+        if mode == "delta":
+            with self._mutex:
+                self.ingest_mode = "delta"
+                self._delta = DeltaIndex()
+                self._publish()
+        else:
+            self.rebuild()                # merge anything pending
+            with self._mutex:
+                self.ingest_mode = "direct"
+                self._delta = None
+                self._snapshot = None
+
+    def snapshot(self) -> Snapshot:
+        """The current immutable view of this relation.
+
+        Delta mode publishes eagerly on every mutation, so this is one
+        attribute read; direct mode (re)builds lazily per epoch.
+        """
+        snap = self._snapshot
+        if (snap is not None and snap.epoch == self.epoch
+                and snap.base_epoch == self.base_epoch):
+            return snap
+        with self._mutex:
+            return self._publish()
+
+    def _publish(self) -> Snapshot:
+        """Build + publish the snapshot for the current state.
+
+        Must hold :attr:`_mutex`.  Publication is one reference store,
+        so concurrent readers see either the old or the new snapshot,
+        never a mix.
+        """
+        if self._delta is not None and self._delta:
+            delta = self._delta.freeze()
+        else:
+            delta = FrozenDelta.EMPTY
+        if self._merging is not None:
+            delta = self._merging.combine(delta)
+        snap = Snapshot(self.name, self.tree, self._objects, delta,
+                        self.epoch, self.base_epoch)
+        self._snapshot = snap
+        return snap
+
+    @property
+    def objects(self):
+        """The visible object table.
+
+        Direct mode hands back the real dict (unchanged legacy
+        behaviour); delta mode hands back the snapshot's read-only
+        merged mapping.
+        """
+        if self._delta is None and self._merging is None:
+            return self._objects
+        return self.snapshot().objects
+
+    @objects.setter
+    def objects(self, value: Dict[int, Geometry]) -> None:
+        """Replace the base table outright (persistence load path)."""
+        self._objects = dict(value)
+        self._snapshot = None
+
+    @property
+    def delta_ops_pending(self) -> int:
+        """Recorded delta operations not yet merged into the tree."""
+        pending = len(self._delta) if self._delta is not None else 0
+        if self._merging is not None:
+            pending += len(self._merging)
+        return pending
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -56,9 +177,11 @@ class SpatialRelation:
     def insert(self, geometry: Geometry,
                oid: Optional[int] = None) -> int:
         """Add an object; returns its id (auto-assigned when omitted)."""
+        if self.ingest_mode == "delta":
+            return self._insert_delta(geometry, oid)
         if oid is None:
             oid = self._next_id
-        if oid in self.objects:
+        if oid in self._objects:
             raise CatalogError(f"object id {oid} already exists in "
                                f"{self.name!r}")
         durability = self._durability
@@ -70,27 +193,178 @@ class SpatialRelation:
             # a logged record recovery will replay or nothing at all.
             lsn = durability.log_insert(self.name, oid, geometry)
         self._next_id = max(self._next_id, oid + 1)
-        self.objects[oid] = geometry
+        self._objects[oid] = geometry
         self.tree.insert(_mbr_of(geometry), oid)
         self.epoch += 1
+        self.base_epoch += 1
+        self._snapshot = None
         if durability is not None:
             durability.committed(lsn)
         return oid
 
     def delete(self, oid: int) -> None:
         """Remove an object by id."""
-        if oid not in self.objects:
+        if self.ingest_mode == "delta":
+            self._delete_delta(oid)
+            return
+        if oid not in self._objects:
             raise CatalogError(f"no object {oid} in {self.name!r}")
         durability = self._durability
         lsn = None
         if durability is not None:
             lsn = durability.log_delete(self.name, oid)
-        geometry = self.objects.pop(oid)
+        geometry = self._objects.pop(oid)
         removed = self.tree.delete(_mbr_of(geometry), oid)
         assert removed, "object table and index diverged"
         self.epoch += 1
+        self.base_epoch += 1
+        self._snapshot = None
         if durability is not None:
             durability.committed(lsn)
+
+    def _insert_delta(self, geometry: Geometry,
+                      oid: Optional[int]) -> int:
+        """Delta-mode insert: WAL append + delta absorb + publish.
+
+        The in-memory critical section is microseconds (no tree
+        descent); ``committed`` runs after the mutex is released so a
+        checkpoint it triggers can read this relation's snapshot.
+        """
+        durability = self._durability
+        lsn = None
+        with self._mutex:
+            if oid is None:
+                oid = self._next_id
+            if self._visible_unlocked(oid):
+                raise CatalogError(f"object id {oid} already exists in "
+                                   f"{self.name!r}")
+            if durability is not None:
+                lsn = durability.log_insert(self.name, oid, geometry)
+            self._next_id = max(self._next_id, oid + 1)
+            self._delta.insert(oid, geometry)
+            self.epoch += 1
+            self._publish()
+        if durability is not None:
+            durability.committed(lsn)
+        return oid
+
+    def _delete_delta(self, oid: int) -> None:
+        durability = self._durability
+        lsn = None
+        with self._mutex:
+            if not self._visible_unlocked(oid):
+                raise CatalogError(f"no object {oid} in {self.name!r}")
+            if durability is not None:
+                lsn = durability.log_delete(self.name, oid)
+            self._delta.delete(oid)
+            self.epoch += 1
+            self._publish()
+        if durability is not None:
+            durability.committed(lsn)
+
+    def _visible_unlocked(self, oid: int) -> bool:
+        """Visibility under :attr:`_mutex` (delta mode)."""
+        delta = self._delta
+        if oid in delta.added:
+            return True
+        if oid in delta.deleted:
+            return False
+        if self._merging is not None:
+            if oid in self._merging.added:
+                return True
+            if oid in self._merging.hidden:
+                return False
+        return oid in self._objects
+
+    # ------------------------------------------------------------------
+    # Rebuild (delta merge)
+    # ------------------------------------------------------------------
+
+    def begin_rebuild(self) -> bool:
+        """Freeze the active delta for merging; False when there is
+        nothing to merge or a rebuild is already in flight."""
+        if self._delta is None:
+            return False
+        with self._mutex:
+            if self._merging is not None:
+                return False
+            frozen = self._delta.freeze()
+            if not frozen:
+                return False
+            self._merging = frozen
+            self._delta = DeltaIndex()
+            self._publish()
+        return True
+
+    def build_merged(self, fill: float = 0.9):
+        """Bulk-load the merged (base + frozen delta) tree.
+
+        Runs **without any lock**: the base table and the frozen delta
+        are immutable while :attr:`_merging` is set, and concurrent
+        writes land in the fresh active delta.  Returns
+        ``(tree, objects)`` for :meth:`commit_rebuild`.
+        """
+        from ..rtree.bulk import str_pack
+        merging = self._merging
+        assert merging is not None, "begin_rebuild was not called"
+        objects = {oid: g for oid, g in self._objects.items()
+                   if oid not in merging.hidden}
+        objects.update(merging.added)
+        records = [(_mbr_of(g), oid)
+                   for oid, g in sorted(objects.items())]
+        if records:
+            tree = str_pack(records, self.params, fill=fill)
+        else:
+            tree = RStarTree(self.params)
+        return tree, objects
+
+    def commit_rebuild(self, tree, objects: Dict[int, Geometry]) -> None:
+        """Swap the merged tree in atomically.
+
+        The data a reader can see does not change (the merged tree
+        holds exactly what base+merging-delta exposed), so ``epoch``
+        stays put — previously cached results remain valid — while
+        ``base_epoch`` bumps because base-keyed computations now run
+        against a different tree.
+        """
+        with self._mutex:
+            self.tree = tree
+            self._objects = objects
+            self._merging = None
+            self.base_epoch += 1
+            self._publish()
+
+    def rebuild(self, fill: float = 0.9) -> bool:
+        """Synchronously merge any pending delta into the tree."""
+        if not self.begin_rebuild():
+            return False
+        tree, objects = self.build_merged(fill=fill)
+        self.commit_rebuild(tree, objects)
+        return True
+
+    #: Synonym used by persistence ("flush writes before saving").
+    flush = rebuild
+
+    def checkpoint_view(self):
+        """``(tree, objects)`` reflecting every acknowledged write,
+        for checkpointing without mutating the relation.
+
+        With no pending delta this is the live tree + table; with one,
+        a freshly bulk-loaded merged tree (the relation itself is left
+        untouched — recovery replays the still-logged delta ops
+        idempotently on top).
+        """
+        snap = self.snapshot()
+        if not snap.delta:
+            return self.tree, self._objects
+        from ..rtree.bulk import str_pack
+        objects = dict(sorted(snap.objects.items()))
+        records = [(_mbr_of(g), oid) for oid, g in objects.items()]
+        if records:
+            tree = str_pack(records, self.params)
+        else:
+            tree = RStarTree(self.params)
+        return tree, objects
 
     # ------------------------------------------------------------------
     # Queries
@@ -102,27 +376,18 @@ class SpatialRelation:
         ``exact=True`` adds the refinement step: only objects whose
         exact geometry intersects the window rectangle survive.
         """
-        candidates = self.tree.window_query(window)
+        snap = self.snapshot()
+        candidates = snap.window_refs(window)
         if not exact:
             return candidates
-        if window.area() == 0.0:
-            # A degenerate window cannot form a query polygon; the MBR
-            # test is the best available filter then.
-            return candidates
-        survivors = []
-        for oid in candidates:
-            geometry = self.objects[oid]
-            if isinstance(geometry, Rect):
-                survivors.append(oid)     # MBR is the exact geometry
-            elif _exact_meets_window(geometry, window):
-                survivors.append(oid)
-        return survivors
+        return exact_window_survivors(candidates, snap.objects, window)
 
     def nearest(self, x: float, y: float, k: int = 1,
                 buffer_kb: float = 0.0) -> List[Tuple[int, float]]:
         """The k objects whose MBRs are nearest to a point."""
-        engine = NearestNeighborEngine(self.tree, buffer_kb=buffer_kb)
-        return engine.query(x, y, k).neighbors
+        snap = self.snapshot()
+        engine = NearestNeighborEngine(snap.tree, buffer_kb=buffer_kb)
+        return engine.query(x, y, k, delta=snap.delta).neighbors
 
     def get(self, oid: int) -> Geometry:
         """The exact geometry of one object."""
@@ -138,13 +403,16 @@ class SpatialRelation:
 
     @property
     def records(self) -> List[Tuple[Rect, int]]:
-        """(MBR, id) records, id-ordered."""
+        """(MBR, id) records of every visible object, id-ordered."""
         return [(_mbr_of(geometry), oid)
                 for oid, geometry in sorted(self.objects.items())]
 
     def mbr(self) -> Optional[Rect]:
         """MBR of the whole relation."""
-        return self.tree.mbr()
+        snap = self.snapshot()
+        if not snap.delta:
+            return self.tree.mbr()
+        return snap.mbr()
 
     def __len__(self) -> int:
         return len(self.objects)
@@ -161,6 +429,25 @@ def _mbr_of(geometry: Geometry) -> Rect:
     if isinstance(geometry, Rect):
         return geometry
     return geometry.mbr()
+
+
+def exact_window_survivors(candidates: List[int], objects,
+                           window: Rect) -> List[int]:
+    """Refinement step of an exact window query: keep the candidates
+    whose exact geometry intersects *window*.  A degenerate window
+    cannot form a query polygon, so the MBR filter stands as-is then.
+    Shared by :meth:`SpatialRelation.window` and the query service's
+    split base/overlay window path."""
+    if window.area() == 0.0:
+        return candidates
+    survivors = []
+    for oid in candidates:
+        geometry = objects[oid]
+        if isinstance(geometry, Rect):
+            survivors.append(oid)         # MBR is the exact geometry
+        elif _exact_meets_window(geometry, window):
+            survivors.append(oid)
+    return survivors
 
 
 def _exact_meets_window(geometry: SpatialObject, window: Rect) -> bool:

@@ -10,6 +10,15 @@ mutation instantly makes every previously cached result for that
 relation unreachable — stale results are never *served*; the dead
 entries age out through normal LRU eviction.
 
+Under MVCC ingest (see :mod:`repro.db.relation`) the service stores a
+second level in the same cache: ``<op>@base`` entries stamped with each
+snapshot's ``base_epoch`` instead of its mutation epoch.  Delta writes
+bump only the mutation epoch, so the expensive base-tree computation
+stays cached across writes and a post-write read replays just the
+delta overlay — this is what keeps the hit rate high under mixed
+read/write workloads, where an invalidate-on-every-write cache would
+sit near zero.
+
 Capacity is bounded two ways, as real result caches are: a maximum
 entry count (lookup-table pressure) and a maximum payload byte total
 (memory pressure).  A single result larger than the byte budget is
@@ -24,18 +33,23 @@ from collections import OrderedDict
 from typing import Any, Dict, Iterable, Optional, Tuple
 
 
-def normalized_key(op: str, params: Dict[str, Any],
+def normalized_key(op: str, params: Optional[Dict[str, Any]],
                    epochs: Iterable[Tuple[str, int]],
-                   catalog_epoch: int) -> str:
+                   catalog_epoch: int, *,
+                   params_json: Optional[str] = None) -> str:
     """The canonical cache key of one query.
 
     *params* must already exclude per-request noise (request id,
     deadline); *epochs* is an iterable of ``(relation_name, epoch)``
-    pairs for every relation the query reads.
+    pairs for every relation the query reads.  *params_json* is an
+    optional pre-serialized (sorted-keys) form of *params* — the hot
+    read path canonicalizes the parameters once and builds both its
+    cache keys from the same string.
     """
+    if params_json is None:
+        params_json = json.dumps(params, sort_keys=True)
     stamp = ",".join(f"{name}#{epoch}" for name, epoch in epochs)
-    body = json.dumps({"op": op, "params": params}, sort_keys=True)
-    return f"{body}@cat{catalog_epoch}:{stamp}"
+    return f"{op}|{params_json}@cat{catalog_epoch}:{stamp}"
 
 
 class ResultCache:

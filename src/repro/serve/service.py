@@ -10,14 +10,36 @@ front end (:mod:`repro.serve.server`) and the in-process
 Concurrency model
 -----------------
 
-Queries (``join``/``window``/``knn``/``get``) hold a shared *read*
-lock and run concurrently; mutations (``insert``/``delete``/
-``create``/``drop``) hold the exclusive *write* lock.  Joins are
-executed with ``sort_mode="on_read"``, whose sorted views live in the
-per-join context instead of being written back into the shared tree
-nodes — so concurrent readers never mutate shared state.  (The default
-``maintained`` regime physically sorts node entry lists in place,
-which would race across reader threads.)
+The service runs the database in MVCC delta ingest mode by default
+(``ingest="delta"``, see :mod:`repro.db.relation`): mutations absorb
+into per-relation write buffers and queries read immutable snapshots,
+so **reads take no lock at all** — the :class:`ReadWriteLock` shrinks
+to guarding the write-side critical sections (mutations, snapshot
+swaps by the background rebuilder, the shutdown checkpoint).  Every
+lock acquisition is timed into the ``serve.lock.read_wait_ms`` /
+``serve.lock.write_wait_ms`` histograms; an empty read histogram under
+MVCC is the expected steady state.  With ``ingest="direct"`` the
+pre-MVCC regime applies: queries (``join``/``window``/``knn``/``get``)
+hold the shared read lock, mutations the exclusive write lock.
+
+A background rebuilder thread merges accumulated deltas into fresh STR
+bulk-loaded trees (``rebuild_threshold`` pending ops, or every
+``rebuild_every`` seconds) and swaps them in atomically under the
+write lock, then checkpoints so the write-ahead log stays short.
+
+Joins are executed with ``sort_mode="on_read"``, whose sorted views
+live in the per-join context instead of being written back into the
+shared tree nodes — so concurrent readers never mutate shared state.
+(The default ``maintained`` regime physically sorts node entry lists
+in place, which would race across reader threads.)
+
+Caching is two-level: the full epoch-stamped key (any write to a
+touched relation invalidates — this is what the envelope ``cached``
+flag reports) plus a ``<op>@base`` key stamped with the relations'
+``base_epoch``, holding the expensive base-tree computation of joins
+and window queries.  Delta writes leave ``base_epoch`` alone, so after
+a write the service re-runs only the cheap delta overlay on top of a
+base-cache hit instead of the whole join.
 
 Every request carries a ``serve.request`` span on the server's
 :class:`~repro.obs.Observability` handle and feeds the ``serve.*``
@@ -39,7 +61,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..db.durability import DurabilityManager
 
 from ..core.spec import JoinSpec
+from ..core.stats import JoinResult, JoinStatistics
 from ..db.database import SpatialDatabase
+from ..db.relation import INGEST_MODES, exact_window_survivors
 from ..errors import QueryError, QueryTimeout
 from ..geometry.predicates import SpatialPredicate
 from ..geometry.rect import Rect
@@ -52,7 +76,7 @@ from .scheduler import RequestScheduler
 
 #: Fields every request may carry that do not affect the result (and
 #: therefore never enter the cache key).
-_ENVELOPE_FIELDS = ("id", "op", "timeout_ms")
+_ENVELOPE_FIELDS = ("id", "op", "timeout_ms", "_params_json")
 
 
 class ReadWriteLock:
@@ -112,9 +136,30 @@ class QueryService:
                  obs: Optional[Observability] = None,
                  durability: Optional["DurabilityManager"] = None,
                  slow_ms: Optional[float] = None,
-                 slow_log: Optional[Callable[[str], None]] = None
+                 slow_log: Optional[Callable[[str], None]] = None,
+                 ingest: str = "delta",
+                 rebuild_threshold: Optional[int] = 512,
+                 rebuild_every: Optional[float] = None
                  ) -> None:
         self.db = db
+        if ingest not in INGEST_MODES:
+            raise ValueError(f"unknown ingest mode {ingest!r}; "
+                             f"expected one of {INGEST_MODES}")
+        if rebuild_threshold is not None and rebuild_threshold < 1:
+            raise ValueError("rebuild_threshold must be >= 1 (or None)")
+        if rebuild_every is not None and rebuild_every <= 0:
+            raise ValueError("rebuild_every must be positive (or None)")
+        #: Ingest regime (see the module docstring): ``"delta"`` runs
+        #: reads lock-free over MVCC snapshots, ``"direct"`` restores
+        #: the read-locked in-place-mutation behaviour.
+        self.ingest = ingest
+        self._mvcc = ingest == "delta"
+        db.set_ingest_mode(ingest)
+        #: Pending delta operations that trigger a background merge.
+        self.rebuild_threshold = rebuild_threshold
+        #: Periodic merge interval in seconds (None: threshold only).
+        self.rebuild_every = rebuild_every
+        self.rebuilds = 0
         #: Requests slower than this many milliseconds are counted in
         #: ``serve.slow_requests`` and logged through *slow_log*
         #: (default: a line on stderr).  None disables the check.
@@ -148,6 +193,14 @@ class QueryService:
                                 ("insert", False), ("delete", False),
                                 ("create", False), ("drop", False)):
             self._ops[name] = (getattr(self, f"_op_{name}"), cacheable)
+        self._rebuild_stop = threading.Event()
+        self._rebuilder: Optional[threading.Thread] = None
+        if self._mvcc and (rebuild_threshold is not None
+                           or rebuild_every is not None):
+            self._rebuilder = threading.Thread(
+                target=self._rebuild_loop, name="repro-rebuild",
+                daemon=True)
+            self._rebuilder.start()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -250,27 +303,80 @@ class QueryService:
                 return payload, True
             if self.obs.enabled:
                 self.obs.metrics.inc("serve.cache.misses")
-        lock = self._lock.read() if cacheable else self._lock.write()
-        with lock:
+        if cacheable and self._mvcc:
+            # MVCC read path: no lock at all.  The handler grabs one
+            # immutable snapshot per relation (a single reference
+            # read) and never touches shared mutable state.
             payload = handler(request, deadline)
+        else:
+            with self._locked(write=not cacheable):
+                payload = handler(request, deadline)
         if key is not None:
-            encoded = len(json.dumps(payload))
-            if self.cache.put(key, payload, nbytes=encoded) \
-                    and self.obs.enabled:
-                self.obs.metrics.set_gauge("serve.cache.entries",
-                                           self.cache.entries)
-                self.obs.metrics.set_gauge("serve.cache.bytes",
-                                           self.cache.bytes)
-                self.obs.metrics.set_gauge("serve.cache.evictions",
-                                           self.cache.evictions)
+            self.cache.put(key, payload,
+                           nbytes=len(json.dumps(payload)))
         return payload, False
+
+    @contextlib.contextmanager
+    def _locked(self, write: bool):
+        """Acquire the service lock, timing how long the acquisition
+        blocked into ``serve.lock.read_wait_ms`` /
+        ``serve.lock.write_wait_ms`` (lock contention is invisible in
+        request latency alone — these histograms are how ``repro
+        report`` shows where waiting went)."""
+        guard = self._lock.write() if write else self._lock.read()
+        started = time.perf_counter()
+        guard.__enter__()
+        if self.obs.enabled:
+            waited_ms = (time.perf_counter() - started) * 1e3
+            name = ("serve.lock.write_wait_ms" if write
+                    else "serve.lock.read_wait_ms")
+            self.obs.metrics.observe(name, waited_ms)
+        try:
+            yield
+        finally:
+            guard.__exit__(None, None, None)
+
+    def _base_cached(self, op: str, request: Dict[str, Any],
+                     snapshots: Tuple, compute: Callable[[], Any]) -> Any:
+        """Second cache level for expensive base-tree computations.
+
+        The key is the request's parameters stamped with each
+        snapshot's ``base_epoch`` (not ``epoch``): delta writes
+        invalidate the full-key entry but leave these intact, so a
+        read after a write replays only the delta overlay on top of
+        the cached base result.  Shares the one :class:`ResultCache`
+        (and its hit/miss accounting) with the full-key level.
+        """
+        params_json = request.get("_params_json")
+        if not isinstance(params_json, str):
+            params_json = json.dumps(
+                {name: value for name, value in request.items()
+                 if name not in _ENVELOPE_FIELDS}, sort_keys=True)
+        epochs = [(snap.name, snap.base_epoch) for snap in snapshots]
+        key = normalized_key(f"{op}@base", None, epochs,
+                             self.db.epoch, params_json=params_json)
+        payload = self.cache.get(key)
+        if payload is not None:
+            if self.obs.enabled:
+                self.obs.metrics.inc("serve.cache.base_hits")
+            return payload
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve.cache.base_misses")
+        payload = compute()
+        self.cache.put(key, payload, nbytes=len(json.dumps(payload)))
+        return payload
 
     def _cache_key(self, request: Dict[str, Any]) -> Optional[str]:
         """The epoch-stamped cache key (None disables caching, e.g.
         for a registered custom op without a relation signature)."""
         op = request["op"]
-        params = {name: value for name, value in sorted(request.items())
+        params = {name: value for name, value in request.items()
                   if name not in _ENVELOPE_FIELDS}
+        # Canonicalize once; _base_cached builds the base-level key
+        # from the same string (the stash is an envelope field, so it
+        # can never leak into either key's parameter body).
+        params_json = json.dumps(params, sort_keys=True)
+        request["_params_json"] = params_json
         names: List[str] = []
         for field in ("relation", "left", "right"):
             value = request.get(field)
@@ -282,7 +388,8 @@ class QueryService:
             # Unknown relation: let the handler raise CatalogError.
             epochs.append((name, -1 if relation is None
                            else relation.epoch))
-        return normalized_key(op, params, epochs, self.db.epoch)
+        return normalized_key(op, None, epochs, self.db.epoch,
+                              params_json=params_json)
 
     # ------------------------------------------------------------------
     # Operations
@@ -304,7 +411,8 @@ class QueryService:
     def _op_relations(self) -> List[Dict[str, Any]]:
         return [{"name": name, "objects": len(relation),
                  "epoch": relation.epoch,
-                 "height": relation.tree.height}
+                 "height": relation.tree.height,
+                 "pending_delta_ops": relation.delta_ops_pending}
                 for name, relation in sorted(self.db.relations.items())]
 
     def _join_spec(self, request: Dict[str, Any],
@@ -343,10 +451,28 @@ class QueryService:
         right = _string_field(request, "right")
         refine = _bool_field(request, "refine", False)
         spec = self._join_spec(request, deadline)
-        result = self.db.join(left, right, spec=spec, refine=refine)
+        snap_l = self.db.relation(left).snapshot()
+        snap_r = self.db.relation(right).snapshot()
+
+        def compute() -> Dict[str, Any]:
+            base = self.db.join_base(snap_l, snap_r, spec,
+                                     refine=refine)
+            return {"pairs": sorted(base.pairs),
+                    "stats": base.stats.to_dict(),
+                    "plan": base.plan.to_dict()}
+
+        if self._mvcc:
+            cached = self._base_cached("join", request,
+                                       (snap_l, snap_r), compute)
+        else:
+            cached = compute()
+        base = JoinResult([tuple(pair) for pair in cached["pairs"]],
+                          JoinStatistics.from_dict(cached["stats"]))
+        result = self.db.join_overlay(snap_l, snap_r, base, spec,
+                                      refine=refine)
         pairs = sorted(result.pairs)
         return {"pairs": pairs, "count": len(pairs),
-                "plan": result.plan.to_dict(),
+                "plan": cached["plan"],
                 "stats": {
                     "algorithm": result.stats.algorithm,
                     "disk_accesses": result.stats.disk_accesses,
@@ -379,7 +505,35 @@ class QueryService:
             rect = Rect(*(float(c) for c in window))
         except ValueError as exc:
             raise QueryError(str(exc)) from None
-        refs = sorted(relation.window(rect, exact=exact))
+        snap = relation.snapshot()
+
+        def compute() -> List[int]:
+            refs = list(snap.tree.window_query(rect))
+            if exact:
+                refs = exact_window_survivors(refs, snap.base_objects,
+                                              rect)
+            return sorted(refs)
+
+        if self._mvcc:
+            base_refs = self._base_cached("window", request, (snap,),
+                                          compute)
+        else:
+            base_refs = compute()
+        delta = snap.delta
+        if delta:
+            hidden = delta.hidden
+            refs = base_refs if not hidden \
+                else [oid for oid in base_refs if oid not in hidden]
+            added = delta.added_in(rect)
+            if exact and added:
+                added = exact_window_survivors(added, snap.objects,
+                                               rect)
+            # The filtered base refs are already sorted; only a
+            # nonempty delta contribution forces a re-sort.
+            if added:
+                refs = sorted(refs + added)
+        else:
+            refs = base_refs
         return {"refs": refs, "count": len(refs)}
 
     def _op_knn(self, request: Dict[str, Any],
@@ -436,27 +590,119 @@ class QueryService:
         return {"relation": name, "catalog_epoch": self.db.epoch}
 
     # ------------------------------------------------------------------
+    # Background rebuild (delta merge)
+    # ------------------------------------------------------------------
+
+    def _rebuild_loop(self) -> None:
+        """Rebuilder thread body: poll pending delta sizes, merge when
+        the threshold or the interval says so."""
+        poll = 0.05
+        if self.rebuild_every is not None:
+            poll = min(poll, self.rebuild_every / 4)
+        last = time.monotonic()
+        while not self._rebuild_stop.wait(poll):
+            due = (self.rebuild_every is not None
+                   and time.monotonic() - last >= self.rebuild_every)
+            for relation in list(self.db.relations.values()):
+                pending = relation.delta_ops_pending
+                if not pending:
+                    continue
+                if due or (self.rebuild_threshold is not None
+                           and pending >= self.rebuild_threshold):
+                    try:
+                        self._rebuild_relation(relation)
+                    except Exception as exc:  # noqa: BLE001 — keep going
+                        if self.obs.enabled:
+                            self.obs.metrics.inc("serve.rebuild_errors")
+                        self.slow_log(f"background rebuild of "
+                                      f"{relation.name!r} failed: {exc}")
+            if due:
+                last = time.monotonic()
+
+    def _rebuild_relation(self, relation) -> bool:
+        """One full rebuild cycle for *relation*.
+
+        The expensive part — bulk-loading the merged tree — runs with
+        no lock held; only the freeze and the swap take the write
+        lock, and the swap is followed by a checkpoint so the WAL
+        records absorbed by the merge can be dropped.
+        """
+        started = time.perf_counter()
+        with self._locked(write=True):
+            begun = relation.begin_rebuild()
+        if not begun:
+            return False
+        tree, objects = relation.build_merged()
+        with self._locked(write=True):
+            relation.commit_rebuild(tree, objects)
+            if self.durability is not None:
+                self.durability.checkpoint()
+        self.rebuilds += 1
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve.rebuilds")
+            self.obs.metrics.observe(
+                "serve.rebuild_ms",
+                (time.perf_counter() - started) * 1e3)
+        return True
+
+    def force_rebuild(self) -> int:
+        """Synchronously merge every relation's pending delta; returns
+        how many relations were rebuilt (tests, admin tooling)."""
+        return sum(1 for relation in list(self.db.relations.values())
+                   if self._rebuild_relation(relation))
+
+    # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """Counters and gauges of the server registry (stats op)."""
+        if self.obs.enabled:
+            # Cache-usage gauges are derived on demand rather than
+            # updated on every admission — the read path stays off
+            # the metrics lock.
+            self.obs.metrics.set_gauge("serve.cache.entries",
+                                       self.cache.entries)
+            self.obs.metrics.set_gauge("serve.cache.bytes",
+                                       self.cache.bytes)
+            self.obs.metrics.set_gauge("serve.cache.evictions",
+                                       self.cache.evictions)
         snapshot = {"counters": dict(self.obs.metrics.counters),
                     "gauges": dict(self.obs.metrics.gauges),
-                    "cache": cache_section(self.cache)}
+                    "cache": cache_section(self.cache),
+                    "ingest": {
+                        "mode": self.ingest,
+                        "pending_delta_ops": sum(
+                            r.delta_ops_pending
+                            for r in self.db.relations.values()),
+                        "rebuilds": self.rebuilds,
+                    }}
         latency = latency_section(self.obs, "serve.time_ms")
         if latency is not None:
             snapshot["latency_ms"] = latency
+        lock_waits = {}
+        for mode in ("read", "write"):
+            section = latency_section(self.obs,
+                                      f"serve.lock.{mode}_wait_ms")
+            if section is not None:
+                lock_waits[mode] = section
+        if lock_waits:
+            snapshot["lock_wait_ms"] = lock_waits
         if self.durability is not None:
             snapshot["durability"] = self.durability.status()
         return snapshot
 
     def close(self) -> None:
-        """Drain workers, then (when durable) checkpoint and release
-        the WAL — the graceful-shutdown path of ``repro serve``."""
+        """Stop the rebuilder, drain workers, then (when durable)
+        checkpoint and release the WAL — the graceful-shutdown path of
+        ``repro serve``."""
+        self._rebuild_stop.set()
+        if self._rebuilder is not None:
+            self._rebuilder.join(timeout=10.0)
+            self._rebuilder = None
         self.scheduler.shutdown()
         if self.durability is not None:
-            with self._lock.write():
+            with self._locked(write=True):
                 self.durability.close(checkpoint=True)
 
 

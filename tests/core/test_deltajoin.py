@@ -1,0 +1,127 @@
+"""Overlay-join parity: base join + delta overlay == rebuilt join."""
+
+import random
+
+import pytest
+
+from repro.core import JoinSpec
+from repro.core.deltajoin import filter_hidden_pairs, overlay_join
+from repro.db import SpatialDatabase
+from repro.geometry import Rect
+from repro.geometry.predicates import SpatialPredicate
+
+
+def rect(rng, span=200.0, extent=12.0):
+    x, y = rng.uniform(0, span), rng.uniform(0, span)
+    return Rect(x, y, x + rng.uniform(1, extent),
+                y + rng.uniform(1, extent))
+
+
+def build_db(n=80, seed=21, ingest="delta"):
+    db = SpatialDatabase(page_size=1024)
+    rng = random.Random(seed)
+    for name in ("left", "right"):
+        relation = db.create_relation(name)
+        for _ in range(n):
+            relation.insert(rect(rng))
+    db.set_ingest_mode(ingest)
+    return db
+
+
+def mutate(db, seed=4, inserts=20, deletes=8):
+    """A deterministic burst of writes on both relations."""
+    rng = random.Random(seed)
+    for name in ("left", "right"):
+        relation = db.relation(name)
+        for _ in range(inserts):
+            relation.insert(rect(rng))
+        victims = rng.sample(sorted(relation.objects), deletes)
+        for oid in victims:
+            relation.delete(oid)
+
+
+def join_pairs(db, **spec_kwargs):
+    spec = JoinSpec(algorithm="sj4", buffer_kb=64.0, **spec_kwargs)
+    return sorted(db.join("left", "right", spec=spec).pairs)
+
+
+class TestOverlayParity:
+    def test_overlay_equals_rebuilt_join(self):
+        db = build_db()
+        mutate(db)
+        overlaid = join_pairs(db)
+        assert db.relation("left").delta_ops_pending > 0
+        for name in ("left", "right"):
+            assert db.relation(name).rebuild()
+        assert join_pairs(db) == overlaid
+
+    def test_overlay_equals_direct_mode(self):
+        delta_db = build_db()
+        direct_db = build_db(ingest="direct")
+        mutate(delta_db)
+        mutate(direct_db)
+        assert join_pairs(delta_db) == join_pairs(direct_db)
+
+    def test_refined_overlay_parity(self):
+        db = build_db(n=60, seed=8)
+        mutate(db, seed=9)
+        spec = JoinSpec(algorithm="sj4", buffer_kb=64.0)
+        overlaid = sorted(db.join("left", "right", spec=spec,
+                                  refine=True).pairs)
+        for name in ("left", "right"):
+            db.relation(name).rebuild()
+        rebuilt = sorted(db.join("left", "right", spec=spec,
+                                 refine=True).pairs)
+        assert overlaid == rebuilt
+
+    @pytest.mark.parametrize("pred", [SpatialPredicate.CONTAINS,
+                                      SpatialPredicate.WITHIN])
+    def test_non_intersects_predicates(self, pred):
+        db = build_db(n=50, seed=13)
+        mutate(db, seed=14, inserts=12, deletes=5)
+        overlaid = join_pairs(db, predicate=pred)
+        for name in ("left", "right"):
+            db.relation(name).rebuild()
+        assert join_pairs(db, predicate=pred) == overlaid
+
+
+class TestOverlayPieces:
+    def test_hidden_pairs_are_dropped(self):
+        db = build_db(n=40, seed=2)
+        base_pairs = join_pairs(db)
+        assert base_pairs, "seed produced no intersecting pairs"
+        victim_l, victim_r = base_pairs[0]
+        db.relation("left").delete(victim_l)
+        db.relation("right").delete(victim_r)
+        pairs = join_pairs(db)
+        assert all(l != victim_l and r != victim_r for l, r in pairs)
+
+    def test_filter_hidden_pairs_no_hidden_is_identity(self):
+        pairs = [(1, 2), (3, 4)]
+        assert filter_hidden_pairs(pairs, frozenset(),
+                                   frozenset()) is pairs
+
+    def test_empty_deltas_return_base_result(self):
+        db = build_db(n=30, seed=6)
+        snap_l = db.relation("left").snapshot()
+        snap_r = db.relation("right").snapshot()
+        spec = JoinSpec(algorithm="sj4", buffer_kb=64.0)
+        base = db.join_base(snap_l, snap_r, spec)
+        assert overlay_join(snap_l, snap_r, base) is base
+
+    def test_overlay_counters(self):
+        db = build_db(n=40, seed=2)
+        base_pairs = join_pairs(db)
+        victim = base_pairs[0][0]
+        db.relation("left").delete(victim)
+        new_oid = db.relation("left").insert(
+            Rect(10, 10, 40, 40))     # big rect: guaranteed pairs
+        snap_l = db.relation("left").snapshot()
+        snap_r = db.relation("right").snapshot()
+        spec = JoinSpec(algorithm="sj4", buffer_kb=64.0)
+        base = db.join_base(snap_l, snap_r, spec)
+        result = overlay_join(snap_l, snap_r, base)
+        assert result.stats.hidden_filtered >= 1
+        assert result.stats.delta_pairs >= 1
+        assert any(l == new_oid for l, _ in result.pairs)
+        assert result.stats.pairs_output == len(result.pairs)

@@ -1,0 +1,137 @@
+"""Tests for the delta index: absorption, freezing, visibility."""
+
+import random
+
+import pytest
+
+from repro.db.delta import DeltaIndex, FrozenDelta
+from repro.geometry import Rect
+
+
+def rect(x, y, w=4.0, h=4.0):
+    return Rect(x, y, x + w, y + h)
+
+
+class TestDeltaIndex:
+    def test_insert_then_delete_cancels(self):
+        delta = DeltaIndex()
+        delta.insert(7, rect(0, 0))
+        delta.delete(7)
+        frozen = delta.freeze()
+        assert 7 not in frozen.added
+        assert 7 in frozen.deleted
+        assert 7 in frozen.hidden
+
+    def test_delete_then_reinsert_wins(self):
+        delta = DeltaIndex()
+        delta.delete(3)
+        delta.insert(3, rect(5, 5))
+        frozen = delta.freeze()
+        assert frozen.added[3] == rect(5, 5)
+        # The oid stays recorded as deleted (suppresses any base row),
+        # but the added copy is authoritative.
+        assert 3 in frozen.hidden
+
+    def test_len_counts_operations(self):
+        delta = DeltaIndex()
+        assert len(delta) == 0 and not delta
+        delta.insert(1, rect(0, 0))
+        delta.delete(2)
+        assert len(delta) == 2 and delta
+
+    def test_empty_freeze_is_the_shared_singleton(self):
+        assert DeltaIndex().freeze() is FrozenDelta.EMPTY
+        assert not FrozenDelta.EMPTY
+
+    def test_freeze_is_a_copy(self):
+        delta = DeltaIndex()
+        delta.insert(1, rect(0, 0))
+        frozen = delta.freeze()
+        delta.insert(2, rect(9, 9))
+        delta.delete(1)
+        assert set(frozen.added) == {1}
+        assert not frozen.deleted
+
+    def test_clear(self):
+        delta = DeltaIndex()
+        delta.insert(1, rect(0, 0))
+        delta.delete(2)
+        delta.clear()
+        assert not delta
+
+
+class TestFrozenDelta:
+    def test_rows_are_xlo_sorted(self):
+        delta = DeltaIndex()
+        for oid, x in ((1, 30.0), (2, 10.0), (3, 20.0)):
+            delta.insert(oid, rect(x, 0))
+        frozen = delta.freeze()
+        xls = [mbr.xl for _, mbr, _ in frozen.rows]
+        assert xls == sorted(xls)
+        assert frozen.order == (2, 3, 1)
+        assert list(frozen.iter_added()) == list(frozen.rows)
+
+    def test_added_in_matches_brute_force(self):
+        rng = random.Random(5)
+        delta = DeltaIndex()
+        for oid in range(200):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            # Mixed widths so the bisect lower bound (xl >= window.xl
+            # - max_width) is actually load-bearing.
+            delta.insert(oid, rect(x, y, rng.uniform(0.1, 25),
+                                   rng.uniform(0.1, 25)))
+        frozen = delta.freeze()
+        for _ in range(50):
+            x, y = rng.uniform(-10, 100), rng.uniform(-10, 100)
+            window = rect(x, y, 18, 18)
+            expected = sorted(oid for oid, g in frozen.added.items()
+                              if g.intersects(window))
+            assert sorted(frozen.added_in(window)) == expected
+
+    def test_added_in_empty_delta(self):
+        assert FrozenDelta.EMPTY.added_in(rect(0, 0, 100, 100)) == []
+
+    def test_combine_identity(self):
+        delta = DeltaIndex()
+        delta.insert(1, rect(0, 0))
+        frozen = delta.freeze()
+        assert FrozenDelta.EMPTY.combine(frozen) is frozen
+        assert frozen.combine(FrozenDelta.EMPTY) is frozen
+
+    def test_combine_newer_delete_cancels_older_add(self):
+        older = FrozenDelta({1: rect(0, 0), 2: rect(5, 5)}, ())
+        newer = FrozenDelta({}, (1,))
+        merged = older.combine(newer)
+        assert set(merged.added) == {2}
+        assert 1 in merged.deleted
+
+    def test_combine_newer_add_wins(self):
+        older = FrozenDelta({1: rect(0, 0)}, (9,))
+        newer = FrozenDelta({1: rect(7, 7)}, ())
+        merged = older.combine(newer)
+        assert merged.added[1] == rect(7, 7)
+        # Older deletions keep suppressing base rows.
+        assert 9 in merged.deleted
+
+    def test_combine_equals_sequential_application(self):
+        rng = random.Random(11)
+        base = {oid: rect(rng.uniform(0, 50), rng.uniform(0, 50))
+                for oid in range(30)}
+
+        def apply(delta, table):
+            table = {oid: g for oid, g in table.items()
+                     if oid not in delta.hidden}
+            table.update(delta.added)
+            return table
+
+        older = FrozenDelta({30: rect(1, 1), 31: rect(2, 2)},
+                            (0, 1, 30))
+        newer = FrozenDelta({30: rect(9, 9), 2: rect(3, 3)}, (31, 4))
+        sequential = apply(newer, apply(older, base))
+        combined = apply(older.combine(newer), base)
+        assert sequential == combined
+
+    def test_frozen_delta_is_immutable_shaped(self):
+        frozen = FrozenDelta({1: rect(0, 0)}, (2,))
+        with pytest.raises((AttributeError, TypeError)):
+            frozen.deleted.add(3)
